@@ -1,0 +1,131 @@
+//! Shared helpers for configuring benchmark runs.
+
+use net_model::Topology;
+use smp_sim::SimConfig;
+use tramlib::{FlushPolicy, Scheme, TramConfig};
+
+/// A cluster shape in the paper's terms: physical nodes, processes per node and
+/// worker PEs per process, or the non-SMP equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Number of physical nodes.
+    pub nodes: u32,
+    /// Processes per node (ignored in non-SMP mode).
+    pub procs_per_node: u32,
+    /// Worker PEs per process (ignored in non-SMP mode).
+    pub workers_per_proc: u32,
+    /// SMP mode (dedicated comm thread per process) or non-SMP
+    /// ("MPI-everywhere": one single-worker process per core).
+    pub smp: bool,
+}
+
+impl ClusterSpec {
+    /// The paper's default SMP configuration on Delta: 8 processes per node,
+    /// 8 worker PEs per process (64 workers per node).
+    pub fn paper_smp(nodes: u32) -> Self {
+        Self {
+            nodes,
+            procs_per_node: 8,
+            workers_per_proc: 8,
+            smp: true,
+        }
+    }
+
+    /// A scaled-down SMP configuration used by tests and CI-sized benches:
+    /// 2 processes per node, 4 workers per process.
+    pub fn small_smp(nodes: u32) -> Self {
+        Self {
+            nodes,
+            procs_per_node: 2,
+            workers_per_proc: 4,
+            smp: true,
+        }
+    }
+
+    /// SMP with an explicit split of the node's workers into processes.
+    pub fn smp(nodes: u32, procs_per_node: u32, workers_per_proc: u32) -> Self {
+        Self {
+            nodes,
+            procs_per_node,
+            workers_per_proc,
+            smp: true,
+        }
+    }
+
+    /// Non-SMP mode with the given number of worker cores per node.
+    pub fn non_smp(nodes: u32, workers_per_node: u32) -> Self {
+        Self {
+            nodes,
+            procs_per_node: workers_per_node,
+            workers_per_proc: 1,
+            smp: false,
+        }
+    }
+
+    /// Worker PEs per node.
+    pub fn workers_per_node(&self) -> u32 {
+        self.procs_per_node * self.workers_per_proc
+    }
+
+    /// Total worker PEs.
+    pub fn total_workers(&self) -> u32 {
+        self.nodes * self.workers_per_node()
+    }
+
+    /// Build the [`Topology`].
+    pub fn topology(&self) -> Topology {
+        if self.smp {
+            Topology::smp(self.nodes, self.procs_per_node, self.workers_per_proc)
+        } else {
+            Topology::non_smp(self.nodes, self.workers_per_node())
+        }
+    }
+}
+
+/// Build a [`SimConfig`] for a benchmark run.
+pub fn sim_config(
+    cluster: ClusterSpec,
+    scheme: Scheme,
+    buffer_items: usize,
+    item_bytes: u32,
+    flush_policy: FlushPolicy,
+    seed: u64,
+) -> SimConfig {
+    let topo = cluster.topology();
+    let tram = TramConfig::new(scheme, topo)
+        .with_buffer_items(buffer_items)
+        .with_item_bytes(item_bytes)
+        .with_flush_policy(flush_policy);
+    SimConfig::new(topo, tram).with_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_8x8() {
+        let c = ClusterSpec::paper_smp(4);
+        assert_eq!(c.workers_per_node(), 64);
+        assert_eq!(c.total_workers(), 256);
+        assert!(c.topology().is_smp());
+    }
+
+    #[test]
+    fn non_smp_spec() {
+        let c = ClusterSpec::non_smp(2, 64);
+        assert_eq!(c.total_workers(), 128);
+        assert!(!c.topology().is_smp());
+        assert_eq!(c.topology().workers_per_proc(), 1);
+    }
+
+    #[test]
+    fn sim_config_carries_parameters() {
+        let c = ClusterSpec::small_smp(2);
+        let cfg = sim_config(c, Scheme::WPs, 128, 8, FlushPolicy::ON_IDLE, 7);
+        assert_eq!(cfg.tram.buffer_items, 128);
+        assert_eq!(cfg.tram.item_bytes, 8);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.tram.flush_policy.on_idle);
+    }
+}

@@ -1,0 +1,208 @@
+//! The Bale histogram proxy (Figures 8–11).
+//!
+//! A histogram table is distributed across all worker PEs.  Every PE issues a
+//! fixed number of updates to uniformly random global buckets; an update is one
+//! item addressed to the PE that owns the bucket.  Each PE calls TramLib's
+//! flush once it has issued all its updates.  There is no dependent
+//! communication, so the benchmark isolates *overhead* (total time), which is
+//! exactly how the paper uses it.
+
+use net_model::WorkerId;
+use smp_sim::{run_cluster, Payload, RunReport, WorkerApp, WorkerCtx};
+use tramlib::{FlushPolicy, Scheme};
+
+use crate::common::{sim_config, ClusterSpec};
+
+/// Histogram benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramConfig {
+    /// Cluster shape.
+    pub cluster: ClusterSpec,
+    /// Aggregation scheme.
+    pub scheme: Scheme,
+    /// Updates issued per worker PE (the paper uses 1M and 128K).
+    pub updates_per_worker: u64,
+    /// Histogram buckets owned by each worker PE.
+    pub table_size_per_worker: u64,
+    /// TramLib buffer size `g`.
+    pub buffer_items: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// How many updates a worker generates per execution quantum.
+    pub chunk: u64,
+}
+
+impl HistogramConfig {
+    /// Paper-like defaults for a given cluster and scheme: 1M updates per PE,
+    /// buffer of 1024 items, 4K buckets per PE.
+    pub fn new(cluster: ClusterSpec, scheme: Scheme) -> Self {
+        Self {
+            cluster,
+            scheme,
+            updates_per_worker: 1_000_000,
+            table_size_per_worker: 4096,
+            buffer_items: 1024,
+            seed: HISTOGRAM_SEED,
+            chunk: 256,
+        }
+    }
+
+    /// Set the updates issued per worker.
+    pub fn with_updates(mut self, updates: u64) -> Self {
+        self.updates_per_worker = updates;
+        self
+    }
+
+    /// Set the TramLib buffer size.
+    pub fn with_buffer(mut self, buffer_items: usize) -> Self {
+        self.buffer_items = buffer_items;
+        self
+    }
+
+    /// Set the experiment seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Default experiment seed ("HISTOGRA" in ASCII).
+const HISTOGRAM_SEED: u64 = 0x4849_5354_4f47_5241;
+
+struct HistogramApp {
+    me: WorkerId,
+    remaining: u64,
+    chunk: u64,
+    table_size_per_worker: u64,
+    local_table: Vec<u64>,
+    flushed: bool,
+}
+
+impl WorkerApp for HistogramApp {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+        let bucket = item.a as usize;
+        debug_assert!(bucket < self.local_table.len());
+        self.local_table[bucket] += 1;
+        ctx.counter("histo_applied", 1);
+        ctx.counter("histo_applied_checksum", item.a);
+    }
+
+    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        let n = self.chunk.min(self.remaining);
+        let workers = ctx.total_workers() as u64;
+        let global_buckets = workers * self.table_size_per_worker;
+        for _ in 0..n {
+            ctx.charge_item_generation();
+            let global = ctx.rng().below(global_buckets);
+            let dest = WorkerId((global / self.table_size_per_worker) as u32);
+            let local_bucket = global % self.table_size_per_worker;
+            ctx.counter("histo_sent_checksum", local_bucket);
+            ctx.send(dest, Payload::new(local_bucket, 0));
+        }
+        self.remaining -= n;
+        if self.remaining == 0 && !self.flushed {
+            // The paper's histogram calls flush once, after all updates.
+            ctx.flush();
+            self.flushed = true;
+        }
+        true
+    }
+
+    fn local_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn on_finalize(&mut self, counters: &mut metrics::Counters) {
+        counters.add("histo_table_total", self.local_table.iter().sum());
+        counters.max(
+            "histo_table_max_bucket",
+            self.local_table.iter().copied().max().unwrap_or(0),
+        );
+        let _ = self.me;
+    }
+}
+
+/// Run the histogram benchmark and return the run report.
+///
+/// Useful counters in the report: `histo_applied` (updates applied),
+/// `histo_sent_checksum` / `histo_applied_checksum` (conservation check),
+/// `wire_messages`, `wire_bytes`, and the TramLib statistics.
+pub fn run_histogram(config: HistogramConfig) -> RunReport {
+    let sim = sim_config(
+        config.cluster,
+        config.scheme,
+        config.buffer_items,
+        16,
+        FlushPolicy::EXPLICIT_ONLY,
+        config.seed,
+    );
+    run_cluster(sim, |w| {
+        Box::new(HistogramApp {
+            me: w,
+            remaining: config.updates_per_worker,
+            chunk: config.chunk,
+            table_size_per_worker: config.table_size_per_worker,
+            local_table: vec![0; config.table_size_per_worker as usize],
+            flushed: false,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme) -> RunReport {
+        let cfg = HistogramConfig::new(ClusterSpec::small_smp(2), scheme)
+            .with_updates(2_000)
+            .with_buffer(64)
+            .with_seed(3);
+        run_histogram(cfg)
+    }
+
+    #[test]
+    fn all_updates_applied_and_conserved() {
+        for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP] {
+            let report = quick(scheme);
+            let expected = 2_000 * 16; // updates * workers
+            assert!(report.clean, "{scheme}: not clean");
+            assert_eq!(report.counter("histo_applied"), expected, "{scheme}");
+            assert_eq!(report.counter("histo_table_total"), expected, "{scheme}");
+            assert_eq!(
+                report.counter("histo_sent_checksum"),
+                report.counter("histo_applied_checksum"),
+                "{scheme}: checksum mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn wps_beats_noagg_on_time() {
+        let agg = quick(Scheme::WPs);
+        let none = quick(Scheme::NoAgg);
+        assert!(agg.total_time_ns < none.total_time_ns);
+    }
+
+    #[test]
+    fn ww_needs_more_messages_for_short_streams() {
+        // 2k updates over 16 destinations with buffer 64: WW flushes many
+        // partially-filled per-worker buffers, WPs far fewer.
+        let ww = quick(Scheme::WW);
+        let wps = quick(Scheme::WPs);
+        assert!(ww.counter("wire_messages") > wps.counter("wire_messages"));
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = HistogramConfig::new(ClusterSpec::small_smp(2), Scheme::PP)
+            .with_updates(10)
+            .with_buffer(8)
+            .with_seed(1);
+        assert_eq!(cfg.updates_per_worker, 10);
+        assert_eq!(cfg.buffer_items, 8);
+        assert_eq!(cfg.seed, 1);
+    }
+}

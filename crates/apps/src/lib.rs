@@ -1,0 +1,25 @@
+//! Benchmark applications over the simulated SMP runtime.
+//!
+//! Each module re-implements one of the paper's proxy applications on top of
+//! [`smp_sim`] + [`tramlib`], and exposes a `Config` struct plus a `run`
+//! function returning the [`smp_sim::RunReport`] that the figures harness, the
+//! examples and the integration tests consume:
+//!
+//! | Module | Paper benchmark | Figures |
+//! |--------|-----------------|---------|
+//! | [`pingpong`] | ping-pong RTT/2 vs message size | Fig. 1 |
+//! | [`pingack`]  | PingAck SMP vs non-SMP (comm-thread bottleneck) | Fig. 3 |
+//! | [`histogram`] | Bale histogram (overhead in isolation) | Figs. 8–11 |
+//! | [`index_gather`] | Bale index-gather (latency in isolation) | Figs. 12–13 |
+//! | [`sssp`] | speculative single-source shortest path | Figs. 14–17 |
+//! | [`phold`] | synthetic PHOLD over an optimistic PDES engine | Fig. 18 |
+
+pub mod common;
+pub mod histogram;
+pub mod index_gather;
+pub mod phold;
+pub mod pingack;
+pub mod pingpong;
+pub mod sssp;
+
+pub use common::ClusterSpec;

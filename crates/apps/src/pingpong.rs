@@ -1,0 +1,52 @@
+//! Ping-pong (Figure 1): RTT/2 between two physical nodes as a function of
+//! message size.
+//!
+//! This is a thin wrapper over [`net_model::pingpong`]: the measurement in the
+//! paper characterises the α–β cost of the interconnect itself, which in this
+//! reproduction *is* the cost model, so the "benchmark" evaluates the model at
+//! the same message sizes the paper plots.
+
+use metrics::Series;
+use net_model::{pingpong, CostModel};
+
+/// One-way (RTT/2) times for the Fig. 1 message sizes under `model`.
+pub fn pingpong_points(model: &CostModel) -> Vec<pingpong::PingPongPoint> {
+    pingpong::pingpong_series(model, &pingpong::fig1_message_sizes())
+}
+
+/// Build the Fig. 1 series (x = message bytes, y = RTT/2 in microseconds).
+pub fn fig1_series(model: &CostModel) -> Series {
+    let points = pingpong_points(model);
+    let mut series = Series::new(
+        "Fig. 1: ping-pong RTT/2 between two physical nodes",
+        "message_bytes",
+    );
+    series.set_x_values(points.iter().map(|p| p.bytes.to_string()));
+    series.add_column(
+        "rtt_over_2_us",
+        points.iter().map(|p| p.one_way_us).collect(),
+    );
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::presets::delta_like;
+
+    #[test]
+    fn series_has_all_paper_sizes() {
+        let s = fig1_series(&delta_like());
+        assert_eq!(s.len(), pingpong::fig1_message_sizes().len());
+        let col = s.column("rtt_over_2_us").unwrap();
+        assert!(col.windows(2).all(|w| w[1] >= w[0]), "monotone in size");
+    }
+
+    #[test]
+    fn small_sizes_latency_dominated() {
+        let pts = pingpong_points(&delta_like());
+        let t1 = pts[0].one_way_us;
+        let t256 = pts.iter().find(|p| p.bytes == 256).unwrap().one_way_us;
+        assert!((t256 - t1) / t1 < 0.1);
+    }
+}

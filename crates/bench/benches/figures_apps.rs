@@ -1,0 +1,64 @@
+//! Criterion benches for the application figures: index-gather (Figs. 12–13),
+//! SSSP (Figs. 14–17) and PHOLD (Fig. 18).
+
+use apps::index_gather::{run_index_gather, IndexGatherConfig};
+use apps::phold::{run_phold, PholdBenchConfig};
+use apps::sssp::{run_sssp, SsspConfig};
+use apps::ClusterSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tramlib::Scheme;
+
+fn fig12_13_index_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_13_index_gather");
+    group.sample_size(10);
+    for scheme in Scheme::HEADLINE {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                run_index_gather(
+                    IndexGatherConfig::new(ClusterSpec::smp(2, 2, 4), scheme)
+                        .with_requests(500)
+                        .with_buffer(64),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig14_17_sssp(c: &mut Criterion) {
+    let graph = Arc::new(graph::generate::uniform(5_000, 8, 101));
+    let mut group = c.benchmark_group("fig14_17_sssp");
+    group.sample_size(10);
+    for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
+        let graph = graph.clone();
+        group.bench_function(scheme.label(), move |b| {
+            let graph = graph.clone();
+            b.iter(move || {
+                run_sssp(
+                    SsspConfig::new(ClusterSpec::smp(2, 2, 4), scheme, graph.clone())
+                        .with_buffer(64),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig18_phold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_phold");
+    group.sample_size(10);
+    for scheme in Scheme::HEADLINE {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                run_phold(
+                    PholdBenchConfig::new(ClusterSpec::smp(2, 2, 4), scheme).with_buffer(64),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12_13_index_gather, fig14_17_sssp, fig18_phold);
+criterion_main!(benches);

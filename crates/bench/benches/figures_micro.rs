@@ -1,0 +1,47 @@
+//! Criterion benches for the micro-benchmarks: Fig. 1 (ping-pong model) and
+//! Fig. 3 (PingAck comm-thread bottleneck), plus ablation A1.
+
+use apps::pingack::{run_pingack, PingAckConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig01_pingpong_model(c: &mut Criterion) {
+    let model = net_model::presets::delta_like();
+    c.bench_function("fig01/pingpong_series", |b| {
+        b.iter(|| apps::pingpong::pingpong_points(std::hint::black_box(&model)))
+    });
+}
+
+fn fig03_pingack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_pingack");
+    group.sample_size(10);
+    for (name, procs, smp) in [("smp_1proc", 1u32, true), ("smp_4proc", 4, true), ("non_smp", 1, false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = PingAckConfig::new(procs, smp);
+                cfg.workers_per_node = 8;
+                cfg.messages_per_worker = 100;
+                run_pingack(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_a1_commthread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_a1_commthread");
+    group.sample_size(10);
+    for work in [0u64, 2_000] {
+        group.bench_function(format!("work_{work}ns"), |b| {
+            b.iter(|| {
+                let mut cfg = PingAckConfig::new(1, true).with_work_per_message(work);
+                cfg.workers_per_node = 8;
+                cfg.messages_per_worker = 100;
+                run_pingack(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig01_pingpong_model, fig03_pingack, ablation_a1_commthread);
+criterion_main!(benches);

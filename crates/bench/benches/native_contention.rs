@@ -1,0 +1,32 @@
+//! Ablation A2: native insertion contention — per-worker private buffers (the
+//! WW/WPs source path) vs one shared atomic claim buffer (PP), measured with
+//! real threads on the host machine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use native_rt::{run_native, NativeConfig, NativeScheme};
+
+fn insertion_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_insertion_contention");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let items_per_worker = 200_000u64;
+        group.throughput(Throughput::Elements(threads as u64 * items_per_worker));
+        for scheme in [NativeScheme::PerWorker, NativeScheme::SharedAtomic] {
+            group.bench_function(format!("{}_{}threads", scheme.label(), threads), |b| {
+                b.iter(|| {
+                    run_native(NativeConfig {
+                        workers: threads,
+                        destinations: 8,
+                        items_per_worker,
+                        buffer_items: 1024,
+                        scheme,
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, insertion_contention);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Compressed sparse row (CSR) weighted directed graph.
+
+/// A weighted directed graph in CSR form.
+///
+/// Vertices are `0..num_vertices()`.  Edge weights are `u32` (the SSSP proxy
+/// uses small integer weights, as the Bale/Charm++ proxies do).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build a CSR graph from an edge list `(src, dst, weight)`.
+    /// Self-loops are kept; parallel edges are kept.
+    pub fn from_edges(num_vertices: u32, edges: &[(u32, u32, u32)]) -> Self {
+        for &(s, d, _) in edges {
+            assert!(s < num_vertices && d < num_vertices, "edge endpoint out of range");
+        }
+        let mut degree = vec![0u64; num_vertices as usize + 1];
+        for &(s, _, _) in edges {
+            degree[s as usize + 1] += 1;
+        }
+        for i in 1..degree.len() {
+            degree[i] += degree[i - 1];
+        }
+        let offsets = degree;
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        let mut weights = vec![0u32; edges.len()];
+        for &(s, d, w) in edges {
+            let at = cursor[s as usize] as usize;
+            targets[at] = d;
+            weights[at] = w;
+            cursor[s as usize] += 1;
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of a vertex.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Iterate over `(neighbour, weight)` pairs of `v`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CsrGraph {
+        CsrGraph::from_edges(
+            4,
+            &[(0, 1, 5), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 7), (3, 0, 1)],
+        )
+    }
+
+    #[test]
+    fn construction_counts() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(3), 1);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_match_edge_list() {
+        let g = tiny();
+        let n0: Vec<(u32, u32)> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 5), (2, 1)]);
+        let n2: Vec<(u32, u32)> = g.neighbors(2).collect();
+        assert_eq!(n2, vec![(1, 2), (3, 7)]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_neighbors() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(2).count(), 0);
+        let g_empty = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g_empty.num_vertices(), 0);
+        assert_eq!(g_empty.avg_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5, 1)]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic graph generators.
+//!
+//! The paper's SSSP experiments use synthetic graphs of 8M and 62M vertices.
+//! This crate regenerates equivalent inputs (scaled as documented in
+//! EXPERIMENTS.md) with two families:
+//!
+//! * [`uniform`] — every edge picks a uniformly random endpoint (Erdős–Rényi
+//!   style with a fixed average degree), producing well-balanced traffic;
+//! * [`rmat`] — a Kronecker/R-MAT generator with the usual (a,b,c,d) skew,
+//!   producing the power-law degree distributions that make graph traffic
+//!   irregular and latency-sensitive.
+
+use crate::csr::CsrGraph;
+use sim_core::StreamRng;
+
+/// Which generator to use and its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphSpec {
+    /// Uniformly random edges with the given vertex count and average degree.
+    Uniform {
+        /// Number of vertices.
+        vertices: u32,
+        /// Average out-degree.
+        avg_degree: u32,
+    },
+    /// R-MAT graph with `2^scale` vertices and `edge_factor * 2^scale` edges.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Edges per vertex.
+        edge_factor: u32,
+    },
+}
+
+impl GraphSpec {
+    /// Number of vertices this spec produces.
+    pub fn vertices(&self) -> u32 {
+        match *self {
+            GraphSpec::Uniform { vertices, .. } => vertices,
+            GraphSpec::Rmat { scale, .. } => 1u32 << scale,
+        }
+    }
+
+    /// Build the graph deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> CsrGraph {
+        match *self {
+            GraphSpec::Uniform {
+                vertices,
+                avg_degree,
+            } => uniform(vertices, avg_degree, seed),
+            GraphSpec::Rmat { scale, edge_factor } => rmat(scale, edge_factor, seed),
+        }
+    }
+}
+
+/// Maximum edge weight produced by the generators (weights are `1..=MAX_WEIGHT`).
+pub const MAX_WEIGHT: u32 = 64;
+
+/// Uniformly random directed graph: `vertices * avg_degree` edges with
+/// uniformly random endpoints and weights in `1..=MAX_WEIGHT`.
+pub fn uniform(vertices: u32, avg_degree: u32, seed: u64) -> CsrGraph {
+    assert!(vertices > 0, "graph needs at least one vertex");
+    let mut rng = StreamRng::new(seed, GEN_STREAM);
+    let edge_count = vertices as u64 * avg_degree as u64;
+    let mut edges = Vec::with_capacity(edge_count as usize);
+    for _ in 0..edge_count {
+        let s = rng.below(vertices as u64) as u32;
+        let d = rng.below(vertices as u64) as u32;
+        let w = 1 + rng.below(MAX_WEIGHT as u64) as u32;
+        edges.push((s, d, w));
+    }
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+/// R-MAT generator with the Graph500 parameters (a=0.57, b=0.19, c=0.19).
+pub fn rmat(scale: u32, edge_factor: u32, seed: u64) -> CsrGraph {
+    assert!(scale > 0 && scale < 31, "scale must be in 1..31");
+    let vertices = 1u32 << scale;
+    let edge_count = vertices as u64 * edge_factor as u64;
+    let mut rng = StreamRng::new(seed, GEN_STREAM ^ 0x5151);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut edges = Vec::with_capacity(edge_count as usize);
+    for _ in 0..edge_count {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for bit in (0..scale).rev() {
+            let r = rng.uniform();
+            let (sbit, dbit) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sbit << bit;
+            dst |= dbit << bit;
+        }
+        let w = 1 + rng.below(MAX_WEIGHT as u64) as u32;
+        edges.push((src, dst, w));
+    }
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+/// Stream-id tag for graph-generation RNG streams ("graph_ge" in ASCII).
+const GEN_STREAM: u64 = 0x6772_6170_685f_6765;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_requested_size() {
+        let g = uniform(1_000, 8, 42);
+        assert_eq!(g.num_vertices(), 1_000);
+        assert_eq!(g.num_edges(), 8_000);
+        assert!((g.avg_degree() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform(500, 4, 7);
+        let b = uniform(500, 4, 7);
+        assert_eq!(a, b);
+        let c = uniform(500, 4, 8);
+        assert_ne!(a, c);
+
+        let r1 = rmat(10, 8, 3);
+        let r2 = rmat(10, 8, 3);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 16, 11);
+        assert_eq!(g.num_vertices(), 4096);
+        assert_eq!(g.num_edges(), 4096 * 16);
+        // R-MAT should concentrate edges: the max degree is much larger than the
+        // average degree.
+        let max_degree = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_degree as f64 > 4.0 * g.avg_degree(),
+            "max degree {max_degree} not skewed vs avg {}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let g = uniform(200, 6, 5);
+        for v in 0..g.num_vertices() {
+            for (_, w) in g.neighbors(v) {
+                assert!(w >= 1 && w <= MAX_WEIGHT);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_builds_right_generator() {
+        let u = GraphSpec::Uniform {
+            vertices: 128,
+            avg_degree: 4,
+        };
+        assert_eq!(u.vertices(), 128);
+        assert_eq!(u.build(1).num_vertices(), 128);
+        let r = GraphSpec::Rmat {
+            scale: 7,
+            edge_factor: 4,
+        };
+        assert_eq!(r.vertices(), 128);
+        assert_eq!(r.build(1).num_edges(), 128 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn zero_vertices_rejected() {
+        let _ = uniform(0, 4, 1);
+    }
+}

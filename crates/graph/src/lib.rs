@@ -1,0 +1,22 @@
+//! Graph substrate for the SSSP proxy application.
+//!
+//! The paper's SSSP benchmark distributes vertices across chares (one per PE)
+//! and performs speculative relaxation: every improved distance is immediately
+//! propagated to the vertex's neighbours, and updates that arrive with a
+//! distance no better than the currently known one are *wasted updates*
+//! (Figures 14–17).  This crate provides what that application needs:
+//!
+//! * [`CsrGraph`] — a compressed-sparse-row weighted directed graph;
+//! * [`generate`] — deterministic uniform and R-MAT style graph generators;
+//! * [`Partition`] — 1-D block partitioning of vertices over worker PEs;
+//! * [`sssp::dijkstra`] — a sequential reference solution used by the tests to
+//!   validate the distances computed by the distributed speculative algorithm.
+
+pub mod csr;
+pub mod generate;
+pub mod partition;
+pub mod sssp;
+
+pub use csr::CsrGraph;
+pub use generate::{rmat, uniform, GraphSpec};
+pub use partition::Partition;

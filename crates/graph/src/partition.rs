@@ -1,0 +1,130 @@
+//! 1-D block partitioning of vertices across worker PEs.
+//!
+//! The paper's SSSP proxy places one chare per PE and distributes vertices
+//! across chares.  [`Partition`] maps vertices to owning workers in contiguous
+//! blocks (the standard 1-D distribution), so that the application can turn a
+//! neighbour vertex id into the destination worker of an update item.
+
+/// Block partition of `num_vertices` over `num_parts` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    num_vertices: u32,
+    num_parts: u32,
+}
+
+impl Partition {
+    /// Create a partition.
+    ///
+    /// # Panics
+    /// Panics if `num_parts` is zero.
+    pub fn new(num_vertices: u32, num_parts: u32) -> Self {
+        assert!(num_parts > 0, "at least one part");
+        Self {
+            num_vertices,
+            num_parts,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of parts (worker PEs).
+    pub fn num_parts(&self) -> u32 {
+        self.num_parts
+    }
+
+    /// Which part owns vertex `v`.
+    pub fn owner(&self, v: u32) -> u32 {
+        debug_assert!(v < self.num_vertices);
+        // Blocks of size ceil(n / p) at the front, so every vertex maps into
+        // range even when p does not divide n.
+        let block = self.block_size();
+        (v / block).min(self.num_parts - 1)
+    }
+
+    /// The contiguous vertex range owned by `part`.
+    pub fn range(&self, part: u32) -> std::ops::Range<u32> {
+        debug_assert!(part < self.num_parts);
+        let block = self.block_size();
+        let start = (part * block).min(self.num_vertices);
+        let end = if part == self.num_parts - 1 {
+            self.num_vertices
+        } else {
+            ((part + 1) * block).min(self.num_vertices)
+        };
+        start..end
+    }
+
+    /// Number of vertices owned by `part`.
+    pub fn part_size(&self, part: u32) -> u32 {
+        let r = self.range(part);
+        r.end - r.start
+    }
+
+    /// Index of vertex `v` within its owner's local array.
+    pub fn local_index(&self, v: u32) -> u32 {
+        v - self.range(self.owner(v)).start
+    }
+
+    fn block_size(&self) -> u32 {
+        self.num_vertices.div_ceil(self.num_parts).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = Partition::new(100, 4);
+        assert_eq!(p.part_size(0), 25);
+        assert_eq!(p.part_size(3), 25);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(24), 0);
+        assert_eq!(p.owner(25), 1);
+        assert_eq!(p.owner(99), 3);
+        assert_eq!(p.range(2), 50..75);
+        assert_eq!(p.local_index(60), 10);
+    }
+
+    #[test]
+    fn uneven_split_covers_all_vertices() {
+        let p = Partition::new(10, 3);
+        let total: u32 = (0..3).map(|i| p.part_size(i)).sum();
+        assert_eq!(total, 10);
+        for v in 0..10 {
+            let owner = p.owner(v);
+            assert!(p.range(owner).contains(&v), "v={v} owner={owner}");
+        }
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let p = Partition::new(3, 8);
+        for v in 0..3 {
+            assert!(p.owner(v) < 8);
+        }
+        let total: u32 = (0..8).map(|i| p.part_size(i)).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn owner_and_local_index_roundtrip() {
+        let p = Partition::new(977, 13);
+        for v in (0..977).step_by(7) {
+            let owner = p.owner(v);
+            let local = p.local_index(v);
+            assert_eq!(p.range(owner).start + local, v);
+            assert!(local < p.part_size(owner));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_rejected() {
+        let _ = Partition::new(10, 0);
+    }
+}

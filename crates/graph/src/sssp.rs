@@ -1,0 +1,128 @@
+//! Sequential single-source shortest path reference.
+//!
+//! The distributed speculative SSSP in `tram-apps` must compute exactly the
+//! same distances as a sequential Dijkstra run, regardless of aggregation
+//! scheme, message latency or the order in which updates arrive.  The
+//! integration tests compare against [`dijkstra`].
+
+use crate::csr::CsrGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Distance value representing "unreached".
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Sequential Dijkstra from `source`; returns one distance per vertex
+/// ([`UNREACHED`] for unreachable vertices).
+pub fn dijkstra(graph: &CsrGraph, source: u32) -> Vec<u64> {
+    let n = graph.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((source as usize) < n, "source out of range");
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in graph.neighbors(v) {
+            let nd = d + w as u64;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Bellman-Ford (used as an independent cross-check in tests; O(V·E), only for
+/// tiny graphs).
+pub fn bellman_ford(graph: &CsrGraph, source: u32) -> Vec<u64> {
+    let n = graph.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for v in 0..graph.num_vertices() {
+            let dv = dist[v as usize];
+            if dv == UNREACHED {
+                continue;
+            }
+            for (u, w) in graph.neighbors(v) {
+                let nd = dv + w as u64;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::uniform;
+
+    #[test]
+    fn tiny_graph_known_distances() {
+        let g = CsrGraph::from_edges(
+            5,
+            &[
+                (0, 1, 10),
+                (0, 2, 3),
+                (2, 1, 4),
+                (1, 3, 2),
+                (2, 3, 8),
+                (3, 4, 7),
+            ],
+        );
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 7, 3, 9, 16]);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = uniform(200, 5, seed);
+            let d1 = dijkstra(&g, 0);
+            let d2 = bellman_ford(&g, 0);
+            assert_eq!(d1, d2, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(dijkstra(&g, 0).is_empty());
+        assert!(bellman_ford(&g, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1)]);
+        let _ = dijkstra(&g, 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Named counter registry.
+//!
+//! Benchmarks count things: items sent, messages sent, bytes on the wire, flush
+//! calls, wasted updates, out-of-order events.  [`Counters`] is a tiny ordered
+//! map from `&'static str` names to `u64` values that supports merging across
+//! PEs/processes and pretty printing.
+
+use std::collections::BTreeMap;
+
+/// Ordered registry of named `u64` counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it if necessary.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.values.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Set counter `name` to `value`, overwriting any previous value.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.values.insert(name, value);
+    }
+
+    /// Read counter `name`, 0 if absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record the maximum of the current value and `value`.
+    pub fn max(&mut self, name: &'static str, value: u64) {
+        let entry = self.values.entry(name).or_insert(0);
+        if value > *entry {
+            *entry = value;
+        }
+    }
+
+    /// Merge another registry by summing matching counters.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, value) in &other.values {
+            *self.values.entry(name).or_insert(0) += value;
+        }
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no counters exist.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl std::fmt::Display for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (name, value) in &self.values {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_incr() {
+        let mut c = Counters::new();
+        assert_eq!(c.get("messages"), 0);
+        c.add("messages", 5);
+        c.incr("messages");
+        assert_eq!(c.get("messages"), 6);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut c = Counters::new();
+        c.add("x", 10);
+        c.set("x", 3);
+        assert_eq!(c.get("x"), 3);
+    }
+
+    #[test]
+    fn max_keeps_largest() {
+        let mut c = Counters::new();
+        c.max("peak", 5);
+        c.max("peak", 3);
+        c.max("peak", 9);
+        assert_eq!(c.get("peak"), 9);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        a.add("items", 10);
+        a.add("msgs", 2);
+        b.add("items", 5);
+        b.add("bytes", 100);
+        a.merge(&b);
+        assert_eq!(a.get("items"), 15);
+        assert_eq!(a.get("msgs"), 2);
+        assert_eq!(a.get("bytes"), 100);
+    }
+
+    #[test]
+    fn display_is_sorted_and_complete() {
+        let mut c = Counters::new();
+        c.add("zeta", 1);
+        c.add("alpha", 2);
+        assert_eq!(c.to_string(), "alpha=2 zeta=1");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut c = Counters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

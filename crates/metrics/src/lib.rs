@@ -1,0 +1,83 @@
+//! Statistics and reporting substrate for the `smp-aggregation` workspace.
+//!
+//! Every experiment in the paper reports one of three kinds of quantities:
+//!
+//! * **total time** of a benchmark phase (histogram, index-gather, SSSP, PHOLD),
+//! * **latency** of individual items (time from item creation to delivery), and
+//! * **counters** such as wasted updates, messages sent, bytes sent, flush calls.
+//!
+//! This crate provides small, dependency-free building blocks for all three:
+//!
+//! * [`OnlineStats`] — numerically stable streaming mean/variance/min/max.
+//! * [`QuantileSketch`] — log-bucketed quantile estimator for latency
+//!   distributions with millions of samples.
+//! * [`LatencyRecorder`] — combines both, keyed to nanosecond samples.
+//! * [`Counters`] — a named counter registry.
+//! * [`Series`] and [`Table`] — figure/table output as CSV, TSV or aligned text,
+//!   used by the `figures` binary in the `bench` crate to regenerate every
+//!   figure of the paper.
+
+pub mod counters;
+pub mod latency;
+pub mod quantile;
+pub mod stats;
+pub mod table;
+
+pub use counters::Counters;
+pub use latency::LatencyRecorder;
+pub use quantile::QuantileSketch;
+pub use stats::OnlineStats;
+pub use table::{Series, Table};
+
+/// Convenience alias: nanoseconds as used across the workspace.
+pub type Nanos = u64;
+
+/// Format a nanosecond quantity as a human readable string (`1.234 ms`, `56 ns`, ...).
+pub fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Format a byte quantity (`1.5 KiB`, `3.2 MiB`, ...).
+pub fn format_bytes(bytes: f64) -> String {
+    const KIB: f64 = 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    if bytes < KIB {
+        format!("{bytes:.0} B")
+    } else if bytes < MIB {
+        format!("{:.2} KiB", bytes / KIB)
+    } else if bytes < GIB {
+        format!("{:.2} MiB", bytes / MIB)
+    } else {
+        format!("{:.2} GiB", bytes / GIB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_nanos_ranges() {
+        assert_eq!(format_nanos(512.0), "512 ns");
+        assert_eq!(format_nanos(1_500.0), "1.500 us");
+        assert_eq!(format_nanos(2_500_000.0), "2.500 ms");
+        assert_eq!(format_nanos(3_000_000_000.0), "3.000 s");
+    }
+
+    #[test]
+    fn format_bytes_ranges() {
+        assert_eq!(format_bytes(100.0), "100 B");
+        assert_eq!(format_bytes(2048.0), "2.00 KiB");
+        assert_eq!(format_bytes(3.0 * 1024.0 * 1024.0), "3.00 MiB");
+        assert_eq!(format_bytes(1.5 * 1024.0 * 1024.0 * 1024.0), "1.50 GiB");
+    }
+}

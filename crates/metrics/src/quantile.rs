@@ -1,0 +1,223 @@
+//! Log-bucketed quantile sketch.
+//!
+//! Latency distributions in the simulated runs span from tens of nanoseconds
+//! (local delivery) to hundreds of milliseconds (items stuck in a buffer that is
+//! only flushed at the end of a phase).  A fixed-relative-error log-bucketed
+//! histogram gives percentile estimates with bounded relative error (default
+//! ~1%) in constant memory, regardless of how many samples are recorded.
+
+/// Quantile sketch with bounded relative error for non-negative samples.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    /// `gamma = (1 + rel_err) / (1 - rel_err)`; bucket i covers `(gamma^i, gamma^(i+1)]`.
+    gamma: f64,
+    log_gamma: f64,
+    /// Count of samples equal to zero (they get their own bucket).
+    zero_count: u64,
+    /// Sparse bucket counts indexed by bucket id.
+    buckets: std::collections::BTreeMap<i32, u64>,
+    count: u64,
+    max: f64,
+    min: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl QuantileSketch {
+    /// Create a sketch with the given relative error bound (e.g. `0.01` for 1%).
+    ///
+    /// # Panics
+    /// Panics if `rel_err` is not in `(0, 1)`.
+    pub fn new(rel_err: f64) -> Self {
+        assert!(rel_err > 0.0 && rel_err < 1.0, "relative error must be in (0,1)");
+        let gamma = (1.0 + rel_err) / (1.0 - rel_err);
+        Self {
+            gamma,
+            log_gamma: gamma.ln(),
+            zero_count: 0,
+            buckets: std::collections::BTreeMap::new(),
+            count: 0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+        }
+    }
+
+    /// Record one non-negative sample. Negative samples are clamped to zero.
+    pub fn record(&mut self, x: f64) {
+        let x = if x.is_finite() && x > 0.0 { x } else { 0.0 };
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x == 0.0 {
+            self.zero_count += 1;
+            return;
+        }
+        let key = (x.ln() / self.log_gamma).ceil() as i32;
+        *self.buckets.entry(key).or_insert(0) += 1;
+    }
+
+    /// Merge another sketch (must have been built with the same relative error).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.gamma - other.gamma).abs() < 1e-12,
+            "cannot merge sketches with different precision"
+        );
+        self.count += other.count;
+        self.zero_count += other.zero_count;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (k, v) in &other.buckets {
+            *self.buckets.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`). Returns 0 for an empty sketch.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the desired sample (0-based).
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        if rank < self.zero_count {
+            return 0.0;
+        }
+        let mut seen = self.zero_count;
+        for (k, v) in &self.buckets {
+            seen += v;
+            if seen > rank {
+                // Midpoint of bucket k in value space: gamma^(k-1) .. gamma^k.
+                let upper = self.gamma.powi(*k);
+                let lower = upper / self.gamma;
+                return ((lower + upper) / 2.0).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Maximum recorded sample (exact), or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Minimum recorded sample (exact), or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error")]
+    fn invalid_precision_panics() {
+        let _ = QuantileSketch::new(1.5);
+    }
+
+    #[test]
+    fn uniform_quantiles_within_relative_error() {
+        let mut s = QuantileSketch::new(0.01);
+        for i in 1..=10_000u64 {
+            s.record(i as f64);
+        }
+        for &(q, expected) in &[(0.5, 5000.0), (0.9, 9000.0), (0.99, 9900.0)] {
+            let est = s.quantile(q);
+            let rel = (est - expected).abs() / expected;
+            assert!(rel < 0.03, "q={q} est={est} expected={expected} rel={rel}");
+        }
+        assert_eq!(s.max(), 10_000.0);
+        assert_eq!(s.min(), 1.0);
+    }
+
+    #[test]
+    fn zeros_are_handled() {
+        let mut s = QuantileSketch::default();
+        for _ in 0..90 {
+            s.record(0.0);
+        }
+        for _ in 0..10 {
+            s.record(100.0);
+        }
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert!(s.quantile(0.95) > 50.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = QuantileSketch::new(0.01);
+        let mut b = QuantileSketch::new(0.01);
+        let mut all = QuantileSketch::new(0.01);
+        for i in 1..=1000u64 {
+            let x = (i * 37 % 999 + 1) as f64;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let ea = a.quantile(q);
+            let eu = all.quantile(q);
+            assert!((ea - eu).abs() / eu < 0.05, "q={q} {ea} vs {eu}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_mismatched_precision_panics() {
+        let mut a = QuantileSketch::new(0.01);
+        let b = QuantileSketch::new(0.02);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn negative_and_nan_clamped() {
+        let mut s = QuantileSketch::default();
+        s.record(-5.0);
+        s.record(f64::NAN);
+        s.record(10.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 10.0);
+    }
+}

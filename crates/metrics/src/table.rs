@@ -1,0 +1,334 @@
+//! Figure/table output.
+//!
+//! Every figure in the paper is a family of series over a common x-axis
+//! (node count, buffer size, process count).  [`Series`] captures one such
+//! family; [`Table`] is a generic row-oriented table.  Both can render as CSV
+//! (for plotting), TSV, or aligned plain text (for terminal summaries), which is
+//! what the `figures` binary in the `bench` crate emits.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One figure: a labelled x-axis plus one named column of y-values per scheme.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    title: String,
+    x_label: String,
+    x_values: Vec<String>,
+    columns: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Create an empty figure with a title and x-axis label.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            x_values: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Title of the figure.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Set the x-axis tick labels (e.g. `["2nodes", "4nodes", ...]`).
+    pub fn set_x_values<I, S>(&mut self, xs: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.x_values = xs.into_iter().map(Into::into).collect();
+    }
+
+    /// Add a named column (one series line, e.g. scheme "WPs").
+    ///
+    /// # Panics
+    /// Panics if the column length does not match the x-axis length.
+    pub fn add_column(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.x_values.len(),
+            "column length must match x-axis length"
+        );
+        self.columns.push((name.into(), values));
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Names of all columns in insertion order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of x-axis points.
+    pub fn len(&self) -> usize {
+        self.x_values.len()
+    }
+
+    /// True if the series has no x-axis points.
+    pub fn is_empty(&self) -> bool {
+        self.x_values.is_empty()
+    }
+
+    /// Render as CSV: header `x_label,col1,col2,...` then one row per x value.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", escape_csv(&self.x_label));
+        for (name, _) in &self.columns {
+            let _ = write!(out, ",{}", escape_csv(name));
+        }
+        out.push('\n');
+        for (i, x) in self.x_values.iter().enumerate() {
+            let _ = write!(out, "{}", escape_csv(x));
+            for (_, vals) in &self.columns {
+                let _ = write!(out, ",{}", vals[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned plain-text block with the title on top.
+    pub fn to_text(&self) -> String {
+        let mut table = Table::new();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.columns.iter().map(|(n, _)| n.clone()));
+        table.set_header(header);
+        for (i, x) in self.x_values.iter().enumerate() {
+            let mut row = vec![x.clone()];
+            for (_, vals) in &self.columns {
+                row.push(format!("{:.6}", vals[i]));
+            }
+            table.add_row(row);
+        }
+        format!("# {}\n{}", self.title, table.to_text())
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Generic row-oriented table with a header, rendered as CSV or aligned text.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the header row.
+    pub fn set_header<I, S>(&mut self, header: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = header.into_iter().map(Into::into).collect();
+    }
+
+    /// Append a data row.
+    ///
+    /// # Panics
+    /// Panics if a header is set and the row width differs from it.
+    pub fn add_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        if !self.header.is_empty() {
+            assert_eq!(row.len(), self.header.len(), "row width must match header");
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            out.push_str(&join_csv(&self.header));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&join_csv(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            out.push_str(&format_row(&self.header, &widths));
+            out.push('\n');
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            out.push_str(&format_row(&rule, &widths));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&format_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+fn format_row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let width = widths.get(i).copied().unwrap_or(cell.len());
+        let _ = write!(out, "{cell:<width$}");
+    }
+    out.trim_end().to_string()
+}
+
+fn join_csv(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| escape_csv(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_csv_roundtrip_shape() {
+        let mut s = Series::new("Histogram 1M", "nodes");
+        s.set_x_values(["2", "4", "8"]);
+        s.add_column("WW", vec![1.0, 2.0, 3.0]);
+        s.add_column("WPs", vec![0.5, 0.6, 0.7]);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "nodes,WW,WPs");
+        assert_eq!(lines[1], "2,1,0.5");
+        assert_eq!(s.column("WW").unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.column_names(), vec!["WW", "WPs"]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column length")]
+    fn series_mismatched_column_panics() {
+        let mut s = Series::new("t", "x");
+        s.set_x_values(["1", "2"]);
+        s.add_column("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn series_text_has_title() {
+        let mut s = Series::new("My Figure", "x");
+        s.set_x_values(["a"]);
+        s.add_column("y", vec![1.25]);
+        let text = s.to_text();
+        assert!(text.starts_with("# My Figure"));
+        assert!(text.contains("1.25"));
+    }
+
+    #[test]
+    fn table_text_alignment() {
+        let mut t = Table::new();
+        t.set_header(["scheme", "time"]);
+        t.add_row(["WW", "1.5"]);
+        t.add_row(["WPs", "0.25"]);
+        let text = t.to_text();
+        assert!(text.contains("scheme"));
+        assert!(text.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_bad_row_panics() {
+        let mut t = Table::new();
+        t.set_header(["a", "b"]);
+        t.add_row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new();
+        t.set_header(["name", "value"]);
+        t.add_row(["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("tram_metrics_test");
+        let path = dir.join("nested").join("fig.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Series::new("t", "x");
+        s.set_x_values(["1"]);
+        s.add_column("y", vec![2.0]);
+        s.write_csv(&path).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,181 @@
+//! The α–β ("latency–bandwidth") point-to-point network model.
+//!
+//! The paper motivates aggregation with a ping-pong measurement on Delta
+//! (Fig. 1): the time to send a message is flat (α-dominated, microseconds) for
+//! small sizes and only becomes bandwidth-dominated past tens of kilobytes,
+//! because β — the per-byte cost — is a fraction of a nanosecond (~12 GB/s).
+//!
+//! [`AlphaBeta`] captures that model, with an optional *rendezvous threshold*:
+//! real interconnects switch from an eager protocol to a rendezvous protocol
+//! for large messages, adding roughly one extra α of handshake.  The threshold
+//! only matters for the large end of Fig. 1 and is irrelevant for aggregated
+//! buffers of a few KiB.
+
+/// Point-to-point message cost model: `α + β · bytes` (+ α again past the
+/// rendezvous threshold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBeta {
+    /// Per-message latency α, in nanoseconds.
+    pub alpha_ns: f64,
+    /// Per-byte cost β, in nanoseconds per byte (inverse bandwidth).
+    pub beta_ns_per_byte: f64,
+    /// Message size (bytes) at which the rendezvous handshake kicks in;
+    /// `u64::MAX` disables it.
+    pub rendezvous_threshold: u64,
+}
+
+impl AlphaBeta {
+    /// Build a model from α (ns) and β (ns/byte) with no rendezvous threshold.
+    pub fn new(alpha_ns: f64, beta_ns_per_byte: f64) -> Self {
+        assert!(alpha_ns >= 0.0 && beta_ns_per_byte >= 0.0);
+        Self {
+            alpha_ns,
+            beta_ns_per_byte,
+            rendezvous_threshold: u64::MAX,
+        }
+    }
+
+    /// Build a model from α (ns) and a bandwidth in GB/s.
+    pub fn from_bandwidth(alpha_ns: f64, bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0);
+        Self::new(alpha_ns, 1.0 / bandwidth_gbps)
+    }
+
+    /// Set the rendezvous threshold (bytes).
+    pub fn with_rendezvous_threshold(mut self, bytes: u64) -> Self {
+        self.rendezvous_threshold = bytes;
+        self
+    }
+
+    /// One-way wire time for a message of `bytes`, in nanoseconds.
+    pub fn one_way_ns(&self, bytes: u64) -> f64 {
+        let mut t = self.alpha_ns + self.beta_ns_per_byte * bytes as f64;
+        if bytes >= self.rendezvous_threshold {
+            t += self.alpha_ns;
+        }
+        t
+    }
+
+    /// One-way wire time rounded to integer nanoseconds (for the simulator).
+    pub fn one_way_nanos(&self, bytes: u64) -> u64 {
+        self.one_way_ns(bytes).round().max(0.0) as u64
+    }
+
+    /// Round-trip time for `bytes` out and an empty (header-only) reply.
+    pub fn rtt_ns(&self, bytes: u64) -> f64 {
+        self.one_way_ns(bytes) + self.one_way_ns(0)
+    }
+
+    /// Effective bandwidth in GB/s implied by β.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        if self.beta_ns_per_byte == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.beta_ns_per_byte
+        }
+    }
+
+    /// The message size at which the β term equals the α term — below this the
+    /// transfer is latency-dominated, which is the regime aggregation targets.
+    pub fn latency_dominated_below(&self) -> u64 {
+        if self.beta_ns_per_byte == 0.0 {
+            u64::MAX
+        } else {
+            (self.alpha_ns / self.beta_ns_per_byte).round() as u64
+        }
+    }
+
+    /// Communication cost of sending `items` separate small messages of `item_bytes`
+    /// each versus sending them aggregated in buffers of `buffer_items`, as in the
+    /// paper's §III-C "message send cost" analysis.  Returns `(unaggregated_ns,
+    /// aggregated_ns)`.
+    pub fn aggregation_saving(&self, items: u64, item_bytes: u64, buffer_items: u64) -> (f64, f64) {
+        let unagg = items as f64 * self.one_way_ns(item_bytes);
+        let buffer_items = buffer_items.max(1);
+        let full_buffers = items / buffer_items;
+        let remainder = items % buffer_items;
+        let mut agg = full_buffers as f64 * self.one_way_ns(buffer_items * item_bytes);
+        if remainder > 0 {
+            agg += self.one_way_ns(remainder * item_bytes);
+        }
+        (unagg, agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_are_latency_dominated() {
+        let m = AlphaBeta::from_bandwidth(2_200.0, 12.0);
+        // 1 byte and 128 bytes should take essentially the same time.
+        let t1 = m.one_way_ns(1);
+        let t128 = m.one_way_ns(128);
+        assert!((t128 - t1) / t1 < 0.01);
+        // 2 MB should be bandwidth dominated.
+        let t2m = m.one_way_ns(2 * 1024 * 1024);
+        assert!(t2m > 50.0 * t1);
+    }
+
+    #[test]
+    fn bandwidth_roundtrip() {
+        let m = AlphaBeta::from_bandwidth(1_000.0, 12.5);
+        assert!((m.bandwidth_gbps() - 12.5).abs() < 1e-9);
+        assert!((m.beta_ns_per_byte - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_adds_extra_alpha() {
+        let m = AlphaBeta::new(1_000.0, 0.1).with_rendezvous_threshold(1024);
+        let below = m.one_way_ns(1023);
+        let above = m.one_way_ns(1024);
+        assert!((above - below - 1_000.0 - 0.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_dominated_below_matches_ratio() {
+        let m = AlphaBeta::new(2_000.0, 0.1);
+        assert_eq!(m.latency_dominated_below(), 20_000);
+        let z = AlphaBeta::new(2_000.0, 0.0);
+        assert_eq!(z.latency_dominated_below(), u64::MAX);
+        assert!(z.bandwidth_gbps().is_infinite());
+    }
+
+    #[test]
+    fn rtt_is_sum_of_two_one_ways() {
+        let m = AlphaBeta::new(500.0, 0.05);
+        let rtt = m.rtt_ns(4096);
+        assert!((rtt - (m.one_way_ns(4096) + m.one_way_ns(0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_saving_reduces_alpha_term() {
+        let m = AlphaBeta::new(2_000.0, 0.1);
+        let (unagg, agg) = m.aggregation_saving(1_000_000, 8, 1024);
+        // Unaggregated pays alpha a million times; aggregated only ~977 times.
+        assert!(unagg / agg > 100.0, "unagg={unagg} agg={agg}");
+        // The beta term (bytes transferred) is identical.
+        let bytes = 1_000_000.0 * 8.0 * 0.1;
+        assert!(agg > bytes);
+    }
+
+    #[test]
+    fn aggregation_saving_handles_remainder_and_zero_buffer() {
+        let m = AlphaBeta::new(1_000.0, 0.0);
+        let (unagg, agg) = m.aggregation_saving(10, 8, 3);
+        assert_eq!(unagg, 10.0 * 1_000.0);
+        // 3 full buffers + 1 partial = 4 messages.
+        assert_eq!(agg, 4.0 * 1_000.0);
+        let (_, agg1) = m.aggregation_saving(10, 8, 0);
+        assert_eq!(agg1, 10.0 * 1_000.0);
+    }
+
+    #[test]
+    fn one_way_nanos_rounds() {
+        let m = AlphaBeta::new(10.4, 0.0);
+        assert_eq!(m.one_way_nanos(0), 10);
+        let m2 = AlphaBeta::new(10.6, 0.0);
+        assert_eq!(m2.one_way_nanos(0), 11);
+    }
+}

@@ -1,0 +1,188 @@
+//! CPU-side cost parameters of the SMP runtime.
+//!
+//! Beyond the wire (α–β) cost, the phenomena in the paper come from *CPU* costs
+//! on the worker PEs and on the per-process communication thread:
+//!
+//! * §III-A: "if the amount of work per word of communication was less than
+//!   167 nanoseconds, the communication thread itself becomes a serializing
+//!   bottleneck" — captured by [`CommThreadCosts`], a serial per-process server
+//!   with a per-message and per-byte service cost on both send and receive.
+//! * §III-C "processing delays": the overhead `O` added once per aggregated
+//!   message, contention when workers share a buffer (PP), and the `O(g + t)`
+//!   grouping cost when a process-level buffer must be split per destination
+//!   worker (WPs at the destination, WsP at the source).
+//!
+//! All parameters are nanoseconds (or nanoseconds per byte/item) and live in
+//! [`CostModel`], alongside the α–β model and the topology-independent knobs.
+
+use crate::alphabeta::AlphaBeta;
+
+/// Service costs of the dedicated communication thread of an SMP process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommThreadCosts {
+    /// Fixed cost to hand one outgoing message to the NIC (ns).
+    pub send_per_msg_ns: f64,
+    /// Additional outgoing cost per byte (pinning/copying), ns per byte.
+    pub send_per_byte_ns: f64,
+    /// Fixed cost to receive one incoming message (ns).
+    pub recv_per_msg_ns: f64,
+    /// Additional incoming cost per byte, ns per byte.
+    pub recv_per_byte_ns: f64,
+}
+
+impl CommThreadCosts {
+    /// Service time for sending one message of `bytes`.
+    pub fn send_ns(&self, bytes: u64) -> f64 {
+        self.send_per_msg_ns + self.send_per_byte_ns * bytes as f64
+    }
+
+    /// Service time for receiving one message of `bytes`.
+    pub fn recv_ns(&self, bytes: u64) -> f64 {
+        self.recv_per_msg_ns + self.recv_per_byte_ns * bytes as f64
+    }
+}
+
+/// CPU costs paid by a worker PE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerCosts {
+    /// Cost to generate one application item (the "fine-grained work" between
+    /// communication calls), ns.
+    pub item_generate_ns: f64,
+    /// Cost to execute the application handler for one delivered item, ns.
+    pub item_handler_ns: f64,
+    /// Cost to copy one item into a private (per-worker) aggregation buffer, ns.
+    pub buffer_insert_ns: f64,
+    /// Extra cost of an atomic fetch-add insertion into a *shared* per-process
+    /// buffer (PP scheme), uncontended, ns.
+    pub atomic_insert_ns: f64,
+    /// Additional penalty per concurrent inserter into the same shared buffer
+    /// (cache-line ping-pong), ns per extra contending worker.
+    pub atomic_contention_ns: f64,
+    /// Per-message cost of initiating a send from the worker (allocating the
+    /// envelope, enqueueing to the comm thread), ns.
+    pub message_send_ns: f64,
+    /// Per-item cost of grouping/sorting a buffer by destination worker
+    /// (the `O(g + t)` term of §III-C), ns per item.
+    pub group_per_item_ns: f64,
+    /// Per-destination-worker fixed cost of the same grouping (the `t` part of
+    /// `O(g + t)`), ns per destination worker touched.
+    pub group_per_worker_ns: f64,
+    /// Cost of delivering a message (or grouped slice) to another worker in the
+    /// same process via shared memory, ns.
+    pub local_deliver_ns: f64,
+    /// Per-message receive-side cost on the destination worker (unpacking), ns.
+    pub message_recv_ns: f64,
+}
+
+impl WorkerCosts {
+    /// Cost of grouping a buffer of `items` destined to `workers` distinct
+    /// destination workers: `O(g + t)`.
+    pub fn grouping_ns(&self, items: u64, workers: u64) -> f64 {
+        self.group_per_item_ns * items as f64 + self.group_per_worker_ns * workers as f64
+    }
+
+    /// Cost of inserting one item into a shared per-process buffer with
+    /// `contenders` other workers actively inserting.
+    pub fn shared_insert_ns(&self, contenders: u32) -> f64 {
+        self.atomic_insert_ns + self.atomic_contention_ns * contenders as f64
+    }
+}
+
+/// Complete cost model: wire + comm thread + worker CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Inter-node wire model.
+    pub network: AlphaBeta,
+    /// Intra-node, inter-process wire model (processes on the same physical
+    /// node communicate through shared-memory transport: much smaller α).
+    pub intra_node: AlphaBeta,
+    /// Communication-thread service costs (SMP mode only).
+    pub comm_thread: CommThreadCosts,
+    /// Worker-side CPU costs.
+    pub worker: WorkerCosts,
+    /// In non-SMP mode the worker drives the NIC itself; this is its per-message
+    /// progress-engine cost (ns), replacing the comm-thread service cost.
+    pub non_smp_progress_per_msg_ns: f64,
+    /// Per-byte counterpart of `non_smp_progress_per_msg_ns`.
+    pub non_smp_progress_per_byte_ns: f64,
+}
+
+impl CostModel {
+    /// Wire model for a message between two processes, picking the inter-node
+    /// or intra-node link depending on whether they share a physical node.
+    pub fn link_for(&self, same_node: bool) -> &AlphaBeta {
+        if same_node {
+            &self.intra_node
+        } else {
+            &self.network
+        }
+    }
+
+    /// The break-even "work per word" (ns) below which the single comm thread
+    /// of a process serializes its `workers` senders (§III-A).  If each worker
+    /// produces one `word_bytes`-sized item's worth of traffic every `x` ns, the
+    /// comm thread saturates when `x < workers * service_time / items_per_msg`.
+    pub fn comm_thread_break_even_ns(&self, workers: u32, word_bytes: u64) -> f64 {
+        workers as f64 * self.comm_thread.send_ns(word_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn comm_thread_costs_linear_in_bytes() {
+        let c = CommThreadCosts {
+            send_per_msg_ns: 100.0,
+            send_per_byte_ns: 0.5,
+            recv_per_msg_ns: 120.0,
+            recv_per_byte_ns: 0.25,
+        };
+        assert_eq!(c.send_ns(0), 100.0);
+        assert_eq!(c.send_ns(200), 200.0);
+        assert_eq!(c.recv_ns(400), 220.0);
+    }
+
+    #[test]
+    fn grouping_cost_is_o_g_plus_t() {
+        let w = presets::delta_like().worker;
+        let small = w.grouping_ns(10, 1);
+        let more_items = w.grouping_ns(1000, 1);
+        let more_workers = w.grouping_ns(10, 64);
+        assert!(more_items > small);
+        assert!(more_workers > small);
+        // Linear in items: doubling items roughly doubles the item part.
+        let d1 = w.grouping_ns(2000, 1) - w.grouping_ns(1000, 1);
+        let d2 = w.grouping_ns(3000, 1) - w.grouping_ns(2000, 1);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_insert_grows_with_contention() {
+        let w = presets::delta_like().worker;
+        let alone = w.shared_insert_ns(0);
+        let crowded = w.shared_insert_ns(7);
+        assert!(crowded > alone);
+        assert!(alone >= w.buffer_insert_ns, "atomic insert at least as expensive as plain");
+    }
+
+    #[test]
+    fn link_selection() {
+        let m = presets::delta_like();
+        assert!(m.link_for(false).alpha_ns > m.link_for(true).alpha_ns);
+    }
+
+    #[test]
+    fn break_even_scales_with_workers() {
+        let m = presets::delta_like();
+        let w8 = m.comm_thread_break_even_ns(8, 8);
+        let w64 = m.comm_thread_break_even_ns(64, 8);
+        assert!((w64 / w8 - 8.0).abs() < 1e-9);
+        // With the Delta-like preset the 64-worker break-even is within the
+        // same order of magnitude as the paper's 167ns-per-word observation
+        // times 64 workers.
+        assert!(w64 > 1_000.0 && w64 < 100_000.0);
+    }
+}

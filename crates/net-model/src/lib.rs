@@ -1,0 +1,30 @@
+//! Cluster topology and communication cost model.
+//!
+//! The paper's analysis (§I, §III-C) is phrased entirely in terms of a small
+//! number of cost components:
+//!
+//! * the **α–β model** for a network message: `α + β · bytes`, with α in
+//!   microseconds and β ≈ 0.1 ns/byte on Delta (Fig. 1);
+//! * the **communication thread** in each SMP process, a serial server that
+//!   pays a per-message plus per-byte cost on both the send and receive path
+//!   (the "167 ns of work per word" break-even of §III-A);
+//! * **worker-side CPU costs**: inserting an item into an aggregation buffer,
+//!   the extra cost of an *atomic* insertion for the PP scheme, grouping/sorting
+//!   a buffer by destination worker (WsP at the source, WPs at the destination),
+//!   per-message send initiation, and local (within-process) delivery;
+//! * the **topology**: physical nodes × processes per node × worker threads per
+//!   process, with the non-SMP mode as the degenerate 1-worker-per-process case.
+//!
+//! Everything is expressed in nanoseconds and collected in [`CostModel`], with
+//! the Delta-calibrated defaults in [`presets`].
+
+pub mod alphabeta;
+pub mod costs;
+pub mod pingpong;
+pub mod presets;
+pub mod topology;
+
+pub use alphabeta::AlphaBeta;
+pub use costs::{CommThreadCosts, CostModel, WorkerCosts};
+pub use pingpong::{pingpong_series, PingPongPoint};
+pub use topology::{NodeId, ProcId, Topology, WorkerId};

@@ -1,0 +1,100 @@
+//! Ping-pong estimator (Figure 1).
+//!
+//! Fig. 1 of the paper plots RTT/2 between two physical nodes of Delta against
+//! message size (1 B to 2 MB), showing the flat α-dominated region for small
+//! messages.  [`pingpong_series`] regenerates that curve from a [`CostModel`]:
+//! the one-way time is the wire time plus the comm-thread send/receive service
+//! on both ends (the measurement in the paper runs over the Charm++ SMP build,
+//! so the comm thread is on the path).
+
+use crate::costs::CostModel;
+
+/// One point of the ping-pong curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingPongPoint {
+    /// Message payload in bytes.
+    pub bytes: u64,
+    /// Estimated one-way time (RTT/2) in microseconds.
+    pub one_way_us: f64,
+}
+
+/// The message sizes used on the x-axis of Fig. 1.
+pub fn fig1_message_sizes() -> Vec<u64> {
+    vec![
+        1,
+        4,
+        16,
+        64,
+        128,
+        256,
+        1024,
+        4 * 1024,
+        16 * 1024,
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+        2 * 1024 * 1024,
+    ]
+}
+
+/// Estimate the one-way (RTT/2) time for one message of `bytes`, including the
+/// comm-thread handling on both the sending and the receiving process.
+pub fn one_way_us(model: &CostModel, bytes: u64) -> f64 {
+    let wire = model.network.one_way_ns(bytes);
+    let send_side = model.comm_thread.send_ns(bytes) + model.worker.message_send_ns;
+    let recv_side = model.comm_thread.recv_ns(bytes) + model.worker.message_recv_ns;
+    (wire + send_side + recv_side) / 1_000.0
+}
+
+/// Regenerate the Fig. 1 series for the given model and message sizes.
+pub fn pingpong_series(model: &CostModel, sizes: &[u64]) -> Vec<PingPongPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| PingPongPoint {
+            bytes,
+            one_way_us: one_way_us(model, bytes),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::delta_like;
+
+    #[test]
+    fn series_covers_requested_sizes() {
+        let model = delta_like();
+        let sizes = fig1_message_sizes();
+        let series = pingpong_series(&model, &sizes);
+        assert_eq!(series.len(), sizes.len());
+        for (p, &s) in series.iter().zip(sizes.iter()) {
+            assert_eq!(p.bytes, s);
+            assert!(p.one_way_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn flat_for_small_then_growing() {
+        let model = delta_like();
+        let series = pingpong_series(&model, &fig1_message_sizes());
+        let t1 = series[0].one_way_us;
+        let t256 = series.iter().find(|p| p.bytes == 256).unwrap().one_way_us;
+        let t2m = series.last().unwrap().one_way_us;
+        // Small sizes are within ~10% of each other (latency dominated).
+        assert!((t256 - t1) / t1 < 0.1, "t1={t1} t256={t256}");
+        // 2MB is at least an order of magnitude slower and in the ~100-300us range
+        // like Fig. 1.
+        assert!(t2m > 10.0 * t1);
+        assert!(t2m > 100.0 && t2m < 400.0, "t2m={t2m}");
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let model = delta_like();
+        let series = pingpong_series(&model, &fig1_message_sizes());
+        for w in series.windows(2) {
+            assert!(w[1].one_way_us >= w[0].one_way_us);
+        }
+    }
+}

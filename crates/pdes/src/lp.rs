@@ -1,0 +1,228 @@
+//! Logical processes: the placeholder optimistic engine and a real-rollback
+//! extension.
+
+/// Result of delivering one timestamped event to a logical process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receive {
+    /// The event's timestamp is at or ahead of the LP's local virtual time.
+    InOrder,
+    /// The event arrived with a timestamp behind the LP's local virtual time
+    /// (a straggler); `lateness` is how far behind, in virtual time units.
+    OutOfOrder {
+        /// How far behind local virtual time the straggler was.
+        lateness: u64,
+    },
+}
+
+/// The paper's placeholder optimistic engine: processes events in arrival
+/// order, advances local virtual time, and counts stragglers instead of
+/// rolling back.
+#[derive(Debug, Clone, Default)]
+pub struct OptimisticLp {
+    lvt: u64,
+    processed: u64,
+    out_of_order: u64,
+    total_lateness: u64,
+}
+
+impl OptimisticLp {
+    /// A fresh LP at local virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver an event with virtual timestamp `ts`.
+    pub fn receive(&mut self, ts: u64) -> Receive {
+        self.processed += 1;
+        if ts >= self.lvt {
+            self.lvt = ts;
+            Receive::InOrder
+        } else {
+            let lateness = self.lvt - ts;
+            self.out_of_order += 1;
+            self.total_lateness += lateness;
+            Receive::OutOfOrder { lateness }
+        }
+    }
+
+    /// Local virtual time (largest timestamp seen).
+    pub fn lvt(&self) -> u64 {
+        self.lvt
+    }
+
+    /// Total events delivered.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events that arrived out of order (the paper's "wasted/rejected updates").
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+
+    /// Sum of straggler lateness (how much virtual time would be rolled back).
+    pub fn total_lateness(&self) -> u64 {
+        self.total_lateness
+    }
+
+    /// Fraction of received events that were out of order.
+    pub fn out_of_order_fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.out_of_order as f64 / self.processed as f64
+        }
+    }
+}
+
+/// A real Time-Warp-style logical process (extension beyond the paper): keeps
+/// the list of processed event timestamps so a straggler can count exactly how
+/// many already-processed events it invalidates.
+#[derive(Debug, Clone, Default)]
+pub struct RollbackLp {
+    /// Processed event timestamps in processing order (monotone except right
+    /// after a rollback).
+    history: Vec<u64>,
+    lvt: u64,
+    processed: u64,
+    rollbacks: u64,
+    events_rolled_back: u64,
+}
+
+impl RollbackLp {
+    /// A fresh LP.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver an event with timestamp `ts`; returns the number of previously
+    /// processed events that had to be rolled back (0 if in order).
+    pub fn receive(&mut self, ts: u64) -> u64 {
+        self.processed += 1;
+        if ts >= self.lvt {
+            self.lvt = ts;
+            self.history.push(ts);
+            return 0;
+        }
+        // Straggler: undo every processed event with a larger timestamp, then
+        // re-apply the straggler.
+        let split = self.history.partition_point(|&t| t <= ts);
+        let undone = (self.history.len() - split) as u64;
+        self.history.truncate(split);
+        self.history.push(ts);
+        // The undone events would be re-executed in timestamp order by a real
+        // engine; we only track the accounting.
+        self.rollbacks += 1;
+        self.events_rolled_back += undone;
+        self.lvt = ts;
+        undone
+    }
+
+    /// Local virtual time.
+    pub fn lvt(&self) -> u64 {
+        self.lvt
+    }
+
+    /// Total events delivered.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of rollbacks triggered.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Total events undone across all rollbacks.
+    pub fn events_rolled_back(&self) -> u64 {
+        self.events_rolled_back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_has_no_stragglers() {
+        let mut lp = OptimisticLp::new();
+        for ts in [1, 5, 5, 9, 20] {
+            assert_eq!(lp.receive(ts), Receive::InOrder);
+        }
+        assert_eq!(lp.out_of_order(), 0);
+        assert_eq!(lp.processed(), 5);
+        assert_eq!(lp.lvt(), 20);
+        assert_eq!(lp.out_of_order_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stragglers_are_counted_with_lateness() {
+        let mut lp = OptimisticLp::new();
+        lp.receive(100);
+        match lp.receive(40) {
+            Receive::OutOfOrder { lateness } => assert_eq!(lateness, 60),
+            other => panic!("expected straggler, got {other:?}"),
+        }
+        lp.receive(150);
+        lp.receive(149);
+        assert_eq!(lp.out_of_order(), 2);
+        assert_eq!(lp.total_lateness(), 61);
+        assert!((lp.out_of_order_fraction() - 0.5).abs() < 1e-12);
+        // A straggler does not move LVT backwards in the placeholder engine.
+        assert_eq!(lp.lvt(), 150);
+    }
+
+    #[test]
+    fn empty_lp_defaults() {
+        let lp = OptimisticLp::new();
+        assert_eq!(lp.processed(), 0);
+        assert_eq!(lp.out_of_order_fraction(), 0.0);
+        assert_eq!(lp.lvt(), 0);
+    }
+
+    #[test]
+    fn rollback_lp_counts_undone_events() {
+        let mut lp = RollbackLp::new();
+        for ts in [10, 20, 30, 40] {
+            assert_eq!(lp.receive(ts), 0);
+        }
+        // A straggler at 25 invalidates the events at 30 and 40.
+        assert_eq!(lp.receive(25), 2);
+        assert_eq!(lp.rollbacks(), 1);
+        assert_eq!(lp.events_rolled_back(), 2);
+        assert_eq!(lp.lvt(), 25);
+        // Subsequent in-order events proceed normally.
+        assert_eq!(lp.receive(26), 0);
+        assert_eq!(lp.processed(), 6);
+    }
+
+    #[test]
+    fn rollback_lp_equal_timestamp_is_in_order() {
+        let mut lp = RollbackLp::new();
+        lp.receive(10);
+        assert_eq!(lp.receive(10), 0);
+        assert_eq!(lp.rollbacks(), 0);
+    }
+
+    #[test]
+    fn more_delay_more_stragglers() {
+        // Deliver a timestamp-ordered stream through a reordering window: the
+        // larger the window (i.e. the more latency/buffering), the more
+        // out-of-order receives.  This is the qualitative claim behind Fig. 18.
+        fn run(window: usize) -> u64 {
+            let timestamps: Vec<u64> = (1..=1000).collect();
+            let mut lp = OptimisticLp::new();
+            // Simulate buffering: deliver in chunks of `window`, reversed inside
+            // the chunk (worst-case reordering within a buffer).
+            for chunk in timestamps.chunks(window) {
+                for &ts in chunk.iter().rev() {
+                    lp.receive(ts);
+                }
+            }
+            lp.out_of_order()
+        }
+        let small = run(2);
+        let large = run(64);
+        assert!(large > small, "large window {large} <= small window {small}");
+    }
+}

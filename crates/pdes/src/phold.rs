@@ -1,0 +1,105 @@
+//! The PHOLD synthetic workload.
+//!
+//! PHOLD is the standard PDES stress test: a fixed population of events
+//! circulates among logical processes (LPs).  When an LP consumes an event at
+//! virtual time `ts`, it emits a new event addressed to a uniformly random LP
+//! with timestamp `ts + lookahead + Exp(mean_delay)`.  The paper runs a
+//! synthetic PHOLD over TramLib and counts out-of-order receives under the
+//! different aggregation schemes (Fig. 18).
+
+use sim_core::StreamRng;
+
+/// PHOLD workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PholdConfig {
+    /// Total number of logical processes across the whole run.
+    pub total_lps: u64,
+    /// Events initially seeded per LP.
+    pub initial_events_per_lp: u32,
+    /// Minimum virtual-time increment of every generated event (lookahead).
+    pub lookahead: u64,
+    /// Mean of the exponential extra delay added on top of the lookahead.
+    pub mean_delay: f64,
+    /// Each event is re-sent this many times before it dies out (bounds the
+    /// total number of hops so a run terminates without GVT computation).
+    pub hops_per_event: u32,
+}
+
+impl Default for PholdConfig {
+    fn default() -> Self {
+        Self {
+            total_lps: 64,
+            initial_events_per_lp: 16,
+            lookahead: 10,
+            mean_delay: 40.0,
+            hops_per_event: 8,
+        }
+    }
+}
+
+impl PholdConfig {
+    /// Total number of event hops the whole run will perform.
+    pub fn total_hops(&self) -> u64 {
+        self.total_lps * self.initial_events_per_lp as u64 * self.hops_per_event as u64
+    }
+
+    /// Draw the next event: `(destination LP, timestamp)` given the current
+    /// virtual time of the sending LP.
+    pub fn next_event(&self, now_vt: u64, rng: &mut StreamRng) -> (u64, u64) {
+        let dest = rng.below(self.total_lps);
+        let delay = self.lookahead + rng.exponential(self.mean_delay).round() as u64;
+        (dest, now_vt + delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = PholdConfig::default();
+        assert_eq!(c.total_hops(), 64 * 16 * 8);
+    }
+
+    #[test]
+    fn next_event_respects_lookahead_and_bounds() {
+        let c = PholdConfig {
+            total_lps: 10,
+            lookahead: 5,
+            mean_delay: 3.0,
+            ..Default::default()
+        };
+        let mut rng = StreamRng::new(1, 2);
+        for _ in 0..1000 {
+            let (dest, ts) = c.next_event(100, &mut rng);
+            assert!(dest < 10);
+            assert!(ts >= 105, "timestamp {ts} violates lookahead");
+        }
+    }
+
+    #[test]
+    fn next_event_mean_delay_roughly_exponential() {
+        let c = PholdConfig {
+            total_lps: 4,
+            lookahead: 0,
+            mean_delay: 50.0,
+            ..Default::default()
+        };
+        let mut rng = StreamRng::new(7, 7);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| c.next_event(0, &mut rng).1).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 50.0).abs() < 2.5, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_same_stream() {
+        let c = PholdConfig::default();
+        let mut a = StreamRng::new(3, 9);
+        let mut b = StreamRng::new(3, 9);
+        for _ in 0..100 {
+            assert_eq!(c.next_event(10, &mut a), c.next_event(10, &mut b));
+        }
+    }
+}

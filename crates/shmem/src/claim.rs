@@ -1,0 +1,189 @@
+//! The PP scheme's shared aggregation buffer: atomic slot claiming.
+//!
+//! All worker threads of a process insert into one buffer per destination
+//! process.  Insertion is a `fetch_add` on the claim counter; the winner of the
+//! last slot seals the buffer and becomes responsible for handing it to the
+//! communication thread.  A commit counter (incremented after the slot write)
+//! lets the sealer wait until every claimed slot is actually populated before
+//! the buffer is read — the standard two-counter MPSC publication protocol.
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of an insertion attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ClaimResult<T> {
+    /// The item was stored; the buffer is not full yet.
+    Stored,
+    /// The item was stored and this inserter claimed the last slot: it now owns
+    /// the full, sealed buffer contents and must forward them.
+    Sealed(Vec<T>),
+    /// The buffer is currently sealed (another thread is draining it); the item
+    /// was not stored and should be retried.
+    Retry(T),
+}
+
+/// A shared, bounded aggregation buffer with atomic slot claiming.
+pub struct ClaimBuffer<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    capacity: usize,
+    /// Next slot to claim; values `>= capacity` mean "buffer sealed".
+    claim: CachePadded<AtomicU64>,
+    /// Number of slots whose write has completed.
+    committed: CachePadded<AtomicU64>,
+    /// Generation counter: bumped every time the buffer is reopened.
+    generation: CachePadded<AtomicU64>,
+}
+
+impl<T> ClaimBuffer<T> {
+    /// Create a buffer with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            slots: Mutex::new((0..capacity).map(|_| None).collect()),
+            capacity,
+            claim: CachePadded::new(AtomicU64::new(0)),
+            committed: CachePadded::new(AtomicU64::new(0)),
+            generation: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Capacity in items (`g`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many times the buffer has been sealed and reopened.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Try to insert `item`.
+    pub fn insert(&self, item: T) -> ClaimResult<T> {
+        let slot = self.claim.fetch_add(1, Ordering::AcqRel);
+        if slot >= self.capacity as u64 {
+            // Buffer is sealed (being drained); undo nothing — the claim counter
+            // is reset on reopen — and ask the caller to retry.
+            return ClaimResult::Retry(item);
+        }
+        {
+            let mut slots = self.slots.lock();
+            slots[slot as usize] = Some(item);
+        }
+        let committed = self.committed.fetch_add(1, Ordering::AcqRel) + 1;
+        if slot as usize == self.capacity - 1 {
+            // We claimed the last slot: wait for all other writers to commit,
+            // then take the contents.
+            while self.committed.load(Ordering::Acquire) < self.capacity as u64 {
+                std::hint::spin_loop();
+            }
+            let mut slots = self.slots.lock();
+            let items: Vec<T> = slots.iter_mut().map(|s| s.take().expect("committed slot")).collect();
+            // Reopen the buffer for the next generation.
+            self.committed.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            self.claim.store(0, Ordering::Release);
+            return ClaimResult::Sealed(items);
+        }
+        let _ = committed;
+        ClaimResult::Stored
+    }
+
+    /// Drain whatever has been committed so far (used for explicit flushes when
+    /// no concurrent inserters are active — the caller must guarantee
+    /// quiescence, as TramLib's flush does at the end of an update phase).
+    pub fn flush(&self) -> Vec<T> {
+        let mut slots = self.slots.lock();
+        let claimed = self.claim.swap(0, Ordering::AcqRel).min(self.capacity as u64);
+        let mut out = Vec::new();
+        for slot in slots.iter_mut().take(claimed as usize) {
+            if let Some(item) = slot.take() {
+                out.push(item);
+            }
+        }
+        self.committed.store(0, Ordering::Release);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fills_and_seals_exactly_at_capacity() {
+        let buffer = ClaimBuffer::new(4);
+        assert_eq!(buffer.insert(1), ClaimResult::Stored);
+        assert_eq!(buffer.insert(2), ClaimResult::Stored);
+        assert_eq!(buffer.insert(3), ClaimResult::Stored);
+        match buffer.insert(4) {
+            ClaimResult::Sealed(items) => assert_eq!(items, vec![1, 2, 3, 4]),
+            other => panic!("expected sealed buffer, got {other:?}"),
+        }
+        assert_eq!(buffer.generation(), 1);
+        // The buffer is reusable after sealing.
+        assert_eq!(buffer.insert(5), ClaimResult::Stored);
+        assert_eq!(buffer.flush(), vec![5]);
+    }
+
+    #[test]
+    fn flush_returns_partial_contents() {
+        let buffer = ClaimBuffer::new(8);
+        buffer.insert(10);
+        buffer.insert(20);
+        assert_eq!(buffer.flush(), vec![10, 20]);
+        assert_eq!(buffer.flush(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn concurrent_inserters_never_lose_items() {
+        let capacity = 64;
+        let buffer: Arc<ClaimBuffer<u64>> = Arc::new(ClaimBuffer::new(capacity));
+        let sealed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let threads = 8;
+        let per_thread = 10_000u64;
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let buffer = buffer.clone();
+                let sealed = sealed.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let mut value = t * per_thread + i;
+                        loop {
+                            match buffer.insert(value) {
+                                ClaimResult::Stored => break,
+                                ClaimResult::Sealed(items) => {
+                                    sealed.lock().extend(items);
+                                    break;
+                                }
+                                ClaimResult::Retry(v) => {
+                                    value = v;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Collect leftovers.
+        let mut all = sealed.lock().clone();
+        all.extend(buffer.flush());
+        assert_eq!(all.len() as u64, threads * per_thread, "no item lost or duplicated");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, threads * per_thread, "every value unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: ClaimBuffer<u32> = ClaimBuffer::new(0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Cache-line padded relaxed counters.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `u64` counter padded to its own cache line, for per-thread statistics that
+/// are incremented on hot paths and only read at the end of a run.
+#[derive(Debug, Default)]
+pub struct PaddedCounter {
+    value: CachePadded<AtomicU64>,
+}
+
+impl PaddedCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` (relaxed ordering — statistics only).
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Read the current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_across_threads() {
+        let counter = Arc::new(PaddedCounter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.get(), 40_000);
+    }
+
+    #[test]
+    fn padded_to_cache_line() {
+        assert!(std::mem::size_of::<PaddedCounter>() >= 64);
+        let c = PaddedCounter::new();
+        c.add(5);
+        assert_eq!(c.get(), 5);
+    }
+}

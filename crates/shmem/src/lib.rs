@@ -1,0 +1,28 @@
+//! Native shared-memory aggregation primitives.
+//!
+//! The discrete-event simulator models the *cost* of the PP scheme's atomics;
+//! this crate implements the real thing, so that the within-process half of the
+//! paper can be exercised with actual threads on the host machine:
+//!
+//! * [`ClaimBuffer`] — the PP insertion path: a fixed array of slots shared by
+//!   all workers of a process, filled with an atomic claim counter
+//!   (fetch-add), a commit counter, and a sealed flag so exactly one inserter
+//!   wins the right to hand the full buffer to the comm thread.
+//! * [`SpscRing`] — the WW insertion path: a bounded single-producer
+//!   single-consumer ring buffer, one per (source worker, destination) pair,
+//!   with no atomic read-modify-write on the hot path.
+//! * [`PaddedCounter`] — a cache-line padded relaxed counter for statistics
+//!   that must not introduce false sharing.
+//!
+//! All types are `Send + Sync` where appropriate and are stress-tested with
+//! real threads in this crate's test-suite; the `tram-native-rt` crate builds a
+//! small threaded runtime out of them, and `tram-bench` measures the WW vs PP
+//! insertion contention on real hardware (the A2 ablation in DESIGN.md).
+
+pub mod claim;
+pub mod counter;
+pub mod ring;
+
+pub use claim::{ClaimBuffer, ClaimResult};
+pub use counter::PaddedCounter;
+pub use ring::SpscRing;

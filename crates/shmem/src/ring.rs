@@ -1,0 +1,215 @@
+//! Bounded single-producer single-consumer ring buffer (the WW insertion path).
+//!
+//! In the WW scheme each source worker owns a private buffer per destination,
+//! so insertions never contend: a simple SPSC ring with acquire/release
+//! head/tail counters is all that is needed.  The consumer is the entity that
+//! drains a full buffer into an outgoing message (the comm thread in the
+//! native runtime).
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded SPSC ring buffer of `T`.
+///
+/// Exactly one thread may call [`SpscRing::push`] and exactly one thread may
+/// call [`SpscRing::pop`] at any time; this is enforced by convention (the
+/// native runtime gives each ring one producer worker and one consumer), and
+/// checked by the stress tests.
+pub struct SpscRing<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    capacity: usize,
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the ring transfers ownership of `T` values from the single producer
+// to the single consumer; synchronisation is provided by the acquire/release
+// head/tail counters.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Create a ring that can hold up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let buffer = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            buffer,
+            capacity,
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        (tail - head) as usize
+    }
+
+    /// True if the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Push one item.  Returns `Err(item)` if the ring is full.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if (tail - head) as usize >= self.capacity {
+            return Err(item);
+        }
+        let slot = &self.buffer[(tail as usize) % self.capacity];
+        // SAFETY: only the single producer writes this slot, and the consumer
+        // will not read it until the tail is published below.
+        unsafe { (*slot.get()).write(item) };
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pop one item, or `None` if the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.buffer[(head as usize) % self.capacity];
+        // SAFETY: the producer published this slot before advancing the tail,
+        // and only the single consumer reads it before advancing the head.
+        let item = unsafe { (*slot.get()).assume_init_read() };
+        self.head.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Drain up to `max` items into a vector.
+    pub fn drain(&self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drop any items still queued.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let ring = SpscRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert!(ring.is_full());
+        assert_eq!(ring.push(99), Err(99));
+        assert_eq!(ring.len(), 4);
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn drain_respects_limit() {
+        let ring = SpscRing::new(8);
+        for i in 0..6 {
+            ring.push(i).unwrap();
+        }
+        let first = ring.drain(4);
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        let rest = ring.drain(100);
+        assert_eq!(rest, vec![4, 5]);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let ring = SpscRing::new(3);
+        for round in 0..10u64 {
+            ring.push(round * 2).unwrap();
+            ring.push(round * 2 + 1).unwrap();
+            assert_eq!(ring.pop(), Some(round * 2));
+            assert_eq!(ring.pop(), Some(round * 2 + 1));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn producer_consumer_threads_preserve_order_and_count() {
+        let ring = Arc::new(SpscRing::new(128));
+        let producer_ring = ring.clone();
+        let total = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..total {
+                let mut value = i;
+                loop {
+                    match producer_ring.push(value) {
+                        Ok(()) => break,
+                        Err(v) => {
+                            value = v;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut expected = 0u64;
+            while expected < total {
+                if let Some(v) = ring.pop() {
+                    assert_eq!(v, expected, "items must arrive in order");
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            expected
+        });
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), total);
+    }
+
+    #[test]
+    fn drops_leftover_items() {
+        // Ensure no leaks / double drops when items remain at drop time.
+        let ring = SpscRing::new(4);
+        ring.push(String::from("a")).unwrap();
+        ring.push(String::from("b")).unwrap();
+        drop(ring);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: SpscRing<u32> = SpscRing::new(0);
+    }
+}

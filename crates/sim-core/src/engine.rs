@@ -1,0 +1,368 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation<S>`] owns the user state `S` and a priority queue of events.
+//! Events are boxed `FnOnce(&mut S, &mut EventCtx<S>)` closures; while running
+//! they may schedule follow-up events through the [`EventCtx`], which buffers
+//! them until the event returns (the queue itself cannot be touched while the
+//! state is mutably borrowed).  Events with equal timestamps execute in
+//! insertion order, which makes every run deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event body: mutate the state and optionally schedule follow-up events.
+type EventFn<S> = Box<dyn FnOnce(&mut S, &mut EventCtx<S>)>;
+
+/// Why [`Simulation::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon passed to [`Simulation::run_until`] was reached.
+    HorizonReached,
+    /// An event called [`EventCtx::stop`].
+    Stopped,
+    /// The configured event budget was exhausted (runaway-simulation guard).
+    EventBudgetExhausted,
+}
+
+/// Context handed to each event while it executes: read the clock, schedule
+/// follow-up events, or stop the run.
+pub struct EventCtx<S> {
+    now: SimTime,
+    pending: Vec<(SimTime, EventFn<S>)>,
+    stop_requested: bool,
+}
+
+impl<S> EventCtx<S> {
+    /// Current simulated time (the timestamp of the executing event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `action` at absolute time `at` (clamped to now if in the past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut S, &mut EventCtx<S>) + 'static,
+    {
+        self.pending.push((at.max(self.now), Box::new(action)));
+    }
+
+    /// Schedule `action` to run `delay_ns` nanoseconds from now.
+    pub fn schedule_in<F>(&mut self, delay_ns: u64, action: F)
+    where
+        F: FnOnce(&mut S, &mut EventCtx<S>) + 'static,
+    {
+        let at = self.now.add_nanos(delay_ns);
+        self.pending.push((at, Box::new(action)));
+    }
+
+    /// Request that the simulation stop after this event completes.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    action: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulation over user state `S`.
+pub struct Simulation<S> {
+    state: S,
+    queue: BinaryHeap<Scheduled<S>>,
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    event_budget: u64,
+}
+
+impl<S> Simulation<S> {
+    /// Create a simulation with the given initial state.
+    pub fn new(state: S) -> Self {
+        Self {
+            state,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Cap the total number of events executed (guards against runaway loops in
+    /// mis-configured experiments). Default: unlimited.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently queued.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the user state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the user state (for setup and result extraction).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consume the simulation and return the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    fn push(&mut self, time: SimTime, action: EventFn<S>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, action });
+    }
+
+    /// Schedule `action` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time (the event runs
+    /// "now", after already-queued events with the current timestamp).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut S, &mut EventCtx<S>) + 'static,
+    {
+        self.push(at.max(self.now), Box::new(action));
+    }
+
+    /// Schedule `action` to run `delay_ns` nanoseconds from now.
+    pub fn schedule_in<F>(&mut self, delay_ns: u64, action: F)
+    where
+        F: FnOnce(&mut S, &mut EventCtx<S>) + 'static,
+    {
+        self.schedule_at(self.now.add_nanos(delay_ns), action);
+    }
+
+    /// Run until the queue drains, the event budget is exhausted, or an event
+    /// requests a stop.
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until `horizon` (inclusive), the queue drains, the event budget is
+    /// exhausted, or an event requests a stop.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        loop {
+            if self.executed >= self.event_budget {
+                return StopReason::EventBudgetExhausted;
+            }
+            let Some(next) = self.queue.peek() else {
+                return StopReason::QueueEmpty;
+            };
+            if next.time > horizon {
+                self.now = horizon;
+                return StopReason::HorizonReached;
+            }
+            let Scheduled { time, action, .. } = self.queue.pop().expect("peeked");
+            self.now = time;
+            self.executed += 1;
+
+            let mut ctx = EventCtx {
+                now: time,
+                pending: Vec::new(),
+                stop_requested: false,
+            };
+            (action)(&mut self.state, &mut ctx);
+
+            for (at, follow_up) in ctx.pending {
+                self.push(at, follow_up);
+            }
+            if ctx.stop_requested {
+                return StopReason::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log {
+        entries: Vec<(u64, &'static str)>,
+        count: u64,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::from_nanos(50), |s: &mut Log, ctx| {
+            s.entries.push((ctx.now().as_nanos(), "b"))
+        });
+        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, ctx| {
+            s.entries.push((ctx.now().as_nanos(), "a"))
+        });
+        sim.schedule_at(SimTime::from_nanos(99), |s: &mut Log, ctx| {
+            s.entries.push((ctx.now().as_nanos(), "c"))
+        });
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(sim.state().entries, vec![(10, "a"), (50, "b"), (99, "c")]);
+        assert_eq!(sim.events_executed(), 3);
+        assert_eq!(sim.now(), SimTime::from_nanos(99));
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulation::new(Log::default());
+        for name in ["first", "second", "third"] {
+            sim.schedule_at(SimTime::from_nanos(5), move |s: &mut Log, _| {
+                s.entries.push((5, name))
+            });
+        }
+        sim.run();
+        let names: Vec<_> = sim.state().entries.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_follow_ups() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, ctx| {
+            s.entries.push((ctx.now().as_nanos(), "parent"));
+            ctx.schedule_in(15, |s: &mut Log, ctx| {
+                s.entries.push((ctx.now().as_nanos(), "child"));
+                ctx.schedule_in(5, |s: &mut Log, ctx| {
+                    s.entries.push((ctx.now().as_nanos(), "grandchild"));
+                });
+            });
+        });
+        sim.run();
+        assert_eq!(
+            sim.state().entries,
+            vec![(10, "parent"), (25, "child"), (30, "grandchild")]
+        );
+    }
+
+    #[test]
+    fn recursive_chain_terminates_with_budget() {
+        // An event that reschedules itself forever is cut off by the budget.
+        fn tick(s: &mut Log, ctx: &mut EventCtx<Log>) {
+            s.count += 1;
+            ctx.schedule_in(1, tick);
+        }
+        let mut sim = Simulation::new(Log::default());
+        sim.set_event_budget(1000);
+        sim.schedule_at(SimTime::ZERO, tick);
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::EventBudgetExhausted);
+        assert_eq!(sim.state().count, 1000);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::from_nanos(100), |_s, _ctx| {});
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 100);
+        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, ctx| {
+            s.entries.push((ctx.now().as_nanos(), "clamped"))
+        });
+        sim.run();
+        assert_eq!(sim.state().entries, vec![(100, "clamped")]);
+    }
+
+    #[test]
+    fn run_until_horizon() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, _| s.entries.push((10, "in")));
+        sim.schedule_at(SimTime::from_nanos(1000), |s: &mut Log, _| {
+            s.entries.push((1000, "out"))
+        });
+        let reason = sim.run_until(SimTime::from_nanos(500));
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(sim.state().entries.len(), 1);
+        assert_eq!(sim.now().as_nanos(), 500);
+        assert_eq!(sim.events_pending(), 1);
+        // Continuing past the horizon picks up the remaining event.
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(sim.state().entries.len(), 2);
+    }
+
+    #[test]
+    fn stop_requested_by_event() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::from_nanos(1), |s: &mut Log, ctx| {
+            s.entries.push((1, "stop"));
+            ctx.stop();
+        });
+        sim.schedule_at(SimTime::from_nanos(2), |s: &mut Log, _| {
+            s.entries.push((2, "never"))
+        });
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::Stopped);
+        assert_eq!(sim.state().entries, vec![(1, "stop")]);
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::ZERO, |s: &mut Log, _| s.entries.push((0, "x")));
+        sim.run();
+        let state = sim.into_state();
+        assert_eq!(state.entries.len(), 1);
+    }
+
+    #[test]
+    fn child_events_respect_time_ordering_with_existing_queue() {
+        let mut sim = Simulation::new(Log::default());
+        sim.schedule_at(SimTime::from_nanos(20), |s: &mut Log, _| {
+            s.entries.push((20, "pre-existing"))
+        });
+        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, ctx| {
+            s.entries.push((10, "parent"));
+            // Child at t=15 must run before the pre-existing event at t=20.
+            ctx.schedule_in(5, |s: &mut Log, _| s.entries.push((15, "child")));
+        });
+        sim.run();
+        assert_eq!(
+            sim.state().entries,
+            vec![(10, "parent"), (15, "child"), (20, "pre-existing")]
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! The paper's experiments run on 2–64 physical nodes of the Delta
+//! supercomputer.  This workspace reproduces them on a single machine by
+//! *simulating* the cluster: worker PEs, communication threads, and the network
+//! are all entities whose activity is modelled as timestamped events.  This
+//! crate provides the engine underneath that simulation:
+//!
+//! * [`SimTime`] — simulated time in nanoseconds, with saturating arithmetic.
+//! * [`Simulation`] — the event loop: a priority queue of events ordered by
+//!   `(time, insertion sequence)` so that simultaneous events run in FIFO order
+//!   and every run is deterministic.
+//! * [`EventCtx`] — handed to every event so it can schedule follow-up events
+//!   and read the clock.
+//! * [`StreamRng`] — deterministic per-entity random number streams derived
+//!   from a single experiment seed, so that adding a new RNG consumer never
+//!   perturbs the draws seen by existing entities.
+//!
+//! The engine is intentionally generic over the simulation state type `S` so
+//! that the SMP runtime simulator (`tram-smp-sim`), the PDES substrate
+//! (`tram-pdes`) and unit tests can all use it.
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+
+pub use engine::{EventCtx, Simulation, StopReason};
+pub use rng::StreamRng;
+pub use time::SimTime;

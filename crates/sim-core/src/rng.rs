@@ -1,0 +1,195 @@
+//! Deterministic per-entity random number streams.
+//!
+//! Every PE, chare and workload generator gets its own [`StreamRng`], derived
+//! from `(experiment seed, stream id)` with SplitMix64.  Two properties matter:
+//!
+//! 1. **Determinism** — the same seed reproduces the same run bit-for-bit,
+//!    which the integration tests rely on.
+//! 2. **Independence of stream allocation order** — a stream's draws depend
+//!    only on its id, not on how many other streams exist, so adding
+//!    instrumentation never changes workload behaviour.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step, used to derive well-mixed seeds from `(seed, stream)` pairs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream identified by `(seed, stream_id)`.
+#[derive(Debug, Clone)]
+pub struct StreamRng {
+    inner: SmallRng,
+    seed: u64,
+    stream: u64,
+}
+
+impl StreamRng {
+    /// Create the stream `stream` of experiment `seed`.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mixed = splitmix64(splitmix64(seed) ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)));
+        Self {
+            inner: SmallRng::seed_from_u64(mixed),
+            seed,
+            stream,
+        }
+    }
+
+    /// The experiment seed this stream was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stream id this stream was derived from.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Derive a sub-stream, e.g. one per chare within a PE stream.
+    pub fn substream(&self, child: u64) -> StreamRng {
+        StreamRng::new(splitmix64(self.seed ^ splitmix64(self.stream)), child)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed draw with the given mean (used by PHOLD
+    /// inter-event times). Implemented by inverse transform sampling so that no
+    /// extra distribution crate is needed.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let mean = if mean > 0.0 { mean } else { 0.0 };
+        // Avoid ln(0) by shifting the uniform draw away from 0.
+        let u: f64 = 1.0 - self.uniform();
+        -mean * u.max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Shuffle a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        if data.len() < 2 {
+            return;
+        }
+        for i in (1..data.len()).rev() {
+            let j = self.index(i + 1);
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_reproduces() {
+        let mut a = StreamRng::new(42, 7);
+        let mut b = StreamRng::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = StreamRng::new(42, 0);
+        let mut b = StreamRng::new(42, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn below_and_index_respect_bounds() {
+        let mut r = StreamRng::new(1, 2);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            assert!(r.index(3) < 3);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.index(0), 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = StreamRng::new(9, 9);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = StreamRng::new(3, 4);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() / mean < 0.05,
+            "observed mean {observed} too far from {mean}"
+        );
+        assert_eq!(r.exponential(0.0), 0.0);
+        assert_eq!(r.exponential(-1.0), 0.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = StreamRng::new(5, 6);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StreamRng::new(11, 12);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn substream_is_deterministic() {
+        let parent = StreamRng::new(100, 200);
+        let mut c1 = parent.substream(3);
+        let mut c2 = StreamRng::new(100, 200).substream(3);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_eq!(parent.seed(), 100);
+        assert_eq!(parent.stream(), 200);
+    }
+}

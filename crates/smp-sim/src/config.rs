@@ -1,0 +1,96 @@
+//! Simulation configuration.
+
+use net_model::{CostModel, Topology};
+use tramlib::TramConfig;
+
+/// Full configuration of one simulated run: topology, costs and TramLib setup.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Cluster shape (SMP or non-SMP).
+    pub topology: Topology,
+    /// Communication and CPU cost model.
+    pub costs: CostModel,
+    /// TramLib configuration (scheme, buffer size, flush policy, ...).
+    pub tram: TramConfig,
+    /// Experiment seed; every worker derives its own deterministic RNG stream
+    /// from it.
+    pub seed: u64,
+    /// Safety cap on the number of simulation events (0 = default cap).
+    pub event_budget: u64,
+}
+
+impl SimConfig {
+    /// Build a configuration from a topology and a TramLib config, with the
+    /// Delta-like cost preset.
+    pub fn new(topology: Topology, tram: TramConfig) -> Self {
+        assert_eq!(
+            topology, tram.topology,
+            "TramConfig topology must match the simulated topology"
+        );
+        Self {
+            topology,
+            costs: net_model::presets::delta_like(),
+            tram,
+            seed: 0x5eed_1234,
+            event_budget: 0,
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the event budget (0 restores the default).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Effective event budget: the configured one, or a generous default scaled
+    /// with cluster size to stop runaway simulations.
+    pub fn effective_event_budget(&self) -> u64 {
+        if self.event_budget > 0 {
+            self.event_budget
+        } else {
+            2_000_000_000
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tramlib::Scheme;
+
+    #[test]
+    fn construction_and_builders() {
+        let topo = Topology::smp(2, 2, 4);
+        let tram = TramConfig::new(Scheme::WPs, topo);
+        let cfg = SimConfig::new(topo, tram)
+            .with_seed(99)
+            .with_event_budget(1000)
+            .with_costs(net_model::presets::fast_network());
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.effective_event_budget(), 1000);
+        assert!(cfg.costs.network.alpha_ns < 2_000.0);
+        let default_budget = SimConfig::new(topo, tram).effective_event_budget();
+        assert!(default_budget > 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_topology_panics() {
+        let topo = Topology::smp(2, 2, 4);
+        let other = Topology::smp(2, 2, 2);
+        let tram = TramConfig::new(Scheme::WPs, other);
+        let _ = SimConfig::new(topo, tram);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tram-smp-sim — discrete-event simulator of an SMP cluster
+//!
+//! The paper evaluates TramLib on 2–64 physical nodes of the Delta
+//! supercomputer, with each node running 8 SMP processes of 8 worker PEs plus a
+//! dedicated communication thread per process.  This crate reproduces that
+//! execution environment as a deterministic discrete-event simulation:
+//!
+//! * **Worker PEs** execute application handlers and generate items.  Each PE
+//!   is a serial resource: handler execution, item generation, buffer
+//!   insertions, grouping passes and message initiation all advance its local
+//!   busy time.
+//! * **Communication threads** (one per process in SMP mode) are serial
+//!   servers; every outgoing and incoming message pays a per-message +
+//!   per-byte service cost there, which is exactly the §III-A bottleneck that
+//!   makes naive SMP mode several times slower than non-SMP for fine-grained
+//!   traffic.
+//! * **The network** charges `α + β·bytes` per message between nodes
+//!   (a cheaper link between processes on the same node).
+//! * **TramLib** ([`tramlib::Aggregator`]) runs unmodified on top: worker-owned
+//!   aggregators for WW/WPs/WsP, a process-owned aggregator for PP (with the
+//!   atomic-insertion and contention costs charged to the inserting worker).
+//!
+//! Applications implement the [`WorkerApp`] trait (histogram, index-gather,
+//! SSSP, PHOLD and PingAck live in the `tram-apps` crate) and are driven by
+//! [`run_cluster`], which returns a [`RunReport`] with the total simulated
+//! time, per-item latency distribution and all counters needed to regenerate
+//! the paper's figures.
+
+pub mod app;
+pub mod cluster;
+pub mod config;
+pub mod report;
+pub mod runtime;
+
+pub use app::{WorkerApp, WorkerCtx};
+pub use cluster::{Cluster, Payload};
+pub use config::SimConfig;
+pub use report::RunReport;
+pub use runtime::run_cluster;

@@ -1,0 +1,524 @@
+//! The aggregator: per-worker (WW, WPs, WsP) or per-process (PP) buffering of
+//! items and emission of aggregated messages.
+
+use crate::buffer::ItemBuffer;
+use crate::config::TramConfig;
+use crate::item::Item;
+use crate::message::{EmitReason, MessageDest, OutboundMessage};
+use crate::scheme::Scheme;
+use crate::stats::TramStats;
+use net_model::{ProcId, WorkerId};
+
+/// Who owns this aggregator: a worker PE (WW, WPs, WsP, NoAgg) or a whole
+/// process (PP — the buffer is shared by all workers of the process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// A single worker PE owns the buffers.
+    Worker(WorkerId),
+    /// The whole process owns the buffers (PP); workers insert with atomics.
+    Process(ProcId),
+}
+
+impl Owner {
+    /// The process this owner belongs to.
+    pub fn proc(&self, topology: &net_model::Topology) -> ProcId {
+        match self {
+            Owner::Worker(w) => topology.proc_of_worker(*w),
+            Owner::Process(p) => *p,
+        }
+    }
+}
+
+/// Result of inserting one item.
+#[derive(Debug, Clone)]
+pub struct InsertOutcome<T> {
+    /// If the item's destination is in the same process and the local bypass is
+    /// enabled, the item is returned here for immediate local delivery instead
+    /// of being buffered.
+    pub local_delivery: Option<Item<T>>,
+    /// A message that became ready because the insertion filled a buffer (or,
+    /// for [`Scheme::NoAgg`], the message carrying just this item).
+    pub message: Option<OutboundMessage<T>>,
+}
+
+impl<T> InsertOutcome<T> {
+    fn buffered() -> Self {
+        Self {
+            local_delivery: None,
+            message: None,
+        }
+    }
+}
+
+/// A TramLib aggregation endpoint.
+///
+/// One aggregator exists per source worker for the worker-level schemes and per
+/// source process for PP.  The aggregator is not thread-safe by itself — the
+/// discrete-event simulator is single-threaded, and the native runtime wraps
+/// PP aggregators in the dedicated shared-memory structures from `tram-shmem`.
+#[derive(Debug, Clone)]
+pub struct Aggregator<T> {
+    config: TramConfig,
+    owner: Owner,
+    owner_proc: ProcId,
+    /// Destination buffers, indexed by destination worker (WW) or destination
+    /// process (WPs/WsP/PP).  Allocated lazily.
+    buffers: Vec<Option<ItemBuffer<T>>>,
+    stats: TramStats,
+}
+
+impl<T: Clone> Aggregator<T> {
+    /// Create an aggregator for `owner` under `config`.
+    ///
+    /// # Panics
+    /// Panics if a PP config is given a worker owner or vice versa, or if the
+    /// owner is out of range for the topology.
+    pub fn new(config: TramConfig, owner: Owner) -> Self {
+        let topo = config.topology;
+        match (config.scheme, owner) {
+            (Scheme::PP, Owner::Worker(_)) => {
+                panic!("PP aggregation buffers are owned by the process, not a worker")
+            }
+            (s, Owner::Process(_)) if s != Scheme::PP => {
+                panic!("{s} aggregation buffers are owned by a worker, not the process")
+            }
+            _ => {}
+        }
+        match owner {
+            Owner::Worker(w) => assert!(
+                w.0 < topo.total_workers(),
+                "owner worker out of range for topology"
+            ),
+            Owner::Process(p) => assert!(
+                p.0 < topo.total_procs(),
+                "owner process out of range for topology"
+            ),
+        }
+        let slots = match config.scheme {
+            Scheme::NoAgg => 0,
+            Scheme::WW => topo.total_workers() as usize,
+            Scheme::WPs | Scheme::WsP | Scheme::PP => topo.total_procs() as usize,
+        };
+        Self {
+            config,
+            owner,
+            owner_proc: owner.proc(&topo),
+            buffers: (0..slots).map(|_| None).collect(),
+            stats: TramStats::new(),
+        }
+    }
+
+    /// The configuration this aggregator was built with.
+    pub fn config(&self) -> &TramConfig {
+        &self.config
+    }
+
+    /// The owner of this aggregator.
+    pub fn owner(&self) -> Owner {
+        self.owner
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &TramStats {
+        &self.stats
+    }
+
+    /// Total number of items currently sitting in buffers.
+    pub fn buffered_items(&self) -> usize {
+        self.buffers
+            .iter()
+            .flatten()
+            .map(|b| b.len())
+            .sum()
+    }
+
+    /// Number of destination buffers that currently hold at least one item.
+    pub fn non_empty_buffers(&self) -> usize {
+        self.buffers
+            .iter()
+            .flatten()
+            .filter(|b| !b.is_empty())
+            .count()
+    }
+
+    /// The buffer slot index an item for `dest` belongs to, or `None` when the
+    /// scheme does not buffer (NoAgg).
+    fn slot_for(&self, dest: WorkerId) -> Option<usize> {
+        match self.config.scheme {
+            Scheme::NoAgg => None,
+            Scheme::WW => Some(dest.idx()),
+            Scheme::WPs | Scheme::WsP | Scheme::PP => {
+                Some(self.config.topology.proc_of_worker(dest).idx())
+            }
+        }
+    }
+
+    /// The message destination for a buffer slot.
+    fn dest_for_slot(&self, slot: usize) -> MessageDest {
+        match self.config.scheme {
+            Scheme::NoAgg => unreachable!("NoAgg has no buffers"),
+            Scheme::WW => MessageDest::Worker(WorkerId(slot as u32)),
+            Scheme::WPs | Scheme::WsP | Scheme::PP => MessageDest::Process(ProcId(slot as u32)),
+        }
+    }
+
+    /// Whether an item destined to `dest` should bypass aggregation because the
+    /// destination worker lives in the owner's process.
+    pub fn is_local(&self, dest: WorkerId) -> bool {
+        self.config.local_bypass
+            && self.config.topology.proc_of_worker(dest) == self.owner_proc
+    }
+
+    /// Build an outbound message from drained items.
+    fn make_message(
+        &mut self,
+        dest: MessageDest,
+        mut items: Vec<Item<T>>,
+        reason: EmitReason,
+    ) -> OutboundMessage<T> {
+        let grouped_at_source = self.config.scheme.groups_at_source();
+        if grouped_at_source {
+            // WsP: group (stable sort) items by destination worker at the source.
+            items.sort_by_key(|item| item.dest.0);
+        }
+        let bytes = self.config.message_bytes(items.len());
+        self.stats.record_message(items.len(), bytes, reason);
+        OutboundMessage {
+            dest,
+            items,
+            bytes,
+            reason,
+            grouped_at_source,
+        }
+    }
+
+    /// Insert one item created at `now_ns`.
+    ///
+    /// Returns an [`InsertOutcome`]: the item may come straight back for local
+    /// delivery (same-process destination with the bypass enabled), it may be
+    /// buffered silently, or it may complete a buffer and produce a message.
+    pub fn insert(&mut self, item: Item<T>) -> InsertOutcome<T> {
+        let now_ns = item.created_at_ns;
+        self.insert_at(item, now_ns)
+    }
+
+    /// Insert one item, using `now_ns` as the insertion time for timeout
+    /// accounting (usually the same as the item's creation time).
+    pub fn insert_at(&mut self, item: Item<T>, now_ns: u64) -> InsertOutcome<T> {
+        if self.is_local(item.dest) {
+            self.stats.record_local_bypass();
+            return InsertOutcome {
+                local_delivery: Some(item),
+                message: None,
+            };
+        }
+        self.stats.record_insert();
+
+        let Some(slot) = self.slot_for(item.dest) else {
+            // NoAgg: the item is its own message.
+            let dest = MessageDest::Worker(item.dest);
+            let msg = self.make_message(dest, vec![item], EmitReason::Unaggregated);
+            return InsertOutcome {
+                local_delivery: None,
+                message: Some(msg),
+            };
+        };
+
+        let capacity = self.config.buffer_items;
+        let buffer = self.buffers[slot].get_or_insert_with(|| ItemBuffer::new(capacity));
+        let full = buffer.push(item, now_ns);
+        if full {
+            let items = buffer.drain();
+            let dest = self.dest_for_slot(slot);
+            let msg = self.make_message(dest, items, EmitReason::BufferFull);
+            InsertOutcome {
+                local_delivery: None,
+                message: Some(msg),
+            }
+        } else {
+            InsertOutcome::buffered()
+        }
+    }
+
+    /// Drain every non-empty buffer, emitting one (resized) message per
+    /// destination.  `reason` records why (explicit, idle, timeout).
+    fn drain_all(&mut self, reason: EmitReason) -> Vec<OutboundMessage<T>> {
+        let mut out = Vec::new();
+        for slot in 0..self.buffers.len() {
+            let Some(buffer) = self.buffers[slot].as_mut() else {
+                continue;
+            };
+            if buffer.is_empty() {
+                continue;
+            }
+            let items = buffer.drain();
+            let dest = self.dest_for_slot(slot);
+            out.push(self.make_message(dest, items, reason));
+        }
+        out
+    }
+
+    /// Explicit application flush: drain all partially-filled buffers.
+    ///
+    /// This is the call the histogram benchmark issues once at the end of its
+    /// update loop, and that flush-dominated configurations (Fig. 9 at 32+
+    /// nodes for WW, Fig. 11) suffer from.
+    pub fn flush(&mut self) -> Vec<OutboundMessage<T>> {
+        self.stats.record_flush_call();
+        self.drain_all(EmitReason::ExplicitFlush)
+    }
+
+    /// Idle flush: called by the runtime when the owning worker has no work.
+    /// Only drains if the flush policy enables flushing on idle.
+    pub fn flush_on_idle(&mut self) -> Vec<OutboundMessage<T>> {
+        if self.config.flush_policy.on_idle {
+            self.drain_all(EmitReason::IdleFlush)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Timeout poll: drain buffers whose oldest item is older than the
+    /// configured timeout at time `now_ns`.
+    pub fn poll_timeout(&mut self, now_ns: u64) -> Vec<OutboundMessage<T>> {
+        let Some(timeout) = self.config.flush_policy.timeout_ns else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for slot in 0..self.buffers.len() {
+            let Some(buffer) = self.buffers[slot].as_mut() else {
+                continue;
+            };
+            if buffer.is_empty() || buffer.oldest_age_ns(now_ns) < timeout {
+                continue;
+            }
+            let items = buffer.drain();
+            let dest = self.dest_for_slot(slot);
+            out.push(self.make_message(dest, items, EmitReason::TimeoutFlush));
+        }
+        out
+    }
+
+    /// The earliest deadline at which [`Self::poll_timeout`] would flush
+    /// something, if a timeout policy is configured and any buffer is
+    /// non-empty.  Substrates use this to schedule their next timeout poll.
+    pub fn next_timeout_deadline(&self) -> Option<u64> {
+        let timeout = self.config.flush_policy.timeout_ns?;
+        self.buffers
+            .iter()
+            .flatten()
+            .filter_map(|b| b.oldest_insert_ns())
+            .min()
+            .map(|oldest| oldest.saturating_add(timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::Topology;
+
+    /// 2 nodes x 2 procs x 2 workers = 8 workers, 4 procs.
+    fn topo() -> Topology {
+        Topology::smp(2, 2, 2)
+    }
+
+    fn config(scheme: Scheme) -> TramConfig {
+        TramConfig::new(scheme, topo())
+            .with_buffer_items(3)
+            .with_item_bytes(8)
+            .with_header_bytes(16)
+    }
+
+    fn item(dest: u32, v: u32) -> Item<u32> {
+        Item::new(WorkerId(dest), v, 0)
+    }
+
+    #[test]
+    fn ww_buffers_per_destination_worker() {
+        let mut agg = Aggregator::new(config(Scheme::WW), Owner::Worker(WorkerId(0)));
+        // Items to two different remote workers accumulate in separate buffers.
+        assert!(agg.insert(item(4, 1)).message.is_none());
+        assert!(agg.insert(item(5, 2)).message.is_none());
+        assert!(agg.insert(item(4, 3)).message.is_none());
+        assert_eq!(agg.buffered_items(), 3);
+        assert_eq!(agg.non_empty_buffers(), 2);
+        // Third item to worker 4 fills that buffer.
+        let msg = agg.insert(item(4, 4)).message.expect("buffer full");
+        assert_eq!(msg.dest, MessageDest::Worker(WorkerId(4)));
+        assert_eq!(msg.item_count(), 3);
+        assert_eq!(msg.reason, EmitReason::BufferFull);
+        assert!(!msg.grouped_at_source);
+        assert_eq!(msg.bytes, 16 + 3 * 8);
+    }
+
+    #[test]
+    fn wps_buffers_per_destination_process() {
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        // Workers 4 and 5 are both in process 2: they share a buffer.
+        assert!(agg.insert(item(4, 1)).message.is_none());
+        assert!(agg.insert(item(5, 2)).message.is_none());
+        let msg = agg.insert(item(4, 3)).message.expect("buffer full");
+        assert_eq!(msg.dest, MessageDest::Process(ProcId(2)));
+        assert_eq!(msg.item_count(), 3);
+        assert!(!msg.grouped_at_source, "WPs groups at the destination");
+    }
+
+    #[test]
+    fn wsp_groups_items_at_source() {
+        let mut agg = Aggregator::new(config(Scheme::WsP), Owner::Worker(WorkerId(0)));
+        agg.insert(item(5, 1));
+        agg.insert(item(4, 2));
+        let msg = agg.insert(item(5, 3)).message.expect("buffer full");
+        assert!(msg.grouped_at_source);
+        // Items are sorted by destination worker id.
+        let dests: Vec<u32> = msg.items.iter().map(|i| i.dest.0).collect();
+        assert_eq!(dests, vec![4, 5, 5]);
+    }
+
+    #[test]
+    fn pp_owned_by_process() {
+        let mut agg = Aggregator::new(config(Scheme::PP), Owner::Process(ProcId(0)));
+        agg.insert(item(4, 1));
+        agg.insert(item(6, 2)); // worker 6 is in process 3 -> different buffer
+        assert_eq!(agg.non_empty_buffers(), 2);
+        agg.insert(item(5, 3));
+        let msg = agg.insert(item(4, 4)).message.expect("proc-2 buffer full");
+        assert_eq!(msg.dest, MessageDest::Process(ProcId(2)));
+        assert_eq!(msg.item_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "owned by the process")]
+    fn pp_with_worker_owner_panics() {
+        let _ = Aggregator::<u32>::new(config(Scheme::PP), Owner::Worker(WorkerId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "owned by a worker")]
+    fn ww_with_process_owner_panics() {
+        let _ = Aggregator::<u32>::new(config(Scheme::WW), Owner::Process(ProcId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_out_of_range_panics() {
+        let _ = Aggregator::<u32>::new(config(Scheme::WW), Owner::Worker(WorkerId(999)));
+    }
+
+    #[test]
+    fn local_bypass_returns_item_immediately() {
+        // Worker 0 and worker 1 are in the same process (proc 0).
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        let out = agg.insert(item(1, 7));
+        let local = out.local_delivery.expect("same-process item bypasses");
+        assert_eq!(local.data, 7);
+        assert!(out.message.is_none());
+        assert_eq!(agg.stats().items_local_bypass(), 1);
+        assert_eq!(agg.stats().items_inserted(), 0);
+        assert_eq!(agg.buffered_items(), 0);
+    }
+
+    #[test]
+    fn local_bypass_can_be_disabled() {
+        let cfg = config(Scheme::WPs).with_local_bypass(false);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));
+        let out = agg.insert(item(1, 7));
+        assert!(out.local_delivery.is_none());
+        assert_eq!(agg.buffered_items(), 1);
+    }
+
+    #[test]
+    fn noagg_emits_every_item() {
+        let mut agg = Aggregator::new(config(Scheme::NoAgg), Owner::Worker(WorkerId(0)));
+        let out = agg.insert(item(4, 9));
+        let msg = out.message.expect("NoAgg emits immediately");
+        assert_eq!(msg.reason, EmitReason::Unaggregated);
+        assert_eq!(msg.dest, MessageDest::Worker(WorkerId(4)));
+        assert_eq!(msg.item_count(), 1);
+        assert!(agg.flush().is_empty(), "nothing buffered under NoAgg");
+    }
+
+    #[test]
+    fn explicit_flush_resizes_messages() {
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        agg.insert(item(4, 1)); // proc 2
+        agg.insert(item(6, 2)); // proc 3
+        let msgs = agg.flush();
+        assert_eq!(msgs.len(), 2);
+        for m in &msgs {
+            assert_eq!(m.reason, EmitReason::ExplicitFlush);
+            assert_eq!(m.item_count(), 1);
+            // Resized: envelope + 1 item, not envelope + full buffer.
+            assert_eq!(m.bytes, 16 + 8);
+        }
+        assert_eq!(agg.buffered_items(), 0);
+        assert_eq!(agg.stats().flush_calls(), 1);
+        assert_eq!(agg.stats().messages_flushed(), 2);
+    }
+
+    #[test]
+    fn idle_flush_respects_policy() {
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        agg.insert(item(4, 1));
+        assert!(agg.flush_on_idle().is_empty(), "idle flush disabled by default");
+
+        let cfg = config(Scheme::WPs).with_flush_policy(crate::FlushPolicy::ON_IDLE);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));
+        agg.insert(item(4, 1));
+        let msgs = agg.flush_on_idle();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].reason, EmitReason::IdleFlush);
+    }
+
+    #[test]
+    fn timeout_flush_only_past_deadline() {
+        let cfg = config(Scheme::WPs).with_flush_policy(crate::FlushPolicy::with_timeout(1_000));
+        let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));
+        agg.insert_at(Item::new(WorkerId(4), 1u32, 100), 100);
+        assert_eq!(agg.next_timeout_deadline(), Some(1_100));
+        assert!(agg.poll_timeout(500).is_empty());
+        let msgs = agg.poll_timeout(1_200);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].reason, EmitReason::TimeoutFlush);
+        assert_eq!(agg.next_timeout_deadline(), None);
+    }
+
+    #[test]
+    fn stats_track_full_vs_flush_messages() {
+        let mut agg = Aggregator::new(config(Scheme::WW), Owner::Worker(WorkerId(0)));
+        for i in 0..3 {
+            agg.insert(item(4, i));
+        }
+        agg.insert(item(5, 99));
+        agg.flush();
+        let stats = agg.stats();
+        assert_eq!(stats.messages_full(), 1);
+        assert_eq!(stats.messages_flushed(), 1);
+        assert_eq!(stats.items_inserted(), 4);
+        assert_eq!(stats.items_sent(), 4);
+    }
+
+    #[test]
+    fn insert_accounting_conserves_items() {
+        // Every inserted item either bypasses locally, is buffered, or is sent.
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        let mut local = 0usize;
+        let mut sent = 0usize;
+        for i in 0..100u32 {
+            let dest = i % 8;
+            let out = agg.insert(item(dest, i));
+            if out.local_delivery.is_some() {
+                local += 1;
+            }
+            if let Some(m) = out.message {
+                sent += m.item_count();
+            }
+        }
+        for m in agg.flush() {
+            sent += m.item_count();
+        }
+        assert_eq!(local + sent, 100);
+        assert_eq!(agg.buffered_items(), 0);
+    }
+}

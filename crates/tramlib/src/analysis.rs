@@ -1,0 +1,228 @@
+//! Analytical cost formulas from §III-C of the paper.
+//!
+//! These are the closed-form expressions the paper uses to reason about the
+//! schemes before measuring them:
+//!
+//! * **memory overhead** of the aggregation buffers, per worker and per process;
+//! * **number of messages** sent for `z` items per source PE, with its lower
+//!   bound `z/g` and scheme-dependent upper bound (`z/g + N·t` for WW,
+//!   `z/g + N` for the process-level schemes);
+//! * **message send cost** under the α–β model, showing how aggregation divides
+//!   the α term by the buffer size `g`;
+//! * the **latency increase** bound `g / r` for a buffer that fills at rate `r`.
+//!
+//! The property tests in this crate and the integration tests check that the
+//! *measured* behaviour of [`crate::Aggregator`] stays inside these bounds.
+
+use crate::scheme::Scheme;
+use net_model::AlphaBeta;
+
+/// Buffer memory footprint, in bytes, of one scheme under the paper's notation:
+/// `g` items per buffer, `m` bytes per item, `N` total processes, `t` workers
+/// per process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryOverhead {
+    /// Bytes of aggregation buffers per worker core.
+    pub per_worker: u64,
+    /// Bytes of aggregation buffers per process.
+    pub per_process: u64,
+}
+
+/// Memory overhead of a scheme (§III-C "Memory overhead").
+pub fn memory_overhead(scheme: Scheme, g: u64, m: u64, n_procs: u64, t_workers: u64) -> MemoryOverhead {
+    let gm = g * m;
+    match scheme {
+        // One buffer per destination PE on each source PE.
+        Scheme::WW => MemoryOverhead {
+            per_worker: gm * n_procs * t_workers,
+            per_process: gm * n_procs * t_workers * t_workers,
+        },
+        // One buffer per destination process on each source PE.
+        Scheme::WPs | Scheme::WsP => MemoryOverhead {
+            per_worker: gm * n_procs,
+            per_process: gm * n_procs * t_workers,
+        },
+        // One buffer per destination process on each source *process*.
+        Scheme::PP => MemoryOverhead {
+            per_worker: 0,
+            per_process: gm * n_procs,
+        },
+        Scheme::NoAgg => MemoryOverhead {
+            per_worker: 0,
+            per_process: 0,
+        },
+    }
+}
+
+/// Bounds on the number of messages sent (§III-C "Number of messages sent").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageCountBounds {
+    /// Lower bound: every message leaves with a full buffer.
+    pub lower: u64,
+    /// Upper bound: every destination buffer additionally needs one final
+    /// partially-filled flush message.
+    pub upper: u64,
+    /// Whether the bounds are per source worker (WW/WPs/WsP) or per source
+    /// process (PP).
+    pub per_source_process: bool,
+}
+
+/// Message count bounds for `z` items sent by one source PE (or, for PP, the
+/// `z` items contributed by one source *process*), with buffer size `g`,
+/// `n_procs` total processes and `t_workers` workers per process.
+pub fn message_count_bounds(
+    scheme: Scheme,
+    z: u64,
+    g: u64,
+    n_procs: u64,
+    t_workers: u64,
+) -> MessageCountBounds {
+    let g = g.max(1);
+    let base = z / g;
+    match scheme {
+        Scheme::NoAgg => MessageCountBounds {
+            lower: z,
+            upper: z,
+            per_source_process: false,
+        },
+        Scheme::WW => MessageCountBounds {
+            lower: base,
+            upper: base + n_procs * t_workers,
+            per_source_process: false,
+        },
+        Scheme::WPs | Scheme::WsP => MessageCountBounds {
+            lower: base,
+            upper: base + n_procs,
+            per_source_process: false,
+        },
+        Scheme::PP => MessageCountBounds {
+            lower: base,
+            upper: base + n_procs,
+            per_source_process: true,
+        },
+    }
+}
+
+/// Communication cost (ns) of sending `z` items of `b` bytes each, unaggregated
+/// vs. aggregated into buffers of `g` items (§III-C "Message send cost"):
+/// `z·(α + β·b)` vs `(z/g)·α + β·b·z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendCost {
+    /// Total cost without aggregation.
+    pub unaggregated_ns: f64,
+    /// Total cost with aggregation (full buffers assumed).
+    pub aggregated_ns: f64,
+}
+
+/// Evaluate the §III-C send-cost formulas.
+pub fn send_cost(link: &AlphaBeta, z: u64, item_bytes: u64, g: u64) -> SendCost {
+    let alpha = link.alpha_ns;
+    let beta = link.beta_ns_per_byte;
+    let z_f = z as f64;
+    let b = item_bytes as f64;
+    let g = g.max(1) as f64;
+    SendCost {
+        unaggregated_ns: z_f * (alpha + beta * b),
+        aggregated_ns: (z_f / g) * alpha + beta * b * z_f,
+    }
+}
+
+/// The worst-case extra latency an item can pick up while waiting in a buffer
+/// of `g` items that fills at `fill_rate_items_per_ns` (§III-C: "the latency of
+/// an item in the buffer can increase by up to g/r").
+pub fn max_buffering_latency_ns(g: u64, fill_rate_items_per_ns: f64) -> f64 {
+    if fill_rate_items_per_ns <= 0.0 {
+        f64::INFINITY
+    } else {
+        g as f64 / fill_rate_items_per_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_overhead_matches_paper_formulas() {
+        // g=1024 items, m=16 bytes, N=16 processes, t=8 workers/process.
+        let (g, m, n, t) = (1024, 16, 16, 8);
+        let ww = memory_overhead(Scheme::WW, g, m, n, t);
+        let wps = memory_overhead(Scheme::WPs, g, m, n, t);
+        let wsp = memory_overhead(Scheme::WsP, g, m, n, t);
+        let pp = memory_overhead(Scheme::PP, g, m, n, t);
+
+        assert_eq!(ww.per_worker, g * m * n * t);
+        assert_eq!(ww.per_process, g * m * n * t * t);
+        assert_eq!(wps.per_worker, g * m * n);
+        assert_eq!(wps.per_process, g * m * n * t);
+        assert_eq!(wsp, wps, "WPs and WsP have identical footprints");
+        assert_eq!(pp.per_process, g * m * n);
+        assert_eq!(pp.per_worker, 0);
+
+        // Ordering: WW uses t x more than WPs per worker, and WPs t x more than PP
+        // per process.
+        assert_eq!(ww.per_worker, wps.per_worker * t);
+        assert_eq!(wps.per_process, pp.per_process * t);
+        assert_eq!(memory_overhead(Scheme::NoAgg, g, m, n, t).per_process, 0);
+    }
+
+    #[test]
+    fn message_bounds_match_paper() {
+        // z = 1M items, g = 1024, N = 256 processes, t = 8.
+        let (z, g, n, t) = (1_000_000u64, 1024u64, 256u64, 8u64);
+        let ww = message_count_bounds(Scheme::WW, z, g, n, t);
+        let wps = message_count_bounds(Scheme::WPs, z, g, n, t);
+        let pp = message_count_bounds(Scheme::PP, z, g, n, t);
+
+        assert_eq!(ww.lower, z / g);
+        assert_eq!(ww.upper, z / g + n * t);
+        assert_eq!(wps.upper, z / g + n);
+        assert!(!wps.per_source_process);
+        assert!(pp.per_source_process);
+        assert_eq!(pp.upper, z / g + n);
+
+        // For streaming (z >> g) the flush term is negligible; for short
+        // streams it dominates for WW.
+        let short = message_count_bounds(Scheme::WW, 10_000, 1024, 256, 8);
+        assert!(short.upper > 100 * short.lower.max(1));
+    }
+
+    #[test]
+    fn noagg_bounds_are_exact() {
+        let b = message_count_bounds(Scheme::NoAgg, 500, 1024, 16, 8);
+        assert_eq!(b.lower, 500);
+        assert_eq!(b.upper, 500);
+    }
+
+    #[test]
+    fn send_cost_divides_alpha_by_g() {
+        let link = AlphaBeta::new(2_000.0, 0.1);
+        let c = send_cost(&link, 1_000_000, 8, 1000);
+        // Unaggregated: z*(alpha + beta*b) = 1e6 * 2000.8
+        assert!((c.unaggregated_ns - 1_000_000.0 * 2_000.8).abs() < 1.0);
+        // Aggregated: (z/g)*alpha + beta*b*z = 1000*2000 + 0.8e6
+        assert!((c.aggregated_ns - (1_000.0 * 2_000.0 + 800_000.0)).abs() < 1.0);
+        assert!(c.unaggregated_ns / c.aggregated_ns > 100.0);
+    }
+
+    #[test]
+    fn buffering_latency_bound() {
+        // A buffer of 1024 items filling at 1 item per 100ns waits up to ~102us.
+        let bound = max_buffering_latency_ns(1024, 0.01);
+        assert!((bound - 102_400.0).abs() < 1.0);
+        assert!(max_buffering_latency_ns(10, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn smaller_buffers_trade_overhead_for_latency() {
+        let link = AlphaBeta::new(2_000.0, 0.1);
+        let small = send_cost(&link, 100_000, 8, 64);
+        let large = send_cost(&link, 100_000, 8, 4096);
+        // Larger buffers lower the send cost...
+        assert!(large.aggregated_ns < small.aggregated_ns);
+        // ...but raise the worst-case buffering latency.
+        assert!(
+            max_buffering_latency_ns(4096, 0.01) > max_buffering_latency_ns(64, 0.01)
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Aggregated messages emitted by the aggregator towards the transport.
+
+use crate::item::Item;
+use net_model::{ProcId, WorkerId};
+
+/// Where an aggregated message is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageDest {
+    /// Directly to one destination worker (WW, NoAgg).
+    Worker(WorkerId),
+    /// To a destination process; the receiving side distributes items to its
+    /// workers (WPs, WsP, PP).
+    Process(ProcId),
+}
+
+/// Why a message was emitted.  Used by the statistics and by the figures that
+/// distinguish "sends dominated by flush costs" (Fig. 9/11 discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmitReason {
+    /// The buffer reached its capacity `g`.
+    BufferFull,
+    /// The application called flush explicitly.
+    ExplicitFlush,
+    /// The owning worker went idle and the policy flushes on idle.
+    IdleFlush,
+    /// The buffer's oldest item exceeded the configured timeout.
+    TimeoutFlush,
+    /// The scheme does not aggregate (every item is its own message).
+    Unaggregated,
+}
+
+impl EmitReason {
+    /// True for the reasons that indicate a partially filled buffer was sent.
+    pub fn is_flush(self) -> bool {
+        matches!(
+            self,
+            EmitReason::ExplicitFlush | EmitReason::IdleFlush | EmitReason::TimeoutFlush
+        )
+    }
+}
+
+/// An aggregated message ready to be handed to the transport.
+#[derive(Debug, Clone)]
+pub struct OutboundMessage<T> {
+    /// Destination (worker or process) of the message.
+    pub dest: MessageDest,
+    /// The items packed into the message, in insertion order (or grouped by
+    /// destination worker when `grouped_at_source` is set).
+    pub items: Vec<Item<T>>,
+    /// Wire size of the message in bytes (envelope + items), already resized to
+    /// the actual item count as the paper's flush optimization requires.
+    pub bytes: u64,
+    /// Why the message was emitted.
+    pub reason: EmitReason,
+    /// True if the source already grouped `items` by destination worker (WsP),
+    /// so the destination can skip the grouping pass.
+    pub grouped_at_source: bool,
+}
+
+impl<T> OutboundMessage<T> {
+    /// Number of items carried.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of distinct destination workers among the items.
+    pub fn distinct_dest_workers(&self) -> usize {
+        let mut dests: Vec<u32> = self.items.iter().map(|i| i.dest.0).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_reason_flush_classification() {
+        assert!(EmitReason::ExplicitFlush.is_flush());
+        assert!(EmitReason::IdleFlush.is_flush());
+        assert!(EmitReason::TimeoutFlush.is_flush());
+        assert!(!EmitReason::BufferFull.is_flush());
+        assert!(!EmitReason::Unaggregated.is_flush());
+    }
+
+    #[test]
+    fn distinct_dest_workers_counts_unique() {
+        let msg = OutboundMessage {
+            dest: MessageDest::Process(ProcId(1)),
+            items: vec![
+                Item::new(WorkerId(4), 1u32, 0),
+                Item::new(WorkerId(5), 2, 0),
+                Item::new(WorkerId(4), 3, 0),
+            ],
+            bytes: 100,
+            reason: EmitReason::BufferFull,
+            grouped_at_source: false,
+        };
+        assert_eq!(msg.item_count(), 3);
+        assert_eq!(msg.distinct_dest_workers(), 2);
+    }
+}

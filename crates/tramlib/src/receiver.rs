@@ -1,0 +1,209 @@
+//! Destination-side processing of aggregated messages.
+//!
+//! When a process-addressed message (WPs, WsP, PP) arrives, the receiving side
+//! must distribute its items to the destination workers of that process.  For
+//! WPs and PP the items arrive unsorted, so the receiver performs the grouping
+//! pass whose `O(g + t)` cost §III-C analyses; for WsP the source already
+//! grouped them and the receiver only splits contiguous runs.
+//!
+//! The [`Receiver`] is stateless — it turns one incoming message into a
+//! [`DeliveryPlan`] that the execution substrate (simulator or native runtime)
+//! uses both to deliver the items and to charge the appropriate costs.
+
+use crate::config::TramConfig;
+use crate::item::Item;
+use crate::message::{MessageDest, OutboundMessage};
+use net_model::WorkerId;
+
+/// What the destination must do with one incoming message.
+#[derive(Debug, Clone)]
+pub struct DeliveryPlan<T> {
+    /// Items grouped per destination worker, in worker order.
+    pub per_worker: Vec<(WorkerId, Vec<Item<T>>)>,
+    /// Whether a grouping pass was required at the destination (WPs/PP process
+    /// messages that were not grouped at the source).
+    pub grouping_performed: bool,
+    /// Number of items in the message (the `g` of the `O(g + t)` grouping
+    /// cost).
+    pub item_count: usize,
+    /// Number of distinct destination workers touched (the `t` of `O(g + t)`),
+    /// equal to `per_worker.len()`.
+    pub worker_count: usize,
+    /// Number of local (within destination process) deliveries required.  For a
+    /// worker-addressed message this is zero: the message already arrived at
+    /// its final worker.
+    pub local_deliveries: usize,
+}
+
+/// Stateless destination-side processor.
+#[derive(Debug, Clone, Copy)]
+pub struct Receiver {
+    config: TramConfig,
+}
+
+impl Receiver {
+    /// Create a receiver for the given configuration.
+    pub fn new(config: TramConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this receiver uses.
+    pub fn config(&self) -> &TramConfig {
+        &self.config
+    }
+
+    /// Turn an incoming message into a delivery plan.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a process-addressed message contains an item
+    /// whose destination worker does not belong to that process.
+    pub fn process<T: Clone>(&self, message: &OutboundMessage<T>) -> DeliveryPlan<T> {
+        let item_count = message.items.len();
+        match message.dest {
+            MessageDest::Worker(w) => {
+                // WW / NoAgg: the message already arrived at its worker.
+                debug_assert!(message.items.iter().all(|i| i.dest == w));
+                DeliveryPlan {
+                    per_worker: vec![(w, message.items.clone())],
+                    grouping_performed: false,
+                    item_count,
+                    worker_count: 1,
+                    local_deliveries: 0,
+                }
+            }
+            MessageDest::Process(p) => {
+                debug_assert!(
+                    message
+                        .items
+                        .iter()
+                        .all(|i| self.config.topology.proc_of_worker(i.dest) == p),
+                    "process-addressed message contains foreign items"
+                );
+                let grouping_needed = !message.grouped_at_source;
+                let per_worker = group_by_worker(&message.items);
+                let worker_count = per_worker.len();
+                DeliveryPlan {
+                    per_worker,
+                    grouping_performed: grouping_needed,
+                    item_count,
+                    worker_count,
+                    local_deliveries: worker_count,
+                }
+            }
+        }
+    }
+}
+
+/// Group items by destination worker, preserving per-worker insertion order.
+fn group_by_worker<T: Clone>(items: &[Item<T>]) -> Vec<(WorkerId, Vec<Item<T>>)> {
+    let mut groups: Vec<(WorkerId, Vec<Item<T>>)> = Vec::new();
+    for item in items {
+        match groups.iter_mut().find(|(w, _)| *w == item.dest) {
+            Some((_, bucket)) => bucket.push(item.clone()),
+            None => groups.push((item.dest, vec![item.clone()])),
+        }
+    }
+    groups.sort_by_key(|(w, _)| w.0);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::{Aggregator, Owner};
+    use crate::scheme::Scheme;
+    use net_model::{ProcId, Topology};
+
+    fn topo() -> Topology {
+        Topology::smp(2, 2, 2)
+    }
+
+    fn config(scheme: Scheme) -> TramConfig {
+        TramConfig::new(scheme, topo()).with_buffer_items(4)
+    }
+
+    #[test]
+    fn worker_addressed_message_needs_no_grouping() {
+        let cfg = config(Scheme::WW);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+        for i in 0..4u32 {
+            agg.insert(Item::new(WorkerId(6), i, 0));
+        }
+        let msgs = agg.flush();
+        // Buffer filled exactly at 4 items, so insert returned it; flush is empty.
+        assert!(msgs.is_empty());
+        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+        for i in 0..3u32 {
+            agg.insert(Item::new(WorkerId(6), i, 0));
+        }
+        let msg = &agg.flush()[0];
+        let plan = Receiver::new(cfg).process(msg);
+        assert!(!plan.grouping_performed);
+        assert_eq!(plan.worker_count, 1);
+        assert_eq!(plan.local_deliveries, 0);
+        assert_eq!(plan.item_count, 3);
+        assert_eq!(plan.per_worker[0].0, WorkerId(6));
+    }
+
+    #[test]
+    fn wps_message_grouped_at_destination() {
+        let cfg = config(Scheme::WPs);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+        // Workers 4 and 5 belong to process 2.
+        agg.insert(Item::new(WorkerId(5), 1u32, 0));
+        agg.insert(Item::new(WorkerId(4), 2, 0));
+        agg.insert(Item::new(WorkerId(5), 3, 0));
+        let msg = &agg.flush()[0];
+        assert_eq!(msg.dest, MessageDest::Process(ProcId(2)));
+        let plan = Receiver::new(cfg).process(msg);
+        assert!(plan.grouping_performed, "WPs groups at the destination");
+        assert_eq!(plan.worker_count, 2);
+        assert_eq!(plan.local_deliveries, 2);
+        // Items for worker 5 preserved in insertion order.
+        let w5 = plan
+            .per_worker
+            .iter()
+            .find(|(w, _)| *w == WorkerId(5))
+            .unwrap();
+        let values: Vec<u32> = w5.1.iter().map(|i| i.data).collect();
+        assert_eq!(values, vec![1, 3]);
+    }
+
+    #[test]
+    fn wsp_message_skips_destination_grouping() {
+        let cfg = config(Scheme::WsP);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+        agg.insert(Item::new(WorkerId(5), 1u32, 0));
+        agg.insert(Item::new(WorkerId(4), 2, 0));
+        let msg = &agg.flush()[0];
+        assert!(msg.grouped_at_source);
+        let plan = Receiver::new(cfg).process(msg);
+        assert!(!plan.grouping_performed, "WsP already grouped at the source");
+        assert_eq!(plan.worker_count, 2);
+        assert_eq!(plan.item_count, 2);
+    }
+
+    #[test]
+    fn pp_message_grouped_at_destination() {
+        let cfg = config(Scheme::PP);
+        let mut agg = Aggregator::new(cfg, Owner::Process(ProcId(0)));
+        agg.insert(Item::new(WorkerId(4), 1u32, 0));
+        agg.insert(Item::new(WorkerId(5), 2, 0));
+        let msg = &agg.flush()[0];
+        let plan = Receiver::new(cfg).process(msg);
+        assert!(plan.grouping_performed);
+        assert_eq!(plan.local_deliveries, 2);
+    }
+
+    #[test]
+    fn grouping_preserves_all_items() {
+        let items: Vec<Item<u32>> = (0..50)
+            .map(|i| Item::new(WorkerId(4 + (i % 2)), i, 0))
+            .collect();
+        let groups = group_by_worker(&items);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 50);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].0 < groups[1].0, "groups sorted by worker id");
+    }
+}

@@ -1,0 +1,166 @@
+//! The aggregation schemes compared in the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which level (worker or process) aggregation happens at, on each side.
+///
+/// Names follow the paper: the first letter describes the source side, the
+/// second the destination side, and a lowercase `s` marks where the grouping
+/// (sort) of items by destination worker happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// No aggregation: every item is sent as its own message (baseline).
+    NoAgg,
+    /// Worker-to-worker: the source worker keeps one buffer per destination
+    /// worker.  SMP-unaware; most buffers, no grouping needed.
+    WW,
+    /// Worker-to-process, sort at destination: the source worker keeps one
+    /// buffer per destination process; the receiving process groups items by
+    /// destination worker before local delivery.
+    WPs,
+    /// Worker-to-process, sort at source: like WPs but the source worker groups
+    /// the buffer by destination worker before sending.
+    WsP,
+    /// Process-to-process: one shared buffer per destination process for the
+    /// whole source process; workers insert with atomics.
+    PP,
+}
+
+impl Scheme {
+    /// All schemes, in the order the paper's figures list them.
+    pub const ALL: [Scheme; 5] = [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP, Scheme::NoAgg];
+
+    /// The aggregating schemes (everything except the no-aggregation baseline).
+    pub const AGGREGATING: [Scheme; 4] = [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP];
+
+    /// The schemes most figures compare (WW vs WPs vs PP).
+    pub const HEADLINE: [Scheme; 3] = [Scheme::WW, Scheme::WPs, Scheme::PP];
+
+    /// Whether the source side buffers per destination *process* (rather than
+    /// per destination worker).
+    pub fn source_buffers_per_process(self) -> bool {
+        matches!(self, Scheme::WPs | Scheme::WsP | Scheme::PP)
+    }
+
+    /// Whether the buffer is shared by all workers of the source process
+    /// (inserted into with atomics).
+    pub fn shared_source_buffer(self) -> bool {
+        matches!(self, Scheme::PP)
+    }
+
+    /// Whether items must be grouped by destination worker at the source before
+    /// the message is handed to the transport.
+    pub fn groups_at_source(self) -> bool {
+        matches!(self, Scheme::WsP)
+    }
+
+    /// Whether items must be grouped by destination worker at the destination
+    /// process before local delivery.
+    pub fn groups_at_destination(self) -> bool {
+        matches!(self, Scheme::WPs | Scheme::PP)
+    }
+
+    /// Whether this scheme aggregates at all.
+    pub fn aggregates(self) -> bool {
+        !matches!(self, Scheme::NoAgg)
+    }
+
+    /// Short label used in figures and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::NoAgg => "NoAgg",
+            Scheme::WW => "WW",
+            Scheme::WPs => "WPs",
+            Scheme::WsP => "WsP",
+            Scheme::PP => "PP",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown scheme name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(pub String);
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown aggregation scheme: {:?}", self.0)
+    }
+}
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "noagg" | "none" | "no-agg" => Ok(Scheme::NoAgg),
+            "ww" => Ok(Scheme::WW),
+            "wps" => Ok(Scheme::WPs),
+            "wsp" => Ok(Scheme::WsP),
+            "pp" => Ok(Scheme::PP),
+            other => Err(ParseSchemeError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for scheme in Scheme::ALL {
+            let parsed: Scheme = scheme.label().parse().unwrap();
+            assert_eq!(parsed, scheme);
+        }
+        assert!("bogus".parse::<Scheme>().is_err());
+        assert_eq!("none".parse::<Scheme>().unwrap(), Scheme::NoAgg);
+    }
+
+    #[test]
+    fn scheme_properties_match_paper_table() {
+        // WW: per-worker buffers, no grouping anywhere.
+        assert!(!Scheme::WW.source_buffers_per_process());
+        assert!(!Scheme::WW.groups_at_source());
+        assert!(!Scheme::WW.groups_at_destination());
+        assert!(!Scheme::WW.shared_source_buffer());
+
+        // WPs: per-process buffers, grouping at destination.
+        assert!(Scheme::WPs.source_buffers_per_process());
+        assert!(!Scheme::WPs.groups_at_source());
+        assert!(Scheme::WPs.groups_at_destination());
+
+        // WsP: per-process buffers, grouping at source.
+        assert!(Scheme::WsP.source_buffers_per_process());
+        assert!(Scheme::WsP.groups_at_source());
+        assert!(!Scheme::WsP.groups_at_destination());
+
+        // PP: shared per-process buffer, grouping at destination.
+        assert!(Scheme::PP.shared_source_buffer());
+        assert!(Scheme::PP.groups_at_destination());
+
+        // NoAgg aggregates nothing.
+        assert!(!Scheme::NoAgg.aggregates());
+        assert!(Scheme::WW.aggregates());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Scheme::WPs.to_string(), "WPs");
+        assert_eq!(format!("{}", Scheme::PP), "PP");
+    }
+
+    #[test]
+    fn constant_sets_are_consistent() {
+        assert_eq!(Scheme::ALL.len(), 5);
+        assert!(Scheme::AGGREGATING.iter().all(|s| s.aggregates()));
+        assert!(Scheme::HEADLINE.iter().all(|s| Scheme::AGGREGATING.contains(s)));
+    }
+}

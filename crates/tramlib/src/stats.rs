@@ -1,0 +1,159 @@
+//! Per-aggregator statistics.
+
+use crate::message::EmitReason;
+use metrics::{Counters, OnlineStats};
+
+/// Statistics accumulated by one [`crate::Aggregator`] (and mergeable across
+/// aggregators, processes and runs).
+#[derive(Debug, Clone, Default)]
+pub struct TramStats {
+    counters: Counters,
+    /// Distribution of item counts per emitted message (buffer fill levels).
+    fill: OnlineStats,
+}
+
+impl TramStats {
+    /// New empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an item accepted for aggregation.
+    pub fn record_insert(&mut self) {
+        self.counters.incr("items_inserted");
+    }
+
+    /// Record an item delivered directly through the local (same-process) bypass.
+    pub fn record_local_bypass(&mut self) {
+        self.counters.incr("items_local_bypass");
+    }
+
+    /// Record a message handed to the transport.
+    pub fn record_message(&mut self, items: usize, bytes: u64, reason: EmitReason) {
+        self.counters.incr("messages_sent");
+        self.counters.add("items_sent", items as u64);
+        self.counters.add("bytes_sent", bytes);
+        self.fill.record(items as f64);
+        match reason {
+            EmitReason::BufferFull => self.counters.incr("messages_full"),
+            EmitReason::ExplicitFlush => self.counters.incr("messages_explicit_flush"),
+            EmitReason::IdleFlush => self.counters.incr("messages_idle_flush"),
+            EmitReason::TimeoutFlush => self.counters.incr("messages_timeout_flush"),
+            EmitReason::Unaggregated => self.counters.incr("messages_unaggregated"),
+        }
+    }
+
+    /// Record an explicit flush call from the application (whether or not it
+    /// produced messages).
+    pub fn record_flush_call(&mut self) {
+        self.counters.incr("flush_calls");
+    }
+
+    /// Merge statistics from another aggregator.
+    pub fn merge(&mut self, other: &TramStats) {
+        self.counters.merge(&other.counters);
+        self.fill.merge(&other.fill);
+    }
+
+    /// Items accepted for aggregation (not counting local bypass).
+    pub fn items_inserted(&self) -> u64 {
+        self.counters.get("items_inserted")
+    }
+
+    /// Items delivered through the local bypass.
+    pub fn items_local_bypass(&self) -> u64 {
+        self.counters.get("items_local_bypass")
+    }
+
+    /// Messages handed to the transport.
+    pub fn messages_sent(&self) -> u64 {
+        self.counters.get("messages_sent")
+    }
+
+    /// Messages emitted because a buffer filled.
+    pub fn messages_full(&self) -> u64 {
+        self.counters.get("messages_full")
+    }
+
+    /// Messages emitted by any kind of flush (explicit, idle or timeout).
+    pub fn messages_flushed(&self) -> u64 {
+        self.counters.get("messages_explicit_flush")
+            + self.counters.get("messages_idle_flush")
+            + self.counters.get("messages_timeout_flush")
+    }
+
+    /// Total items carried by emitted messages.
+    pub fn items_sent(&self) -> u64 {
+        self.counters.get("items_sent")
+    }
+
+    /// Total bytes handed to the transport.
+    pub fn bytes_sent(&self) -> u64 {
+        self.counters.get("bytes_sent")
+    }
+
+    /// Explicit flush calls made by the application.
+    pub fn flush_calls(&self) -> u64 {
+        self.counters.get("flush_calls")
+    }
+
+    /// Mean number of items per emitted message.
+    pub fn mean_fill(&self) -> f64 {
+        self.fill.mean()
+    }
+
+    /// Access to the raw counters (for report output).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = TramStats::new();
+        s.record_insert();
+        s.record_insert();
+        s.record_local_bypass();
+        s.record_message(2, 96, EmitReason::BufferFull);
+        s.record_flush_call();
+        s.record_message(1, 80, EmitReason::ExplicitFlush);
+
+        assert_eq!(s.items_inserted(), 2);
+        assert_eq!(s.items_local_bypass(), 1);
+        assert_eq!(s.messages_sent(), 2);
+        assert_eq!(s.messages_full(), 1);
+        assert_eq!(s.messages_flushed(), 1);
+        assert_eq!(s.items_sent(), 3);
+        assert_eq!(s.bytes_sent(), 176);
+        assert_eq!(s.flush_calls(), 1);
+        assert!((s.mean_fill() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = TramStats::new();
+        let mut b = TramStats::new();
+        a.record_message(4, 128, EmitReason::BufferFull);
+        b.record_message(2, 64, EmitReason::IdleFlush);
+        b.record_insert();
+        a.merge(&b);
+        assert_eq!(a.messages_sent(), 2);
+        assert_eq!(a.items_sent(), 6);
+        assert_eq!(a.items_inserted(), 1);
+        assert!((a.mean_fill() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reason_counters_distinct() {
+        let mut s = TramStats::new();
+        s.record_message(1, 1, EmitReason::TimeoutFlush);
+        s.record_message(1, 1, EmitReason::Unaggregated);
+        assert_eq!(s.counters().get("messages_timeout_flush"), 1);
+        assert_eq!(s.counters().get("messages_unaggregated"), 1);
+        assert_eq!(s.messages_flushed(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Weak-scaling study of the histogram proxy (the shape behind Figures 9–11):
+//! sweep node counts and buffer sizes for the aggregation schemes and print a
+//! small report, including the comm-thread bottleneck comparison between SMP
+//! and non-SMP mode.
+//!
+//! ```text
+//! cargo run --release --example histogram_scaling
+//! ```
+
+use metrics::Table;
+use smp_aggregation::prelude::*;
+
+fn main() {
+    let updates = 8_000;
+    let buffer = 64;
+
+    // 1. Scheme comparison across node counts (weak scaling: work per PE fixed).
+    let mut table = Table::new();
+    table.set_header(["nodes", "WW (ms)", "WPs (ms)", "PP (ms)", "non-SMP (ms)"]);
+    for nodes in [2u32, 4, 8] {
+        let mut row = vec![format!("{nodes}")];
+        for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
+            let report = run_histogram(
+                HistogramConfig::new(ClusterSpec::smp(nodes, 4, 4), scheme)
+                    .with_updates(updates)
+                    .with_buffer(buffer),
+            );
+            row.push(format!("{:.3}", report.total_time_ns as f64 / 1e6));
+        }
+        let non_smp = run_histogram(
+            HistogramConfig::new(ClusterSpec::non_smp(nodes, 16), Scheme::WW)
+                .with_updates(updates)
+                .with_buffer(buffer),
+        );
+        row.push(format!("{:.3}", non_smp.total_time_ns as f64 / 1e6));
+        table.add_row(row);
+    }
+    println!("Weak scaling, {updates} updates/PE, buffer {buffer}:\n{}", table.to_text());
+
+    // 2. Buffer-size sweep at a fixed node count (Fig. 10's shape).
+    let mut buffers = Table::new();
+    buffers.set_header(["buffer", "WW (ms)", "WPs (ms)", "PP (ms)", "WPs mean latency (us)"]);
+    for buf in [16usize, 64, 256] {
+        let mut row = vec![format!("{buf}")];
+        let mut wps_latency = 0.0;
+        for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
+            let report = run_histogram(
+                HistogramConfig::new(ClusterSpec::smp(4, 4, 4), scheme)
+                    .with_updates(updates)
+                    .with_buffer(buf),
+            );
+            if scheme == Scheme::WPs {
+                wps_latency = report.latency.mean() / 1e3;
+            }
+            row.push(format!("{:.3}", report.total_time_ns as f64 / 1e6));
+        }
+        row.push(format!("{wps_latency:.2}"));
+        buffers.add_row(row);
+    }
+    println!("Buffer-size sweep on 4 nodes:\n{}", buffers.to_text());
+    println!("Larger buffers cut message count (lower time) but raise item latency.");
+}

@@ -1,0 +1,57 @@
+//! Optimistic PDES (PHOLD) over the aggregation schemes (the shape behind
+//! Figure 18): out-of-order event receives — the events a Time-Warp engine
+//! would have to roll back — grow with item latency, so the scheme choice
+//! matters even though every scheme delivers every event.
+//!
+//! ```text
+//! cargo run --release --example phold_pdes
+//! ```
+
+use smp_aggregation::prelude::*;
+
+fn main() {
+    let cluster = ClusterSpec::smp(2, 2, 8); // wide processes, as in the paper's PHOLD runs
+    let phold = pdes::PholdConfig {
+        total_lps: cluster.total_workers() as u64 * 8,
+        initial_events_per_lp: 32,
+        hops_per_event: 12,
+        ..pdes::PholdConfig::default()
+    };
+
+    println!(
+        "PHOLD: {} LPs on {} workers, {} total event hops",
+        phold.total_lps,
+        cluster.total_workers(),
+        phold.total_hops()
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>14} {:>16}",
+        "scheme", "time (ms)", "events", "out-of-order", "ooo fraction"
+    );
+    for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
+        let report = run_phold(
+            PholdBenchConfig::new(cluster, scheme)
+                .with_buffer(256)
+                .with_phold(phold),
+        );
+        let processed = report.counter("phold_events_processed");
+        let ooo = report.counter("phold_ooo_events");
+        println!(
+            "{:<8} {:>12.3} {:>14} {:>14} {:>16.4}",
+            scheme.label(),
+            report.total_time_ns as f64 / 1e6,
+            processed,
+            ooo,
+            ooo as f64 / processed.max(1) as f64,
+        );
+        assert_eq!(
+            report.counter("phold_events_sent"),
+            processed,
+            "every event must be delivered exactly once"
+        );
+    }
+    println!();
+    println!("Out-of-order receives are the events an optimistic engine would roll back.");
+    println!("Their count tracks item latency, so the aggregation scheme matters; the");
+    println!("paper-scale comparison (wide processes, Fig. 18) is in EXPERIMENTS.md.");
+}

@@ -1,0 +1,73 @@
+//! # smp-aggregation
+//!
+//! A Rust reproduction of **"Shared Memory-Aware Latency-Sensitive Message
+//! Aggregation for Fine-Grained Communication"** (Chandrasekar & Kale,
+//! SC 2024 / arXiv:2411.03533).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`tramlib`] — the aggregation library itself (schemes WW, WPs, WsP, PP,
+//!   buffers, flush policies, the §III-C analytical formulas);
+//! * [`smp_sim`] — the discrete-event SMP cluster simulator (worker PEs,
+//!   per-process communication threads, α–β network) that stands in for the
+//!   Delta supercomputer;
+//! * [`apps`] — the paper's proxy applications (histogram, index-gather,
+//!   SSSP, PHOLD, PingAck, ping-pong);
+//! * [`net_model`], [`sim_core`], [`metrics`], [`graph`], [`pdes`] — the
+//!   supporting substrates;
+//! * [`shmem`] and [`native_rt`] — real-thread shared-memory primitives for the
+//!   within-process half of the design.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use smp_aggregation::prelude::*;
+//!
+//! // 2 nodes x 2 processes x 4 workers, WPs scheme, small run.
+//! let config = HistogramConfig::new(ClusterSpec::small_smp(2), Scheme::WPs)
+//!     .with_updates(2_000)
+//!     .with_buffer(64);
+//! let report = run_histogram(config);
+//! assert!(report.clean);
+//! println!("histogram took {:.3} ms of simulated time", report.total_time_ns as f64 / 1e6);
+//! ```
+
+pub use apps;
+pub use graph;
+pub use metrics;
+pub use native_rt;
+pub use net_model;
+pub use pdes;
+pub use shmem;
+pub use sim_core;
+pub use smp_sim;
+pub use tramlib;
+
+/// The most commonly used types and functions, in one import.
+pub mod prelude {
+    pub use apps::common::sim_config;
+    pub use apps::histogram::{run_histogram, HistogramConfig};
+    pub use apps::index_gather::{run_index_gather, IndexGatherConfig};
+    pub use apps::phold::{run_phold, PholdBenchConfig};
+    pub use apps::pingack::{run_pingack, PingAckConfig};
+    pub use apps::sssp::{run_sssp, SsspConfig};
+    pub use apps::ClusterSpec;
+    pub use net_model::{NodeId, ProcId, Topology, WorkerId};
+    pub use smp_sim::{run_cluster, Payload, RunReport, SimConfig, WorkerApp, WorkerCtx};
+    pub use tramlib::{Aggregator, FlushPolicy, Item, Owner, Scheme, TramConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn umbrella_reexports_work_together() {
+        let topo = Topology::smp(2, 2, 2);
+        let tram = TramConfig::new(Scheme::WPs, topo).with_buffer_items(8);
+        let mut agg = Aggregator::<u64>::new(tram, Owner::Worker(WorkerId(0)));
+        let out = agg.insert(Item::new(WorkerId(5), 42, 0));
+        assert!(out.message.is_none());
+        assert_eq!(agg.buffered_items(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Workspace-level integration tests: every proxy application, every scheme,
+//! end-to-end on the simulated SMP cluster, checking correctness invariants and
+//! the paper's headline orderings.
+
+use smp_aggregation::prelude::*;
+use std::sync::Arc;
+
+/// Helper: a small but non-trivial SMP cluster (2 nodes x 2 procs x 8 workers).
+fn cluster() -> ClusterSpec {
+    ClusterSpec::smp(2, 2, 8)
+}
+
+#[test]
+fn histogram_conserves_updates_across_all_schemes_and_buffer_sizes() {
+    for scheme in [Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::PP, Scheme::NoAgg] {
+        for buffer in [8usize, 128] {
+            let report = run_histogram(
+                HistogramConfig::new(cluster(), scheme)
+                    .with_updates(1_500)
+                    .with_buffer(buffer)
+                    .with_seed(2),
+            );
+            let expected = 1_500 * cluster().total_workers() as u64;
+            assert!(report.clean, "{scheme}/{buffer}");
+            assert_eq!(report.counter("histo_applied"), expected, "{scheme}/{buffer}");
+            assert_eq!(
+                report.counter("histo_sent_checksum"),
+                report.counter("histo_applied_checksum"),
+                "{scheme}/{buffer}"
+            );
+            assert_eq!(report.items_sent, report.items_delivered, "{scheme}/{buffer}");
+        }
+    }
+}
+
+#[test]
+fn aggregation_beats_no_aggregation_for_fine_grained_traffic() {
+    let agg = run_histogram(
+        HistogramConfig::new(cluster(), Scheme::WPs)
+            .with_updates(3_000)
+            .with_buffer(128),
+    );
+    let none = run_histogram(
+        HistogramConfig::new(cluster(), Scheme::NoAgg)
+            .with_updates(3_000)
+            .with_buffer(128),
+    );
+    assert!(agg.total_time_ns * 2 < none.total_time_ns,
+        "aggregation should be at least 2x faster: agg={} none={}",
+        agg.total_time_ns, none.total_time_ns);
+    assert!(agg.counter("wire_messages") * 20 < none.counter("wire_messages"));
+}
+
+#[test]
+fn message_counts_respect_the_papers_analytical_bounds() {
+    // The merged TramLib stats of a WW run vs a WPs run on identical traffic
+    // must reflect the N*t vs N flush-message bound of §III-C.
+    let ww = run_histogram(
+        HistogramConfig::new(cluster(), Scheme::WW)
+            .with_updates(500)
+            .with_buffer(256)
+            .with_seed(5),
+    );
+    let wps = run_histogram(
+        HistogramConfig::new(cluster(), Scheme::WPs)
+            .with_updates(500)
+            .with_buffer(256)
+            .with_seed(5),
+    );
+    assert!(
+        ww.tram.messages_flushed() > wps.tram.messages_flushed(),
+        "WW flush messages {} should exceed WPs {}",
+        ww.tram.messages_flushed(),
+        wps.tram.messages_flushed()
+    );
+    // Both deliver everything.
+    assert_eq!(ww.counter("histo_applied"), wps.counter("histo_applied"));
+}
+
+#[test]
+fn index_gather_latency_favors_process_level_schemes() {
+    let run = |scheme| {
+        run_index_gather(
+            IndexGatherConfig::new(cluster(), scheme)
+                .with_requests(2_000)
+                .with_buffer(256)
+                .with_seed(9),
+        )
+    };
+    let ww = run(Scheme::WW);
+    let wps = run(Scheme::WPs);
+    let pp = run(Scheme::PP);
+    assert!(wps.mean_app_latency_ns() < ww.mean_app_latency_ns());
+    assert!(pp.mean_app_latency_ns() < ww.mean_app_latency_ns());
+    // Every request answered, under every scheme.
+    for r in [&ww, &wps, &pp] {
+        assert_eq!(r.counter("ig_requests_sent"), r.counter("ig_responses"));
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_for_small_and_large_buffers() {
+    let graph = Arc::new(graph::generate::uniform(4_000, 8, 33));
+    let reference = graph::sssp::dijkstra(&graph, 0);
+    let expected_checksum: u64 = reference
+        .iter()
+        .filter(|&&d| d != graph::sssp::UNREACHED)
+        .sum();
+
+    let small_buffer = run_sssp(
+        SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(16),
+    );
+    let large_buffer = run_sssp(
+        SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(512),
+    );
+    for (name, report) in [("small", &small_buffer), ("large", &large_buffer)] {
+        assert!(report.clean, "{name}");
+        assert_eq!(
+            report.counter("sssp_dist_checksum"),
+            expected_checksum,
+            "{name}: wrong distances"
+        );
+    }
+    // Larger buffers aggregate more aggressively: fewer messages on the wire.
+    // (Unlike the streaming histogram, SSSP latency is not monotone in the
+    // buffer size — tiny buffers flood the comm threads with messages, which
+    // costs more latency than the extra buffering saves.)
+    assert!(
+        large_buffer.counter("wire_messages") < small_buffer.counter("wire_messages"),
+        "bigger buffers must reduce wire messages: large={} small={}",
+        large_buffer.counter("wire_messages"),
+        small_buffer.counter("wire_messages")
+    );
+}
+
+#[test]
+fn phold_conserves_events_and_counts_stragglers() {
+    for scheme in [Scheme::WW, Scheme::PP] {
+        let report = run_phold(PholdBenchConfig::new(cluster(), scheme).with_buffer(128));
+        assert!(report.clean, "{scheme}");
+        assert_eq!(
+            report.counter("phold_events_sent"),
+            report.counter("phold_events_processed"),
+            "{scheme}"
+        );
+        assert!(report.counter("phold_ooo_events") > 0, "{scheme}");
+    }
+}
+
+#[test]
+fn pingack_reproduces_the_smp_comm_thread_bottleneck() {
+    let mut one_proc = PingAckConfig::new(1, true);
+    one_proc.workers_per_node = 16;
+    one_proc.messages_per_worker = 400;
+    let mut four_proc = PingAckConfig::new(4, true);
+    four_proc.workers_per_node = 16;
+    four_proc.messages_per_worker = 400;
+    let mut non_smp = PingAckConfig::new(1, false);
+    non_smp.workers_per_node = 16;
+    non_smp.messages_per_worker = 400;
+
+    let t1 = run_pingack(one_proc).total_time_ns;
+    let t4 = run_pingack(four_proc).total_time_ns;
+    let tn = run_pingack(non_smp).total_time_ns;
+    assert!(t1 > tn, "1-process SMP ({t1}) must be slower than non-SMP ({tn})");
+    assert!(t4 < t1, "4-process SMP ({t4}) must beat 1-process SMP ({t1})");
+}
+
+#[test]
+fn deterministic_given_a_seed_different_across_seeds() {
+    let run = |seed| {
+        run_histogram(
+            HistogramConfig::new(ClusterSpec::small_smp(2), Scheme::PP)
+                .with_updates(1_000)
+                .with_buffer(64)
+                .with_seed(seed),
+        )
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(2);
+    assert_eq!(a.total_time_ns, b.total_time_ns);
+    assert_eq!(a.counter("wire_messages"), b.counter("wire_messages"));
+    assert_ne!(a.total_time_ns, c.total_time_ns);
+}
+
+#[test]
+fn memory_overhead_formulas_match_config_buffer_counts() {
+    // The §III-C formulas exposed by tramlib::analysis agree with the number of
+    // buffers a worker-level config actually allocates.
+    let topo = cluster().topology();
+    let (n, t) = (topo.total_procs() as u64, topo.workers_per_proc() as u64);
+    let g = 1024u64;
+    let m = 16u64;
+    let ww = tramlib::analysis::memory_overhead(Scheme::WW, g, m, n, t);
+    let wps = tramlib::analysis::memory_overhead(Scheme::WPs, g, m, n, t);
+    let ww_cfg = TramConfig::new(Scheme::WW, topo).with_buffer_items(g as usize);
+    let wps_cfg = TramConfig::new(Scheme::WPs, topo).with_buffer_items(g as usize);
+    assert_eq!(
+        ww.per_worker,
+        ww_cfg.buffers_per_worker() as u64 * g * m
+    );
+    assert_eq!(
+        wps.per_worker,
+        wps_cfg.buffers_per_worker() as u64 * g * m
+    );
+}
