@@ -77,7 +77,11 @@ impl PingAckConfig {
                 self.workers_per_node % self.procs_per_node == 0,
                 "workers per node must divide evenly into processes"
             );
-            ClusterSpec::smp(2, self.procs_per_node, self.workers_per_node / self.procs_per_node)
+            ClusterSpec::smp(
+                2,
+                self.procs_per_node,
+                self.workers_per_node / self.procs_per_node,
+            )
         } else {
             ClusterSpec::non_smp(2, self.workers_per_node)
         }
@@ -160,8 +164,16 @@ pub fn run_pingack(config: PingAckConfig) -> RunReport {
         Box::new(PingAckApp {
             me: w,
             workers_per_node,
-            messages_to_send: if on_node0 { config.messages_per_worker } else { 0 },
-            expected_from_peer: if on_node0 { 0 } else { config.messages_per_worker },
+            messages_to_send: if on_node0 {
+                config.messages_per_worker
+            } else {
+                0
+            },
+            expected_from_peer: if on_node0 {
+                0
+            } else {
+                config.messages_per_worker
+            },
             received: 0,
             acks_expected: if w.0 == 0 { workers_per_node } else { 0 },
             acks_received: 0,

@@ -181,7 +181,10 @@ mod tests {
 
     fn reference(graph: &CsrGraph, source: u32) -> (u64, u64) {
         let dist = graph::sssp::dijkstra(graph, source);
-        let reached = dist.iter().filter(|&&d| d != graph::sssp::UNREACHED).count() as u64;
+        let reached = dist
+            .iter()
+            .filter(|&&d| d != graph::sssp::UNREACHED)
+            .count() as u64;
         let checksum: u64 = dist.iter().filter(|&&d| d != graph::sssp::UNREACHED).sum();
         (reached, checksum)
     }
@@ -210,11 +213,14 @@ mod tests {
         // Fig. 15: wasted updates PP < WW for a small problem where latency
         // determines how stale the circulating distances are.
         let g = test_graph();
-        let ww = run_sssp(SsspConfig::new(ClusterSpec::small_smp(2), Scheme::WW, g.clone()).with_buffer(256));
-        let pp = run_sssp(SsspConfig::new(ClusterSpec::small_smp(2), Scheme::PP, g.clone()).with_buffer(256));
-        let waste = |r: &RunReport| {
-            r.counter("sssp_wasted_updates") + r.counter("sssp_superseded_updates")
-        };
+        let ww = run_sssp(
+            SsspConfig::new(ClusterSpec::small_smp(2), Scheme::WW, g.clone()).with_buffer(256),
+        );
+        let pp = run_sssp(
+            SsspConfig::new(ClusterSpec::small_smp(2), Scheme::PP, g.clone()).with_buffer(256),
+        );
+        let waste =
+            |r: &RunReport| r.counter("sssp_wasted_updates") + r.counter("sssp_superseded_updates");
         assert!(
             waste(&pp) <= waste(&ww),
             "PP wasted {} should not exceed WW wasted {}",
@@ -226,7 +232,9 @@ mod tests {
     #[test]
     fn different_sources_reach_different_sets() {
         let g = test_graph();
-        let a = run_sssp(SsspConfig::new(ClusterSpec::small_smp(2), Scheme::WPs, g.clone()).with_buffer(64));
+        let a = run_sssp(
+            SsspConfig::new(ClusterSpec::small_smp(2), Scheme::WPs, g.clone()).with_buffer(64),
+        );
         let b = run_sssp(
             SsspConfig::new(ClusterSpec::small_smp(2), Scheme::WPs, g.clone())
                 .with_buffer(64)

@@ -51,9 +51,7 @@ fn fig18_phold(c: &mut Criterion) {
     for scheme in Scheme::HEADLINE {
         group.bench_function(scheme.label(), |b| {
             b.iter(|| {
-                run_phold(
-                    PholdBenchConfig::new(ClusterSpec::smp(2, 2, 4), scheme).with_buffer(64),
-                )
+                run_phold(PholdBenchConfig::new(ClusterSpec::smp(2, 2, 4), scheme).with_buffer(64))
             })
         });
     }

@@ -34,7 +34,13 @@ fn fig08_ppn_sweep(c: &mut Criterion) {
 fn fig09_scheme_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_histogram_schemes");
     group.sample_size(10);
-    for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP, Scheme::NoAgg] {
+    for scheme in [
+        Scheme::WW,
+        Scheme::WPs,
+        Scheme::PP,
+        Scheme::WsP,
+        Scheme::NoAgg,
+    ] {
         group.bench_function(scheme.label(), |b| {
             b.iter(|| run_histogram(small(scheme, 2, 64)))
         });

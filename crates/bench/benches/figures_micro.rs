@@ -14,7 +14,11 @@ fn fig01_pingpong_model(c: &mut Criterion) {
 fn fig03_pingack(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig03_pingack");
     group.sample_size(10);
-    for (name, procs, smp) in [("smp_1proc", 1u32, true), ("smp_4proc", 4, true), ("non_smp", 1, false)] {
+    for (name, procs, smp) in [
+        ("smp_1proc", 1u32, true),
+        ("smp_4proc", 4, true),
+        ("non_smp", 1, false),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut cfg = PingAckConfig::new(procs, smp);
@@ -43,5 +47,10 @@ fn ablation_a1_commthread(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig01_pingpong_model, fig03_pingack, ablation_a1_commthread);
+criterion_group!(
+    benches,
+    fig01_pingpong_model,
+    fig03_pingack,
+    ablation_a1_commthread
+);
 criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Regenerate every figure of the paper as CSV + text tables.
 //!
 //! ```text
-//! cargo run --release -p tram-bench --bin figures            # all figures, Paper effort
-//! cargo run --release -p tram-bench --bin figures -- --quick # all figures, Smoke effort
-//! cargo run --release -p tram-bench --bin figures -- --fig 9 # a single figure
+//! cargo run --release -p bench --bin figures            # all figures, Paper effort
+//! cargo run --release -p bench --bin figures -- --quick # all figures, Smoke effort
+//! cargo run --release -p bench --bin figures -- --fig 9 # a single figure
 //! ```
 //!
 //! CSVs are written to `target/figures/figNN_*.csv`.
@@ -48,13 +48,19 @@ fn main() {
         emit("fig08_histogram_ppn", &bench::fig08_histogram_ppn(effort));
     }
     if wants(9) {
-        emit("fig09_histogram_schemes", &bench::fig09_histogram_schemes(effort));
+        emit(
+            "fig09_histogram_schemes",
+            &bench::fig09_histogram_schemes(effort),
+        );
     }
     if wants(10) {
         emit("fig10_buffer_size", &bench::fig10_buffer_size(effort));
     }
     if wants(11) {
-        emit("fig11_histogram_small", &bench::fig11_histogram_small(effort));
+        emit(
+            "fig11_histogram_small",
+            &bench::fig11_histogram_small(effort),
+        );
     }
     if wants(12) {
         emit("fig12_ig_latency", &bench::fig12_ig_latency(effort));
@@ -84,8 +90,14 @@ fn main() {
         emit("fig18_phold", &bench::fig18_phold(effort));
     }
     if wants(101) || only.is_none() {
-        emit("ablation_a1_commthread", &bench::ablation_commthread(effort));
-        emit("ablation_a3_flush_policy", &bench::ablation_flush_policy(effort));
+        emit(
+            "ablation_a1_commthread",
+            &bench::ablation_commthread(effort),
+        );
+        emit(
+            "ablation_a3_flush_policy",
+            &bench::ablation_flush_policy(effort),
+        );
     }
 
     println!("done; CSVs under {}", out_dir().display());

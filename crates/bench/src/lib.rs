@@ -518,8 +518,13 @@ mod tests {
         // just checks the sweep runs for every scheme and produces sane values.
         let s = fig09_histogram_schemes(Effort::Smoke);
         for scheme in ["WW", "WPs", "PP", "WsP", "non-SMP"] {
-            let col = s.column(scheme).unwrap_or_else(|| panic!("missing {scheme}"));
-            assert!(col.iter().all(|&v| v > 0.0), "{scheme} has non-positive time");
+            let col = s
+                .column(scheme)
+                .unwrap_or_else(|| panic!("missing {scheme}"));
+            assert!(
+                col.iter().all(|&v| v > 0.0),
+                "{scheme} has non-positive time"
+            );
         }
     }
 

@@ -16,7 +16,10 @@ impl CsrGraph {
     /// Self-loops are kept; parallel edges are kept.
     pub fn from_edges(num_vertices: u32, edges: &[(u32, u32, u32)]) -> Self {
         for &(s, d, _) in edges {
-            assert!(s < num_vertices && d < num_vertices, "edge endpoint out of range");
+            assert!(
+                s < num_vertices && d < num_vertices,
+                "edge endpoint out of range"
+            );
         }
         let mut degree = vec![0u64; num_vertices as usize + 1];
         for &(s, _, _) in edges {
@@ -84,7 +87,14 @@ mod tests {
     fn tiny() -> CsrGraph {
         CsrGraph::from_edges(
             4,
-            &[(0, 1, 5), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 7), (3, 0, 1)],
+            &[
+                (0, 1, 5),
+                (0, 2, 1),
+                (2, 1, 2),
+                (1, 3, 1),
+                (2, 3, 7),
+                (3, 0, 1),
+            ],
         )
     }
 

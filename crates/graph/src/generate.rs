@@ -150,7 +150,7 @@ mod tests {
         let g = uniform(200, 6, 5);
         for v in 0..g.num_vertices() {
             for (_, w) in g.neighbors(v) {
-                assert!(w >= 1 && w <= MAX_WEIGHT);
+                assert!((1..=MAX_WEIGHT).contains(&w));
             }
         }
     }

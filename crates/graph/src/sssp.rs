@@ -1,6 +1,6 @@
 //! Sequential single-source shortest path reference.
 //!
-//! The distributed speculative SSSP in `tram-apps` must compute exactly the
+//! The distributed speculative SSSP in `apps` must compute exactly the
 //! same distances as a sequential Dijkstra run, regardless of aggregation
 //! scheme, message latency or the order in which updates arrive.  The
 //! integration tests compare against [`dijkstra`].

@@ -33,7 +33,10 @@ impl QuantileSketch {
     /// # Panics
     /// Panics if `rel_err` is not in `(0, 1)`.
     pub fn new(rel_err: f64) -> Self {
-        assert!(rel_err > 0.0 && rel_err < 1.0, "relative error must be in (0,1)");
+        assert!(
+            rel_err > 0.0 && rel_err < 1.0,
+            "relative error must be in (0,1)"
+        );
         let gamma = (1.0 + rel_err) / (1.0 - rel_err);
         Self {
             gamma,

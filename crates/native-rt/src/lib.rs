@@ -151,14 +151,19 @@ pub fn run_native(config: NativeConfig) -> NativeReport {
 
 /// WW-style: each worker keeps a private `Vec` per destination and emits it
 /// when full.
-fn run_per_worker(config: &NativeConfig, msg_tx: &Sender<NativeMessage>, messages: &Arc<PaddedCounter>) {
+fn run_per_worker(
+    config: &NativeConfig,
+    msg_tx: &Sender<NativeMessage>,
+    messages: &Arc<PaddedCounter>,
+) {
     std::thread::scope(|scope| {
         for worker in 0..config.workers {
             let msg_tx = msg_tx.clone();
             let messages = messages.clone();
             scope.spawn(move || {
-                let mut buffers: Vec<Vec<u64>> =
-                    (0..config.destinations).map(|_| Vec::with_capacity(config.buffer_items)).collect();
+                let mut buffers: Vec<Vec<u64>> = (0..config.destinations)
+                    .map(|_| Vec::with_capacity(config.buffer_items))
+                    .collect();
                 let mut state = worker as u64 + 1;
                 for i in 0..config.items_per_worker {
                     // Cheap xorshift destination choice, same work per scheme.
@@ -189,7 +194,11 @@ fn run_per_worker(config: &NativeConfig, msg_tx: &Sender<NativeMessage>, message
 }
 
 /// PP-style: all workers insert into shared claim buffers with atomics.
-fn run_shared(config: &NativeConfig, msg_tx: &Sender<NativeMessage>, messages: &Arc<PaddedCounter>) {
+fn run_shared(
+    config: &NativeConfig,
+    msg_tx: &Sender<NativeMessage>,
+    messages: &Arc<PaddedCounter>,
+) {
     let buffers: Arc<Vec<ClaimBuffer<u64>>> = Arc::new(
         (0..config.destinations)
             .map(|_| ClaimBuffer::new(config.buffer_items))

@@ -165,7 +165,10 @@ mod tests {
         let alone = w.shared_insert_ns(0);
         let crowded = w.shared_insert_ns(7);
         assert!(crowded > alone);
-        assert!(alone >= w.buffer_insert_ns, "atomic insert at least as expensive as plain");
+        assert!(
+            alone >= w.buffer_insert_ns,
+            "atomic insert at least as expensive as plain"
+        );
     }
 
     #[test]

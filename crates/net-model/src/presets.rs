@@ -18,8 +18,7 @@ use crate::costs::{CommThreadCosts, CostModel, WorkerCosts};
 pub fn delta_like() -> CostModel {
     CostModel {
         // Fig. 1: RTT/2 for small messages is a few microseconds; bandwidth ~12 GB/s.
-        network: AlphaBeta::from_bandwidth(2_200.0, 12.0)
-            .with_rendezvous_threshold(64 * 1024),
+        network: AlphaBeta::from_bandwidth(2_200.0, 12.0).with_rendezvous_threshold(64 * 1024),
         // Processes on the same physical node talk through shared-memory
         // transport (CMA/xpmem-like): far lower latency, higher bandwidth.
         intra_node: AlphaBeta::from_bandwidth(450.0, 40.0),

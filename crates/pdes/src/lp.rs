@@ -223,6 +223,9 @@ mod tests {
         }
         let small = run(2);
         let large = run(64);
-        assert!(large > small, "large window {large} <= small window {small}");
+        assert!(
+            large > small,
+            "large window {large} <= small window {small}"
+        );
     }
 }

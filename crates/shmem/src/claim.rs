@@ -79,7 +79,10 @@ impl<T> ClaimBuffer<T> {
                 std::hint::spin_loop();
             }
             let mut slots = self.slots.lock();
-            let items: Vec<T> = slots.iter_mut().map(|s| s.take().expect("committed slot")).collect();
+            let items: Vec<T> = slots
+                .iter_mut()
+                .map(|s| s.take().expect("committed slot"))
+                .collect();
             // Reopen the buffer for the next generation.
             self.committed.store(0, Ordering::Release);
             self.generation.fetch_add(1, Ordering::AcqRel);
@@ -95,7 +98,10 @@ impl<T> ClaimBuffer<T> {
     /// quiescence, as TramLib's flush does at the end of an update phase).
     pub fn flush(&self) -> Vec<T> {
         let mut slots = self.slots.lock();
-        let claimed = self.claim.swap(0, Ordering::AcqRel).min(self.capacity as u64);
+        let claimed = self
+            .claim
+            .swap(0, Ordering::AcqRel)
+            .min(self.capacity as u64);
         let mut out = Vec::new();
         for slot in slots.iter_mut().take(claimed as usize) {
             if let Some(item) = slot.take() {
@@ -175,7 +181,11 @@ mod tests {
         // Collect leftovers.
         let mut all = sealed.lock().clone();
         all.extend(buffer.flush());
-        assert_eq!(all.len() as u64, threads * per_thread, "no item lost or duplicated");
+        assert_eq!(
+            all.len() as u64,
+            threads * per_thread,
+            "no item lost or duplicated"
+        );
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len() as u64, threads * per_thread, "every value unique");

@@ -15,8 +15,8 @@
 //!   that must not introduce false sharing.
 //!
 //! All types are `Send + Sync` where appropriate and are stress-tested with
-//! real threads in this crate's test-suite; the `tram-native-rt` crate builds a
-//! small threaded runtime out of them, and `tram-bench` measures the WW vs PP
+//! real threads in this crate's test-suite; the `native-rt` crate builds a
+//! small threaded runtime out of them, and `bench` measures the WW vs PP
 //! insertion contention on real hardware (the A2 ablation in DESIGN.md).
 
 pub mod claim;

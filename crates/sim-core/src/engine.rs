@@ -308,7 +308,9 @@ mod tests {
     #[test]
     fn run_until_horizon() {
         let mut sim = Simulation::new(Log::default());
-        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, _| s.entries.push((10, "in")));
+        sim.schedule_at(SimTime::from_nanos(10), |s: &mut Log, _| {
+            s.entries.push((10, "in"))
+        });
         sim.schedule_at(SimTime::from_nanos(1000), |s: &mut Log, _| {
             s.entries.push((1000, "out"))
         });

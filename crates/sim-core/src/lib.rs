@@ -17,8 +17,8 @@
 //!   perturbs the draws seen by existing entities.
 //!
 //! The engine is intentionally generic over the simulation state type `S` so
-//! that the SMP runtime simulator (`tram-smp-sim`), the PDES substrate
-//! (`tram-pdes`) and unit tests can all use it.
+//! that the SMP runtime simulator (`smp-sim`), the PDES substrate
+//! (`pdes`) and unit tests can all use it.
 
 pub mod engine;
 pub mod rng;

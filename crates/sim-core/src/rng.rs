@@ -32,7 +32,8 @@ pub struct StreamRng {
 impl StreamRng {
     /// Create the stream `stream` of experiment `seed`.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mixed = splitmix64(splitmix64(seed) ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)));
+        let mixed =
+            splitmix64(splitmix64(seed) ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)));
         Self {
             inner: SmallRng::seed_from_u64(mixed),
             seed,

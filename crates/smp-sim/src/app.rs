@@ -163,7 +163,9 @@ impl<'a, 'b> WorkerCtx<'a, 'b> {
         }
         if let Some(message) = outcome.message {
             let emit = self.now_ns();
-            let cpu = self.cluster.route_outbound(self.ev, src_proc, emit, message);
+            let cpu = self
+                .cluster
+                .route_outbound(self.ev, src_proc, emit, message);
             self.charged_ns += cpu;
         }
     }
@@ -201,7 +203,9 @@ impl<'a, 'b> WorkerCtx<'a, 'b> {
         };
         for message in messages {
             let emit = self.now_ns();
-            let cpu = self.cluster.route_outbound(self.ev, src_proc, emit, message);
+            let cpu = self
+                .cluster
+                .route_outbound(self.ev, src_proc, emit, message);
             self.charged_ns += cpu;
         }
     }

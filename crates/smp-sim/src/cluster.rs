@@ -93,7 +93,10 @@ impl Cluster {
     /// per process.
     ///
     /// `make_app` is called once per worker, in worker-id order.
-    pub fn new(config: SimConfig, make_app: &mut dyn FnMut(WorkerId) -> Box<dyn WorkerApp>) -> Self {
+    pub fn new(
+        config: SimConfig,
+        make_app: &mut dyn FnMut(WorkerId) -> Box<dyn WorkerApp>,
+    ) -> Self {
         let topo = config.topology;
         let scheme = config.tram.scheme;
         let workers = topo
@@ -233,8 +236,8 @@ impl Cluster {
             self.counters.add("comm_thread_send_ns", send_service);
         } else {
             // Non-SMP: the worker itself drives the NIC.
-            let progress =
-                costs.non_smp_progress_per_msg_ns + costs.non_smp_progress_per_byte_ns * bytes as f64;
+            let progress = costs.non_smp_progress_per_msg_ns
+                + costs.non_smp_progress_per_byte_ns * bytes as f64;
             sender_cpu += progress;
             departure_ns = emit_ns + progress.round() as u64;
             // The destination worker also pays its own progress cost on receive.
@@ -300,7 +303,12 @@ impl Cluster {
 
     /// Push a batch onto a worker's inbox and make sure the worker will wake up
     /// to process it.
-    pub fn enqueue_batch(&mut self, ev: &mut EventCtx<Cluster>, dest: WorkerId, batch: DeliveryBatch) {
+    pub fn enqueue_batch(
+        &mut self,
+        ev: &mut EventCtx<Cluster>,
+        dest: WorkerId,
+        batch: DeliveryBatch,
+    ) {
         self.workers[dest.idx()].inbox.push_back(batch);
         self.ensure_wake(ev, dest, ev.now().as_nanos());
     }

@@ -1,4 +1,4 @@
-//! # tram-smp-sim — discrete-event simulator of an SMP cluster
+//! # smp-sim — discrete-event simulator of an SMP cluster
 //!
 //! The paper evaluates TramLib on 2–64 physical nodes of the Delta
 //! supercomputer, with each node running 8 SMP processes of 8 worker PEs plus a
@@ -21,7 +21,7 @@
 //!   atomic-insertion and contention costs charged to the inserting worker).
 //!
 //! Applications implement the [`WorkerApp`] trait (histogram, index-gather,
-//! SSSP, PHOLD and PingAck live in the `tram-apps` crate) and are driven by
+//! SSSP, PHOLD and PingAck live in the `apps` crate) and are driven by
 //! [`run_cluster`], which returns a [`RunReport`] with the total simulated
 //! time, per-item latency distribution and all counters needed to regenerate
 //! the paper's figures.

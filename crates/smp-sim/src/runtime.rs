@@ -53,7 +53,6 @@ pub fn wake_worker(cluster: &mut Cluster, ev: &mut EventCtx<Cluster>, worker: Wo
 
     let charged = ctx.charged_ns;
     let has_inbox = !ctx.cluster.workers[idx].inbox.is_empty();
-    drop(ctx);
     cluster.workers[idx].app = Some(app);
     cluster.workers[idx].busy_until_ns = start_ns + charged;
 
@@ -146,7 +145,6 @@ pub fn run_cluster(
             };
             app.on_start(&mut ctx);
             let charged = ctx.charged_ns;
-            drop(ctx);
             cluster.workers[w.idx()].app = Some(app);
             cluster.workers[w.idx()].busy_until_ns = charged;
             cluster.ensure_wake(ev, w, charged);

@@ -55,7 +55,7 @@ impl<T> InsertOutcome<T> {
 /// One aggregator exists per source worker for the worker-level schemes and per
 /// source process for PP.  The aggregator is not thread-safe by itself — the
 /// discrete-event simulator is single-threaded, and the native runtime wraps
-/// PP aggregators in the dedicated shared-memory structures from `tram-shmem`.
+/// PP aggregators in the dedicated shared-memory structures from `shmem`.
 #[derive(Debug, Clone)]
 pub struct Aggregator<T> {
     config: TramConfig,
@@ -125,11 +125,7 @@ impl<T: Clone> Aggregator<T> {
 
     /// Total number of items currently sitting in buffers.
     pub fn buffered_items(&self) -> usize {
-        self.buffers
-            .iter()
-            .flatten()
-            .map(|b| b.len())
-            .sum()
+        self.buffers.iter().flatten().map(|b| b.len()).sum()
     }
 
     /// Number of destination buffers that currently hold at least one item.
@@ -165,8 +161,7 @@ impl<T: Clone> Aggregator<T> {
     /// Whether an item destined to `dest` should bypass aggregation because the
     /// destination worker lives in the owner's process.
     pub fn is_local(&self, dest: WorkerId) -> bool {
-        self.config.local_bypass
-            && self.config.topology.proc_of_worker(dest) == self.owner_proc
+        self.config.local_bypass && self.config.topology.proc_of_worker(dest) == self.owner_proc
     }
 
     /// Build an outbound message from drained items.
@@ -461,7 +456,10 @@ mod tests {
     fn idle_flush_respects_policy() {
         let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
         agg.insert(item(4, 1));
-        assert!(agg.flush_on_idle().is_empty(), "idle flush disabled by default");
+        assert!(
+            agg.flush_on_idle().is_empty(),
+            "idle flush disabled by default"
+        );
 
         let cfg = config(Scheme::WPs).with_flush_policy(crate::FlushPolicy::ON_IDLE);
         let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));

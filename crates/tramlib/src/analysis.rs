@@ -29,7 +29,13 @@ pub struct MemoryOverhead {
 }
 
 /// Memory overhead of a scheme (§III-C "Memory overhead").
-pub fn memory_overhead(scheme: Scheme, g: u64, m: u64, n_procs: u64, t_workers: u64) -> MemoryOverhead {
+pub fn memory_overhead(
+    scheme: Scheme,
+    g: u64,
+    m: u64,
+    n_procs: u64,
+    t_workers: u64,
+) -> MemoryOverhead {
     let gm = g * m;
     match scheme {
         // One buffer per destination PE on each source PE.
@@ -221,8 +227,6 @@ mod tests {
         // Larger buffers lower the send cost...
         assert!(large.aggregated_ns < small.aggregated_ns);
         // ...but raise the worst-case buffering latency.
-        assert!(
-            max_buffering_latency_ns(4096, 0.01) > max_buffering_latency_ns(64, 0.01)
-        );
+        assert!(max_buffering_latency_ns(4096, 0.01) > max_buffering_latency_ns(64, 0.01));
     }
 }

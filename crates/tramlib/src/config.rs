@@ -192,7 +192,13 @@ mod tests {
 
     #[test]
     fn flush_policy_constructors() {
-        assert!(FlushPolicy::ON_IDLE.on_idle);
+        assert_eq!(
+            FlushPolicy::ON_IDLE,
+            FlushPolicy {
+                on_idle: true,
+                timeout_ns: None
+            }
+        );
         assert_eq!(FlushPolicy::with_timeout(5).timeout_ns, Some(5));
         assert_eq!(FlushPolicy::default(), FlushPolicy::EXPLICIT_ONLY);
     }

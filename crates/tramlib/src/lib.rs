@@ -20,8 +20,8 @@
 //! | [`Scheme::NoAgg`] | none — every item is its own message | — |
 //!
 //! The library itself is execution-substrate agnostic: the discrete-event
-//! cluster simulator (`tram-smp-sim`) and the native threaded runtime
-//! (`tram-native-rt`) both drive the same [`Aggregator`] type.  The aggregator
+//! cluster simulator (`smp-sim`) and the native threaded runtime
+//! (`native-rt`) both drive the same [`Aggregator`] type.  The aggregator
 //! reports *what* must happen (a message is ready, it needs grouping at the
 //! destination, an item can bypass aggregation because the destination is
 //! process-local); the substrate decides *what it costs*.

@@ -178,7 +178,10 @@ mod tests {
         let msg = &agg.flush()[0];
         assert!(msg.grouped_at_source);
         let plan = Receiver::new(cfg).process(msg);
-        assert!(!plan.grouping_performed, "WsP already grouped at the source");
+        assert!(
+            !plan.grouping_performed,
+            "WsP already grouped at the source"
+        );
         assert_eq!(plan.worker_count, 2);
         assert_eq!(plan.item_count, 2);
     }

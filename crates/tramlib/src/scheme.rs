@@ -29,7 +29,13 @@ pub enum Scheme {
 
 impl Scheme {
     /// All schemes, in the order the paper's figures list them.
-    pub const ALL: [Scheme; 5] = [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP, Scheme::NoAgg];
+    pub const ALL: [Scheme; 5] = [
+        Scheme::WW,
+        Scheme::WPs,
+        Scheme::PP,
+        Scheme::WsP,
+        Scheme::NoAgg,
+    ];
 
     /// The aggregating schemes (everything except the no-aggregation baseline).
     pub const AGGREGATING: [Scheme; 4] = [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP];
@@ -161,6 +167,8 @@ mod tests {
     fn constant_sets_are_consistent() {
         assert_eq!(Scheme::ALL.len(), 5);
         assert!(Scheme::AGGREGATING.iter().all(|s| s.aggregates()));
-        assert!(Scheme::HEADLINE.iter().all(|s| Scheme::AGGREGATING.contains(s)));
+        assert!(Scheme::HEADLINE
+            .iter()
+            .all(|s| Scheme::AGGREGATING.contains(s)));
     }
 }

@@ -8,9 +8,7 @@
 
 use net_model::{ProcId, Topology, WorkerId};
 use proptest::prelude::*;
-use tramlib::{
-    analysis, Aggregator, Item, MessageDest, Owner, Receiver, Scheme, TramConfig,
-};
+use tramlib::{analysis, Aggregator, Item, MessageDest, Owner, Receiver, Scheme, TramConfig};
 
 /// A compact description of a randomly generated scenario.
 #[derive(Debug, Clone)]
@@ -36,7 +34,15 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
         prop::collection::vec((0u32..1000, 0u32..1000, any::<u32>()), 1..300),
     )
         .prop_map(
-            |(nodes, procs_per_node, workers_per_proc, buffer_items, scheme_idx, local_bypass, sends)| {
+            |(
+                nodes,
+                procs_per_node,
+                workers_per_proc,
+                buffer_items,
+                scheme_idx,
+                local_bypass,
+                sends,
+            )| {
                 Scenario {
                     nodes,
                     procs_per_node,
@@ -79,9 +85,9 @@ fn run_scenario(s: &Scenario) -> (Vec<(u32, u32)>, u64, Vec<u64>) {
     let mut delivered: Vec<(u32, u32)> = Vec::new();
     let mut messages = 0u64;
 
-    let mut handle_outcome = |outcome: tramlib::InsertOutcome<u32>,
-                              delivered: &mut Vec<(u32, u32)>,
-                              messages: &mut u64| {
+    let handle_outcome = |outcome: tramlib::InsertOutcome<u32>,
+                          delivered: &mut Vec<(u32, u32)>,
+                          messages: &mut u64| {
         if let Some(item) = outcome.local_delivery {
             delivered.push((item.dest.0, item.data));
         }
@@ -229,7 +235,7 @@ proptest! {
             topo.all_workers().map(|w| Aggregator::new(config, Owner::Worker(w))).collect()
         };
 
-        let mut check = |msg: &tramlib::OutboundMessage<u32>| {
+        let check = |msg: &tramlib::OutboundMessage<u32>| {
             match msg.dest {
                 MessageDest::Worker(w) => {
                     prop_assert!(msg.items.iter().all(|i| i.dest == w));

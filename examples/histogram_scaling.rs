@@ -35,11 +35,20 @@ fn main() {
         row.push(format!("{:.3}", non_smp.total_time_ns as f64 / 1e6));
         table.add_row(row);
     }
-    println!("Weak scaling, {updates} updates/PE, buffer {buffer}:\n{}", table.to_text());
+    println!(
+        "Weak scaling, {updates} updates/PE, buffer {buffer}:\n{}",
+        table.to_text()
+    );
 
     // 2. Buffer-size sweep at a fixed node count (Fig. 10's shape).
     let mut buffers = Table::new();
-    buffers.set_header(["buffer", "WW (ms)", "WPs (ms)", "PP (ms)", "WPs mean latency (us)"]);
+    buffers.set_header([
+        "buffer",
+        "WW (ms)",
+        "WPs (ms)",
+        "PP (ms)",
+        "WPs mean latency (us)",
+    ]);
     for buf in [16usize, 64, 256] {
         let mut row = vec![format!("{buf}")];
         let mut wps_latency = 0.0;

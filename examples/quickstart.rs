@@ -13,12 +13,21 @@ fn main() {
     let updates = 20_000;
     let buffer = 128;
 
-    println!("Histogram: {updates} updates/PE on {} worker PEs", cluster.total_workers());
+    println!(
+        "Histogram: {updates} updates/PE on {} worker PEs",
+        cluster.total_workers()
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>14} {:>14}",
         "scheme", "time (ms)", "wire msgs", "mean fill", "item lat (us)"
     );
-    for scheme in [Scheme::NoAgg, Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::PP] {
+    for scheme in [
+        Scheme::NoAgg,
+        Scheme::WW,
+        Scheme::WPs,
+        Scheme::WsP,
+        Scheme::PP,
+    ] {
         let report = run_histogram(
             HistogramConfig::new(cluster, scheme)
                 .with_updates(updates)

@@ -12,7 +12,13 @@ fn cluster() -> ClusterSpec {
 
 #[test]
 fn histogram_conserves_updates_across_all_schemes_and_buffer_sizes() {
-    for scheme in [Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::PP, Scheme::NoAgg] {
+    for scheme in [
+        Scheme::WW,
+        Scheme::WPs,
+        Scheme::WsP,
+        Scheme::PP,
+        Scheme::NoAgg,
+    ] {
         for buffer in [8usize, 128] {
             let report = run_histogram(
                 HistogramConfig::new(cluster(), scheme)
@@ -22,13 +28,20 @@ fn histogram_conserves_updates_across_all_schemes_and_buffer_sizes() {
             );
             let expected = 1_500 * cluster().total_workers() as u64;
             assert!(report.clean, "{scheme}/{buffer}");
-            assert_eq!(report.counter("histo_applied"), expected, "{scheme}/{buffer}");
+            assert_eq!(
+                report.counter("histo_applied"),
+                expected,
+                "{scheme}/{buffer}"
+            );
             assert_eq!(
                 report.counter("histo_sent_checksum"),
                 report.counter("histo_applied_checksum"),
                 "{scheme}/{buffer}"
             );
-            assert_eq!(report.items_sent, report.items_delivered, "{scheme}/{buffer}");
+            assert_eq!(
+                report.items_sent, report.items_delivered,
+                "{scheme}/{buffer}"
+            );
         }
     }
 }
@@ -45,9 +58,12 @@ fn aggregation_beats_no_aggregation_for_fine_grained_traffic() {
             .with_updates(3_000)
             .with_buffer(128),
     );
-    assert!(agg.total_time_ns * 2 < none.total_time_ns,
+    assert!(
+        agg.total_time_ns * 2 < none.total_time_ns,
         "aggregation should be at least 2x faster: agg={} none={}",
-        agg.total_time_ns, none.total_time_ns);
+        agg.total_time_ns,
+        none.total_time_ns
+    );
     assert!(agg.counter("wire_messages") * 20 < none.counter("wire_messages"));
 }
 
@@ -107,12 +123,10 @@ fn sssp_matches_dijkstra_for_small_and_large_buffers() {
         .filter(|&&d| d != graph::sssp::UNREACHED)
         .sum();
 
-    let small_buffer = run_sssp(
-        SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(16),
-    );
-    let large_buffer = run_sssp(
-        SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(512),
-    );
+    let small_buffer =
+        run_sssp(SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(16));
+    let large_buffer =
+        run_sssp(SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(512));
     for (name, report) in [("small", &small_buffer), ("large", &large_buffer)] {
         assert!(report.clean, "{name}");
         assert_eq!(
@@ -162,8 +176,14 @@ fn pingack_reproduces_the_smp_comm_thread_bottleneck() {
     let t1 = run_pingack(one_proc).total_time_ns;
     let t4 = run_pingack(four_proc).total_time_ns;
     let tn = run_pingack(non_smp).total_time_ns;
-    assert!(t1 > tn, "1-process SMP ({t1}) must be slower than non-SMP ({tn})");
-    assert!(t4 < t1, "4-process SMP ({t4}) must beat 1-process SMP ({t1})");
+    assert!(
+        t1 > tn,
+        "1-process SMP ({t1}) must be slower than non-SMP ({tn})"
+    );
+    assert!(
+        t4 < t1,
+        "4-process SMP ({t4}) must beat 1-process SMP ({t1})"
+    );
 }
 
 #[test]
@@ -196,12 +216,6 @@ fn memory_overhead_formulas_match_config_buffer_counts() {
     let wps = tramlib::analysis::memory_overhead(Scheme::WPs, g, m, n, t);
     let ww_cfg = TramConfig::new(Scheme::WW, topo).with_buffer_items(g as usize);
     let wps_cfg = TramConfig::new(Scheme::WPs, topo).with_buffer_items(g as usize);
-    assert_eq!(
-        ww.per_worker,
-        ww_cfg.buffers_per_worker() as u64 * g * m
-    );
-    assert_eq!(
-        wps.per_worker,
-        wps_cfg.buffers_per_worker() as u64 * g * m
-    );
+    assert_eq!(ww.per_worker, ww_cfg.buffers_per_worker() as u64 * g * m);
+    assert_eq!(wps.per_worker, wps_cfg.buffers_per_worker() as u64 * g * m);
 }

@@ -1,0 +1,77 @@
+//! Workspace smoke test: the aggregation scheme must never change *what* the
+//! histogram computes — only how the items travel.  All four schemes plus
+//! NoAgg are run on the same tiny cluster with the same seed and must produce
+//! identical histogram results, and each run must be internally conserved.
+//! This doubles as a determinism cross-check for the whole stack (sim-core
+//! RNG streams, tramlib buffering, smp-sim delivery).
+
+use smp_aggregation::prelude::*;
+
+/// The observable result of a histogram run: everything that must depend only
+/// on (cluster, seed, updates), never on the aggregation scheme.
+#[derive(Debug, PartialEq, Eq)]
+struct HistogramResult {
+    applied: u64,
+    sent_checksum: u64,
+    applied_checksum: u64,
+    table_total: u64,
+    table_max_bucket: u64,
+}
+
+fn run(scheme: Scheme, seed: u64) -> HistogramResult {
+    let report = run_histogram(
+        HistogramConfig::new(ClusterSpec::small_smp(2), scheme)
+            .with_updates(1_000)
+            .with_buffer(32)
+            .with_seed(seed),
+    );
+    assert!(report.clean, "{scheme}: run did not finish cleanly");
+    assert_eq!(
+        report.items_sent, report.items_delivered,
+        "{scheme}: item conservation violated"
+    );
+    HistogramResult {
+        applied: report.counter("histo_applied"),
+        sent_checksum: report.counter("histo_sent_checksum"),
+        applied_checksum: report.counter("histo_applied_checksum"),
+        table_total: report.counter("histo_table_total"),
+        table_max_bucket: report.counter("histo_table_max_bucket"),
+    }
+}
+
+#[test]
+fn all_schemes_produce_identical_histogram_results() {
+    const SCHEMES: [Scheme; 5] = [
+        Scheme::WW,
+        Scheme::WPs,
+        Scheme::WsP,
+        Scheme::PP,
+        Scheme::NoAgg,
+    ];
+    let reference = run(SCHEMES[0], 42);
+    assert_eq!(
+        reference.sent_checksum, reference.applied_checksum,
+        "reference run must conserve its own checksum"
+    );
+    assert!(reference.applied > 0);
+    for scheme in &SCHEMES[1..] {
+        let result = run(*scheme, 42);
+        assert_eq!(
+            result, reference,
+            "{scheme} diverged from {} on identical traffic",
+            SCHEMES[0]
+        );
+    }
+}
+
+#[test]
+fn results_are_deterministic_per_seed_and_differ_across_seeds() {
+    let a = run(Scheme::WPs, 7);
+    let b = run(Scheme::WPs, 7);
+    assert_eq!(a, b, "same seed must reproduce bit-identical results");
+    let c = run(Scheme::WPs, 8);
+    assert_ne!(
+        a.sent_checksum, c.sent_checksum,
+        "different seeds should generate different traffic"
+    );
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, call-compatible with the API subset this workspace's
+//! benches use: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function, finish}`,
+//! `Bencher::iter`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It times `sample_size` batches after a short warm-up and prints
+//! mean/min/max per benchmark id (plus element throughput when configured).
+//! There is no statistical analysis, HTML report, or baseline comparison —
+//! the real crate can be swapped back in by pointing the workspace
+//! dependency at the registry once one is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Measurement throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing `sample_size` samples after one
+    /// warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mut line = format!(
+        "{id:<48} time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  ({} samples)",
+        samples.len()
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_sec = n as f64 / mean.as_secs_f64().max(1e-12);
+        line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec / 1e6));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let per_sec = n as f64 / mean.as_secs_f64().max(1e-12);
+        line.push_str(&format!(
+            "  thrpt: {:.3} MiB/s",
+            per_sec / (1024.0 * 1024.0)
+        ));
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&id, &bencher.samples, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run registered benchmark groups (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput measure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&id, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags (e.g. `--bench`) to the harness;
+            // this stand-in accepts and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut criterion = Criterion::default();
+        criterion.sample_size(3);
+        let mut calls = 0usize;
+        criterion.bench_function("counting", |b| {
+            b.iter(|| calls += 1);
+        });
+        // one warm-up + three samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_applies_sample_size_and_throughput() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0usize;
+        group.bench_function("inner", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

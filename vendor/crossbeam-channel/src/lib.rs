@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel)
+//! crate: an unbounded MPMC channel with cloneable senders *and* receivers,
+//! built on `Mutex<VecDeque>` + `Condvar`.
+//!
+//! This is not a lock-free implementation — it exists so the workspace builds
+//! without registry access (see `vendor/rand/src/lib.rs`).  The native runtime
+//! uses the channel off the measured hot path (one send per sealed buffer),
+//! so the simpler implementation does not distort the contention ablation.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait timed out with the channel still empty.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Create an unbounded channel, returning its sender/receiver pair.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, failing only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.shared.lock_queue().push_back(value);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they can observe
+            // the disconnect.  The notify must happen under the queue mutex:
+            // otherwise a receiver that has checked the sender count but not
+            // yet parked in wait() would miss this wakeup and block forever.
+            let _queue = self.shared.lock_queue();
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock_queue().is_empty()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.shared.lock_queue().len()
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.lock_queue();
+        if let Some(value) = queue.pop_front() {
+            return Ok(value);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Block until a value arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.lock_queue();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .shared
+                .ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until a value arrives, the timeout elapses, or every sender
+    /// disconnects with the queue drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.lock_queue();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, wait) = self
+                .shared
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+            if wait.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer() {
+        let (tx, rx) = unbounded::<u64>();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

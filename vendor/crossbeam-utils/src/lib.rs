@@ -1,0 +1,71 @@
+//! Offline stand-in for the [`crossbeam-utils`](https://crates.io/crates/crossbeam-utils)
+//! crate, providing the one type this workspace uses: [`CachePadded`].
+//!
+//! See `vendor/rand/src/lib.rs` for why the workspace vendors its external
+//! dependencies.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that neighbouring values land on
+/// different cache lines (128 covers the spatial-prefetcher pair on x86_64
+/// and the line size on apple-silicon aarch64).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` to a cache line of its own.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consume the padding wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CachePadded;
+
+    #[test]
+    fn aligned_and_transparent() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 128);
+        let mut padded = CachePadded::new(41u64);
+        *padded += 1;
+        assert_eq!(*padded, 42);
+        assert_eq!(padded.into_inner(), 42);
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in environments with no access to a crates.io
+//! registry, so the handful of `rand` 0.8 APIs the codebase uses are
+//! re-implemented here and wired in through a `[workspace.dependencies]`
+//! path entry.  The API is call-compatible with `rand` 0.8 for the subset
+//! provided: `rngs::SmallRng`, `SeedableRng::seed_from_u64`, `RngCore`,
+//! and `Rng::{gen, gen_range}` over integer ranges and `f64`.
+//!
+//! The generator behind [`rngs::SmallRng`] is xoshiro256++ seeded via
+//! SplitMix64 — the same construction the real `rand_xoshiro`-backed
+//! `SmallRng` uses on 64-bit targets.  Streams are deterministic per seed,
+//! which the simulator's reproducibility tests rely on.
+
+use std::ops::Range;
+
+/// Core random-number generation: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly distributed `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, full range for integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range` (half-open). Panics on an empty range.
+    fn gen_range<T: UniformSampled>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable from the "standard" distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types sampleable uniformly from a half-open range.
+pub trait UniformSampled: Sized {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($ty:ty),*) => {$(
+        impl UniformSampled for $ty {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let width = (range.end - range.start) as u64;
+                // Debiased multiply-shift (Lemire); width is always < 2^64 here
+                // because the range is half-open over an unsigned type.
+                let threshold = width.wrapping_neg() % width;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128).wrapping_mul(width as u128);
+                    if (m as u64) >= threshold {
+                        return range.start + (m >> 64) as $ty;
+                    }
+                }
+            }
+        }
+    )*};
+}
+uniform_uint!(u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($(($ty:ty, $unsigned:ty)),*) => {$(
+        impl UniformSampled for $ty {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // Two's-complement subtraction in the same-width unsigned type
+                // gives the width without sign-extension artifacts.
+                let width = range.end.wrapping_sub(range.start) as $unsigned as u64;
+                let offset = u64::sample_range(rng, 0..width);
+                range.start.wrapping_add(offset as $ty)
+            }
+        }
+    )*};
+}
+uniform_int!((i32, u32), (i64, u64));
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 step used for seed expansion.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro256++ must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+            let i: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_wide_signed_ranges() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: i32 = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(v < i32::MAX);
+            let w: i32 = rng.gen_range(-2_000_000_000..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unit_interval_f64() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}
