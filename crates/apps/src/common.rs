@@ -1,6 +1,9 @@
-//! Shared helpers for configuring benchmark runs.
+//! Shared helpers for configuring benchmark runs and dispatching them to an
+//! execution backend.
 
-use net_model::Topology;
+use native_rt::NativeBackendConfig;
+use net_model::{Topology, WorkerId};
+use runtime_api::{Backend, RunReport, WorkerApp};
 use smp_sim::SimConfig;
 use tramlib::{FlushPolicy, Scheme, TramConfig};
 
@@ -97,6 +100,42 @@ pub fn sim_config(
         .with_item_bytes(item_bytes)
         .with_flush_policy(flush_policy);
     SimConfig::new(topo, tram).with_seed(seed)
+}
+
+/// Run one application (one [`WorkerApp`] instance per worker PE, in worker-id
+/// order) on the chosen execution backend.
+///
+/// The [`SimConfig`] fully describes the run for both backends: the simulator
+/// uses all of it, the native threaded backend uses the TramLib configuration
+/// (which carries the topology) and the seed — its "cost model" is the host
+/// machine itself.
+pub fn run_app(
+    backend: Backend,
+    sim: SimConfig,
+    make_app: impl FnMut(WorkerId) -> Box<dyn WorkerApp>,
+) -> RunReport {
+    match backend {
+        Backend::Sim => smp_sim::run_cluster(sim, make_app),
+        Backend::Native => native_rt::run_threaded(
+            NativeBackendConfig::new(sim.tram).with_seed(sim.seed),
+            make_app,
+        ),
+    }
+}
+
+/// Parse a `--backend {sim,native}` switch out of the process arguments
+/// (defaulting to the simulator).  Shared by the CLI examples.
+///
+/// # Panics
+/// Panics with a usage message if the value after `--backend` is not a known
+/// backend name.
+pub fn parse_backend_arg() -> Backend {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--backend takes sim|native"))
+        .unwrap_or(Backend::Sim)
 }
 
 #[cfg(test)]

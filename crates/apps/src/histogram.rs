@@ -8,10 +8,13 @@
 //! exactly how the paper uses it.
 
 use net_model::WorkerId;
-use smp_sim::{run_cluster, Payload, RunReport, WorkerApp, WorkerCtx};
+use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{sim_config, ClusterSpec};
+use crate::common::{run_app, sim_config, ClusterSpec};
+
+/// The histogram app runs on both execution backends.
+pub const NATIVE_CAPABLE: bool = true;
 
 /// Histogram benchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +82,7 @@ struct HistogramApp {
 }
 
 impl WorkerApp for HistogramApp {
-    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
         let bucket = item.a as usize;
         debug_assert!(bucket < self.local_table.len());
         self.local_table[bucket] += 1;
@@ -87,7 +90,7 @@ impl WorkerApp for HistogramApp {
         ctx.counter("histo_applied_checksum", item.a);
     }
 
-    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
         if self.remaining == 0 {
             return false;
         }
@@ -125,12 +128,21 @@ impl WorkerApp for HistogramApp {
     }
 }
 
-/// Run the histogram benchmark and return the run report.
+/// Run the histogram benchmark on the simulator and return the run report.
 ///
 /// Useful counters in the report: `histo_applied` (updates applied),
 /// `histo_sent_checksum` / `histo_applied_checksum` (conservation check),
 /// `wire_messages`, `wire_bytes`, and the TramLib statistics.
 pub fn run_histogram(config: HistogramConfig) -> RunReport {
+    run_histogram_on(Backend::Sim, config)
+}
+
+/// Run the histogram benchmark on the chosen execution backend.
+///
+/// The generated traffic is deterministic per seed, so item totals and
+/// checksums are identical across backends (only times differ: simulated vs
+/// wall-clock).
+pub fn run_histogram_on(backend: Backend, config: HistogramConfig) -> RunReport {
     let sim = sim_config(
         config.cluster,
         config.scheme,
@@ -139,7 +151,7 @@ pub fn run_histogram(config: HistogramConfig) -> RunReport {
         FlushPolicy::EXPLICIT_ONLY,
         config.seed,
     );
-    run_cluster(sim, |w| {
+    run_app(backend, sim, |w| {
         Box::new(HistogramApp {
             me: w,
             remaining: config.updates_per_worker,
@@ -193,6 +205,32 @@ mod tests {
         let ww = quick(Scheme::WW);
         let wps = quick(Scheme::WPs);
         assert!(ww.counter("wire_messages") > wps.counter("wire_messages"));
+    }
+
+    #[test]
+    fn native_backend_matches_sim_totals() {
+        let cfg = HistogramConfig::new(ClusterSpec::small_smp(1), Scheme::WPs)
+            .with_updates(1_000)
+            .with_buffer(32)
+            .with_seed(3);
+        let sim = run_histogram_on(Backend::Sim, cfg);
+        let native = run_histogram_on(Backend::Native, cfg);
+        assert!(native.clean, "native run must finish cleanly");
+        assert_eq!(native.backend, Backend::Native);
+        for counter in [
+            "histo_applied",
+            "histo_sent_checksum",
+            "histo_applied_checksum",
+            "histo_table_total",
+        ] {
+            assert_eq!(
+                native.counter(counter),
+                sim.counter(counter),
+                "{counter} diverged between backends"
+            );
+        }
+        assert_eq!(native.items_sent, sim.items_sent);
+        assert_eq!(native.items_delivered, sim.items_delivered);
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! aggregation schemes (Fig. 12) alongside the total execution time (Fig. 13).
 
 use net_model::WorkerId;
-use smp_sim::{run_cluster, Payload, RunReport, WorkerApp, WorkerCtx};
+use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{sim_config, ClusterSpec};
+use crate::common::{run_app, sim_config, ClusterSpec};
+
+/// The index-gather app runs on both execution backends.
+pub const NATIVE_CAPABLE: bool = true;
 
 /// Index-gather benchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +82,7 @@ struct IndexGatherApp {
 }
 
 impl WorkerApp for IndexGatherApp {
-    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
         if item.a & KIND_RESPONSE == 0 {
             // A request: payload.a = requester id, payload.b = request creation
             // time (carried through so the response can close the loop).
@@ -98,7 +101,7 @@ impl WorkerApp for IndexGatherApp {
         }
     }
 
-    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
         if self.remaining == 0 {
             return false;
         }
@@ -126,11 +129,17 @@ impl WorkerApp for IndexGatherApp {
     }
 }
 
-/// Run the index-gather benchmark.
+/// Run the index-gather benchmark on the simulator.
 ///
 /// The report's `mean_app_latency_ns()` is the request→response round trip the
 /// paper plots in Fig. 12; `total_time_secs()` is Fig. 13.
 pub fn run_index_gather(config: IndexGatherConfig) -> RunReport {
+    run_index_gather_on(Backend::Sim, config)
+}
+
+/// Run the index-gather benchmark on the chosen execution backend.  On the
+/// native backend the round-trip latency is a real wall-clock measurement.
+pub fn run_index_gather_on(backend: Backend, config: IndexGatherConfig) -> RunReport {
     let sim = sim_config(
         config.cluster,
         config.scheme,
@@ -140,7 +149,7 @@ pub fn run_index_gather(config: IndexGatherConfig) -> RunReport {
         FlushPolicy::ON_IDLE,
         config.seed,
     );
-    run_cluster(sim, |w| {
+    run_app(backend, sim, |w| {
         Box::new(IndexGatherApp {
             me: w,
             remaining: config.requests_per_worker,
@@ -212,6 +221,25 @@ mod tests {
             lpp <= lp * 1.15,
             "PP round trip {lpp} should be at or below WPs {lp} (15% tolerance)"
         );
+    }
+
+    #[test]
+    fn native_backend_serves_every_request() {
+        for scheme in [Scheme::WPs, Scheme::PP] {
+            let report = run_index_gather_on(
+                Backend::Native,
+                IndexGatherConfig::new(ClusterSpec::small_smp(1), scheme)
+                    .with_requests(500)
+                    .with_buffer(32)
+                    .with_seed(5),
+            );
+            let expected = 500 * 8;
+            assert!(report.clean, "{scheme}: native run not clean");
+            assert_eq!(report.counter("ig_requests_sent"), expected, "{scheme}");
+            assert_eq!(report.counter("ig_requests_served"), expected, "{scheme}");
+            assert_eq!(report.counter("ig_responses"), expected, "{scheme}");
+            assert!(report.mean_app_latency_ns() > 0.0, "{scheme}");
+        }
     }
 
     #[test]

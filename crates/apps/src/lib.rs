@@ -1,18 +1,21 @@
-//! Benchmark applications over the simulated SMP runtime.
+//! Benchmark applications over the shared runtime contract.
 //!
-//! Each module re-implements one of the paper's proxy applications on top of
-//! [`smp_sim`] + [`tramlib`], and exposes a `Config` struct plus a `run`
-//! function returning the [`smp_sim::RunReport`] that the figures harness, the
-//! examples and the integration tests consume:
+//! Each module re-implements one of the paper's proxy applications against the
+//! backend-agnostic [`runtime_api::WorkerApp`] trait, and exposes a `Config`
+//! struct plus `run_*` / `run_*_on` functions returning the unified
+//! [`runtime_api::RunReport`] that the figures harness, the examples and the
+//! integration tests consume.  `run_*` executes on the simulator; `run_*_on`
+//! takes a [`runtime_api::Backend`] and, for native-capable apps, runs the
+//! same workload on real threads:
 //!
-//! | Module | Paper benchmark | Figures |
-//! |--------|-----------------|---------|
-//! | [`pingpong`] | ping-pong RTT/2 vs message size | Fig. 1 |
-//! | [`pingack`]  | PingAck SMP vs non-SMP (comm-thread bottleneck) | Fig. 3 |
-//! | [`histogram`] | Bale histogram (overhead in isolation) | Figs. 8–11 |
-//! | [`index_gather`] | Bale index-gather (latency in isolation) | Figs. 12–13 |
-//! | [`sssp`] | speculative single-source shortest path | Figs. 14–17 |
-//! | [`phold`] | synthetic PHOLD over an optimistic PDES engine | Fig. 18 |
+//! | Module | Paper benchmark | Figures | Native-capable |
+//! |--------|-----------------|---------|----------------|
+//! | [`pingpong`] | ping-pong RTT/2 vs message size | Fig. 1 | — (analytic) |
+//! | [`pingack`]  | PingAck SMP vs non-SMP (comm-thread bottleneck) | Fig. 3 | yes |
+//! | [`histogram`] | Bale histogram (overhead in isolation) | Figs. 8–11 | yes |
+//! | [`index_gather`] | Bale index-gather (latency in isolation) | Figs. 12–13 | yes |
+//! | [`sssp`] | speculative single-source shortest path | Figs. 14–17 | sim-only |
+//! | [`phold`] | synthetic PHOLD over an optimistic PDES engine | Fig. 18 | sim-only |
 
 pub mod common;
 pub mod histogram;
@@ -22,4 +25,5 @@ pub mod pingack;
 pub mod pingpong;
 pub mod sssp;
 
-pub use common::ClusterSpec;
+pub use common::{run_app, ClusterSpec};
+pub use runtime_api::Backend;

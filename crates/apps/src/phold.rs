@@ -10,10 +10,16 @@
 
 use net_model::WorkerId;
 use pdes::{OptimisticLp, PholdConfig, Receive};
-use smp_sim::{run_cluster, Payload, RunReport, WorkerApp, WorkerCtx};
+use runtime_api::{Payload, RunCtx, RunReport, WorkerApp};
+use smp_sim::run_cluster;
 use tramlib::{FlushPolicy, Scheme};
 
 use crate::common::{sim_config, ClusterSpec};
+
+/// PHOLD is simulator-only for now: its out-of-order metric is a function of
+/// the modelled delivery ordering, which would be scheduler noise on real
+/// threads, so no `run_phold_on` is offered.
+pub const NATIVE_CAPABLE: bool = false;
 
 /// PHOLD benchmark configuration.
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +90,7 @@ impl PholdApp {
         WorkerId(((lp / per_worker).min(workers - 1)) as u32)
     }
 
-    fn emit(&mut self, from_vt: u64, hops_left: u32, ctx: &mut WorkerCtx<'_, '_>) {
+    fn emit(&mut self, from_vt: u64, hops_left: u32, ctx: &mut dyn RunCtx) {
         let workers = ctx.total_workers() as u64;
         let (dest_lp, ts) = {
             let rng = ctx.rng();
@@ -97,7 +103,7 @@ impl PholdApp {
 }
 
 impl WorkerApp for PholdApp {
-    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
         let lp = item.a;
         let (ts, hops) = unpack(item.b);
         let local = (lp - self.lp_base) as usize;
@@ -117,7 +123,7 @@ impl WorkerApp for PholdApp {
         }
     }
 
-    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
         if self.seeded {
             return false;
         }

@@ -10,10 +10,15 @@
 //! number of processes per node.
 
 use net_model::WorkerId;
-use smp_sim::{run_cluster, Payload, RunReport, WorkerApp, WorkerCtx};
+use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{sim_config, ClusterSpec};
+use crate::common::{run_app, sim_config, ClusterSpec};
+
+/// The PingAck app runs on both execution backends (on the native backend the
+/// comm-thread sweep degenerates to raw inter-thread messaging: there is no
+/// modelled network, but conservation and ack accounting still hold).
+pub const NATIVE_CAPABLE: bool = true;
 
 /// PingAck configuration.
 #[derive(Debug, Clone, Copy)]
@@ -103,7 +108,7 @@ struct PingAckApp {
 const ACK: u64 = u64::MAX;
 
 impl WorkerApp for PingAckApp {
-    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
         if item.a == ACK {
             self.acks_received += 1;
             ctx.counter("pingack_acks", 1);
@@ -118,7 +123,7 @@ impl WorkerApp for PingAckApp {
         }
     }
 
-    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
         if self.messages_to_send == 0 {
             return false;
         }
@@ -145,8 +150,14 @@ impl WorkerApp for PingAckApp {
     }
 }
 
-/// Run the PingAck benchmark; the report's total time is the Fig. 3 metric.
+/// Run the PingAck benchmark on the simulator; the report's total time is the
+/// Fig. 3 metric.
 pub fn run_pingack(config: PingAckConfig) -> RunReport {
+    run_pingack_on(Backend::Sim, config)
+}
+
+/// Run the PingAck benchmark on the chosen execution backend.
+pub fn run_pingack_on(backend: Backend, config: PingAckConfig) -> RunReport {
     let cluster = config.cluster();
     let workers_per_node = cluster.workers_per_node();
     // Raw messaging: no aggregation, each item is its own message of the
@@ -159,7 +170,7 @@ pub fn run_pingack(config: PingAckConfig) -> RunReport {
         FlushPolicy::EXPLICIT_ONLY,
         config.seed,
     );
-    run_cluster(sim, move |w| {
+    run_app(backend, sim, move |w| {
         let on_node0 = w.0 < workers_per_node;
         Box::new(PingAckApp {
             me: w,
@@ -238,6 +249,18 @@ mod tests {
         let light_report = run_pingack(light);
         let heavy_report = run_pingack(heavy);
         assert!(heavy_report.total_time_ns > light_report.total_time_ns);
+    }
+
+    #[test]
+    fn native_backend_acks_every_receiver() {
+        let mut cfg = PingAckConfig::new(2, true);
+        cfg.workers_per_node = 8;
+        cfg.messages_per_worker = 200;
+        let report = run_pingack_on(Backend::Native, cfg);
+        assert!(report.clean);
+        assert_eq!(report.counter("pingack_sent"), 8 * 200);
+        assert_eq!(report.counter("pingack_complete_receivers"), 8);
+        assert_eq!(report.counter("pingack_acks_received_pe0"), 8);
     }
 
     #[test]

@@ -12,10 +12,17 @@ use std::sync::Arc;
 
 use graph::{CsrGraph, Partition};
 use net_model::WorkerId;
-use smp_sim::{run_cluster, Payload, RunReport, WorkerApp, WorkerCtx};
+use runtime_api::{Payload, RunCtx, RunReport, WorkerApp};
+use smp_sim::run_cluster;
 use tramlib::{FlushPolicy, Scheme};
 
 use crate::common::{sim_config, ClusterSpec};
+
+/// SSSP is simulator-only for now: its wasted-update metric depends on the
+/// modelled latency ordering, which real thread scheduling does not reproduce
+/// deterministically.  Attempting a native run should be a deliberate choice,
+/// so no `run_sssp_on` is offered.
+pub const NATIVE_CAPABLE: bool = false;
 
 /// SSSP benchmark configuration.
 #[derive(Debug, Clone)]
@@ -73,7 +80,7 @@ struct SsspApp {
 }
 
 impl SsspApp {
-    fn relax(&mut self, vertex: u32, candidate: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn relax(&mut self, vertex: u32, candidate: u64, ctx: &mut dyn RunCtx) {
         let local = self.partition.local_index(vertex) as usize;
         if candidate >= self.dist[local] {
             ctx.counter("sssp_wasted_updates", 1);
@@ -98,13 +105,13 @@ impl SsspApp {
 }
 
 impl WorkerApp for SsspApp {
-    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
         let vertex = item.a as u32;
         debug_assert_eq!(self.partition.owner(vertex), self.me.0);
         self.relax(vertex, item.b, ctx);
     }
 
-    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
         if let Some(source) = self.seed_pending.take() {
             self.relax(source, 0, ctx);
             // Make sure the initial frontier leaves the buffers even if it does

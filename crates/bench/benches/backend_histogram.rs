@@ -1,0 +1,43 @@
+//! Cross-backend histogram: the same deterministic workload on the
+//! discrete-event simulator and on the native threaded backend.
+//!
+//! The simulator column measures how long the *simulation* takes to execute on
+//! the host; the native column is the workload actually running on real
+//! threads.  Together they track the overhead of each execution backend as the
+//! repo evolves.
+
+use apps::histogram::{run_histogram_on, HistogramConfig};
+use apps::{Backend, ClusterSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tramlib::Scheme;
+
+fn backend_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_histogram");
+    group.sample_size(10);
+    let updates = 5_000u64;
+    let cluster = ClusterSpec::small_smp(1); // 8 workers -> 8 native threads
+    group.throughput(Throughput::Elements(
+        updates * cluster.total_workers() as u64,
+    ));
+    for scheme in [Scheme::WPs, Scheme::PP] {
+        for backend in Backend::ALL {
+            group.bench_function(format!("{}_{}", scheme.label(), backend.label()), |b| {
+                b.iter(|| {
+                    let report = run_histogram_on(
+                        backend,
+                        HistogramConfig::new(cluster, scheme)
+                            .with_updates(updates)
+                            .with_buffer(256)
+                            .with_seed(7),
+                    );
+                    assert!(report.clean);
+                    report.items_delivered
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, backend_histogram);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Regenerate every figure of the paper as CSV + text tables.
+//! Regenerate every figure of the paper as CSV + JSON + text tables.
 //!
 //! ```text
 //! cargo run --release -p bench --bin figures            # all figures, Paper effort
@@ -6,7 +6,9 @@
 //! cargo run --release -p bench --bin figures -- --fig 9 # a single figure
 //! ```
 //!
-//! CSVs are written to `target/figures/figNN_*.csv`.
+//! CSVs are written to `target/figures/figNN_*.csv`, with a machine-readable
+//! `BENCH_figNN_*.json` twin per figure so perf trajectories can be tracked
+//! across commits without parsing CSV.
 
 use bench::Effort;
 use metrics::Series;
@@ -17,9 +19,16 @@ fn out_dir() -> PathBuf {
 }
 
 fn emit(name: &str, series: &Series) {
-    let path = out_dir().join(format!("{name}.csv"));
-    series.write_csv(&path).expect("write figure CSV");
-    println!("{}\n  -> {}\n", series.to_text(), path.display());
+    let csv_path = out_dir().join(format!("{name}.csv"));
+    series.write_csv(&csv_path).expect("write figure CSV");
+    let json_path = out_dir().join(format!("BENCH_{name}.json"));
+    series.write_json(&json_path).expect("write figure JSON");
+    println!(
+        "{}\n  -> {}\n  -> {}\n",
+        series.to_text(),
+        csv_path.display(),
+        json_path.display()
+    );
 }
 
 fn main() {

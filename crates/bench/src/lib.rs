@@ -12,8 +12,9 @@
 //! scale is infeasible, so each effort level scales the per-PE operation count
 //! and the buffer size by the same factor (keeping the ratios that determine
 //! which scheme wins), and shrinks the node from 64 to 16 workers except where
-//! the figure is specifically about the within-node split.  EXPERIMENTS.md
-//! records the exact parameters next to the paper's originals.
+//! the figure is specifically about the within-node split.  The `figNN`
+//! functions below record the exact scaled parameters next to the paper's
+//! originals; `docs/DESIGN.md` §4 names the ablations.
 
 use apps::histogram::{run_histogram, HistogramConfig};
 use apps::index_gather::{run_index_gather, IndexGatherConfig};
@@ -452,16 +453,16 @@ pub fn ablation_flush_policy(effort: Effort) -> Series {
 /// policy ablation, which needs to vary the policy).
 fn run_histogram_with_policy(sim: smp_sim::SimConfig, updates: u64) -> smp_sim::RunReport {
     use net_model::WorkerId;
-    use smp_sim::{Payload, WorkerApp, WorkerCtx};
+    use smp_sim::{Payload, RunCtx, WorkerApp};
     struct App {
         remaining: u64,
         flushed: bool,
     }
     impl WorkerApp for App {
-        fn on_item(&mut self, _item: Payload, _c: u64, ctx: &mut WorkerCtx<'_, '_>) {
+        fn on_item(&mut self, _item: Payload, _c: u64, ctx: &mut dyn RunCtx) {
             ctx.counter("histo_applied", 1);
         }
-        fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+        fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
             if self.remaining == 0 {
                 return false;
             }

@@ -1,8 +1,8 @@
 //! Deterministic graph generators.
 //!
 //! The paper's SSSP experiments use synthetic graphs of 8M and 62M vertices.
-//! This crate regenerates equivalent inputs (scaled as documented in
-//! EXPERIMENTS.md) with two families:
+//! This crate regenerates equivalent inputs (scaled by the `bench` figure
+//! harness, see `docs/DESIGN.md` §4) with two families:
 //!
 //! * [`uniform`] — every edge picks a uniformly random endpoint (Erdős–Rényi
 //!   style with a fixed average degree), producing well-balanced traffic;

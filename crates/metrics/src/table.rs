@@ -121,6 +121,74 @@ impl Series {
         }
         std::fs::write(path, self.to_csv())
     }
+
+    /// Render as machine-readable JSON:
+    /// `{"title": ..., "x_label": ..., "x": [...], "columns": {name: [...]}}`.
+    ///
+    /// Non-finite values render as `null` so the output is always valid JSON.
+    /// This is the `BENCH_*.json` format the figures binary emits so that perf
+    /// trajectories can be tracked across commits without parsing CSV.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"title\":{}", json_string(&self.title));
+        let _ = write!(out, ",\"x_label\":{}", json_string(&self.x_label));
+        out.push_str(",\"x\":[");
+        for (i, x) in self.x_values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(x));
+        }
+        out.push_str("],\"columns\":{");
+        for (i, (name, values)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:[", json_string(name));
+            for (j, v) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write the JSON rendering to a file, creating parent directories.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Quote and escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Generic row-oriented table with a header, rendered as CSV or aligned text.
@@ -316,6 +384,35 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nulls() {
+        let mut s = Series::new("Fig \"9\"", "nodes");
+        s.set_x_values(["2nodes", "4nodes"]);
+        s.add_column("WW", vec![1.5, f64::NAN]);
+        s.add_column("WPs", vec![0.25, 3.0]);
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"Fig \\\"9\\\"\",\"x_label\":\"nodes\",\
+             \"x\":[\"2nodes\",\"4nodes\"],\
+             \"columns\":{\"WW\":[1.5,null],\"WPs\":[0.25,3]}}"
+        );
+    }
+
+    #[test]
+    fn write_json_creates_dirs() {
+        let dir = std::env::temp_dir().join("tram_metrics_json_test");
+        let path = dir.join("nested").join("BENCH_fig.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Series::new("t", "x");
+        s.set_x_values(["1"]);
+        s.add_column("y", vec![2.0]);
+        s.write_json(&path).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"columns\":{\"y\":[2]}"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

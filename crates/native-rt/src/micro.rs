@@ -1,0 +1,321 @@
+//! The synthetic insertion-contention microbenchmark (ablation A2 in
+//! `docs/DESIGN.md`).
+//!
+//! Unlike the full threaded backend in [`crate::threaded`], which runs real
+//! applications, this module isolates just the two insertion paths with fake
+//! payloads: a group of worker threads plays the role of one SMP process's
+//! PEs, inserting fine-grained items into either
+//!
+//! * per-worker private buffers (the **WW/WPs** source-side path — no shared
+//!   state on the hot path), or
+//! * one shared [`shmem::ClaimBuffer`] per destination filled with atomics
+//!   (the **PP** insertion path),
+//!
+//! while a collector thread (standing in for the communication thread) drains
+//! sealed buffers.  [`run_native`] measures wall-clock time, per-item
+//! insertion latency and message counts on the host machine, and is used by
+//! the `native_contention` Criterion bench and the `native_contention`
+//! example.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use metrics::OnlineStats;
+use shmem::{ClaimBuffer, ClaimResult, PaddedCounter};
+
+/// Which insertion path the worker threads use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeScheme {
+    /// Private per-worker buffers (the WW / WPs / WsP source-side path).
+    PerWorker,
+    /// One shared claim buffer per destination for the whole process (PP).
+    SharedAtomic,
+}
+
+impl NativeScheme {
+    /// Short label for reports and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            NativeScheme::PerWorker => "per-worker",
+            NativeScheme::SharedAtomic => "shared-atomic",
+        }
+    }
+}
+
+/// Configuration of one native run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeConfig {
+    /// Worker threads (the process's PEs).
+    pub workers: usize,
+    /// Destination processes to aggregate towards.
+    pub destinations: usize,
+    /// Items each worker inserts.
+    pub items_per_worker: u64,
+    /// Buffer capacity `g` in items.
+    pub buffer_items: usize,
+    /// Insertion path.
+    pub scheme: NativeScheme,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            destinations: 8,
+            items_per_worker: 100_000,
+            buffer_items: 1024,
+            scheme: NativeScheme::PerWorker,
+        }
+    }
+}
+
+/// Result of a native run.
+#[derive(Debug, Clone)]
+pub struct NativeReport {
+    /// Wall-clock time of the insertion phase.
+    pub elapsed: std::time::Duration,
+    /// Items inserted in total.
+    pub items: u64,
+    /// Aggregated messages produced (sealed buffers + final flushes).
+    pub messages: u64,
+    /// Items per second achieved across all workers.
+    pub throughput_items_per_sec: f64,
+    /// Distribution of sealed-buffer sizes.
+    pub fill: OnlineStats,
+}
+
+/// An aggregated message produced by the native runtime: destination index and
+/// the items it carries (the item payload is the inserting worker's id, which
+/// the conservation checks use).
+type NativeMessage = (usize, Vec<u64>);
+
+/// Run the native insertion benchmark and return its report.
+///
+/// Every inserted item eventually shows up in exactly one message; the
+/// function asserts this conservation before returning.
+pub fn run_native(config: NativeConfig) -> NativeReport {
+    assert!(config.workers > 0 && config.destinations > 0 && config.buffer_items > 0);
+    let (msg_tx, msg_rx): (Sender<NativeMessage>, Receiver<NativeMessage>) = unbounded();
+    let stop = Arc::new(AtomicBool::new(false));
+    let messages = Arc::new(PaddedCounter::new());
+
+    // The collector thread plays the role of the comm thread: it drains sealed
+    // buffers as they arrive.
+    let collector = {
+        let msg_rx = msg_rx.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut received: u64 = 0;
+            let mut fill = OnlineStats::new();
+            loop {
+                match msg_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                    Ok((_dest, items)) => {
+                        fill.record(items.len() as f64);
+                        received += items.len() as u64;
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::Acquire) && msg_rx.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+            (received, fill)
+        })
+    };
+
+    let start = Instant::now();
+    match config.scheme {
+        NativeScheme::PerWorker => run_per_worker(&config, &msg_tx, &messages),
+        NativeScheme::SharedAtomic => run_shared(&config, &msg_tx, &messages),
+    }
+    let elapsed = start.elapsed();
+
+    stop.store(true, Ordering::Release);
+    drop(msg_tx);
+    let (received, fill) = collector.join().expect("collector thread");
+
+    let items = config.workers as u64 * config.items_per_worker;
+    assert_eq!(received, items, "native runtime lost or duplicated items");
+
+    NativeReport {
+        elapsed,
+        items,
+        messages: messages.get(),
+        throughput_items_per_sec: items as f64 / elapsed.as_secs_f64().max(1e-9),
+        fill,
+    }
+}
+
+/// WW-style: each worker keeps a private `Vec` per destination and emits it
+/// when full.
+fn run_per_worker(
+    config: &NativeConfig,
+    msg_tx: &Sender<NativeMessage>,
+    messages: &Arc<PaddedCounter>,
+) {
+    std::thread::scope(|scope| {
+        for worker in 0..config.workers {
+            let msg_tx = msg_tx.clone();
+            let messages = messages.clone();
+            scope.spawn(move || {
+                let mut buffers: Vec<Vec<u64>> = (0..config.destinations)
+                    .map(|_| Vec::with_capacity(config.buffer_items))
+                    .collect();
+                let mut state = worker as u64 + 1;
+                for i in 0..config.items_per_worker {
+                    // Cheap xorshift destination choice, same work per scheme.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let dest = (state % config.destinations as u64) as usize;
+                    buffers[dest].push(worker as u64);
+                    if buffers[dest].len() >= config.buffer_items {
+                        let full = std::mem::replace(
+                            &mut buffers[dest],
+                            Vec::with_capacity(config.buffer_items),
+                        );
+                        messages.incr();
+                        msg_tx.send((dest, full)).expect("collector alive");
+                    }
+                    let _ = i;
+                }
+                for (dest, buffer) in buffers.into_iter().enumerate() {
+                    if !buffer.is_empty() {
+                        messages.incr();
+                        msg_tx.send((dest, buffer)).expect("collector alive");
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// PP-style: all workers insert into shared claim buffers with atomics.
+fn run_shared(
+    config: &NativeConfig,
+    msg_tx: &Sender<NativeMessage>,
+    messages: &Arc<PaddedCounter>,
+) {
+    let buffers: Arc<Vec<ClaimBuffer<u64>>> = Arc::new(
+        (0..config.destinations)
+            .map(|_| ClaimBuffer::new(config.buffer_items))
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for worker in 0..config.workers {
+            let msg_tx = msg_tx.clone();
+            let messages = messages.clone();
+            let buffers = buffers.clone();
+            scope.spawn(move || {
+                let mut state = worker as u64 + 1;
+                for _ in 0..config.items_per_worker {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let dest = (state % config.destinations as u64) as usize;
+                    let mut value = worker as u64;
+                    loop {
+                        match buffers[dest].insert(value) {
+                            ClaimResult::Stored => break,
+                            ClaimResult::Sealed(items) => {
+                                messages.incr();
+                                msg_tx.send((dest, items)).expect("collector alive");
+                                break;
+                            }
+                            ClaimResult::Retry(v) => {
+                                value = v;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Final flush of partially-filled shared buffers (all workers quiescent).
+    for (dest, buffer) in buffers.iter().enumerate() {
+        let leftover = buffer.flush();
+        if !leftover.is_empty() {
+            messages.incr();
+            msg_tx.send((dest, leftover)).expect("collector alive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: NativeScheme, workers: usize) -> NativeReport {
+        run_native(NativeConfig {
+            workers,
+            destinations: 4,
+            items_per_worker: 50_000,
+            buffer_items: 256,
+            scheme,
+        })
+    }
+
+    #[test]
+    fn per_worker_conserves_items() {
+        let report = quick(NativeScheme::PerWorker, 4);
+        assert_eq!(report.items, 200_000);
+        assert!(report.messages > 0);
+        assert!(report.throughput_items_per_sec > 0.0);
+        assert!(report.fill.mean() > 0.0);
+    }
+
+    #[test]
+    fn shared_atomic_conserves_items() {
+        let report = quick(NativeScheme::SharedAtomic, 4);
+        assert_eq!(report.items, 200_000);
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn shared_buffers_produce_fewer_fuller_messages() {
+        // The whole point of PP: one buffer per destination for the whole
+        // process means fewer, better-filled messages than per-worker buffers
+        // when the per-worker stream is thin.
+        let per_worker = run_native(NativeConfig {
+            workers: 8,
+            destinations: 32,
+            items_per_worker: 20_000,
+            buffer_items: 4096,
+            scheme: NativeScheme::PerWorker,
+        });
+        let shared = run_native(NativeConfig {
+            workers: 8,
+            destinations: 32,
+            items_per_worker: 20_000,
+            buffer_items: 4096,
+            scheme: NativeScheme::SharedAtomic,
+        });
+        assert!(
+            shared.messages < per_worker.messages,
+            "shared {} should produce fewer messages than per-worker {}",
+            shared.messages,
+            per_worker.messages
+        );
+        assert!(shared.fill.mean() > per_worker.fill.mean());
+    }
+
+    #[test]
+    fn single_worker_schemes_agree_on_message_count() {
+        let a = quick(NativeScheme::PerWorker, 1);
+        let b = quick(NativeScheme::SharedAtomic, 1);
+        assert_eq!(a.items, b.items);
+        // With one worker the schemes are semantically identical; message
+        // counts match exactly (same destination sequence, same buffer size).
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(NativeScheme::PerWorker.label(), "per-worker");
+        assert_eq!(NativeScheme::SharedAtomic.label(), "shared-atomic");
+    }
+}

@@ -1,0 +1,723 @@
+//! The full threaded backend: real applications on real threads.
+//!
+//! One OS thread per worker PE plus one collector thread (the communication
+//! thread's stand-in).  The data paths mirror the simulator's:
+//!
+//! ```text
+//! worker thread ──insert──▶ Aggregator (WW/WPs/WsP/NoAgg, private)
+//!                           ClaimBuffer (PP, shared per process)  ── sealed/
+//!          ▲                                                         flushed
+//!          │ local bypass (same process): item slice                    │
+//!          ▼                                                            ▼
+//! peer worker inbox ◀──SPSC ring── collector thread ◀──MPSC── OutboundMessage
+//!                                   (tramlib::Receiver grouping pass)
+//! ```
+//!
+//! **Termination.**  Every `send` increments a global `items_sent` counter and
+//! every completed `on_item` handler increments `items_delivered`.  An item
+//! that is buffered, in flight, or queued keeps `items_sent` ahead of
+//! `items_delivered`, so once every worker reports
+//! [`runtime_api::WorkerApp::local_done`] (which must be monotonic) and the
+//! two counters agree across a double-read, no handler is running and none can
+//! ever run again — the run is quiescent.  A watchdog wall-clock limit turns
+//! an application that strands items in unflushed buffers into an unclean
+//! report instead of a hang, mirroring the simulator's `clean = false` runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver as ChannelReceiver, Sender};
+use metrics::{Counters, LatencyRecorder};
+use net_model::{ProcId, Topology, WorkerId};
+use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
+use shmem::{ClaimBuffer, ClaimResult, SpscRing};
+use sim_core::StreamRng;
+use tramlib::{
+    Aggregator, EmitReason, Item, MessageDest, OutboundMessage, Owner, Receiver, Scheme,
+    TramConfig, TramStats,
+};
+
+/// A slice of items, all addressed to the same worker, ready for its handler.
+type Batch = Vec<Item<Payload>>;
+
+/// Configuration of one native threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeBackendConfig {
+    /// TramLib configuration; its topology decides the thread layout (one
+    /// thread per worker PE, claim buffers per process pair for PP).
+    pub tram: TramConfig,
+    /// Experiment seed; every worker derives the same deterministic RNG stream
+    /// as it would on the simulator.
+    pub seed: u64,
+    /// Capacity (in batches) of each collector→worker ring.
+    pub ring_capacity: usize,
+    /// Watchdog: if the run is not quiescent after this much wall-clock time
+    /// it is aborted and reported as not clean.
+    pub max_wall: Duration,
+}
+
+impl NativeBackendConfig {
+    /// Defaults for `tram`: the simulator's default seed, 4096-batch rings and
+    /// a 60 s watchdog.
+    pub fn new(tram: TramConfig) -> Self {
+        Self {
+            tram,
+            seed: 0x5eed_1234,
+            ring_capacity: 4096,
+            max_wall: Duration::from_secs(60),
+        }
+    }
+
+    /// Override the experiment seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the watchdog limit.
+    pub fn with_max_wall(mut self, max_wall: Duration) -> Self {
+        self.max_wall = max_wall;
+        self
+    }
+}
+
+/// State shared by every thread of one run.
+struct Shared {
+    tram: TramConfig,
+    topo: Topology,
+    seed: u64,
+    /// Wall-clock origin; `now_ns` values are offsets from it.
+    epoch: Instant,
+    stop: AtomicBool,
+    items_sent: AtomicU64,
+    items_delivered: AtomicU64,
+    /// Latest `local_done` observation per worker (monotonic by contract).
+    workers_done: Vec<AtomicBool>,
+    /// Collector→worker rings, indexed by destination worker.  The collector
+    /// is the single producer, the owning worker the single consumer.
+    rings: Vec<SpscRing<Batch>>,
+    /// Same-process (local bypass) inboxes, one per worker, carrying single
+    /// items — no per-item allocation on this hot path; unbounded so workers
+    /// never block each other.
+    local_tx: Vec<Sender<Item<Payload>>>,
+    /// Aggregated messages on their way to the collector.
+    msg_tx: Sender<OutboundMessage<Payload>>,
+    /// PP only: `pp[src_proc][dst_proc]` shared claim buffers.
+    pp: Vec<Vec<ClaimBuffer<Item<Payload>>>>,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// The native backend's [`RunCtx`] implementation, one per worker thread.
+struct NativeWorkerCtx<'a> {
+    shared: &'a Shared,
+    me: WorkerId,
+    my_proc: ProcId,
+    /// Worker-owned aggregator (None under PP, where the process-shared claim
+    /// buffers take its place).
+    aggregator: Option<Aggregator<Payload>>,
+    rng: StreamRng,
+    counters: Counters,
+    latency: LatencyRecorder,
+    /// TramLib statistics for the PP path, which bypasses the `Aggregator`
+    /// type (the claim buffers do the buffering).
+    pp_stats: TramStats,
+}
+
+impl NativeWorkerCtx<'_> {
+    /// Hand an aggregated message to the collector, recording the wire
+    /// counters the simulator records in its routing layer.
+    fn emit(&mut self, message: OutboundMessage<Payload>) {
+        self.counters.incr("wire_messages");
+        self.counters.add("wire_bytes", message.bytes);
+        self.counters.add("wire_items", message.items.len() as u64);
+        if message.reason.is_flush() {
+            self.counters.incr("wire_messages_flush");
+        }
+        // Send fails only after an aborted (watchdog) run tears the collector
+        // down; the report is already unclean then.
+        let _ = self.shared.msg_tx.send(message);
+    }
+
+    /// Deliver one same-process item straight to its destination worker.
+    fn deliver_local(&mut self, item: Item<Payload>) {
+        self.counters.incr("local_deliveries");
+        let _ = self.shared.local_tx[item.dest.idx()].send(item);
+    }
+
+    /// PP insertion: claim a slot in the shared buffer towards the item's
+    /// destination process, forwarding the sealed contents if this worker
+    /// claimed the last slot.
+    fn send_pp(&mut self, item: Item<Payload>) {
+        let shared = self.shared;
+        let dst_proc = shared.topo.proc_of_worker(item.dest);
+        if shared.tram.local_bypass && dst_proc == self.my_proc {
+            self.pp_stats.record_local_bypass();
+            self.deliver_local(item);
+            return;
+        }
+        self.pp_stats.record_insert();
+        let buffer = &shared.pp[self.my_proc.idx()][dst_proc.idx()];
+        let mut pending = item;
+        loop {
+            match buffer.insert(pending) {
+                ClaimResult::Stored => break,
+                ClaimResult::Sealed(items) => {
+                    self.emit_pp(dst_proc, items, EmitReason::BufferFull);
+                    break;
+                }
+                ClaimResult::Retry(value) => {
+                    pending = value;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Wrap drained PP items into an outbound process-addressed message.
+    fn emit_pp(&mut self, dst_proc: ProcId, items: Vec<Item<Payload>>, reason: EmitReason) {
+        if items.is_empty() {
+            return;
+        }
+        let bytes = self.shared.tram.message_bytes(items.len());
+        self.pp_stats.record_message(items.len(), bytes, reason);
+        self.emit(OutboundMessage {
+            dest: MessageDest::Process(dst_proc),
+            items,
+            bytes,
+            reason,
+            grouped_at_source: false,
+        });
+    }
+
+    /// Seal-flush every shared PP buffer of this worker's process.
+    fn flush_pp(&mut self, reason: EmitReason) {
+        let shared = self.shared;
+        for dst in 0..shared.pp[self.my_proc.idx()].len() {
+            let items = shared.pp[self.my_proc.idx()][dst].seal_flush();
+            self.emit_pp(ProcId(dst as u32), items, reason);
+        }
+    }
+
+    /// Emit messages whose buffer timeout has expired (worker-owned
+    /// aggregators only; the PP claim buffers keep no per-item timestamps).
+    fn poll_timeout(&mut self) {
+        let now = self.shared.now_ns();
+        let messages = match self.aggregator.as_mut() {
+            Some(agg) => agg.poll_timeout(now),
+            None => Vec::new(),
+        };
+        for message in messages {
+            self.emit(message);
+        }
+    }
+}
+
+impl RunCtx for NativeWorkerCtx<'_> {
+    fn my_id(&self) -> WorkerId {
+        self.me
+    }
+
+    fn topology(&self) -> Topology {
+        self.shared.topo
+    }
+
+    /// Wall-clock nanoseconds since the run started.
+    fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+
+    fn rng(&mut self) -> &mut StreamRng {
+        &mut self.rng
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.counters.add(name, delta);
+    }
+
+    fn send(&mut self, dest: WorkerId, payload: Payload) {
+        self.shared.items_sent.fetch_add(1, Ordering::AcqRel);
+        let created = self.now_ns();
+        let item = Item::new(dest, payload, created);
+        if self.shared.tram.scheme == Scheme::PP {
+            self.send_pp(item);
+            return;
+        }
+        let agg = self.aggregator.as_mut().expect("worker aggregator");
+        let outcome = agg.insert_at(item, created);
+        if let Some(local) = outcome.local_delivery {
+            self.deliver_local(local);
+        }
+        if let Some(message) = outcome.message {
+            self.emit(message);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.shared.tram.scheme == Scheme::PP {
+            self.pp_stats.record_flush_call();
+            self.flush_pp(EmitReason::ExplicitFlush);
+            return;
+        }
+        let messages = match self.aggregator.as_mut() {
+            Some(agg) => agg.flush(),
+            None => Vec::new(),
+        };
+        for message in messages {
+            self.emit(message);
+        }
+    }
+
+    fn flush_on_idle(&mut self) {
+        if self.shared.tram.scheme == Scheme::PP {
+            if self.shared.tram.flush_policy.on_idle {
+                self.flush_pp(EmitReason::IdleFlush);
+            }
+            return;
+        }
+        let messages = match self.aggregator.as_mut() {
+            Some(agg) => agg.flush_on_idle(),
+            None => Vec::new(),
+        };
+        for message in messages {
+            self.emit(message);
+        }
+    }
+}
+
+/// Everything a worker thread hands back when it exits.
+struct WorkerOutput {
+    app: Box<dyn WorkerApp>,
+    counters: Counters,
+    latency: LatencyRecorder,
+    tram: TramStats,
+}
+
+/// Run one delivered item through the application handler.
+fn deliver_one(app: &mut dyn WorkerApp, ctx: &mut NativeWorkerCtx<'_>, item: Item<Payload>) {
+    debug_assert_eq!(item.dest, ctx.me, "item delivered to wrong worker");
+    let now = ctx.shared.now_ns();
+    ctx.latency.record_span(item.created_at_ns, now);
+    app.on_item(item.data, item.created_at_ns, ctx);
+    // Strictly after the handler: any sends it made are already counted,
+    // so `items_sent == items_delivered` implies global quiescence.
+    ctx.shared.items_delivered.fetch_add(1, Ordering::AcqRel);
+}
+
+/// Run one batch of delivered items through the application handler.
+fn deliver(app: &mut dyn WorkerApp, ctx: &mut NativeWorkerCtx<'_>, batch: Batch) {
+    for item in batch {
+        deliver_one(app, ctx, item);
+    }
+}
+
+/// One worker PE: drain deliveries, generate work, idle-flush, back off.
+fn worker_main(
+    shared: &Shared,
+    me: WorkerId,
+    mut app: Box<dyn WorkerApp>,
+    local_rx: ChannelReceiver<Item<Payload>>,
+) -> WorkerOutput {
+    let my_proc = shared.topo.proc_of_worker(me);
+    let aggregator = if shared.tram.scheme == Scheme::PP {
+        None
+    } else {
+        Some(Aggregator::new(shared.tram, Owner::Worker(me)))
+    };
+    let mut ctx = NativeWorkerCtx {
+        shared,
+        me,
+        my_proc,
+        aggregator,
+        rng: StreamRng::new(shared.seed, me.0 as u64),
+        counters: Counters::new(),
+        latency: LatencyRecorder::new(),
+        pp_stats: TramStats::new(),
+    };
+    app.on_start(&mut ctx);
+
+    let ring = &shared.rings[me.idx()];
+    let mut idle_rounds = 0u32;
+    loop {
+        // Checked every iteration (not just on the idle path) so the watchdog
+        // can abort even a worker whose on_idle never stops returning true.
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut did_work = false;
+        while let Some(batch) = ring.pop() {
+            deliver(&mut *app, &mut ctx, batch);
+            did_work = true;
+        }
+        while let Ok(item) = local_rx.try_recv() {
+            deliver_one(&mut *app, &mut ctx, item);
+            did_work = true;
+        }
+        if !did_work && !app.local_done() {
+            did_work = app.on_idle(&mut ctx);
+        }
+        shared.workers_done[me.idx()].store(app.local_done(), Ordering::Release);
+        if did_work {
+            idle_rounds = 0;
+            continue;
+        }
+        if idle_rounds == 0 {
+            // Transition into idle: the same point at which the simulator
+            // flushes, once per idle quantum.  Flushing on every backoff
+            // iteration instead would let an idle PP worker continuously
+            // seal-flush the process-shared buffers its peers are filling.
+            ctx.flush_on_idle();
+        }
+        ctx.poll_timeout();
+        idle_rounds += 1;
+        if idle_rounds < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    let mut tram = ctx.pp_stats;
+    if let Some(agg) = &ctx.aggregator {
+        tram.merge(agg.stats());
+    }
+    WorkerOutput {
+        app,
+        counters: ctx.counters,
+        latency: ctx.latency,
+        tram,
+    }
+}
+
+/// The communication thread's stand-in: receive aggregated messages, run the
+/// receive-side grouping pass, hand item slices to the destination workers.
+fn collector_main(shared: &Shared, msg_rx: ChannelReceiver<OutboundMessage<Payload>>) -> Counters {
+    let receiver = Receiver::new(shared.tram);
+    let mut counters = Counters::new();
+    loop {
+        match msg_rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(message) => {
+                let plan = receiver.process(&message);
+                if plan.grouping_performed {
+                    counters.incr("grouping_passes");
+                    counters.add("grouped_items", plan.item_count as u64);
+                }
+                for (dest, items) in plan.per_worker {
+                    let mut batch = items;
+                    loop {
+                        match shared.rings[dest.idx()].push(batch) {
+                            Ok(()) => break,
+                            Err(rejected) => {
+                                batch = rejected;
+                                if shared.stop.load(Ordering::Acquire) {
+                                    // Aborted run: the consumer may already be
+                                    // gone; drop rather than deadlock (the
+                                    // report is unclean either way).
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) && msg_rx.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    counters
+}
+
+/// Run `make_app` (one application instance per worker PE, in worker-id order)
+/// on the native threaded backend and return the unified report.
+///
+/// Times in the report are wall-clock nanoseconds on the host machine; item
+/// and counter totals are identical to a simulator run of the same
+/// deterministic workload.
+pub fn run_threaded(
+    config: NativeBackendConfig,
+    mut make_app: impl FnMut(WorkerId) -> Box<dyn WorkerApp>,
+) -> RunReport {
+    let topo = config.tram.topology;
+    let workers = topo.total_workers() as usize;
+    assert!(workers > 0, "topology must have at least one worker");
+    assert!(config.ring_capacity > 0, "ring capacity must be positive");
+
+    let (msg_tx, msg_rx) = unbounded();
+    let mut local_tx = Vec::with_capacity(workers);
+    let mut local_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = unbounded();
+        local_tx.push(tx);
+        local_rxs.push(rx);
+    }
+    let pp = if config.tram.scheme == Scheme::PP {
+        (0..topo.total_procs())
+            .map(|_| {
+                (0..topo.total_procs())
+                    .map(|_| ClaimBuffer::new(config.tram.buffer_items))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let shared = Shared {
+        tram: config.tram,
+        topo,
+        seed: config.seed,
+        epoch: Instant::now(),
+        stop: AtomicBool::new(false),
+        items_sent: AtomicU64::new(0),
+        items_delivered: AtomicU64::new(0),
+        workers_done: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        rings: (0..workers)
+            .map(|_| SpscRing::new(config.ring_capacity))
+            .collect(),
+        local_tx,
+        msg_tx,
+        pp,
+    };
+    let apps: Vec<Box<dyn WorkerApp>> = topo.all_workers().map(&mut make_app).collect();
+
+    let start = Instant::now();
+    let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(workers);
+    let mut collector_counters = Counters::new();
+    let mut finished = false;
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = topo
+            .all_workers()
+            .zip(apps.into_iter().zip(local_rxs))
+            .map(|(w, (app, local_rx))| scope.spawn(move || worker_main(shared, w, app, local_rx)))
+            .collect();
+        let collector = scope.spawn(move || collector_main(shared, msg_rx));
+
+        // Quiescence monitor (see the module docs for why the double-read of
+        // `items_sent` around `items_delivered` is sufficient).
+        let deadline = start + config.max_wall;
+        finished = loop {
+            let all_done = shared
+                .workers_done
+                .iter()
+                .all(|flag| flag.load(Ordering::Acquire));
+            if all_done {
+                let sent_before = shared.items_sent.load(Ordering::Acquire);
+                let delivered = shared.items_delivered.load(Ordering::Acquire);
+                let sent_after = shared.items_sent.load(Ordering::Acquire);
+                if sent_before == sent_after && delivered == sent_before {
+                    break true;
+                }
+            }
+            if Instant::now() > deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        shared.stop.store(true, Ordering::Release);
+        for handle in handles {
+            outputs.push(handle.join().expect("worker thread panicked"));
+        }
+        collector_counters = collector.join().expect("collector thread panicked");
+    });
+    let total_time_ns = start.elapsed().as_nanos() as u64;
+
+    let mut counters = collector_counters;
+    let mut latency = LatencyRecorder::new();
+    let mut tram = TramStats::new();
+    let mut finished_apps = Vec::with_capacity(outputs.len());
+    for output in outputs {
+        counters.merge(&output.counters);
+        latency.merge(&output.latency);
+        tram.merge(&output.tram);
+        finished_apps.push(output.app);
+    }
+    for mut app in finished_apps {
+        app.on_finalize(&mut counters);
+    }
+
+    let items_sent = shared.items_sent.load(Ordering::Acquire);
+    let items_delivered = shared.items_delivered.load(Ordering::Acquire);
+    RunReport {
+        backend: Backend::Native,
+        total_time_ns,
+        latency,
+        counters,
+        tram,
+        events_executed: 0,
+        items_sent,
+        items_delivered,
+        clean: finished && items_sent == items_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every worker sends `updates` items to deterministic pseudo-random
+    /// destinations, then flushes; received items bump counters.
+    struct RandomUpdates {
+        me: WorkerId,
+        remaining: u64,
+        chunk: u64,
+        flushed: bool,
+    }
+
+    impl WorkerApp for RandomUpdates {
+        fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
+            ctx.counter("app_received", 1);
+            ctx.counter("app_received_checksum", item.a);
+        }
+
+        fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
+            if self.remaining == 0 {
+                return false;
+            }
+            let n = self.chunk.min(self.remaining);
+            let total = ctx.total_workers() as u64;
+            for _ in 0..n {
+                let value = ctx.rng().below(1_000);
+                let dest = WorkerId(ctx.rng().below(total) as u32);
+                ctx.counter("app_sent_checksum", value);
+                ctx.send(dest, Payload::new(value, self.me.0 as u64));
+            }
+            self.remaining -= n;
+            if self.remaining == 0 && !self.flushed {
+                ctx.flush();
+                self.flushed = true;
+            }
+            true
+        }
+
+        fn local_done(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    fn run(scheme: Scheme, updates: u64, seed: u64) -> RunReport {
+        let topo = Topology::smp(1, 2, 4); // 8 workers, 2 procs
+        let tram = TramConfig::new(scheme, topo)
+            .with_buffer_items(32)
+            .with_item_bytes(16);
+        run_threaded(NativeBackendConfig::new(tram).with_seed(seed), |w| {
+            Box::new(RandomUpdates {
+                me: w,
+                remaining: updates,
+                chunk: 64,
+                flushed: false,
+            })
+        })
+    }
+
+    #[test]
+    fn all_items_delivered_every_scheme() {
+        for scheme in Scheme::ALL {
+            let report = run(scheme, 500, 7);
+            let expected = 500 * 8;
+            assert!(report.clean, "{scheme}: run did not finish cleanly");
+            assert_eq!(report.backend, Backend::Native);
+            assert_eq!(report.items_sent, expected, "{scheme}: wrong send count");
+            assert_eq!(
+                report.items_delivered, expected,
+                "{scheme}: items lost or duplicated"
+            );
+            assert_eq!(report.counter("app_received"), expected, "{scheme}");
+            assert_eq!(
+                report.counter("app_sent_checksum"),
+                report.counter("app_received_checksum"),
+                "{scheme}: checksum mismatch"
+            );
+            assert!(report.total_time_ns > 0);
+            assert!(report.latency.count() > 0);
+        }
+    }
+
+    #[test]
+    fn totals_are_deterministic_per_seed() {
+        let a = run(Scheme::WPs, 300, 42);
+        let b = run(Scheme::WPs, 300, 42);
+        assert_eq!(
+            a.counter("app_sent_checksum"),
+            b.counter("app_sent_checksum")
+        );
+        assert_eq!(a.items_sent, b.items_sent);
+        let c = run(Scheme::WPs, 300, 43);
+        assert_ne!(
+            a.counter("app_sent_checksum"),
+            c.counter("app_sent_checksum"),
+            "different seeds should generate different traffic"
+        );
+    }
+
+    #[test]
+    fn aggregation_reduces_wire_messages() {
+        let none = run(Scheme::NoAgg, 400, 3);
+        let agg = run(Scheme::WPs, 400, 3);
+        assert!(
+            agg.counter("wire_messages") < none.counter("wire_messages"),
+            "aggregation should cut message count: agg={} none={}",
+            agg.counter("wire_messages"),
+            none.counter("wire_messages")
+        );
+    }
+
+    #[test]
+    fn local_bypass_skips_the_wire() {
+        let report = run(Scheme::WPs, 300, 9);
+        assert!(report.counter("local_deliveries") > 0);
+        // With 2 processes roughly half the traffic is process-local.
+        assert!(report.counter("wire_items") < report.items_sent);
+    }
+
+    #[test]
+    fn pp_uses_shared_claim_buffers() {
+        let report = run(Scheme::PP, 500, 11);
+        assert!(report.clean);
+        // The PP path records its stats manually; inserts must show up.
+        assert!(report.tram.items_inserted() > 0);
+        assert!(
+            report.counter("grouping_passes") > 0,
+            "PP groups at the destination"
+        );
+    }
+
+    #[test]
+    fn watchdog_reports_unclean_instead_of_hanging() {
+        // An app that strands items in a buffer it never flushes (and a policy
+        // that never flushes them either) must terminate via the watchdog.
+        struct Strander {
+            sent: bool,
+        }
+        impl WorkerApp for Strander {
+            fn on_item(&mut self, _item: Payload, _created: u64, _ctx: &mut dyn RunCtx) {}
+            fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
+                if self.sent {
+                    return false;
+                }
+                self.sent = true;
+                let dest = WorkerId((ctx.my_id().0 + 4) % 8);
+                ctx.send(dest, Payload::new(1, 2));
+                true
+            }
+            fn local_done(&self) -> bool {
+                self.sent
+            }
+        }
+        let topo = Topology::smp(1, 2, 4);
+        let tram = TramConfig::new(Scheme::WW, topo).with_buffer_items(1024);
+        let report = run_threaded(
+            NativeBackendConfig::new(tram).with_max_wall(Duration::from_millis(300)),
+            |_| Box::new(Strander { sent: false }),
+        );
+        assert!(!report.clean, "stranded items must be reported, not hidden");
+        assert!(report.items_delivered < report.items_sent);
+    }
+}

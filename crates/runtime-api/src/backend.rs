@@ -1,0 +1,83 @@
+//! Backend selection: the simulator or the native threaded runtime.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which execution backend runs an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The deterministic discrete-event cluster simulator (`smp-sim`).
+    #[default]
+    Sim,
+    /// The native threaded runtime (`native-rt`): one OS thread per worker PE
+    /// on the host machine, real aggregators and shared-memory buffers.
+    Native,
+}
+
+impl Backend {
+    /// Both backends, simulator first.
+    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Native];
+
+    /// Short label for reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown backend name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(pub String);
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend: {:?} (expected \"sim\" or \"native\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for Backend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" | "simulator" | "simulated" => Ok(Backend::Sim),
+            "native" | "threads" | "threaded" => Ok(Backend::Native),
+            other => Err(ParseBackendError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for backend in Backend::ALL {
+            let parsed: Backend = backend.label().parse().unwrap();
+            assert_eq!(parsed, backend);
+        }
+        assert!("bogus".parse::<Backend>().is_err());
+        assert_eq!("threaded".parse::<Backend>().unwrap(), Backend::Native);
+    }
+
+    #[test]
+    fn default_is_sim() {
+        assert_eq!(Backend::default(), Backend::Sim);
+        assert_eq!(Backend::Sim.to_string(), "sim");
+    }
+}

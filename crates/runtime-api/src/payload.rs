@@ -1,0 +1,36 @@
+//! The fixed-size application payload carried by every item.
+
+/// Fixed-size application payload carried by every item.
+///
+/// Two 64-bit words are enough for every proxy application in the paper:
+/// histogram bucket ids, index-gather request/response pairs, SSSP
+/// `(vertex, distance)` updates and PHOLD `(timestamp, logical process)`
+/// events.  Using a concrete payload keeps both execution backends
+/// monomorphic and fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Payload {
+    /// First payload word (meaning defined by the application).
+    pub a: u64,
+    /// Second payload word (meaning defined by the application).
+    pub b: u64,
+}
+
+impl Payload {
+    /// Construct a payload from two words.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self { a, b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let p = Payload::new(3, 4);
+        assert_eq!(p.a, 3);
+        assert_eq!(p.b, 4);
+        assert_eq!(Payload::default(), Payload::new(0, 0));
+    }
+}

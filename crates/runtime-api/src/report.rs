@@ -1,0 +1,113 @@
+//! The unified run result shared by both backends.
+
+use metrics::{Counters, LatencyRecorder};
+use tramlib::TramStats;
+
+use crate::backend::Backend;
+
+/// Everything a figure (or a cross-backend comparison) needs from one run.
+///
+/// Produced by `smp_sim::run_cluster` with [`Backend::Sim`] semantics (times
+/// are simulated nanoseconds) and by `native_rt::run_threaded` with
+/// [`Backend::Native`] semantics (times are wall-clock nanoseconds on the host
+/// machine).  Item/counter totals are backend-independent for deterministic
+/// workloads; that property is what `tests/backend_equivalence.rs` checks.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which backend produced this report.
+    pub backend: Backend,
+    /// Total time until the run went quiescent, in nanoseconds (simulated or
+    /// wall-clock depending on `backend`).
+    pub total_time_ns: u64,
+    /// Per-item latency distribution (item creation → handler execution).
+    pub latency: LatencyRecorder,
+    /// Run-wide counters: wire messages/bytes/items, comm-thread busy time,
+    /// grouping passes, local deliveries, plus application counters
+    /// (`wasted_updates`, `ooo_events`, ...).
+    pub counters: Counters,
+    /// Merged TramLib statistics from every aggregator.
+    pub tram: TramStats,
+    /// Number of simulation events executed (0 on the native backend).
+    pub events_executed: u64,
+    /// Items handed to `send` during the run.
+    pub items_sent: u64,
+    /// Items delivered to application handlers.
+    pub items_delivered: u64,
+    /// `true` if the run finished with every sent item delivered and nothing
+    /// left buffered or undelivered.
+    pub clean: bool,
+}
+
+impl RunReport {
+    /// Total time in seconds (the y-axis of most figures).
+    pub fn total_time_secs(&self) -> f64 {
+        self.total_time_ns as f64 / 1e9
+    }
+
+    /// Mean item latency in nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Mean application-level latency (e.g. the index-gather round trip) if the
+    /// application recorded any, in nanoseconds.
+    pub fn mean_app_latency_ns(&self) -> f64 {
+        let samples = self.counters.get("app_latency_samples");
+        if samples == 0 {
+            0.0
+        } else {
+            self.counters.get("app_latency_total_ns") as f64 / samples as f64
+        }
+    }
+
+    /// Value of one named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name)
+    }
+
+    /// A one-line human readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "backend={} time={} items={} delivered={} wire_msgs={} mean_latency={} clean={}",
+            self.backend,
+            metrics::format_nanos(self.total_time_ns as f64),
+            self.items_sent,
+            self.items_delivered,
+            self.counters.get("wire_messages"),
+            metrics::format_nanos(self.latency.mean()),
+            self.clean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut counters = Counters::new();
+        counters.add("app_latency_total_ns", 3_000);
+        counters.add("app_latency_samples", 3);
+        RunReport {
+            backend: Backend::Native,
+            total_time_ns: 2_000_000_000,
+            latency: LatencyRecorder::new(),
+            counters,
+            tram: TramStats::new(),
+            events_executed: 0,
+            items_sent: 10,
+            items_delivered: 10,
+            clean: true,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = report();
+        assert!((r.total_time_secs() - 2.0).abs() < 1e-12);
+        assert!((r.mean_app_latency_ns() - 1_000.0).abs() < 1e-9);
+        assert_eq!(r.counter("app_latency_samples"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert!(r.summary().contains("backend=native"));
+    }
+}

@@ -93,9 +93,48 @@ impl<T> ClaimBuffer<T> {
         ClaimResult::Stored
     }
 
+    /// Seal the buffer against concurrent inserters and drain whatever has
+    /// been claimed so far.
+    ///
+    /// Unlike [`ClaimBuffer::flush`], this is safe to call while other threads
+    /// are inserting: the claim counter is atomically swapped to the sealed
+    /// range, so in-flight inserters either claimed a slot before the seal
+    /// (this call waits for their commit and takes their item) or observe the
+    /// sealed state and retry after the buffer reopens.  Returns an empty
+    /// vector if the buffer was already sealed (the sealer owns its contents)
+    /// or held no items.
+    ///
+    /// This is the explicit-flush path of the native threaded runtime's PP
+    /// scheme, where one worker's end-of-phase flush may race with its process
+    /// peers' insertions (see `docs/DESIGN.md`).
+    pub fn seal_flush(&self) -> Vec<T> {
+        let claimed = self.claim.swap(self.capacity as u64, Ordering::AcqRel);
+        if claimed >= self.capacity as u64 {
+            // Already sealed: either the winner of the last slot is draining a
+            // full buffer, or another flush is in progress.  Either way that
+            // thread owns the contents; nothing for us to take.
+            return Vec::new();
+        }
+        // Wait until every claimed slot has actually been written.
+        while self.committed.load(Ordering::Acquire) < claimed {
+            std::hint::spin_loop();
+        }
+        let mut slots = self.slots.lock();
+        let out: Vec<T> = slots
+            .iter_mut()
+            .take(claimed as usize)
+            .map(|s| s.take().expect("committed slot"))
+            .collect();
+        // Reopen the buffer for the next generation.
+        self.committed.store(0, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.claim.store(0, Ordering::Release);
+        out
+    }
+
     /// Drain whatever has been committed so far (used for explicit flushes when
     /// no concurrent inserters are active — the caller must guarantee
-    /// quiescence, as TramLib's flush does at the end of an update phase).
+    /// quiescence; use [`ClaimBuffer::seal_flush`] otherwise).
     pub fn flush(&self) -> Vec<T> {
         let mut slots = self.slots.lock();
         let claimed = self
@@ -195,5 +234,75 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: ClaimBuffer<u32> = ClaimBuffer::new(0);
+    }
+
+    #[test]
+    fn seal_flush_returns_partial_contents_and_reopens() {
+        let buffer = ClaimBuffer::new(8);
+        buffer.insert(10);
+        buffer.insert(20);
+        assert_eq!(buffer.seal_flush(), vec![10, 20]);
+        assert_eq!(buffer.generation(), 1);
+        // Reopened: inserts land in a fresh generation.
+        assert_eq!(buffer.insert(30), ClaimResult::Stored);
+        assert_eq!(buffer.seal_flush(), vec![30]);
+        assert_eq!(buffer.seal_flush(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn seal_flush_races_with_inserters_without_losing_items() {
+        let capacity = 32;
+        let buffer: Arc<ClaimBuffer<u64>> = Arc::new(ClaimBuffer::new(capacity));
+        let collected: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let threads = 4;
+        let per_thread = 20_000u64;
+
+        let inserters: Vec<_> = (0..threads)
+            .map(|t| {
+                let buffer = buffer.clone();
+                let collected = collected.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let mut value = t * per_thread + i;
+                        loop {
+                            match buffer.insert(value) {
+                                ClaimResult::Stored => break,
+                                ClaimResult::Sealed(items) => {
+                                    collected.lock().extend(items);
+                                    break;
+                                }
+                                ClaimResult::Retry(v) => {
+                                    value = v;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // A concurrent flusher playing the native runtime's end-of-phase flush.
+        let flusher = {
+            let buffer = buffer.clone();
+            let collected = collected.clone();
+            std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let items = buffer.seal_flush();
+                    collected.lock().extend(items);
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        for h in inserters {
+            h.join().unwrap();
+        }
+        flusher.join().unwrap();
+
+        let mut all = collected.lock().clone();
+        all.extend(buffer.seal_flush());
+        assert_eq!(all.len() as u64, threads * per_thread, "items conserved");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, threads * per_thread, "every value unique");
     }
 }

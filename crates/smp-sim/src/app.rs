@@ -1,56 +1,22 @@
-//! The application interface: [`WorkerApp`] and the [`WorkerCtx`] handed to it.
+//! The simulator's implementation of the application contract.
 //!
-//! An application (histogram, index-gather, SSSP, PHOLD, PingAck, ...) runs one
-//! [`WorkerApp`] instance per worker PE.  The runtime drives it with three
-//! callbacks:
-//!
-//! * [`WorkerApp::on_start`] — once, at simulated time zero;
-//! * [`WorkerApp::on_item`] — for every item delivered to this worker;
-//! * [`WorkerApp::on_idle`] — whenever the worker has nothing delivered to
-//!   process; the application uses it to generate its next chunk of work
-//!   (returning `false` once there is nothing more to generate right now).
-//!
-//! All interaction with the runtime happens through [`WorkerCtx`]: sending
-//! items, flushing, charging CPU time for application work, deterministic
-//! random numbers, and custom counters.
+//! The [`WorkerApp`] trait and the [`RunCtx`] context applications are written
+//! against live in the `runtime-api` crate (they are backend-agnostic);
+//! this module provides [`WorkerCtx`], the simulator's [`RunCtx`]
+//! implementation.  All interaction with the simulated cluster happens through
+//! it: sending items charges the modelled insertion cost (including the PP
+//! atomic/contention cost), flushing routes emitted messages through the comm
+//! thread and the α–β network, `charge` advances the worker's busy time, and
+//! `now_ns` reports simulated time.
 
 use net_model::{Topology, WorkerId};
+use runtime_api::{Payload, RunCtx};
 use sim_core::{EventCtx, StreamRng};
-use tramlib::{Item, Scheme};
+use tramlib::Scheme;
 
-use crate::cluster::{Cluster, Payload};
+use crate::cluster::Cluster;
 
-/// One worker PE's share of an application.
-pub trait WorkerApp {
-    /// Called once before any other callback, at simulated time zero.
-    fn on_start(&mut self, _ctx: &mut WorkerCtx<'_, '_>) {}
-
-    /// Called for every item delivered to this worker.
-    fn on_item(&mut self, item: Payload, created_at_ns: u64, ctx: &mut WorkerCtx<'_, '_>);
-
-    /// Called when the worker has no delivered items to process.  Generate the
-    /// next chunk of work (sending items, charging generation cost) and return
-    /// `true`, or return `false` if there is nothing to do right now (the
-    /// worker will be woken again when something is delivered).
-    fn on_idle(&mut self, _ctx: &mut WorkerCtx<'_, '_>) -> bool {
-        false
-    }
-
-    /// `true` once this worker will not spontaneously generate any more work
-    /// (it may still react to delivered items).  Used for idle-flush and
-    /// wake-scheduling decisions, not for global termination — the simulation
-    /// ends when no events remain.
-    fn local_done(&self) -> bool {
-        true
-    }
-
-    /// Called once after the simulation has gone quiescent, so the application
-    /// can publish its final state (e.g. computed SSSP distances, PDES
-    /// statistics) into the run-report counters.
-    fn on_finalize(&mut self, _counters: &mut metrics::Counters) {}
-}
-
-/// The runtime context handed to application callbacks.
+/// The simulator's runtime context handed to application callbacks.
 ///
 /// A `WorkerCtx` is scoped to one execution quantum of one worker: application
 /// CPU time charged through it accumulates into the worker's busy time, and
@@ -67,63 +33,80 @@ pub struct WorkerCtx<'a, 'b> {
     pub(crate) _marker: std::marker::PhantomData<&'b ()>,
 }
 
-impl<'a, 'b> WorkerCtx<'a, 'b> {
+impl WorkerCtx<'_, '_> {
+    fn flush_with(
+        &mut self,
+        op: impl Fn(&mut tramlib::Aggregator<Payload>) -> Vec<tramlib::OutboundMessage<Payload>>,
+    ) {
+        let scheme = self.cluster.config.tram.scheme;
+        let topo = self.cluster.config.topology;
+        let src_proc = topo.proc_of_worker(self.worker);
+        let messages = if scheme == Scheme::PP {
+            let agg = self.cluster.procs[src_proc.idx()]
+                .shared_aggregator
+                .as_mut()
+                .expect("PP process aggregator");
+            op(agg)
+        } else if let Some(agg) = self.cluster.workers[self.worker.idx()].aggregator.as_mut() {
+            op(agg)
+        } else {
+            Vec::new()
+        };
+        for message in messages {
+            let emit = self.now_ns();
+            let cpu = self
+                .cluster
+                .route_outbound(self.ev, src_proc, emit, message);
+            self.charged_ns += cpu;
+        }
+    }
+}
+
+impl RunCtx for WorkerCtx<'_, '_> {
     /// The worker this context belongs to.
-    pub fn my_id(&self) -> WorkerId {
+    fn my_id(&self) -> WorkerId {
         self.worker
     }
 
     /// The cluster topology.
-    pub fn topology(&self) -> Topology {
+    fn topology(&self) -> Topology {
         self.cluster.config.topology
-    }
-
-    /// Total number of worker PEs in the cluster.
-    pub fn total_workers(&self) -> u32 {
-        self.cluster.config.topology.total_workers()
     }
 
     /// Current simulated time for this worker, in nanoseconds: the quantum
     /// start plus all CPU time charged so far in the quantum.
-    pub fn now_ns(&self) -> u64 {
+    fn now_ns(&self) -> u64 {
         self.quantum_start_ns + self.charged_ns
     }
 
     /// Charge `ns` of application CPU time to this worker.
-    pub fn charge(&mut self, ns: u64) {
+    fn charge(&mut self, ns: u64) {
         self.charged_ns += ns;
     }
 
     /// Charge the standard item-generation cost from the cost model.
-    pub fn charge_item_generation(&mut self) {
+    fn charge_item_generation(&mut self) {
         self.charged_ns += self.cluster.config.costs.worker.item_generate_ns.round() as u64;
     }
 
     /// Deterministic RNG stream of this worker.
-    pub fn rng(&mut self) -> &mut StreamRng {
+    fn rng(&mut self) -> &mut StreamRng {
         &mut self.cluster.workers[self.worker.idx()].rng
     }
 
     /// Add `delta` to a named application counter in the run report.
-    pub fn counter(&mut self, name: &'static str, delta: u64) {
+    fn counter(&mut self, name: &'static str, delta: u64) {
         self.cluster.counters.add(name, delta);
-    }
-
-    /// Record an application-level latency sample (e.g. the index-gather
-    /// request→response round trip), in nanoseconds.
-    pub fn record_app_latency(&mut self, ns: u64) {
-        self.cluster.counters.add("app_latency_total_ns", ns);
-        self.cluster.counters.incr("app_latency_samples");
     }
 
     /// Send one item to `dest` through TramLib.  This charges the insertion
     /// cost (including the PP atomic/contention cost), and — when the insertion
     /// fills a buffer — the message-initiation cost and the comm-thread/network
     /// path of the emitted message.
-    pub fn send(&mut self, dest: WorkerId, payload: Payload) {
+    fn send(&mut self, dest: WorkerId, payload: Payload) {
         let created = self.now_ns();
         self.cluster.items_sent += 1;
-        let item = Item::new(dest, payload, created);
+        let item = tramlib::Item::new(dest, payload, created);
         let scheme = self.cluster.config.tram.scheme;
         let costs = self.cluster.config.costs;
         let topo = self.cluster.config.topology;
@@ -173,40 +156,13 @@ impl<'a, 'b> WorkerCtx<'a, 'b> {
     /// Explicitly flush this worker's aggregation buffers (for PP, the shared
     /// process-level buffers).  This is the call the benchmarks issue at the
     /// end of their update loops.
-    pub fn flush(&mut self) {
+    fn flush(&mut self) {
         self.flush_with(|agg| agg.flush());
     }
 
     /// Idle flush: only flushes if the configured [`tramlib::FlushPolicy`]
     /// enables flushing on idle.
-    pub fn flush_on_idle(&mut self) {
+    fn flush_on_idle(&mut self) {
         self.flush_with(|agg| agg.flush_on_idle());
-    }
-
-    fn flush_with(
-        &mut self,
-        op: impl Fn(&mut tramlib::Aggregator<Payload>) -> Vec<tramlib::OutboundMessage<Payload>>,
-    ) {
-        let scheme = self.cluster.config.tram.scheme;
-        let topo = self.cluster.config.topology;
-        let src_proc = topo.proc_of_worker(self.worker);
-        let messages = if scheme == Scheme::PP {
-            let agg = self.cluster.procs[src_proc.idx()]
-                .shared_aggregator
-                .as_mut()
-                .expect("PP process aggregator");
-            op(agg)
-        } else if let Some(agg) = self.cluster.workers[self.worker.idx()].aggregator.as_mut() {
-            op(agg)
-        } else {
-            Vec::new()
-        };
-        for message in messages {
-            let emit = self.now_ns();
-            let cpu = self
-                .cluster
-                .route_outbound(self.ev, src_proc, emit, message);
-            self.charged_ns += cpu;
-        }
     }
 }

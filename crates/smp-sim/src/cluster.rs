@@ -2,32 +2,11 @@
 
 use metrics::{Counters, LatencyRecorder};
 use net_model::{ProcId, WorkerId};
+use runtime_api::{Payload, WorkerApp};
 use sim_core::{EventCtx, StreamRng};
 use tramlib::{Aggregator, OutboundMessage, Owner, Receiver, Scheme, TramStats};
 
-use crate::app::WorkerApp;
 use crate::config::SimConfig;
-
-/// Fixed-size application payload carried by every item.
-///
-/// Two 64-bit words are enough for every proxy application in the paper:
-/// histogram bucket ids, index-gather request/response pairs, SSSP
-/// `(vertex, distance)` updates and PHOLD `(timestamp, logical process)`
-/// events.  Using a concrete payload keeps the simulator monomorphic and fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Payload {
-    /// First payload word (meaning defined by the application).
-    pub a: u64,
-    /// Second payload word (meaning defined by the application).
-    pub b: u64,
-}
-
-impl Payload {
-    /// Construct a payload from two words.
-    pub fn new(a: u64, b: u64) -> Self {
-        Self { a, b }
-    }
-}
 
 /// A bundle of items delivered to a worker's inbox, waiting to be processed
 /// during one of the worker's execution quanta.

@@ -20,11 +20,13 @@
 //!   aggregators for WW/WPs/WsP, a process-owned aggregator for PP (with the
 //!   atomic-insertion and contention costs charged to the inserting worker).
 //!
-//! Applications implement the [`WorkerApp`] trait (histogram, index-gather,
-//! SSSP, PHOLD and PingAck live in the `apps` crate) and are driven by
-//! [`run_cluster`], which returns a [`RunReport`] with the total simulated
-//! time, per-item latency distribution and all counters needed to regenerate
-//! the paper's figures.
+//! Applications implement the backend-agnostic [`WorkerApp`] trait from
+//! `runtime-api` (histogram, index-gather, SSSP, PHOLD and PingAck live in the
+//! `apps` crate) and are driven by [`run_cluster`], which returns a
+//! [`RunReport`] with the total simulated time, per-item latency distribution
+//! and all counters needed to regenerate the paper's figures.  The same
+//! applications also run on the `native-rt` threaded backend; this crate is
+//! the [`runtime_api::Backend::Sim`] implementation of the shared contract.
 
 pub mod app;
 pub mod cluster;
@@ -32,8 +34,10 @@ pub mod config;
 pub mod report;
 pub mod runtime;
 
-pub use app::{WorkerApp, WorkerCtx};
-pub use cluster::{Cluster, Payload};
+pub use app::WorkerCtx;
+pub use cluster::Cluster;
 pub use config::SimConfig;
-pub use report::RunReport;
 pub use runtime::run_cluster;
+// Backend-agnostic contract types, re-exported so existing `smp_sim::{...}`
+// imports keep working after the runtime-api split.
+pub use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};

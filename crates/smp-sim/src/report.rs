@@ -1,92 +1,31 @@
-//! Run results.
+//! Extraction of the unified [`RunReport`] from the final simulator state.
+//!
+//! The report type itself lives in `runtime-api` so that the native threaded
+//! backend produces the same shape; this module only knows how to fill it from
+//! a drained [`Cluster`].
 
-use metrics::{Counters, LatencyRecorder};
-use tramlib::TramStats;
+use runtime_api::{Backend, RunReport};
 
 use crate::cluster::Cluster;
 
-/// Everything a figure needs from one simulated run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Total simulated time until the cluster went quiescent, in nanoseconds.
-    pub total_time_ns: u64,
-    /// Per-item latency distribution (item creation → handler execution).
-    pub latency: LatencyRecorder,
-    /// Run-wide counters: wire messages/bytes/items, comm-thread busy time,
-    /// grouping passes, local deliveries, plus application counters
-    /// (`wasted_updates`, `ooo_events`, ...).
-    pub counters: Counters,
-    /// Merged TramLib statistics from every aggregator.
-    pub tram: TramStats,
-    /// Number of simulation events executed.
-    pub events_executed: u64,
-    /// Items handed to `send` during the run.
-    pub items_sent: u64,
-    /// Items delivered to application handlers.
-    pub items_delivered: u64,
-    /// `true` if the run finished by draining its event queue with nothing left
-    /// buffered or undelivered.
-    pub clean: bool,
-}
-
-impl RunReport {
-    /// Extract a report from the final cluster state.
-    pub(crate) fn from_cluster(
-        cluster: Cluster,
-        total_time_ns: u64,
-        events_executed: u64,
-        queue_drained: bool,
-    ) -> Self {
-        let leftover = cluster.buffered_items() + cluster.pending_batches();
-        let tram = cluster.merged_tram_stats();
-        RunReport {
-            total_time_ns,
-            latency: cluster.latency,
-            counters: cluster.counters,
-            tram,
-            events_executed,
-            items_sent: cluster.items_sent,
-            items_delivered: cluster.items_delivered,
-            clean: queue_drained && leftover == 0,
-        }
-    }
-
-    /// Total simulated time in seconds (the y-axis of most figures).
-    pub fn total_time_secs(&self) -> f64 {
-        self.total_time_ns as f64 / 1e9
-    }
-
-    /// Mean item latency in nanoseconds.
-    pub fn mean_latency_ns(&self) -> f64 {
-        self.latency.mean()
-    }
-
-    /// Mean application-level latency (e.g. index-gather round trip) if the
-    /// application recorded any, in nanoseconds.
-    pub fn mean_app_latency_ns(&self) -> f64 {
-        let samples = self.counters.get("app_latency_samples");
-        if samples == 0 {
-            0.0
-        } else {
-            self.counters.get("app_latency_total_ns") as f64 / samples as f64
-        }
-    }
-
-    /// Value of one named counter (0 if absent).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name)
-    }
-
-    /// A one-line human readable summary.
-    pub fn summary(&self) -> String {
-        format!(
-            "time={} items={} delivered={} wire_msgs={} mean_latency={} clean={}",
-            metrics::format_nanos(self.total_time_ns as f64),
-            self.items_sent,
-            self.items_delivered,
-            self.counters.get("wire_messages"),
-            metrics::format_nanos(self.latency.mean()),
-            self.clean
-        )
+/// Extract a report from the final cluster state.
+pub(crate) fn from_cluster(
+    cluster: Cluster,
+    total_time_ns: u64,
+    events_executed: u64,
+    queue_drained: bool,
+) -> RunReport {
+    let leftover = cluster.buffered_items() + cluster.pending_batches();
+    let tram = cluster.merged_tram_stats();
+    RunReport {
+        backend: Backend::Sim,
+        total_time_ns,
+        latency: cluster.latency,
+        counters: cluster.counters,
+        tram,
+        events_executed,
+        items_sent: cluster.items_sent,
+        items_delivered: cluster.items_delivered,
+        clean: queue_drained && leftover == 0,
     }
 }

@@ -1,12 +1,12 @@
 //! The simulation driver: worker wake events and the top-level run loop.
 
 use net_model::WorkerId;
+use runtime_api::{RunCtx, RunReport, WorkerApp};
 use sim_core::{EventCtx, SimTime, Simulation, StopReason};
 
-use crate::app::{WorkerApp, WorkerCtx};
+use crate::app::WorkerCtx;
 use crate::cluster::{Cluster, DeliveryBatch};
 use crate::config::SimConfig;
-use crate::report::RunReport;
 
 /// Execute one wake quantum of `worker`: process one delivered batch, or
 /// generate the next chunk of work, then (if appropriate) idle-flush and
@@ -166,5 +166,5 @@ pub fn run_cluster(
         }
     }
 
-    RunReport::from_cluster(cluster, total_time_ns, events_executed, finished)
+    crate::report::from_cluster(cluster, total_time_ns, events_executed, finished)
 }

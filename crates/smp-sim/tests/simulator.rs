@@ -3,7 +3,7 @@
 //! scheme behaviour and SMP vs non-SMP execution.
 
 use net_model::{Topology, WorkerId};
-use smp_sim::{run_cluster, Payload, RunReport, SimConfig, WorkerApp, WorkerCtx};
+use smp_sim::{run_cluster, Payload, RunCtx, RunReport, SimConfig, WorkerApp};
 use tramlib::{Scheme, TramConfig};
 
 /// Every worker sends `updates` items to uniformly random destination workers,
@@ -29,12 +29,12 @@ impl RandomUpdates {
 }
 
 impl WorkerApp for RandomUpdates {
-    fn on_item(&mut self, _item: Payload, _created: u64, ctx: &mut WorkerCtx<'_, '_>) {
+    fn on_item(&mut self, _item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
         self.received += 1;
         ctx.counter("app_received", 1);
     }
 
-    fn on_idle(&mut self, ctx: &mut WorkerCtx<'_, '_>) -> bool {
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
         if self.remaining == 0 {
             if !self.flushed {
                 ctx.flush();

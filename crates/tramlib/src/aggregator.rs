@@ -3,6 +3,7 @@
 
 use crate::buffer::ItemBuffer;
 use crate::config::TramConfig;
+use crate::error::TramError;
 use crate::item::Item;
 use crate::message::{EmitReason, MessageDest, OutboundMessage};
 use crate::scheme::Scheme;
@@ -70,42 +71,58 @@ pub struct Aggregator<T> {
 impl<T: Clone> Aggregator<T> {
     /// Create an aggregator for `owner` under `config`.
     ///
+    /// This is a thin panicking wrapper over [`Aggregator::try_new`]; use the
+    /// fallible constructor when the scheme/owner pairing comes from user
+    /// input rather than from the substrate's own wiring.
+    ///
     /// # Panics
     /// Panics if a PP config is given a worker owner or vice versa, or if the
     /// owner is out of range for the topology.
     pub fn new(config: TramConfig, owner: Owner) -> Self {
+        match Self::try_new(config, owner) {
+            Ok(agg) => agg,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Create an aggregator for `owner` under `config`, or report why the
+    /// pairing is invalid as a [`TramError`].
+    pub fn try_new(config: TramConfig, owner: Owner) -> Result<Self, TramError> {
         let topo = config.topology;
-        match (config.scheme, owner) {
-            (Scheme::PP, Owner::Worker(_)) => {
-                panic!("PP aggregation buffers are owned by the process, not a worker")
-            }
-            (s, Owner::Process(_)) if s != Scheme::PP => {
-                panic!("{s} aggregation buffers are owned by a worker, not the process")
-            }
-            _ => {}
+        let owner_is_process = matches!(owner, Owner::Process(_));
+        if owner_is_process != (config.scheme == Scheme::PP) {
+            return Err(TramError::SchemeOwnerMismatch {
+                scheme: config.scheme,
+                owner,
+            });
         }
         match owner {
-            Owner::Worker(w) => assert!(
-                w.0 < topo.total_workers(),
-                "owner worker out of range for topology"
-            ),
-            Owner::Process(p) => assert!(
-                p.0 < topo.total_procs(),
-                "owner process out of range for topology"
-            ),
+            Owner::Worker(w) if w.0 >= topo.total_workers() => {
+                return Err(TramError::OwnerOutOfRange {
+                    owner,
+                    limit: topo.total_workers(),
+                });
+            }
+            Owner::Process(p) if p.0 >= topo.total_procs() => {
+                return Err(TramError::OwnerOutOfRange {
+                    owner,
+                    limit: topo.total_procs(),
+                });
+            }
+            _ => {}
         }
         let slots = match config.scheme {
             Scheme::NoAgg => 0,
             Scheme::WW => topo.total_workers() as usize,
             Scheme::WPs | Scheme::WsP | Scheme::PP => topo.total_procs() as usize,
         };
-        Self {
+        Ok(Self {
             config,
             owner,
             owner_proc: owner.proc(&topo),
             buffers: (0..slots).map(|_| None).collect(),
             stats: TramStats::new(),
-        }
+        })
     }
 
     /// The configuration this aggregator was built with.
@@ -399,6 +416,45 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn owner_out_of_range_panics() {
         let _ = Aggregator::<u32>::new(config(Scheme::WW), Owner::Worker(WorkerId(999)));
+    }
+
+    #[test]
+    fn try_new_reports_invalid_pairings_without_panicking() {
+        use crate::error::TramError;
+
+        let err = Aggregator::<u32>::try_new(config(Scheme::PP), Owner::Worker(WorkerId(0)))
+            .expect_err("PP + worker owner");
+        assert!(matches!(
+            err,
+            TramError::SchemeOwnerMismatch {
+                scheme: Scheme::PP,
+                ..
+            }
+        ));
+
+        let err = Aggregator::<u32>::try_new(config(Scheme::WW), Owner::Process(ProcId(0)))
+            .expect_err("WW + process owner");
+        assert!(matches!(
+            err,
+            TramError::SchemeOwnerMismatch {
+                scheme: Scheme::WW,
+                ..
+            }
+        ));
+
+        let err = Aggregator::<u32>::try_new(config(Scheme::WW), Owner::Worker(WorkerId(999)))
+            .expect_err("worker out of range");
+        assert!(matches!(err, TramError::OwnerOutOfRange { limit: 8, .. }));
+
+        let err = Aggregator::<u32>::try_new(config(Scheme::PP), Owner::Process(ProcId(99)))
+            .expect_err("process out of range");
+        assert!(matches!(err, TramError::OwnerOutOfRange { limit: 4, .. }));
+
+        // Every valid pairing still constructs.
+        assert!(
+            Aggregator::<u32>::try_new(config(Scheme::WsP), Owner::Worker(WorkerId(7))).is_ok()
+        );
+        assert!(Aggregator::<u32>::try_new(config(Scheme::PP), Owner::Process(ProcId(3))).is_ok());
     }
 
     #[test]

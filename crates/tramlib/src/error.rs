@@ -1,0 +1,90 @@
+//! TramLib error types.
+
+use std::fmt;
+
+use crate::aggregator::Owner;
+use crate::scheme::Scheme;
+
+/// Errors raised when constructing or validating TramLib components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TramError {
+    /// A PP configuration was given a worker owner, or a worker-level scheme a
+    /// process owner.
+    SchemeOwnerMismatch {
+        /// The configured aggregation scheme.
+        scheme: Scheme,
+        /// The owner that does not match the scheme's buffer placement.
+        owner: Owner,
+    },
+    /// The owner's worker/process id does not exist in the topology.
+    OwnerOutOfRange {
+        /// The out-of-range owner.
+        owner: Owner,
+        /// Number of valid ids (workers or processes, matching the owner kind).
+        limit: u32,
+    },
+}
+
+impl fmt::Display for TramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TramError::SchemeOwnerMismatch { scheme, owner } => match owner {
+                Owner::Worker(w) => write!(
+                    f,
+                    "{scheme} aggregation buffers are owned by the process, not a worker \
+                     (got worker {})",
+                    w.0
+                ),
+                Owner::Process(p) => write!(
+                    f,
+                    "{scheme} aggregation buffers are owned by a worker, not the process \
+                     (got process {})",
+                    p.0
+                ),
+            },
+            TramError::OwnerOutOfRange { owner, limit } => match owner {
+                Owner::Worker(w) => write!(
+                    f,
+                    "owner worker out of range for topology: worker {} >= {limit}",
+                    w.0
+                ),
+                Owner::Process(p) => write!(
+                    f,
+                    "owner process out of range for topology: process {} >= {limit}",
+                    p.0
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for TramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{ProcId, WorkerId};
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        let mismatch = TramError::SchemeOwnerMismatch {
+            scheme: Scheme::PP,
+            owner: Owner::Worker(WorkerId(3)),
+        };
+        assert!(mismatch.to_string().contains("owned by the process"));
+
+        let mismatch = TramError::SchemeOwnerMismatch {
+            scheme: Scheme::WW,
+            owner: Owner::Process(ProcId(1)),
+        };
+        assert!(mismatch.to_string().contains("owned by a worker"));
+
+        let range = TramError::OwnerOutOfRange {
+            owner: Owner::Worker(WorkerId(999)),
+            limit: 8,
+        };
+        let text = range.to_string();
+        assert!(text.contains("out of range"));
+        assert!(text.contains("999"));
+    }
+}

@@ -51,6 +51,7 @@ pub mod aggregator;
 pub mod analysis;
 pub mod buffer;
 pub mod config;
+pub mod error;
 pub mod item;
 pub mod message;
 pub mod receiver;
@@ -60,6 +61,7 @@ pub mod stats;
 pub use aggregator::{Aggregator, InsertOutcome, Owner};
 pub use buffer::ItemBuffer;
 pub use config::{FlushPolicy, TramConfig};
+pub use error::TramError;
 pub use item::Item;
 pub use message::{EmitReason, MessageDest, OutboundMessage};
 pub use receiver::{DeliveryPlan, Receiver};

@@ -5,40 +5,62 @@
 //!
 //! ```text
 //! cargo run --release --example histogram_scaling
+//! cargo run --release --example histogram_scaling -- --backend native
 //! ```
+//!
+//! With `--backend native` every run executes on real threads (one per worker
+//! PE), so the sweep is trimmed to node counts whose thread counts fit a
+//! workstation, and the non-SMP column (a network-model comparison) is
+//! dropped.
 
 use metrics::Table;
 use smp_aggregation::prelude::*;
 
 fn main() {
+    let backend = parse_backend_arg();
     let updates = 8_000;
     let buffer = 64;
+    let node_counts: &[u32] = match backend {
+        Backend::Sim => &[2, 4, 8],
+        Backend::Native => &[1, 2], // 16 or 32 worker threads
+    };
 
     // 1. Scheme comparison across node counts (weak scaling: work per PE fixed).
     let mut table = Table::new();
     table.set_header(["nodes", "WW (ms)", "WPs (ms)", "PP (ms)", "non-SMP (ms)"]);
-    for nodes in [2u32, 4, 8] {
+    for &nodes in node_counts {
         let mut row = vec![format!("{nodes}")];
         for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
-            let report = run_histogram(
+            let report = run_histogram_on(
+                backend,
                 HistogramConfig::new(ClusterSpec::smp(nodes, 4, 4), scheme)
                     .with_updates(updates)
                     .with_buffer(buffer),
             );
             row.push(format!("{:.3}", report.total_time_ns as f64 / 1e6));
         }
-        let non_smp = run_histogram(
-            HistogramConfig::new(ClusterSpec::non_smp(nodes, 16), Scheme::WW)
-                .with_updates(updates)
-                .with_buffer(buffer),
-        );
-        row.push(format!("{:.3}", non_smp.total_time_ns as f64 / 1e6));
+        if backend == Backend::Sim {
+            let non_smp = run_histogram(
+                HistogramConfig::new(ClusterSpec::non_smp(nodes, 16), Scheme::WW)
+                    .with_updates(updates)
+                    .with_buffer(buffer),
+            );
+            row.push(format!("{:.3}", non_smp.total_time_ns as f64 / 1e6));
+        } else {
+            row.push("-".to_string());
+        }
         table.add_row(row);
     }
     println!(
-        "Weak scaling, {updates} updates/PE, buffer {buffer}:\n{}",
+        "Weak scaling, {updates} updates/PE, buffer {buffer}, backend {backend}:\n{}",
         table.to_text()
     );
+
+    if backend == Backend::Native {
+        // The buffer sweep below is a modelled-cost study; on the native
+        // backend the headline table above is the interesting part.
+        return;
+    }
 
     // 2. Buffer-size sweep at a fixed node count (Fig. 10's shape).
     let mut buffers = Table::new();

@@ -1,4 +1,4 @@
-//! Native shared-memory ablation (A2 in DESIGN.md): real threads inserting
+//! Native shared-memory ablation (A2 in docs/DESIGN.md): real threads inserting
 //! fine-grained items into either private per-worker buffers (the WW/WPs
 //! source path) or one shared atomic claim buffer per destination (the PP
 //! path), on the host machine.

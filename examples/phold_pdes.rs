@@ -53,5 +53,6 @@ fn main() {
     println!();
     println!("Out-of-order receives are the events an optimistic engine would roll back.");
     println!("Their count tracks item latency, so the aggregation scheme matters; the");
-    println!("paper-scale comparison (wide processes, Fig. 18) is in EXPERIMENTS.md.");
+    println!("paper-scale comparison (wide processes, Fig. 18) comes from the figures");
+    println!("binary: cargo run -p bench --bin figures -- --fig 18.");
 }

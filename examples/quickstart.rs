@@ -1,20 +1,25 @@
 //! Quickstart: run the histogram proxy under every aggregation scheme on a
-//! small simulated SMP cluster and compare total time, message counts and item
-//! latency.
+//! small SMP cluster and compare total time, message counts and item latency.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart                      # simulator
+//! cargo run --release --example quickstart -- --backend native  # real threads
 //! ```
+//!
+//! With `--backend native` the same application runs on one OS thread per
+//! worker PE (real TramLib aggregators, shared claim buffers for PP, a
+//! collector thread for the grouping pass) and the times are wall-clock.
 
 use smp_aggregation::prelude::*;
 
 fn main() {
+    let backend = parse_backend_arg();
     let cluster = ClusterSpec::smp(2, 4, 4); // 2 nodes x 4 processes x 4 workers
     let updates = 20_000;
     let buffer = 128;
 
     println!(
-        "Histogram: {updates} updates/PE on {} worker PEs",
+        "Histogram: {updates} updates/PE on {} worker PEs, backend: {backend}",
         cluster.total_workers()
     );
     println!(
@@ -28,7 +33,8 @@ fn main() {
         Scheme::WsP,
         Scheme::PP,
     ] {
-        let report = run_histogram(
+        let report = run_histogram_on(
+            backend,
             HistogramConfig::new(cluster, scheme)
                 .with_updates(updates)
                 .with_buffer(buffer),
@@ -44,9 +50,22 @@ fn main() {
         );
     }
     println!();
-    println!("Things to notice (the paper's headline effects):");
-    println!(" * NoAgg pays the per-message cost for every item and is far slower;");
-    println!(" * WW keeps one buffer per destination worker and sends the most messages;");
-    println!(" * WPs/WsP/PP aggregate per destination process: fewer, fuller messages;");
-    println!(" * PP fills buffers fastest (whole process shares them) => lowest latency.");
+    match backend {
+        Backend::Sim => {
+            println!("Things to notice (the paper's headline effects):");
+            println!(" * NoAgg pays the per-message cost for every item and is far slower;");
+            println!(" * WW keeps one buffer per destination worker and sends the most messages;");
+            println!(" * WPs/WsP/PP aggregate per destination process: fewer, fuller messages;");
+            println!(" * PP fills buffers fastest (whole process shares them) => lowest latency.");
+        }
+        Backend::Native => {
+            println!(
+                "Times above are wall-clock on this machine ({} threads).",
+                cluster.total_workers()
+            );
+            println!("Message counts and fill levels mirror the simulator; rerun with no flag");
+            println!("to compare against the modelled cluster (tests/backend_equivalence.rs");
+            println!("checks the item totals match exactly).");
+        }
+    }
 }

@@ -45,6 +45,6 @@ fn main() {
     println!();
     println!("Distances are identical under every scheme; what changes is how much");
     println!("speculative work is wasted. The scheme-vs-waste ordering depends on the");
-    println!("configuration (process width, buffer size) — see EXPERIMENTS.md Figs. 14-17");
-    println!("for the paper-scale sweeps.");
+    println!("configuration (process width, buffer size) — run the figures binary");
+    println!("(cargo run -p bench --bin figures -- --fig 14) for the paper-scale sweeps.");
 }

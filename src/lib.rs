@@ -8,15 +8,18 @@
 //!
 //! * [`tramlib`] — the aggregation library itself (schemes WW, WPs, WsP, PP,
 //!   buffers, flush policies, the §III-C analytical formulas);
+//! * [`runtime_api`] — the backend-agnostic application contract
+//!   (`WorkerApp`, `RunCtx`, `Backend`, the unified `RunReport`);
 //! * [`smp_sim`] — the discrete-event SMP cluster simulator (worker PEs,
 //!   per-process communication threads, α–β network) that stands in for the
 //!   Delta supercomputer;
+//! * [`native_rt`] — the native threaded backend: the same applications on one
+//!   OS thread per worker PE, with real aggregators and [`shmem`] buffers;
 //! * [`apps`] — the paper's proxy applications (histogram, index-gather,
-//!   SSSP, PHOLD, PingAck, ping-pong);
+//!   SSSP, PHOLD, PingAck, ping-pong), each runnable on either backend via
+//!   `run_*_on(Backend, ...)` where native-capable;
 //! * [`net_model`], [`sim_core`], [`metrics`], [`graph`], [`pdes`] — the
-//!   supporting substrates;
-//! * [`shmem`] and [`native_rt`] — real-thread shared-memory primitives for the
-//!   within-process half of the design.
+//!   supporting substrates.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub use metrics;
 pub use native_rt;
 pub use net_model;
 pub use pdes;
+pub use runtime_api;
 pub use shmem;
 pub use sim_core;
 pub use smp_sim;
@@ -45,15 +49,17 @@ pub use tramlib;
 
 /// The most commonly used types and functions, in one import.
 pub mod prelude {
-    pub use apps::common::sim_config;
-    pub use apps::histogram::{run_histogram, HistogramConfig};
-    pub use apps::index_gather::{run_index_gather, IndexGatherConfig};
+    pub use apps::common::{parse_backend_arg, run_app, sim_config};
+    pub use apps::histogram::{run_histogram, run_histogram_on, HistogramConfig};
+    pub use apps::index_gather::{run_index_gather, run_index_gather_on, IndexGatherConfig};
     pub use apps::phold::{run_phold, PholdBenchConfig};
-    pub use apps::pingack::{run_pingack, PingAckConfig};
+    pub use apps::pingack::{run_pingack, run_pingack_on, PingAckConfig};
     pub use apps::sssp::{run_sssp, SsspConfig};
     pub use apps::ClusterSpec;
+    pub use native_rt::{run_threaded, NativeBackendConfig};
     pub use net_model::{NodeId, ProcId, Topology, WorkerId};
-    pub use smp_sim::{run_cluster, Payload, RunReport, SimConfig, WorkerApp, WorkerCtx};
+    pub use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
+    pub use smp_sim::{run_cluster, SimConfig, WorkerCtx};
     pub use tramlib::{Aggregator, FlushPolicy, Item, Owner, Scheme, TramConfig};
 }
 
