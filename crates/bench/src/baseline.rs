@@ -1,0 +1,112 @@
+//! The *mutex-based* claim buffer this repository shipped before the
+//! lock-free rewrite of `shmem::ClaimBuffer`.
+//!
+//! Kept verbatim (minus doc churn) as the regression baseline for the
+//! throughput suite: `throughput::pp_insert_comparison` races identical
+//! workloads through both implementations so `BENCH_throughput.json` records
+//! the insert-path speedup and CI can prove the lock-free path never falls
+//! behind the mutex it replaced.
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of an insertion attempt (mirror of `shmem::ClaimResult`).
+#[derive(Debug, PartialEq, Eq)]
+pub enum MutexClaimResult<T> {
+    /// The item was stored; the buffer is not full yet.
+    Stored,
+    /// The item was stored and this inserter claimed the last slot.
+    Sealed(Vec<T>),
+    /// The buffer is sealed; retry after it reopens.
+    Retry(T),
+}
+
+/// The pre-rewrite claim buffer: atomic claim/commit counters, but every slot
+/// write takes a `Mutex` on the whole slot vector.
+pub struct MutexClaimBuffer<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    capacity: usize,
+    claim: CachePadded<AtomicU64>,
+    committed: CachePadded<AtomicU64>,
+}
+
+impl<T> MutexClaimBuffer<T> {
+    /// Create a buffer with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            slots: Mutex::new((0..capacity).map(|_| None).collect()),
+            capacity,
+            claim: CachePadded::new(AtomicU64::new(0)),
+            committed: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Try to insert `item` (the historical mutex-on-every-item hot path).
+    pub fn insert(&self, item: T) -> MutexClaimResult<T> {
+        let slot = self.claim.fetch_add(1, Ordering::AcqRel);
+        if slot >= self.capacity as u64 {
+            return MutexClaimResult::Retry(item);
+        }
+        {
+            let mut slots = self.slots.lock();
+            slots[slot as usize] = Some(item);
+        }
+        self.committed.fetch_add(1, Ordering::AcqRel);
+        if slot as usize == self.capacity - 1 {
+            while self.committed.load(Ordering::Acquire) < self.capacity as u64 {
+                std::hint::spin_loop();
+            }
+            let mut slots = self.slots.lock();
+            let items: Vec<T> = slots
+                .iter_mut()
+                .map(|s| s.take().expect("committed slot"))
+                .collect();
+            self.committed.store(0, Ordering::Release);
+            self.claim.store(0, Ordering::Release);
+            return MutexClaimResult::Sealed(items);
+        }
+        MutexClaimResult::Stored
+    }
+
+    /// Seal against concurrent inserters and drain (historical `seal_flush`).
+    pub fn seal_flush(&self) -> Vec<T> {
+        let claimed = self.claim.swap(self.capacity as u64, Ordering::AcqRel);
+        if claimed >= self.capacity as u64 {
+            return Vec::new();
+        }
+        while self.committed.load(Ordering::Acquire) < claimed {
+            std::hint::spin_loop();
+        }
+        let mut slots = self.slots.lock();
+        let out: Vec<T> = slots
+            .iter_mut()
+            .take(claimed as usize)
+            .map(|s| s.take().expect("committed slot"))
+            .collect();
+        self.committed.store(0, Ordering::Release);
+        self.claim.store(0, Ordering::Release);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_still_conserves_items() {
+        // The baseline must stay a *correct* comparison target.
+        let buffer = MutexClaimBuffer::new(4);
+        assert_eq!(buffer.insert(1), MutexClaimResult::Stored);
+        assert_eq!(buffer.insert(2), MutexClaimResult::Stored);
+        assert_eq!(buffer.insert(3), MutexClaimResult::Stored);
+        match buffer.insert(4) {
+            MutexClaimResult::Sealed(items) => assert_eq!(items, vec![1, 2, 3, 4]),
+            other => panic!("expected sealed, got {other:?}"),
+        }
+        buffer.insert(5);
+        assert_eq!(buffer.seal_flush(), vec![5]);
+    }
+}

@@ -1,0 +1,56 @@
+//! The throughput sweep: items/sec per scheme on the native backend, plus the
+//! PP insert-path lock-free-vs-mutex comparison, emitted as one
+//! machine-readable `BENCH_throughput.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin throughput             # full sweep
+//! cargo run --release -p bench --bin throughput -- --fast   # CI smoke sizes
+//! cargo run --release -p bench --bin throughput -- --out p  # custom path
+//! ```
+//!
+//! Every application run doubles as a conservation check (clean termination,
+//! `items_sent == items_delivered`); a violation panics, so a zero exit code
+//! means both "numbers emitted" and "no item lost".
+
+use bench::throughput::{
+    pp_insert_comparison, throughput_histogram, throughput_index_gather, write_throughput_json,
+};
+use bench::Effort;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "--fast") {
+        Effort::Smoke
+    } else {
+        Effort::Paper
+    };
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_throughput.json"));
+
+    println!("# smp-aggregation throughput suite (effort: {effort:?})\n");
+
+    let histogram = throughput_histogram(effort);
+    println!("{}\n", histogram.to_text());
+    let index_gather = throughput_index_gather(effort);
+    println!("{}\n", index_gather.to_text());
+    let pp_insert = pp_insert_comparison(effort);
+    println!("{}\n", pp_insert.to_text());
+
+    write_throughput_json(
+        &out,
+        effort,
+        &[
+            ("histogram_native", &histogram),
+            ("index_gather_native", &index_gather),
+            ("pp_insert", &pp_insert),
+        ],
+    )
+    .expect("write BENCH_throughput.json");
+    println!("item conservation held on every run");
+    println!("-> {}", out.display());
+}

@@ -16,6 +16,9 @@
 //! functions below record the exact scaled parameters next to the paper's
 //! originals; `docs/DESIGN.md` §4 names the ablations.
 
+pub mod baseline;
+pub mod throughput;
+
 use apps::histogram::{run_histogram, HistogramConfig};
 use apps::index_gather::{run_index_gather, IndexGatherConfig};
 use apps::phold::{run_phold, PholdBenchConfig};

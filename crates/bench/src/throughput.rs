@@ -1,0 +1,323 @@
+//! The throughput suite: items/sec per aggregation scheme on the native
+//! threaded backend, plus the PP insert-path micro-comparison against the
+//! historical mutex-based claim buffer.
+//!
+//! Unlike the figure harness (which reruns the paper's *simulated* cluster
+//! experiments), this suite measures real wall-clock throughput of the
+//! insert→flush→deliver pipeline on the host machine, and is the regression
+//! trail for the lock-free / zero-allocation hot-path work: every run emits a
+//! machine-readable `BENCH_throughput.json` so numbers can be compared across
+//! commits.
+//!
+//! Every application run is also a conservation check: a run that is not
+//! clean, or that delivers a different number of items than it sent, panics —
+//! the CI bench-smoke step relies on this to turn silent item loss into a red
+//! build.
+
+use crate::baseline::{MutexClaimBuffer, MutexClaimResult};
+use crate::Effort;
+use apps::histogram::{run_histogram_on, HistogramConfig};
+use apps::index_gather::{run_index_gather_on, IndexGatherConfig};
+use apps::ClusterSpec;
+use metrics::Series;
+use runtime_api::{Backend, RunReport};
+use shmem::{ClaimBuffer, ClaimResult};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use tramlib::Scheme;
+
+/// The (single-node) process × worker splits each effort level sweeps.
+fn cluster_sweep(effort: Effort) -> Vec<ClusterSpec> {
+    match effort {
+        Effort::Smoke => vec![ClusterSpec::smp(1, 1, 2), ClusterSpec::smp(1, 2, 2)],
+        Effort::Paper => vec![
+            ClusterSpec::smp(1, 1, 4),
+            ClusterSpec::smp(1, 2, 4),
+            ClusterSpec::smp(1, 4, 4),
+        ],
+    }
+}
+
+fn cluster_label(cluster: &ClusterSpec) -> String {
+    format!(
+        "{}p x {}w",
+        cluster.nodes * cluster.procs_per_node,
+        cluster.workers_per_proc
+    )
+}
+
+/// Items delivered per wall-clock second, with the conservation gate applied.
+fn items_per_sec(context: &str, report: &RunReport) -> f64 {
+    assert!(report.clean, "{context}: run did not finish cleanly");
+    assert_eq!(
+        report.items_sent, report.items_delivered,
+        "{context}: item conservation violated"
+    );
+    let secs = report.total_time_ns as f64 / 1e9;
+    report.items_delivered as f64 / secs.max(1e-9)
+}
+
+/// Histogram items/sec on the native backend: all five schemes × the worker
+/// sweep.
+pub fn throughput_histogram(effort: Effort) -> Series {
+    let updates = effort.pick(1_000, 5_000);
+    let buffer = effort.pick(64, 256);
+    let clusters = cluster_sweep(effort);
+    let mut series = Series::new(
+        "Throughput: histogram on the native backend (items/sec)",
+        "cluster",
+    );
+    series.set_x_values(clusters.iter().map(cluster_label));
+    for scheme in Scheme::ALL {
+        let column = clusters
+            .iter()
+            .map(|&cluster| {
+                let report = run_histogram_on(
+                    Backend::Native,
+                    HistogramConfig::new(cluster, scheme)
+                        .with_updates(updates)
+                        .with_buffer(buffer)
+                        .with_seed(31),
+                );
+                items_per_sec(
+                    &format!("histogram/{scheme}/{}", cluster_label(&cluster)),
+                    &report,
+                )
+            })
+            .collect();
+        series.add_column(scheme.label(), column);
+    }
+    series
+}
+
+/// Index-gather items/sec (requests + responses) on the native backend.
+pub fn throughput_index_gather(effort: Effort) -> Series {
+    let requests = effort.pick(500, 2_000);
+    let buffer = effort.pick(64, 256);
+    let clusters = cluster_sweep(effort);
+    let mut series = Series::new(
+        "Throughput: index-gather on the native backend (items/sec)",
+        "cluster",
+    );
+    series.set_x_values(clusters.iter().map(cluster_label));
+    for scheme in Scheme::ALL {
+        let column = clusters
+            .iter()
+            .map(|&cluster| {
+                let report = run_index_gather_on(
+                    Backend::Native,
+                    IndexGatherConfig::new(cluster, scheme)
+                        .with_requests(requests)
+                        .with_buffer(buffer)
+                        .with_seed(37),
+                );
+                items_per_sec(
+                    &format!("index_gather/{scheme}/{}", cluster_label(&cluster)),
+                    &report,
+                )
+            })
+            .collect();
+        series.add_column(scheme.label(), column);
+    }
+    series
+}
+
+/// One step of the shared insert-race harness: what a buffer's insert did
+/// with the value.
+enum RaceStep {
+    Stored,
+    /// This inserter sealed the buffer and drained this many items.
+    Sealed(u64),
+    /// The buffer was sealed; retry with the returned value.
+    Retry(u64),
+}
+
+/// Race `threads` inserters through one shared buffer; returns inserts/sec.
+/// Sealed contents are dropped (we measure the insert path, not delivery) but
+/// still counted: the harness asserts every inserted item was drained exactly
+/// once.  Both claim-buffer implementations run through this same loop so the
+/// lock-free-vs-mutex comparison can never desynchronize.
+fn insert_race<B>(
+    buffer: Arc<B>,
+    threads: u64,
+    per_thread: u64,
+    insert: impl Fn(&B, u64) -> RaceStep + Copy + Send + 'static,
+    final_drain: impl FnOnce(&B) -> u64,
+) -> f64
+where
+    B: Send + Sync + 'static,
+{
+    let drained = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let buffer = buffer.clone();
+            let drained = drained.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let mut value = t * per_thread + i;
+                    loop {
+                        match insert(&buffer, value) {
+                            RaceStep::Stored => break,
+                            RaceStep::Sealed(count) => {
+                                drained.fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+                                break;
+                            }
+                            RaceStep::Retry(v) => {
+                                value = v;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("inserter thread panicked");
+    }
+    let leftovers = final_drain(&buffer);
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = threads * per_thread;
+    assert_eq!(
+        drained.load(std::sync::atomic::Ordering::Relaxed) + leftovers,
+        total,
+        "claim buffer lost items"
+    );
+    total as f64 / elapsed.max(1e-9)
+}
+
+/// Insert throughput of the lock-free claim buffer.
+pub fn lockfree_insert_rate(threads: u64, per_thread: u64, capacity: usize) -> f64 {
+    insert_race(
+        Arc::new(ClaimBuffer::<u64>::new(capacity)),
+        threads,
+        per_thread,
+        |buffer, value| match buffer.insert(value) {
+            ClaimResult::Stored => RaceStep::Stored,
+            ClaimResult::Sealed(items) => RaceStep::Sealed(items.len() as u64),
+            ClaimResult::Retry(v) => RaceStep::Retry(v),
+        },
+        |buffer| buffer.seal_flush().len() as u64,
+    )
+}
+
+/// Same workload through the historical mutex-based buffer.
+pub fn mutex_insert_rate(threads: u64, per_thread: u64, capacity: usize) -> f64 {
+    insert_race(
+        Arc::new(MutexClaimBuffer::<u64>::new(capacity)),
+        threads,
+        per_thread,
+        |buffer, value| match buffer.insert(value) {
+            MutexClaimResult::Stored => RaceStep::Stored,
+            MutexClaimResult::Sealed(items) => RaceStep::Sealed(items.len() as u64),
+            MutexClaimResult::Retry(v) => RaceStep::Retry(v),
+        },
+        |buffer| buffer.seal_flush().len() as u64,
+    )
+}
+
+/// The PP insert-path comparison: lock-free vs mutex claim buffer, inserts/sec
+/// over a thread sweep.  This is the before/after record for the lock-free
+/// rewrite.
+pub fn pp_insert_comparison(effort: Effort) -> Series {
+    let threads: Vec<u64> = effort.pick(vec![1, 2, 4], vec![1, 2, 4, 8]);
+    let per_thread = effort.pick(50_000, 200_000);
+    let capacity = 1024;
+    let mut series = Series::new(
+        "Throughput: PP insert path - lock-free vs mutex claim buffer (inserts/sec)",
+        "threads",
+    );
+    series.set_x_values(threads.iter().map(|t| format!("{t}thr")));
+    series.add_column(
+        "lockfree",
+        threads
+            .iter()
+            .map(|&t| lockfree_insert_rate(t, per_thread, capacity))
+            .collect(),
+    );
+    series.add_column(
+        "mutex",
+        threads
+            .iter()
+            .map(|&t| mutex_insert_rate(t, per_thread, capacity))
+            .collect(),
+    );
+    series
+}
+
+/// Assemble the combined `BENCH_throughput.json` document from named series.
+pub fn throughput_json(effort: Effort, series: &[(&str, &Series)]) -> String {
+    let mut out = String::from("{\"suite\":\"throughput\",\"effort\":\"");
+    out.push_str(match effort {
+        Effort::Smoke => "smoke",
+        Effort::Paper => "paper",
+    });
+    out.push_str("\",\"series\":{");
+    for (i, (name, s)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(&s.to_json());
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Write the combined document to `path`, creating parent directories.
+pub fn write_throughput_json(
+    path: &Path,
+    effort: Effort,
+    series: &[(&str, &Series)],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, throughput_json(effort, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_rates_are_positive_and_conserving() {
+        assert!(lockfree_insert_rate(2, 2_000, 64) > 0.0);
+        assert!(mutex_insert_rate(2, 2_000, 64) > 0.0);
+    }
+
+    #[test]
+    fn smoke_sweep_runs_every_scheme_on_both_apps() {
+        for series in [
+            throughput_histogram(Effort::Smoke),
+            throughput_index_gather(Effort::Smoke),
+        ] {
+            for scheme in Scheme::ALL {
+                let col = series
+                    .column(scheme.label())
+                    .unwrap_or_else(|| panic!("missing {scheme}"));
+                assert!(
+                    col.iter().all(|&v| v > 0.0),
+                    "{scheme}: non-positive throughput"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_document_contains_every_series() {
+        let s = pp_insert_comparison(Effort::Smoke);
+        let json = throughput_json(Effort::Smoke, &[("pp_insert", &s)]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pp_insert\""));
+        assert!(json.contains("\"lockfree\""));
+        assert!(json.contains("\"mutex\""));
+    }
+}

@@ -5,12 +5,13 @@
 //!
 //! ```text
 //! worker thread ──insert──▶ Aggregator (WW/WPs/WsP/NoAgg, private)
-//!                           ClaimBuffer (PP, shared per process)  ── sealed/
+//!                           ClaimBuffer (PP, shared, lock-free)   ── sealed/
 //!          ▲                                                         flushed
-//!          │ local bypass (same process): item slice                    │
+//!          │ local bypass (same process): item *batches*                │
 //!          ▼                                                            ▼
 //! peer worker inbox ◀──SPSC ring── collector thread ◀──MPSC── OutboundMessage
-//!                                   (tramlib::Receiver grouping pass)
+//!            spent batches ──SPSC──▶ (PooledReceiver grouping pass,
+//!                                     recycles every vector)
 //! ```
 //!
 //! **Termination.**  Every `send` increments a global `items_sent` counter and
@@ -33,12 +34,16 @@ use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
 use shmem::{ClaimBuffer, ClaimResult, SpscRing};
 use sim_core::StreamRng;
 use tramlib::{
-    Aggregator, EmitReason, Item, MessageDest, OutboundMessage, Owner, Receiver, Scheme,
+    Aggregator, EmitReason, Item, MessageDest, OutboundMessage, Owner, PooledReceiver, Scheme,
     TramConfig, TramStats,
 };
 
 /// A slice of items, all addressed to the same worker, ready for its handler.
 type Batch = Vec<Item<Payload>>;
+
+/// How many spare delivered-batch vectors a worker keeps for its own
+/// local-bypass batches before dropping further returns.
+const SPARE_BATCHES: usize = 32;
 
 /// Configuration of one native threaded run.
 #[derive(Debug, Clone, Copy)]
@@ -51,19 +56,24 @@ pub struct NativeBackendConfig {
     pub seed: u64,
     /// Capacity (in batches) of each collector→worker ring.
     pub ring_capacity: usize,
+    /// Same-process (local bypass) deliveries are shipped in batches of up to
+    /// this many items per destination worker; a worker's partial batches are
+    /// flushed whenever it runs out of other work.  1 restores per-item sends.
+    pub local_batch_items: usize,
     /// Watchdog: if the run is not quiescent after this much wall-clock time
     /// it is aborted and reported as not clean.
     pub max_wall: Duration,
 }
 
 impl NativeBackendConfig {
-    /// Defaults for `tram`: the simulator's default seed, 4096-batch rings and
-    /// a 60 s watchdog.
+    /// Defaults for `tram`: the simulator's default seed, 4096-batch rings,
+    /// 32-item local-bypass batches and a 60 s watchdog.
     pub fn new(tram: TramConfig) -> Self {
         Self {
             tram,
             seed: 0x5eed_1234,
             ring_capacity: 4096,
+            local_batch_items: 32,
             max_wall: Duration::from_secs(60),
         }
     }
@@ -71,6 +81,13 @@ impl NativeBackendConfig {
     /// Override the experiment seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the local-bypass batch size.
+    pub fn with_local_batch_items(mut self, items: usize) -> Self {
+        assert!(items > 0, "local batches must hold at least one item");
+        self.local_batch_items = items;
         self
     }
 
@@ -86,6 +103,7 @@ struct Shared {
     tram: TramConfig,
     topo: Topology,
     seed: u64,
+    local_batch_items: usize,
     /// Wall-clock origin; `now_ns` values are offsets from it.
     epoch: Instant,
     stop: AtomicBool,
@@ -96,10 +114,14 @@ struct Shared {
     /// Collector→worker rings, indexed by destination worker.  The collector
     /// is the single producer, the owning worker the single consumer.
     rings: Vec<SpscRing<Batch>>,
-    /// Same-process (local bypass) inboxes, one per worker, carrying single
-    /// items — no per-item allocation on this hot path; unbounded so workers
-    /// never block each other.
-    local_tx: Vec<Sender<Item<Payload>>>,
+    /// Worker→collector batch-return rings, indexed by source worker: spent
+    /// delivery batches travel back so the collector's grouping pool can
+    /// reuse their capacity instead of allocating per message.
+    returns: Vec<SpscRing<Batch>>,
+    /// Same-process (local bypass) inboxes, one per worker, carrying item
+    /// *batches* (one `Vec` per send instead of one channel op per item);
+    /// unbounded so workers never block each other.
+    local_tx: Vec<Sender<Batch>>,
     /// Aggregated messages on their way to the collector.
     msg_tx: Sender<OutboundMessage<Payload>>,
     /// PP only: `pp[src_proc][dst_proc]` shared claim buffers.
@@ -126,6 +148,13 @@ struct NativeWorkerCtx<'a> {
     /// TramLib statistics for the PP path, which bypasses the `Aggregator`
     /// type (the claim buffers do the buffering).
     pp_stats: TramStats,
+    /// Per-destination-worker local-bypass batches (same-process traffic),
+    /// indexed by destination worker.  Shipped when a batch reaches
+    /// `local_batch_items` or the worker runs out of other work.
+    local_out: Vec<Batch>,
+    /// Spare batch vectors recycled from delivered local batches.
+    spare_batches: Vec<Batch>,
+    local_batch_items: usize,
 }
 
 impl NativeWorkerCtx<'_> {
@@ -143,10 +172,53 @@ impl NativeWorkerCtx<'_> {
         let _ = self.shared.msg_tx.send(message);
     }
 
-    /// Deliver one same-process item straight to its destination worker.
+    /// Queue one same-process item for its destination worker.  Items ride in
+    /// per-destination batches (one channel send per batch, not per item);
+    /// partial batches are shipped by [`NativeWorkerCtx::flush_local`]
+    /// whenever the worker runs out of other work, so nothing is ever
+    /// stranded.
     fn deliver_local(&mut self, item: Item<Payload>) {
         self.counters.incr("local_deliveries");
-        let _ = self.shared.local_tx[item.dest.idx()].send(item);
+        let dest = item.dest.idx();
+        let batch = &mut self.local_out[dest];
+        if batch.is_empty() && batch.capacity() == 0 {
+            match self.spare_batches.pop() {
+                Some(spare) => *batch = spare,
+                // One allocation per batch, not log2(batch) doublings.
+                None => batch.reserve_exact(self.local_batch_items),
+            }
+        }
+        batch.push(item);
+        if batch.len() >= self.local_batch_items {
+            self.ship_local(dest);
+        }
+    }
+
+    /// Ship the pending local batch for destination worker index `dest`.
+    fn ship_local(&mut self, dest: usize) {
+        if self.local_out[dest].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.local_out[dest]);
+        self.counters.incr("local_batches");
+        // Send fails only after an aborted (watchdog) run tears the receiver
+        // down; the report is already unclean then.
+        let _ = self.shared.local_tx[dest].send(batch);
+    }
+
+    /// Ship every pending local-bypass batch.
+    fn flush_local(&mut self) {
+        for dest in 0..self.local_out.len() {
+            self.ship_local(dest);
+        }
+    }
+
+    /// Keep a delivered batch's vector for future local-bypass batches.
+    fn retain_spare(&mut self, mut batch: Batch) {
+        if self.spare_batches.len() < SPARE_BATCHES && batch.capacity() > 0 {
+            batch.clear();
+            self.spare_batches.push(batch);
+        }
     }
 
     /// PP insertion: claim a slot in the shared buffer towards the item's
@@ -258,6 +330,9 @@ impl RunCtx for NativeWorkerCtx<'_> {
     }
 
     fn flush(&mut self) {
+        // An explicit flush means "everything I sent is on its way": ship the
+        // pending local-bypass batches too.
+        self.flush_local();
         if self.shared.tram.scheme == Scheme::PP {
             self.pp_stats.record_flush_call();
             self.flush_pp(EmitReason::ExplicitFlush);
@@ -308,9 +383,10 @@ fn deliver_one(app: &mut dyn WorkerApp, ctx: &mut NativeWorkerCtx<'_>, item: Ite
     ctx.shared.items_delivered.fetch_add(1, Ordering::AcqRel);
 }
 
-/// Run one batch of delivered items through the application handler.
-fn deliver(app: &mut dyn WorkerApp, ctx: &mut NativeWorkerCtx<'_>, batch: Batch) {
-    for item in batch {
+/// Run one batch of delivered items through the application handler, leaving
+/// the (empty) vector in place so its allocation can be recycled.
+fn deliver(app: &mut dyn WorkerApp, ctx: &mut NativeWorkerCtx<'_>, batch: &mut Batch) {
+    for item in batch.drain(..) {
         deliver_one(app, ctx, item);
     }
 }
@@ -320,7 +396,7 @@ fn worker_main(
     shared: &Shared,
     me: WorkerId,
     mut app: Box<dyn WorkerApp>,
-    local_rx: ChannelReceiver<Item<Payload>>,
+    local_rx: ChannelReceiver<Batch>,
 ) -> WorkerOutput {
     let my_proc = shared.topo.proc_of_worker(me);
     let aggregator = if shared.tram.scheme == Scheme::PP {
@@ -337,10 +413,16 @@ fn worker_main(
         counters: Counters::new(),
         latency: LatencyRecorder::new(),
         pp_stats: TramStats::new(),
+        local_out: (0..shared.topo.total_workers())
+            .map(|_| Vec::new())
+            .collect(),
+        spare_batches: Vec::new(),
+        local_batch_items: shared.local_batch_items,
     };
     app.on_start(&mut ctx);
 
     let ring = &shared.rings[me.idx()];
+    let returns = &shared.returns[me.idx()];
     let mut idle_rounds = 0u32;
     loop {
         // Checked every iteration (not just on the idle path) so the watchdog
@@ -349,12 +431,18 @@ fn worker_main(
             break;
         }
         let mut did_work = false;
-        while let Some(batch) = ring.pop() {
-            deliver(&mut *app, &mut ctx, batch);
+        while let Some(mut batch) = ring.pop() {
+            deliver(&mut *app, &mut ctx, &mut batch);
+            // Send the spent vector back to the collector's grouping pool
+            // (keep it as a local spare if the return ring is full).
+            if let Err(batch) = returns.push(batch) {
+                ctx.retain_spare(batch);
+            }
             did_work = true;
         }
-        while let Ok(item) = local_rx.try_recv() {
-            deliver_one(&mut *app, &mut ctx, item);
+        while let Ok(mut batch) = local_rx.try_recv() {
+            deliver(&mut *app, &mut ctx, &mut batch);
+            ctx.retain_spare(batch);
             did_work = true;
         }
         if !did_work && !app.local_done() {
@@ -365,6 +453,9 @@ fn worker_main(
             idle_rounds = 0;
             continue;
         }
+        // Out of other work: ship any partial local-bypass batches so peers
+        // (and the quiescence check) are never left waiting on them.
+        ctx.flush_local();
         if idle_rounds == 0 {
             // Transition into idle: the same point at which the simulator
             // flushes, once per idle quantum.  Flushing on every backoff
@@ -395,13 +486,24 @@ fn worker_main(
 
 /// The communication thread's stand-in: receive aggregated messages, run the
 /// receive-side grouping pass, hand item slices to the destination workers.
+///
+/// Steady-state allocation-free: the grouping pass draws its per-worker
+/// vectors from the [`PooledReceiver`]'s free list, which is fed by the
+/// consumed message vectors and by the spent delivery batches the workers
+/// send back over the return rings.
 fn collector_main(shared: &Shared, msg_rx: ChannelReceiver<OutboundMessage<Payload>>) -> Counters {
-    let receiver = Receiver::new(shared.tram);
+    let mut receiver: PooledReceiver<Payload> = PooledReceiver::new(shared.tram);
     let mut counters = Counters::new();
     loop {
+        // Reclaim spent delivery batches the workers have returned.
+        for ring in &shared.returns {
+            while let Some(batch) = ring.pop() {
+                receiver.recycle(batch);
+            }
+        }
         match msg_rx.recv_timeout(Duration::from_millis(1)) {
             Ok(message) => {
-                let plan = receiver.process(&message);
+                let plan = receiver.process_owned(message);
                 if plan.grouping_performed {
                     counters.incr("grouping_passes");
                     counters.add("grouped_items", plan.item_count as u64);
@@ -432,6 +534,9 @@ fn collector_main(shared: &Shared, msg_rx: ChannelReceiver<OutboundMessage<Paylo
             }
         }
     }
+    let pool = receiver.pool_stats();
+    counters.add("batch_pool_hits", pool.hits);
+    counters.add("batch_pool_misses", pool.misses);
     counters
 }
 
@@ -449,6 +554,10 @@ pub fn run_threaded(
     let workers = topo.total_workers() as usize;
     assert!(workers > 0, "topology must have at least one worker");
     assert!(config.ring_capacity > 0, "ring capacity must be positive");
+    assert!(
+        config.local_batch_items > 0,
+        "local batches must hold at least one item"
+    );
 
     let (msg_tx, msg_rx) = unbounded();
     let mut local_tx = Vec::with_capacity(workers);
@@ -473,12 +582,16 @@ pub fn run_threaded(
         tram: config.tram,
         topo,
         seed: config.seed,
+        local_batch_items: config.local_batch_items,
         epoch: Instant::now(),
         stop: AtomicBool::new(false),
         items_sent: AtomicU64::new(0),
         items_delivered: AtomicU64::new(0),
         workers_done: (0..workers).map(|_| AtomicBool::new(false)).collect(),
         rings: (0..workers)
+            .map(|_| SpscRing::new(config.ring_capacity))
+            .collect(),
+        returns: (0..workers)
             .map(|_| SpscRing::new(config.ring_capacity))
             .collect(),
         local_tx,
@@ -675,6 +788,33 @@ mod tests {
         assert!(report.counter("local_deliveries") > 0);
         // With 2 processes roughly half the traffic is process-local.
         assert!(report.counter("wire_items") < report.items_sent);
+    }
+
+    #[test]
+    fn local_bypass_ships_batches_not_items() {
+        let report = run(Scheme::WPs, 500, 21);
+        assert!(report.clean);
+        let items = report.counter("local_deliveries");
+        let batches = report.counter("local_batches");
+        assert!(batches > 0, "local traffic must ride in batches");
+        assert!(
+            batches < items,
+            "batching must coalesce local sends: {batches} batches for {items} items"
+        );
+    }
+
+    #[test]
+    fn collector_grouping_pool_gets_hits_after_warmup() {
+        // A steady stream of process-addressed messages: after warm-up the
+        // collector must be recycling vectors instead of allocating.
+        let report = run(Scheme::WPs, 2_000, 5);
+        assert!(report.clean);
+        let hits = report.counter("batch_pool_hits");
+        let misses = report.counter("batch_pool_misses");
+        assert!(
+            hits > 0,
+            "collector pool must reuse vectors (hits={hits} misses={misses})"
+        );
     }
 
     #[test]

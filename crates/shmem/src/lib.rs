@@ -4,10 +4,11 @@
 //! this crate implements the real thing, so that the within-process half of the
 //! paper can be exercised with actual threads on the host machine:
 //!
-//! * [`ClaimBuffer`] — the PP insertion path: a fixed array of slots shared by
-//!   all workers of a process, filled with an atomic claim counter
-//!   (fetch-add), a commit counter, and a sealed flag so exactly one inserter
-//!   wins the right to hand the full buffer to the comm thread.
+//! * [`ClaimBuffer`] — the PP insertion path: a fixed, lock-free array of
+//!   slots shared by all workers of a process, filled with an atomic claim
+//!   counter (fetch-add) and published with a commit counter so exactly one
+//!   inserter wins the right to hand the full buffer to the comm thread.  No
+//!   mutex anywhere on the insert path.
 //! * [`SpscRing`] — the WW insertion path: a bounded single-producer
 //!   single-consumer ring buffer, one per (source worker, destination) pair,
 //!   with no atomic read-modify-write on the hot path.

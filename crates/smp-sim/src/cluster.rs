@@ -4,7 +4,7 @@ use metrics::{Counters, LatencyRecorder};
 use net_model::{ProcId, WorkerId};
 use runtime_api::{Payload, WorkerApp};
 use sim_core::{EventCtx, StreamRng};
-use tramlib::{Aggregator, OutboundMessage, Owner, Receiver, Scheme, TramStats};
+use tramlib::{Aggregator, OutboundMessage, Owner, PooledReceiver, Scheme, TramStats};
 
 use crate::config::SimConfig;
 
@@ -54,8 +54,9 @@ pub struct Cluster {
     pub workers: Vec<WorkerState>,
     /// Per-process state, indexed by [`ProcId::idx`].
     pub procs: Vec<ProcState>,
-    /// Destination-side message processor (shared, stateless).
-    pub receiver: Receiver,
+    /// Destination-side message processor (shared; owns the vector pool that
+    /// recycles message and batch allocations across deliveries).
+    pub receiver: PooledReceiver<Payload>,
     /// Per-item latency samples (creation to handler execution).
     pub latency: LatencyRecorder,
     /// Run-wide counters (wire messages, bytes, items, application counters).
@@ -109,7 +110,7 @@ impl Cluster {
             config,
             workers,
             procs,
-            receiver: Receiver::new(config.tram),
+            receiver: PooledReceiver::new(config.tram),
             latency: LatencyRecorder::new(),
             counters: Counters::new(),
             items_sent: 0,
@@ -154,6 +155,23 @@ impl Cluster {
     /// Total number of batches waiting in worker inboxes.
     pub fn pending_batches(&self) -> usize {
         self.workers.iter().map(|w| w.inbox.len()).sum()
+    }
+
+    /// Return a spent item vector (a delivered batch) to the pool closest to
+    /// where it will be reused: the delivering worker's aggregator (its next
+    /// buffer drain ships a vector away), the process-shared aggregator under
+    /// PP, or the receiver's grouping pool otherwise.
+    pub fn recycle_items(&mut self, worker: WorkerId, items: Vec<tramlib::Item<Payload>>) {
+        if let Some(agg) = self.workers[worker.idx()].aggregator.as_mut() {
+            agg.recycle(items);
+            return;
+        }
+        let proc = self.config.topology.proc_of_worker(worker);
+        if let Some(agg) = self.procs[proc.idx()].shared_aggregator.as_mut() {
+            agg.recycle(items);
+            return;
+        }
+        self.receiver.recycle(items);
     }
 
     /// Route one aggregated message from `src_proc`, emitted at `emit_ns`,

@@ -76,7 +76,8 @@ fn process_batch(app: &mut dyn WorkerApp, ctx: &mut WorkerCtx<'_, '_>, batch: De
     let costs = ctx.cluster.config.costs;
     ctx.charged_ns += batch.recv_overhead_ns;
 
-    let plan = ctx.cluster.receiver.process(&batch.message);
+    let reason = batch.message.reason;
+    let plan = ctx.cluster.receiver.process_owned(batch.message);
     if plan.grouping_performed {
         ctx.charged_ns += costs
             .worker
@@ -92,16 +93,19 @@ fn process_batch(app: &mut dyn WorkerApp, ctx: &mut WorkerCtx<'_, '_>, batch: De
     let handler_ns = costs.worker.item_handler_ns.round() as u64;
     let local_deliver_ns = costs.worker.local_deliver_ns.round() as u64;
 
-    for (dest, items) in plan.per_worker {
+    for (dest, mut items) in plan.per_worker {
         if dest == my_id {
             // Items for this worker: run the handler inline.
-            for item in items {
+            for item in items.drain(..) {
                 ctx.charged_ns += handler_ns;
                 let now = ctx.now_ns();
                 ctx.cluster.items_delivered += 1;
                 ctx.cluster.latency.record_span(item.created_at_ns, now);
                 app.on_item(item.data, item.created_at_ns, ctx);
             }
+            // The spent batch refills an aggregation buffer on this worker's
+            // next drain (or the receiver's next grouping pass).
+            ctx.cluster.recycle_items(my_id, items);
         } else {
             // Items for a peer worker in this process: pay a local delivery and
             // hand them over as a pre-grouped worker-addressed batch.
@@ -111,7 +115,7 @@ fn process_batch(app: &mut dyn WorkerApp, ctx: &mut WorkerCtx<'_, '_>, batch: De
                 dest: tramlib::MessageDest::Worker(dest),
                 items,
                 bytes: 0,
-                reason: batch.message.reason,
+                reason,
                 grouped_at_source: true,
             };
             ctx.cluster.deliver_local(ctx.ev, dest, message, at);

@@ -6,6 +6,7 @@ use crate::config::TramConfig;
 use crate::error::TramError;
 use crate::item::Item;
 use crate::message::{EmitReason, MessageDest, OutboundMessage};
+use crate::pool::{PoolStats, VecPool};
 use crate::scheme::Scheme;
 use crate::stats::TramStats;
 use net_model::{ProcId, WorkerId};
@@ -65,6 +66,11 @@ pub struct Aggregator<T> {
     /// Destination buffers, indexed by destination worker (WW) or destination
     /// process (WPs/WsP/PP).  Allocated lazily.
     buffers: Vec<Option<ItemBuffer<T>>>,
+    /// Free list of spent item vectors: each drained buffer ships its vector
+    /// away inside the message, and refills from here instead of allocating.
+    /// Substrates feed it by calling [`Aggregator::recycle`] with vectors they
+    /// have finished delivering.
+    pool: VecPool<Item<T>>,
     stats: TramStats,
 }
 
@@ -121,6 +127,7 @@ impl<T: Clone> Aggregator<T> {
             owner,
             owner_proc: owner.proc(&topo),
             buffers: (0..slots).map(|_| None).collect(),
+            pool: VecPool::default(),
             stats: TramStats::new(),
         })
     }
@@ -138,6 +145,20 @@ impl<T: Clone> Aggregator<T> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &TramStats {
         &self.stats
+    }
+
+    /// Return a spent item vector (from a message this aggregator emitted, or
+    /// any vector of the right item type) so a future drain can reuse its
+    /// capacity instead of allocating.
+    pub fn recycle(&mut self, items: Vec<Item<T>>) {
+        self.pool.put(items);
+    }
+
+    /// Reuse statistics of the internal vector pool (see
+    /// [`crate::VecPool`]): after warm-up on a steady workload, the hit rate
+    /// should be non-zero — the steady state allocates nothing per message.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Total number of items currently sitting in buffers.
@@ -195,13 +216,28 @@ impl<T: Clone> Aggregator<T> {
         }
         let bytes = self.config.message_bytes(items.len());
         self.stats.record_message(items.len(), bytes, reason);
-        OutboundMessage {
+        let message = OutboundMessage {
             dest,
             items,
             bytes,
             reason,
             grouped_at_source,
+        };
+        if self.config.detailed_dest_stats {
+            self.stats
+                .record_dest_spread(message.distinct_dest_workers());
         }
+        message
+    }
+
+    /// Drain buffer `slot`, installing recycled storage from the pool so the
+    /// next fill cycle of that destination does not allocate.
+    fn drain_slot(&mut self, slot: usize) -> Vec<Item<T>> {
+        let replacement = self.pool.take();
+        self.buffers[slot]
+            .as_mut()
+            .expect("drained slot has a buffer")
+            .drain_with(replacement)
     }
 
     /// Insert one item created at `now_ns`.
@@ -237,10 +273,11 @@ impl<T: Clone> Aggregator<T> {
         };
 
         let capacity = self.config.buffer_items;
-        let buffer = self.buffers[slot].get_or_insert_with(|| ItemBuffer::new(capacity));
-        let full = buffer.push(item, now_ns);
+        let full = self.buffers[slot]
+            .get_or_insert_with(|| ItemBuffer::new(capacity))
+            .push(item, now_ns);
         if full {
-            let items = buffer.drain();
+            let items = self.drain_slot(slot);
             let dest = self.dest_for_slot(slot);
             let msg = self.make_message(dest, items, EmitReason::BufferFull);
             InsertOutcome {
@@ -257,13 +294,11 @@ impl<T: Clone> Aggregator<T> {
     fn drain_all(&mut self, reason: EmitReason) -> Vec<OutboundMessage<T>> {
         let mut out = Vec::new();
         for slot in 0..self.buffers.len() {
-            let Some(buffer) = self.buffers[slot].as_mut() else {
-                continue;
-            };
-            if buffer.is_empty() {
-                continue;
+            match self.buffers[slot].as_ref() {
+                Some(buffer) if !buffer.is_empty() => {}
+                _ => continue,
             }
-            let items = buffer.drain();
+            let items = self.drain_slot(slot);
             let dest = self.dest_for_slot(slot);
             out.push(self.make_message(dest, items, reason));
         }
@@ -298,13 +333,11 @@ impl<T: Clone> Aggregator<T> {
         };
         let mut out = Vec::new();
         for slot in 0..self.buffers.len() {
-            let Some(buffer) = self.buffers[slot].as_mut() else {
-                continue;
-            };
-            if buffer.is_empty() || buffer.oldest_age_ns(now_ns) < timeout {
-                continue;
+            match self.buffers[slot].as_ref() {
+                Some(buffer) if !buffer.is_empty() && buffer.oldest_age_ns(now_ns) >= timeout => {}
+                _ => continue,
             }
-            let items = buffer.drain();
+            let items = self.drain_slot(slot);
             let dest = self.dest_for_slot(slot);
             out.push(self.make_message(dest, items, EmitReason::TimeoutFlush));
         }
@@ -551,6 +584,50 @@ mod tests {
         assert_eq!(stats.messages_flushed(), 1);
         assert_eq!(stats.items_inserted(), 4);
         assert_eq!(stats.items_sent(), 4);
+    }
+
+    #[test]
+    fn pool_hit_rate_positive_after_warmup_on_steady_workload() {
+        // Steady workload: fill the same destination buffer over and over,
+        // returning each message's vector as the substrate would once the
+        // items are delivered.  After the first (cold) drain every refill must
+        // come from the pool.
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        for round in 0..50u32 {
+            for i in 0..3 {
+                let out = agg.insert(item(4, round * 3 + i));
+                if let Some(msg) = out.message {
+                    agg.recycle(msg.items);
+                }
+            }
+        }
+        let stats = agg.pool_stats();
+        assert!(
+            stats.hit_rate() > 0.0,
+            "steady state must reuse message vectors: {stats:?}"
+        );
+        assert_eq!(stats.misses, 1, "only the cold first drain allocates");
+        assert_eq!(stats.hits, 49, "every later drain reuses a vector");
+    }
+
+    #[test]
+    fn dest_spread_recorded_only_when_enabled() {
+        // Default: the per-message destination histogram is off — no samples.
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        agg.insert(item(4, 1));
+        agg.insert(item(5, 2));
+        agg.insert(item(4, 3));
+        assert_eq!(agg.stats().dest_spread().count(), 0);
+
+        // Opt-in: every emitted message records its distinct-worker count.
+        let cfg = config(Scheme::WPs).with_detailed_dest_stats(true);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));
+        agg.insert(item(4, 1));
+        agg.insert(item(5, 2));
+        let msg = agg.insert(item(4, 3)).message.expect("buffer full");
+        assert_eq!(msg.item_count(), 3);
+        assert_eq!(agg.stats().dest_spread().count(), 1);
+        assert!((agg.stats().dest_spread().mean() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl<T> ItemBuffer<T> {
     pub fn push(&mut self, item: Item<T>, now_ns: u64) -> bool {
         assert!(!self.is_full(), "pushing into a full aggregation buffer");
         if self.items.is_empty() {
+            // No-op when recycled storage already carries enough capacity.
             self.items.reserve_exact(self.capacity);
             self.oldest_insert_ns = Some(now_ns);
         }
@@ -84,8 +85,16 @@ impl<T> ItemBuffer<T> {
 
     /// Take all buffered items, leaving the buffer empty.
     pub fn drain(&mut self) -> Vec<Item<T>> {
+        self.drain_with(Vec::new())
+    }
+
+    /// Take all buffered items, installing `replacement` (typically a recycled
+    /// vector from a [`crate::VecPool`]) as the new empty storage so the next
+    /// fill cycle does not have to allocate.
+    pub fn drain_with(&mut self, replacement: Vec<Item<T>>) -> Vec<Item<T>> {
+        debug_assert!(replacement.is_empty(), "replacement storage must be empty");
         self.oldest_insert_ns = None;
-        std::mem::take(&mut self.items)
+        std::mem::replace(&mut self.items, replacement)
     }
 
     /// Peek at the buffered items without draining.
@@ -155,6 +164,20 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: ItemBuffer<u32> = ItemBuffer::new(0);
+    }
+
+    #[test]
+    fn drain_with_reuses_replacement_capacity() {
+        let mut b = ItemBuffer::new(4);
+        b.push(item(1), 0);
+        let recycled = Vec::with_capacity(32);
+        let drained = b.drain_with(recycled);
+        assert_eq!(drained.len(), 1);
+        assert!(b.is_empty());
+        // The replacement's capacity is already sufficient, so the next fill
+        // cycle does not reserve again.
+        b.push(item(2), 1);
+        assert!(b.items().len() == 1);
     }
 
     #[test]

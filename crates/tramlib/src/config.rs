@@ -67,6 +67,12 @@ pub struct TramConfig {
     pub local_bypass: bool,
     /// Flush policy.
     pub flush_policy: FlushPolicy,
+    /// Collect the per-message destination-spread histogram (how many distinct
+    /// destination workers each emitted message touches).  Computing it costs
+    /// a sort (and, for schemes that do not already group at the source, a
+    /// scratch allocation) per message, so it defaults to **off** and should
+    /// only be enabled for analysis runs, never on throughput-critical paths.
+    pub detailed_dest_stats: bool,
 }
 
 impl TramConfig {
@@ -81,6 +87,7 @@ impl TramConfig {
             header_bytes: 64,
             local_bypass: true,
             flush_policy: FlushPolicy::default(),
+            detailed_dest_stats: false,
         }
     }
 
@@ -116,6 +123,13 @@ impl TramConfig {
         self
     }
 
+    /// Enable or disable the per-message destination-spread histogram (see
+    /// [`TramConfig::detailed_dest_stats`]; defaults to off).
+    pub fn with_detailed_dest_stats(mut self, enabled: bool) -> Self {
+        self.detailed_dest_stats = enabled;
+        self
+    }
+
     /// Wire size of a message carrying `items` items.
     pub fn message_bytes(&self, items: usize) -> u64 {
         self.header_bytes as u64 + items as u64 * self.item_bytes as u64
@@ -148,6 +162,16 @@ mod tests {
         assert_eq!(c.buffer_items, 1024);
         assert!(c.local_bypass);
         assert_eq!(c.flush_policy, FlushPolicy::EXPLICIT_ONLY);
+        assert!(
+            !c.detailed_dest_stats,
+            "destination histograms are analysis-only and default off"
+        );
+    }
+
+    #[test]
+    fn detailed_dest_stats_builder() {
+        let c = TramConfig::new(Scheme::WPs, topo()).with_detailed_dest_stats(true);
+        assert!(c.detailed_dest_stats);
     }
 
     #[test]

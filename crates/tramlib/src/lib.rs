@@ -54,6 +54,7 @@ pub mod config;
 pub mod error;
 pub mod item;
 pub mod message;
+pub mod pool;
 pub mod receiver;
 pub mod scheme;
 pub mod stats;
@@ -64,6 +65,7 @@ pub use config::{FlushPolicy, TramConfig};
 pub use error::TramError;
 pub use item::Item;
 pub use message::{EmitReason, MessageDest, OutboundMessage};
-pub use receiver::{DeliveryPlan, Receiver};
+pub use pool::{PoolStats, VecPool};
+pub use receiver::{DeliveryPlan, PooledReceiver, Receiver};
 pub use scheme::Scheme;
 pub use stats::TramStats;

@@ -64,12 +64,40 @@ impl<T> OutboundMessage<T> {
     }
 
     /// Number of distinct destination workers among the items.
+    ///
+    /// Allocation-free when the message was grouped at the source (the items
+    /// are already sorted by destination worker, so distinct workers are run
+    /// boundaries); unsorted messages pay a scratch sort, which is why the
+    /// per-message destination histogram is opt-in
+    /// ([`crate::TramConfig::detailed_dest_stats`]).
     pub fn distinct_dest_workers(&self) -> usize {
-        let mut dests: Vec<u32> = self.items.iter().map(|i| i.dest.0).collect();
-        dests.sort_unstable();
-        dests.dedup();
-        dests.len()
+        if self.grouped_at_source {
+            distinct_sorted_dest_workers(&self.items)
+        } else {
+            let mut dests: Vec<u32> = self.items.iter().map(|i| i.dest.0).collect();
+            dests.sort_unstable();
+            dests.dedup();
+            dests.len()
+        }
     }
+}
+
+/// Count distinct destination workers in a slice already sorted by destination
+/// worker id, without allocating.
+pub(crate) fn distinct_sorted_dest_workers<T>(items: &[Item<T>]) -> usize {
+    debug_assert!(
+        items.windows(2).all(|w| w[0].dest.0 <= w[1].dest.0),
+        "items must be sorted by destination worker"
+    );
+    let mut distinct = 0;
+    let mut prev: Option<u32> = None;
+    for item in items {
+        if prev != Some(item.dest.0) {
+            distinct += 1;
+            prev = Some(item.dest.0);
+        }
+    }
+    distinct
 }
 
 #[cfg(test)]
@@ -100,5 +128,25 @@ mod tests {
         };
         assert_eq!(msg.item_count(), 3);
         assert_eq!(msg.distinct_dest_workers(), 2);
+    }
+
+    #[test]
+    fn distinct_dest_workers_sorted_path_counts_runs() {
+        // Grouped at source: the items are sorted, so the count is taken from
+        // run boundaries without allocating.
+        let msg = OutboundMessage {
+            dest: MessageDest::Process(ProcId(1)),
+            items: vec![
+                Item::new(WorkerId(4), 1u32, 0),
+                Item::new(WorkerId(4), 2, 0),
+                Item::new(WorkerId(5), 3, 0),
+                Item::new(WorkerId(7), 4, 0),
+            ],
+            bytes: 100,
+            reason: EmitReason::BufferFull,
+            grouped_at_source: true,
+        };
+        assert_eq!(msg.distinct_dest_workers(), 3);
+        assert_eq!(distinct_sorted_dest_workers::<u32>(&[]), 0);
     }
 }

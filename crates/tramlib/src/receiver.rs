@@ -9,10 +9,17 @@
 //! The [`Receiver`] is stateless — it turns one incoming message into a
 //! [`DeliveryPlan`] that the execution substrate (simulator or native runtime)
 //! uses both to deliver the items and to charge the appropriate costs.
+//!
+//! The hot path of both substrates uses the [`PooledReceiver`] wrapper
+//! instead: it consumes messages (no per-item clone) and recycles every spent
+//! vector — the incoming message's and the delivered per-worker batches the
+//! substrate hands back — through a [`VecPool`], so the steady-state grouping
+//! pass allocates nothing.
 
 use crate::config::TramConfig;
 use crate::item::Item;
 use crate::message::{MessageDest, OutboundMessage};
+use crate::pool::{PoolStats, VecPool};
 use net_model::WorkerId;
 
 /// What the destination must do with one incoming message.
@@ -107,6 +114,105 @@ fn group_by_worker<T: Clone>(items: &[Item<T>]) -> Vec<(WorkerId, Vec<Item<T>>)>
     groups
 }
 
+/// A destination-side processor that owns the messages it processes and
+/// recycles every vector through an internal free list.
+///
+/// Semantically identical to [`Receiver::process`] (same grouping, same
+/// ordering, same [`DeliveryPlan`] costs), but:
+///
+/// * the message is consumed, so items are *moved* into the per-worker
+///   batches instead of cloned;
+/// * the spent message vector, and any delivered batch the substrate returns
+///   via [`PooledReceiver::recycle`], feed future grouping passes, making the
+///   steady state allocation-free.
+#[derive(Debug, Clone)]
+pub struct PooledReceiver<T> {
+    inner: Receiver,
+    pool: VecPool<Item<T>>,
+}
+
+impl<T> PooledReceiver<T> {
+    /// Create a pooled receiver for the given configuration.
+    pub fn new(config: TramConfig) -> Self {
+        Self {
+            inner: Receiver::new(config),
+            pool: VecPool::default(),
+        }
+    }
+
+    /// The configuration this receiver uses.
+    pub fn config(&self) -> &TramConfig {
+        self.inner.config()
+    }
+
+    /// Return a spent per-worker batch so a future grouping pass can reuse
+    /// its capacity.
+    pub fn recycle(&mut self, items: Vec<Item<T>>) {
+        self.pool.put(items);
+    }
+
+    /// Reuse statistics of the internal vector pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Turn an incoming message into a delivery plan, consuming the message.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a process-addressed message contains an
+    /// item whose destination worker does not belong to that process.
+    pub fn process_owned(&mut self, message: OutboundMessage<T>) -> DeliveryPlan<T> {
+        let item_count = message.items.len();
+        match message.dest {
+            MessageDest::Worker(w) => {
+                // WW / NoAgg: the message already arrived at its worker; hand
+                // its vector over untouched.
+                debug_assert!(message.items.iter().all(|i| i.dest == w));
+                DeliveryPlan {
+                    per_worker: vec![(w, message.items)],
+                    grouping_performed: false,
+                    item_count,
+                    worker_count: 1,
+                    local_deliveries: 0,
+                }
+            }
+            MessageDest::Process(p) => {
+                debug_assert!(
+                    message
+                        .items
+                        .iter()
+                        .all(|i| self.inner.config.topology.proc_of_worker(i.dest) == p),
+                    "process-addressed message contains foreign items"
+                );
+                let grouping_needed = !message.grouped_at_source;
+                let mut items = message.items;
+                let mut per_worker: Vec<(WorkerId, Vec<Item<T>>)> = Vec::new();
+                for item in items.drain(..) {
+                    let dest = item.dest;
+                    match per_worker.iter_mut().find(|(w, _)| *w == dest) {
+                        Some((_, bucket)) => bucket.push(item),
+                        None => {
+                            let mut bucket = self.pool.take();
+                            bucket.push(item);
+                            per_worker.push((dest, bucket));
+                        }
+                    }
+                }
+                self.pool.put(items);
+                per_worker.sort_by_key(|(w, _)| w.0);
+                let worker_count = per_worker.len();
+                DeliveryPlan {
+                    per_worker,
+                    grouping_performed: grouping_needed,
+                    item_count,
+                    worker_count,
+                    local_deliveries: worker_count,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +302,55 @@ mod tests {
         let plan = Receiver::new(cfg).process(msg);
         assert!(plan.grouping_performed);
         assert_eq!(plan.local_deliveries, 2);
+    }
+
+    #[test]
+    fn process_owned_matches_stateless_process() {
+        // The pooled path must produce exactly the plan of the cloning path.
+        let cfg = config(Scheme::WPs);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+        agg.insert(Item::new(WorkerId(5), 1u32, 0));
+        agg.insert(Item::new(WorkerId(4), 2, 0));
+        agg.insert(Item::new(WorkerId(5), 3, 0));
+        let msg = agg.flush().remove(0);
+
+        let reference = Receiver::new(cfg).process(&msg);
+        let mut pooled = PooledReceiver::new(cfg);
+        let plan = pooled.process_owned(msg);
+
+        assert_eq!(plan.grouping_performed, reference.grouping_performed);
+        assert_eq!(plan.item_count, reference.item_count);
+        assert_eq!(plan.worker_count, reference.worker_count);
+        assert_eq!(plan.local_deliveries, reference.local_deliveries);
+        let flatten = |plan: &DeliveryPlan<u32>| -> Vec<(u32, Vec<u32>)> {
+            plan.per_worker
+                .iter()
+                .map(|(w, items)| (w.0, items.iter().map(|i| i.data).collect()))
+                .collect()
+        };
+        assert_eq!(flatten(&plan), flatten(&reference));
+    }
+
+    #[test]
+    fn pooled_receiver_reuses_vectors_across_messages() {
+        let cfg = config(Scheme::WPs);
+        let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        for round in 0..20u32 {
+            let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+            agg.insert(Item::new(WorkerId(4), round, 0));
+            agg.insert(Item::new(WorkerId(5), round, 0));
+            let msg = agg.flush().remove(0);
+            let plan = pooled.process_owned(msg);
+            // The substrate delivers the batches, then hands the vectors back.
+            for (_, items) in plan.per_worker {
+                pooled.recycle(items);
+            }
+        }
+        let stats = pooled.pool_stats();
+        assert!(
+            stats.hit_rate() > 0.5,
+            "warmed-up grouping must reuse vectors: {stats:?}"
+        );
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub struct TramStats {
     counters: Counters,
     /// Distribution of item counts per emitted message (buffer fill levels).
     fill: OnlineStats,
+    /// Distribution of distinct destination workers per emitted message.
+    /// Only populated when [`crate::TramConfig::detailed_dest_stats`] is on —
+    /// computing the spread costs a per-message sort, so the default
+    /// throughput path never records it.
+    dest_spread: OnlineStats,
 }
 
 impl TramStats {
@@ -49,10 +54,17 @@ impl TramStats {
         self.counters.incr("flush_calls");
     }
 
+    /// Record the number of distinct destination workers one emitted message
+    /// touched (opt-in, see [`crate::TramConfig::detailed_dest_stats`]).
+    pub fn record_dest_spread(&mut self, distinct_workers: usize) {
+        self.dest_spread.record(distinct_workers as f64);
+    }
+
     /// Merge statistics from another aggregator.
     pub fn merge(&mut self, other: &TramStats) {
         self.counters.merge(&other.counters);
         self.fill.merge(&other.fill);
+        self.dest_spread.merge(&other.dest_spread);
     }
 
     /// Items accepted for aggregation (not counting local bypass).
@@ -100,6 +112,13 @@ impl TramStats {
     /// Mean number of items per emitted message.
     pub fn mean_fill(&self) -> f64 {
         self.fill.mean()
+    }
+
+    /// Mean number of distinct destination workers per emitted message, and
+    /// how many messages were sampled.  Zero samples unless the aggregator ran
+    /// with [`crate::TramConfig::detailed_dest_stats`] enabled.
+    pub fn dest_spread(&self) -> &OnlineStats {
+        &self.dest_spread
     }
 
     /// Access to the raw counters (for report output).

@@ -7,6 +7,11 @@
 //! aggregation scheme; item totals, checksums and conservation counts must be
 //! bit-identical.  This is the acceptance gate for the shared `runtime-api`
 //! contract: one app, one scheme enum, two interchangeable backends.
+//!
+//! Both backends run with vector pooling enabled (it is always on: the
+//! simulator's `PooledReceiver` + aggregator recycling, the native backend's
+//! batch-return rings and batched local bypass), so this suite also proves
+//! the zero-allocation hot paths change *performance only*, never results.
 
 use smp_aggregation::prelude::*;
 
