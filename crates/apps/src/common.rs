@@ -116,11 +116,21 @@ pub fn run_app(
 ) -> RunReport {
     match backend {
         Backend::Sim => smp_sim::run_cluster(sim, make_app),
-        Backend::Native => native_rt::run_threaded(
-            NativeBackendConfig::new(sim.tram).with_seed(sim.seed),
-            make_app,
-        ),
+        Backend::Native => run_app_native(sim, |native| native, make_app),
     }
+}
+
+/// Run one application on the native backend with backend-specific tuning
+/// applied on top of the [`SimConfig`]-derived defaults (delivery topology,
+/// ring capacities, watchdog...).  The benchmark suite uses this to A/B the
+/// mesh against the star collector on identical workloads.
+pub fn run_app_native(
+    sim: SimConfig,
+    tune: impl FnOnce(NativeBackendConfig) -> NativeBackendConfig,
+    make_app: impl FnMut(WorkerId) -> Box<dyn WorkerApp>,
+) -> RunReport {
+    let native = tune(NativeBackendConfig::new(sim.tram).with_seed(sim.seed));
+    native_rt::run_threaded(native, make_app)
 }
 
 /// Parse a `--backend {sim,native}` switch out of the process arguments

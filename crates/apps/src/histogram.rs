@@ -143,23 +143,42 @@ pub fn run_histogram(config: HistogramConfig) -> RunReport {
 /// checksums are identical across backends (only times differ: simulated vs
 /// wall-clock).
 pub fn run_histogram_on(backend: Backend, config: HistogramConfig) -> RunReport {
-    let sim = sim_config(
+    run_app(backend, histogram_sim_config(&config), |w| {
+        make_histogram_app(&config, w)
+    })
+}
+
+/// Run the histogram benchmark on the native backend with extra
+/// backend-specific tuning (delivery topology, ring sizes, watchdog).  The
+/// throughput suite uses this for its mesh-vs-star A/B runs.
+pub fn run_histogram_native(
+    config: HistogramConfig,
+    tune: impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig,
+) -> RunReport {
+    crate::common::run_app_native(histogram_sim_config(&config), tune, |w| {
+        make_histogram_app(&config, w)
+    })
+}
+
+fn histogram_sim_config(config: &HistogramConfig) -> smp_sim::SimConfig {
+    sim_config(
         config.cluster,
         config.scheme,
         config.buffer_items,
         16,
         FlushPolicy::EXPLICIT_ONLY,
         config.seed,
-    );
-    run_app(backend, sim, |w| {
-        Box::new(HistogramApp {
-            me: w,
-            remaining: config.updates_per_worker,
-            chunk: config.chunk,
-            table_size_per_worker: config.table_size_per_worker,
-            local_table: vec![0; config.table_size_per_worker as usize],
-            flushed: false,
-        })
+    )
+}
+
+fn make_histogram_app(config: &HistogramConfig, me: WorkerId) -> Box<dyn WorkerApp> {
+    Box::new(HistogramApp {
+        me,
+        remaining: config.updates_per_worker,
+        chunk: config.chunk,
+        table_size_per_worker: config.table_size_per_worker,
+        local_table: vec![0; config.table_size_per_worker as usize],
+        flushed: false,
     })
 }
 

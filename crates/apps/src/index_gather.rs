@@ -140,7 +140,25 @@ pub fn run_index_gather(config: IndexGatherConfig) -> RunReport {
 /// Run the index-gather benchmark on the chosen execution backend.  On the
 /// native backend the round-trip latency is a real wall-clock measurement.
 pub fn run_index_gather_on(backend: Backend, config: IndexGatherConfig) -> RunReport {
-    let sim = sim_config(
+    run_app(backend, index_gather_sim_config(&config), |w| {
+        make_index_gather_app(&config, w)
+    })
+}
+
+/// Run index-gather on the native backend with extra backend-specific tuning
+/// (delivery topology, ring sizes, watchdog), mirroring
+/// [`crate::histogram::run_histogram_native`].
+pub fn run_index_gather_native(
+    config: IndexGatherConfig,
+    tune: impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig,
+) -> RunReport {
+    crate::common::run_app_native(index_gather_sim_config(&config), tune, |w| {
+        make_index_gather_app(&config, w)
+    })
+}
+
+fn index_gather_sim_config(config: &IndexGatherConfig) -> smp_sim::SimConfig {
+    sim_config(
         config.cluster,
         config.scheme,
         config.buffer_items,
@@ -148,18 +166,19 @@ pub fn run_index_gather_on(backend: Backend, config: IndexGatherConfig) -> RunRe
         // Responders only react to arrivals, so buffers must drain on idle.
         FlushPolicy::ON_IDLE,
         config.seed,
-    );
-    run_app(backend, sim, |w| {
-        Box::new(IndexGatherApp {
-            me: w,
-            remaining: config.requests_per_worker,
-            chunk: config.chunk,
-            table_size_per_worker: config.table_size_per_worker,
-            table: (0..config.table_size_per_worker)
-                .map(|i| i * 7 + w.0 as u64)
-                .collect(),
-            responses_received: 0,
-        })
+    )
+}
+
+fn make_index_gather_app(config: &IndexGatherConfig, me: WorkerId) -> Box<dyn WorkerApp> {
+    Box::new(IndexGatherApp {
+        me,
+        remaining: config.requests_per_worker,
+        chunk: config.chunk,
+        table_size_per_worker: config.table_size_per_worker,
+        table: (0..config.table_size_per_worker)
+            .map(|i| i * 7 + me.0 as u64)
+            .collect(),
+        responses_received: 0,
     })
 }
 

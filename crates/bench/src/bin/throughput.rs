@@ -1,21 +1,35 @@
-//! The throughput sweep: items/sec per scheme on the native backend, plus the
-//! PP insert-path lock-free-vs-mutex comparison, emitted as one
-//! machine-readable `BENCH_throughput.json`.
+//! The throughput sweep: items/sec per scheme on the native backend (mesh
+//! delivery, with a star-topology A/B series), plus the PP insert-path
+//! lock-free-vs-mutex comparison, emitted as one machine-readable
+//! `BENCH_throughput.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin throughput             # full sweep
-//! cargo run --release -p bench --bin throughput -- --fast   # CI smoke sizes
-//! cargo run --release -p bench --bin throughput -- --out p  # custom path
+//! cargo run --release -p bench --bin throughput              # full sweep
+//! cargo run --release -p bench --bin throughput -- --fast    # CI smoke sizes
+//! cargo run --release -p bench --bin throughput -- --out p   # custom path
+//! cargo run --release -p bench --bin throughput -- \
+//!     --fast --check BENCH_throughput.json                   # regression gate
 //! ```
 //!
 //! Every application run doubles as a conservation check (clean termination,
 //! `items_sent == items_delivered`); a violation panics, so a zero exit code
 //! means both "numbers emitted" and "no item lost".
+//!
+//! `--check` compares the fresh (smoke) results against the smoke-baseline
+//! series embedded in the committed document and exits non-zero if any
+//! scheme's **normalized** throughput (relative to the best scheme of the
+//! same run — hardware-independent) regressed more than the tolerance
+//! (default 30%, override via `BENCH_REGRESSION_TOLERANCE`).  Full runs
+//! embed those smoke baselines automatically so the gate always has
+//! something to compare against.
 
+use bench::regression::{regression_gate, tolerance_from_env, TOLERANCE_ENV};
 use bench::throughput::{
-    pp_insert_comparison, throughput_histogram, throughput_index_gather, write_throughput_json,
+    pp_insert_comparison, throughput_histogram, throughput_histogram_on, throughput_index_gather,
+    write_throughput_json,
 };
 use bench::Effort;
+use native_rt::DeliveryTopology;
 use std::path::PathBuf;
 
 fn main() {
@@ -31,6 +45,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_throughput.json"));
+    let check: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check takes a path").into());
 
     println!("# smp-aggregation throughput suite (effort: {effort:?})\n");
 
@@ -41,16 +59,69 @@ fn main() {
     let pp_insert = pp_insert_comparison(effort);
     println!("{}\n", pp_insert.to_text());
 
-    write_throughput_json(
-        &out,
-        effort,
-        &[
-            ("histogram_native", &histogram),
-            ("index_gather_native", &index_gather),
-            ("pp_insert", &pp_insert),
-        ],
-    )
-    .expect("write BENCH_throughput.json");
+    let mut series: Vec<(&str, &metrics::Series)> = vec![
+        ("histogram_native", &histogram),
+        ("index_gather_native", &index_gather),
+        ("pp_insert", &pp_insert),
+    ];
+
+    // Full runs also record the star-topology A/B line and the smoke-sized
+    // baselines the CI regression gate compares against.
+    let mut extra = Vec::new();
+    if effort == Effort::Paper {
+        let star = throughput_histogram_on(effort, DeliveryTopology::Star);
+        println!("{}\n", star.to_text());
+        extra.push(("histogram_native_star", star));
+        extra.push((
+            "histogram_native_smoke",
+            throughput_histogram(Effort::Smoke),
+        ));
+        extra.push((
+            "index_gather_native_smoke",
+            throughput_index_gather(Effort::Smoke),
+        ));
+    }
+    for (name, s) in &extra {
+        series.push((name, s));
+    }
+
+    write_throughput_json(&out, effort, &series).expect("write BENCH_throughput.json");
     println!("item conservation held on every run");
     println!("-> {}", out.display());
+
+    if let Some(committed_path) = check {
+        let committed = std::fs::read_to_string(&committed_path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", committed_path.display()));
+        let tolerance = tolerance_from_env();
+        println!(
+            "\n# regression gate vs {} (tolerance {:.0}%, env {TOLERANCE_ENV})",
+            committed_path.display(),
+            tolerance * 100.0
+        );
+        let fresh: Vec<(&str, &metrics::Series)> = vec![
+            ("histogram_native", &histogram),
+            ("index_gather_native", &index_gather),
+        ];
+        let outcome = regression_gate(&committed, &fresh, tolerance)
+            .unwrap_or_else(|e| panic!("--check: {e}"));
+        for line in &outcome.details {
+            println!("  {line}");
+        }
+        assert!(
+            outcome.series_checked == fresh.len() && outcome.checks > 0,
+            "regression gate covered {}/{} series ({} comparisons) — the committed \
+             document lacks smoke baselines with matching sweep labels",
+            outcome.series_checked,
+            fresh.len(),
+            outcome.checks,
+        );
+        if !outcome.passed() {
+            println!("\nREGRESSION GATE FAILED:");
+            for failure in &outcome.failures {
+                println!("  {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!("regression gate passed ({} comparisons)", outcome.checks);
+    }
 }

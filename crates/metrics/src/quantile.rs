@@ -14,8 +14,14 @@ pub struct QuantileSketch {
     log_gamma: f64,
     /// Count of samples equal to zero (they get their own bucket).
     zero_count: u64,
-    /// Sparse bucket counts indexed by bucket id.
-    buckets: std::collections::BTreeMap<i32, u64>,
+    /// Dense bucket counts: `buckets[i]` is the count for key
+    /// `first_key + i`.  Keys for nanosecond-scale data cluster in a few
+    /// hundred consecutive ids, so a dense vector costs a few KB and makes
+    /// `record` a bounds-checked increment instead of a tree walk — this
+    /// sits on the per-item latency path of the native runtime.
+    buckets: Vec<u64>,
+    /// Key of `buckets[0]`; meaningful only while `buckets` is non-empty.
+    first_key: i32,
     count: u64,
     max: f64,
     min: f64,
@@ -42,11 +48,29 @@ impl QuantileSketch {
             gamma,
             log_gamma: gamma.ln(),
             zero_count: 0,
-            buckets: std::collections::BTreeMap::new(),
+            buckets: Vec::new(),
+            first_key: 0,
             count: 0,
             max: f64::NEG_INFINITY,
             min: f64::INFINITY,
         }
+    }
+
+    /// Mutable count slot for bucket `key`, growing the dense range to cover
+    /// it (growth is rare: the range quickly spans all observed magnitudes).
+    fn bucket_mut(&mut self, key: i32) -> &mut u64 {
+        if self.buckets.is_empty() {
+            self.first_key = key;
+            self.buckets.push(0);
+        } else if key < self.first_key {
+            let shortfall = (self.first_key - key) as usize;
+            self.buckets
+                .splice(0..0, std::iter::repeat(0).take(shortfall));
+            self.first_key = key;
+        } else if (key - self.first_key) as usize >= self.buckets.len() {
+            self.buckets.resize((key - self.first_key) as usize + 1, 0);
+        }
+        &mut self.buckets[(key - self.first_key) as usize]
     }
 
     /// Record one non-negative sample. Negative samples are clamped to zero.
@@ -60,7 +84,7 @@ impl QuantileSketch {
             return;
         }
         let key = (x.ln() / self.log_gamma).ceil() as i32;
-        *self.buckets.entry(key).or_insert(0) += 1;
+        *self.bucket_mut(key) += 1;
     }
 
     /// Merge another sketch (must have been built with the same relative error).
@@ -75,8 +99,10 @@ impl QuantileSketch {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
-        for (k, v) in &other.buckets {
-            *self.buckets.entry(*k).or_insert(0) += v;
+        for (i, v) in other.buckets.iter().enumerate() {
+            if *v > 0 {
+                *self.bucket_mut(other.first_key + i as i32) += v;
+            }
         }
     }
 
@@ -100,11 +126,11 @@ impl QuantileSketch {
             return 0.0;
         }
         let mut seen = self.zero_count;
-        for (k, v) in &self.buckets {
+        for (i, v) in self.buckets.iter().enumerate() {
             seen += v;
             if seen > rank {
                 // Midpoint of bucket k in value space: gamma^(k-1) .. gamma^k.
-                let upper = self.gamma.powi(*k);
+                let upper = self.gamma.powi(self.first_key + i as i32);
                 let lower = upper / self.gamma;
                 return ((lower + upper) / 2.0).min(self.max).max(self.min);
             }

@@ -70,6 +70,11 @@ impl Series {
         self.columns.iter().map(|(n, _)| n.as_str()).collect()
     }
 
+    /// The x-axis tick labels.
+    pub fn x_values(&self) -> &[String] {
+        &self.x_values
+    }
+
     /// Number of x-axis points.
     pub fn len(&self) -> usize {
         self.x_values.len()

@@ -11,12 +11,17 @@
 //!   [`shmem::ClaimBuffer`]s with atomic slot claiming — one buffer per
 //!   destination process, exactly the contended path §III-C of the paper
 //!   analyses;
-//! * a dedicated **collector thread** plays the communication thread: it
-//!   receives sealed/flushed messages, performs the receive-side grouping pass
-//!   ([`tramlib::Receiver`]) and hands the per-worker item slices back to the
-//!   destination workers over [`shmem::SpscRing`]s;
-//! * same-process items bypass aggregation and travel worker-to-worker
-//!   through shared memory, mirroring the simulator's local-bypass path.
+//! * delivery runs over a direct **worker↔worker mesh** of bounded
+//!   [`shmem::SpscRing`]s by default: sealed/flushed messages go straight to
+//!   the destination worker, which runs the receive-side grouping pass
+//!   ([`tramlib::PooledReceiver`]) locally — no thread touches traffic it
+//!   does not own, and the only central component left is the quiescence
+//!   monitor (watchdog + sent/delivered counter sums);
+//! * the historical **collector-thread star** survives as
+//!   [`DeliveryTopology::Star`] so `bench::throughput` can A/B the two
+//!   topologies;
+//! * same-process items bypass aggregation and travel worker-to-worker in
+//!   batches, mirroring the simulator's local-bypass path.
 //!
 //! Applications implement the backend-agnostic
 //! [`runtime_api::WorkerApp`] trait and run unchanged on either backend; the
@@ -32,4 +37,4 @@ pub mod micro;
 pub mod threaded;
 
 pub use micro::{run_native, NativeConfig, NativeReport, NativeScheme};
-pub use threaded::{run_threaded, NativeBackendConfig};
+pub use threaded::{run_threaded, DeliveryTopology, NativeBackendConfig};

@@ -1,0 +1,498 @@
+//! The native backend's per-worker [`RunCtx`] implementation, shared by both
+//! delivery topologies.
+//!
+//! The context owns everything a worker thread touches per item — aggregator,
+//! RNG, counters, local-bypass batches, the mesh overflow stash — and routes
+//! emitted messages to the run's delivery plane: the collector channel on the
+//! star, the per-pair SPSC rings on the mesh.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+
+use metrics::{Counters, LatencyRecorder};
+use net_model::{ProcId, WorkerId};
+use runtime_api::{Payload, RunCtx, WorkerApp};
+use shmem::ClaimResult;
+use sim_core::StreamRng;
+use tramlib::{
+    Aggregator, EmitReason, Item, MessageDest, OutboundMessage, Owner, Scheme, TramStats,
+};
+
+use super::{Batch, Envelope, Plane, Shared, SPARE_BATCHES};
+
+/// The native backend's [`RunCtx`] implementation, one per worker thread.
+pub(crate) struct NativeWorkerCtx<'a> {
+    pub(crate) shared: &'a Shared,
+    pub(crate) me: WorkerId,
+    pub(crate) my_proc: ProcId,
+    /// Worker-owned aggregator (None under PP, where the process-shared claim
+    /// buffers take its place).
+    pub(crate) aggregator: Option<Aggregator<Payload>>,
+    pub(crate) rng: StreamRng,
+    pub(crate) counters: Counters,
+    pub(crate) latency: LatencyRecorder,
+    /// TramLib statistics for the PP path, which bypasses the `Aggregator`
+    /// type (the claim buffers do the buffering).
+    pub(crate) pp_stats: TramStats,
+    /// Per-destination-worker local-bypass batches (same-process traffic),
+    /// indexed by destination worker.  Shipped when a batch reaches
+    /// `local_batch_items` or the worker runs out of other work.
+    pub(crate) local_out: Vec<Batch>,
+    /// Spare batch vectors recycled from delivered local batches.
+    pub(crate) spare_batches: Vec<Batch>,
+    pub(crate) local_batch_items: usize,
+    /// Cached wall-clock offset, refreshed once per delivered batch / loop
+    /// iteration instead of per item: at millions of items per second the
+    /// two per-item clock reads (creation stamp + latency span) would
+    /// otherwise dominate the handler itself.
+    pub(crate) now_cache: u64,
+    /// Sends not yet published to this worker's shared `items_sent` slot.
+    /// Flushed by [`NativeWorkerCtx::publish_sent`] *before* anything leaves
+    /// the worker (message emit, local-batch ship) and once per scheduling
+    /// loop, so the quiescence invariant — an item's sent increment
+    /// happens-before its delivered increment — still holds while the hot
+    /// path pays one atomic per batch instead of one per item.  PP sends
+    /// bypass this accumulator: an item inserted into a process-shared claim
+    /// buffer can be sealed and emitted by a *sibling* worker before this
+    /// worker publishes, so it must be counted at insert time.
+    pub(crate) pending_sent: u64,
+    /// Delivered items not yet published to the shared counter; published
+    /// once per scheduling loop, strictly after [`NativeWorkerCtx::
+    /// publish_sent`], so a delivered item's handler-generated sends are
+    /// always counted first (sent sum ≥ delivered sum at every observable
+    /// instant).
+    pub(crate) pending_delivered: u64,
+    /// Mesh only: per-destination overflow stash for envelopes whose ring was
+    /// full.  Retried every loop iteration; a sender therefore never blocks,
+    /// which is what makes the all-pairs mesh deadlock-free.
+    pub(crate) stash: Vec<VecDeque<Envelope>>,
+    /// Total envelopes currently stashed (cheap emptiness check).
+    pub(crate) stash_len: usize,
+    /// Mesh + NoAgg only: route every envelope through the stash and publish
+    /// rings once per loop via the batched [`shmem::SpscRing::push_from`].
+    /// NoAgg ships one envelope per item; pushing each individually would pay
+    /// a cold ring-slot write and a tail publication per item.
+    pub(crate) defer_pushes: bool,
+}
+
+impl<'a> NativeWorkerCtx<'a> {
+    /// Build the context for worker `me`.  `stash_lanes` is the worker count
+    /// on the mesh and 0 on the star (which never stashes).
+    pub(crate) fn new(shared: &'a Shared, me: WorkerId, stash_lanes: usize) -> Self {
+        let my_proc = shared.topo.proc_of_worker(me);
+        let aggregator = if shared.tram.scheme == Scheme::PP {
+            None
+        } else {
+            Some(Aggregator::new(shared.tram, Owner::Worker(me)))
+        };
+        Self {
+            shared,
+            me,
+            my_proc,
+            aggregator,
+            rng: StreamRng::new(shared.seed, me.0 as u64),
+            counters: Counters::new(),
+            latency: LatencyRecorder::new(),
+            pp_stats: TramStats::new(),
+            local_out: (0..shared.topo.total_workers())
+                .map(|_| Vec::new())
+                .collect(),
+            spare_batches: Vec::new(),
+            local_batch_items: shared.local_batch_items,
+            now_cache: 0,
+            pending_sent: 0,
+            pending_delivered: 0,
+            stash: (0..stash_lanes).map(|_| VecDeque::new()).collect(),
+            stash_len: 0,
+            defer_pushes: stash_lanes > 0 && shared.tram.scheme == Scheme::NoAgg,
+        }
+    }
+
+    /// Publish accumulated sends to this worker's shared sent counter.  Must
+    /// run before any envelope leaves the worker and once per loop iteration
+    /// (before the done flag is stored) — see the field docs.
+    pub(crate) fn publish_sent(&mut self) {
+        if self.pending_sent > 0 {
+            self.shared.items_sent[self.me.idx()].fetch_add(self.pending_sent, Ordering::Relaxed);
+            self.pending_sent = 0;
+        }
+    }
+
+    /// Publish accumulated deliveries.  Call once per scheduling loop,
+    /// strictly after [`NativeWorkerCtx::publish_sent`] (see the
+    /// `pending_delivered` docs), and once before the worker exits.
+    pub(crate) fn publish_delivered(&mut self) {
+        if self.pending_delivered > 0 {
+            self.shared.items_delivered[self.me.idx()]
+                .fetch_add(self.pending_delivered, Ordering::AcqRel);
+            self.pending_delivered = 0;
+        }
+    }
+
+    /// Re-read the wall clock into the per-item timestamp cache.
+    pub(crate) fn refresh_now(&mut self) {
+        self.now_cache = self.shared.now_ns();
+    }
+
+    /// Hand an aggregated message to the delivery plane, recording the wire
+    /// counters the simulator records in its routing layer.
+    pub(crate) fn emit(&mut self, message: OutboundMessage<Payload>) {
+        self.publish_sent();
+        self.counters.incr("wire_messages");
+        self.counters.add("wire_bytes", message.bytes);
+        self.counters.add("wire_items", message.items.len() as u64);
+        if message.reason.is_flush() {
+            self.counters.incr("wire_messages_flush");
+        }
+        match &self.shared.plane {
+            // Send fails only after an aborted (watchdog) run tears the
+            // collector down; the report is already unclean then.
+            Plane::Star(star) => {
+                let _ = star.msg_tx.send(message);
+            }
+            Plane::Mesh(_) => {
+                let target = match message.dest {
+                    MessageDest::Worker(w) => w,
+                    // Same spread rule as the simulator: the (src proc, dst
+                    // proc) pair pins the worker that runs the grouping pass.
+                    MessageDest::Process(p) => self.shared.topo.group_receiver(self.my_proc, p),
+                };
+                // Single-item worker-addressed messages (NoAgg) ride inline;
+                // their vector is recycled here, where it came from.
+                if message.items.len() == 1 && matches!(message.dest, MessageDest::Worker(_)) {
+                    let mut items = message.items;
+                    let item = items.pop().expect("one item");
+                    if let Some(agg) = self.aggregator.as_mut() {
+                        agg.recycle(items);
+                    }
+                    self.push_mesh(target, Envelope::Single(item));
+                } else {
+                    self.push_mesh(target, Envelope::Message(message));
+                }
+            }
+        }
+    }
+
+    /// Push one envelope onto this worker's mesh row, stashing it if the ring
+    /// is full (or if earlier envelopes for the same destination are already
+    /// stashed — per-pair FIFO order is preserved).
+    pub(crate) fn push_mesh(&mut self, dst: WorkerId, envelope: Envelope) {
+        let d = dst.idx();
+        if !self.defer_pushes && self.stash[d].is_empty() {
+            let mesh = self.shared.plane.mesh();
+            if let Err(rejected) = mesh.ring(self.me.idx(), d).push(envelope) {
+                self.stash[d].push_back(rejected);
+                self.stash_len += 1;
+            }
+        } else {
+            self.stash[d].push_back(envelope);
+            self.stash_len += 1;
+        }
+    }
+
+    /// Move stashed envelopes onto their rings (batched: one tail publication
+    /// per destination).  Returns true if any envelope moved.  Publishes
+    /// pending sends first: an envelope must never become visible to its
+    /// consumer before the sends it carries are counted.
+    pub(crate) fn flush_stash(&mut self) -> bool {
+        if self.stash_len == 0 {
+            return false;
+        }
+        self.publish_sent();
+        let mesh = self.shared.plane.mesh();
+        let me = self.me.idx();
+        let mut moved = 0;
+        for dst in 0..self.stash.len() {
+            if self.stash[dst].is_empty() {
+                continue;
+            }
+            moved += mesh.ring(me, dst).push_from(&mut self.stash[dst]);
+        }
+        self.stash_len -= moved;
+        moved > 0
+    }
+
+    /// Queue one same-process item for its destination worker.  Items ride in
+    /// per-destination batches (one plane operation per batch, not per item);
+    /// partial batches are shipped by [`NativeWorkerCtx::flush_local`]
+    /// whenever the worker runs out of other work, so nothing is ever
+    /// stranded.
+    pub(crate) fn deliver_local(&mut self, item: Item<Payload>) {
+        self.counters.incr("local_deliveries");
+        let dest = item.dest.idx();
+        let batch = &mut self.local_out[dest];
+        if batch.is_empty() && batch.capacity() == 0 {
+            if let Some(spare) = self.spare_batches.pop() {
+                *batch = spare;
+            } else if let Some(agg) = self.aggregator.as_mut() {
+                *batch = agg.take_pooled();
+            }
+            if batch.capacity() == 0 {
+                // One allocation per batch, not log2(batch) doublings.
+                batch.reserve_exact(self.local_batch_items);
+            }
+        }
+        batch.push(item);
+        if batch.len() >= self.local_batch_items {
+            self.ship_local(dest);
+        }
+    }
+
+    /// Ship the pending local batch for destination worker index `dest`.
+    fn ship_local(&mut self, dest: usize) {
+        if self.local_out[dest].is_empty() {
+            return;
+        }
+        self.publish_sent();
+        let batch = std::mem::take(&mut self.local_out[dest]);
+        self.counters.incr("local_batches");
+        match &self.shared.plane {
+            // Send fails only after an aborted (watchdog) run tears the
+            // receiver down; the report is already unclean then.
+            Plane::Star(star) => {
+                let _ = star.local_tx[dest].send(batch);
+            }
+            Plane::Mesh(_) => self.push_mesh(WorkerId(dest as u32), Envelope::Batch(batch)),
+        }
+    }
+
+    /// Ship every pending local-bypass batch.
+    pub(crate) fn flush_local(&mut self) {
+        for dest in 0..self.local_out.len() {
+            self.ship_local(dest);
+        }
+    }
+
+    /// Keep a delivered batch's vector for future local-bypass batches.
+    pub(crate) fn retain_spare(&mut self, mut batch: Batch) {
+        if self.spare_batches.len() < SPARE_BATCHES && batch.capacity() > 0 {
+            batch.clear();
+            self.spare_batches.push(batch);
+        }
+    }
+
+    /// Take back a spent vector that came home over a return ring.  The
+    /// aggregator's pool gets it (it ships a vector away with every sealed
+    /// buffer, and the local-bypass path draws from the same pool); under PP
+    /// there is no aggregator, so the vector joins the local spares.
+    pub(crate) fn reclaim(&mut self, batch: Batch) {
+        if batch.capacity() == 0 {
+            return;
+        }
+        match self.aggregator.as_mut() {
+            Some(agg) => agg.recycle(batch),
+            None => self.retain_spare(batch),
+        }
+    }
+
+    /// Send a spent vector back to the worker that filled it (mesh only).
+    /// Falls back to local reuse when the return ring is full or the vector
+    /// was this worker's own.  Single-item vectors (NoAgg's per-item
+    /// messages) are simply dropped: a 32-byte allocation on the sender is
+    /// cheaper than a cold return-ring round trip per item.  Anything
+    /// larger goes home — even tiny configured buffers rely on the return
+    /// path for their allocation-free steady state.
+    pub(crate) fn return_spent(&mut self, src: usize, batch: Batch) {
+        if batch.capacity() < 2 {
+            return;
+        }
+        if src == self.me.idx() {
+            self.reclaim(batch);
+            return;
+        }
+        let mesh = self.shared.plane.mesh();
+        if let Err(batch) = mesh.return_ring(src, self.me.idx()).push(batch) {
+            self.reclaim(batch);
+        }
+    }
+
+    /// PP insertion: claim a slot in the shared buffer towards the item's
+    /// destination process, forwarding the sealed contents if this worker
+    /// claimed the last slot.
+    fn send_pp(&mut self, item: Item<Payload>) {
+        let shared = self.shared;
+        let dst_proc = shared.topo.proc_of_worker(item.dest);
+        if shared.tram.local_bypass && dst_proc == self.my_proc {
+            self.pp_stats.record_local_bypass();
+            self.deliver_local(item);
+            return;
+        }
+        self.pp_stats.record_insert();
+        let buffer = &shared.pp[self.my_proc.idx()][dst_proc.idx()];
+        let mut pending = item;
+        let mut attempts = 0u32;
+        loop {
+            match buffer.insert(pending) {
+                ClaimResult::Stored => break,
+                ClaimResult::Sealed(items) => {
+                    self.emit_pp(dst_proc, items, EmitReason::BufferFull);
+                    break;
+                }
+                ClaimResult::Retry(value) => {
+                    pending = value;
+                    // A Retry means another worker is mid-drain of the sealed
+                    // buffer; on an oversubscribed host it needs our CPU to
+                    // finish, so escalate from spinning to yielding.
+                    if attempts < 32 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    attempts = attempts.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Wrap drained PP items into an outbound process-addressed message.
+    fn emit_pp(&mut self, dst_proc: ProcId, items: Vec<Item<Payload>>, reason: EmitReason) {
+        if items.is_empty() {
+            return;
+        }
+        let bytes = self.shared.tram.message_bytes(items.len());
+        self.pp_stats.record_message(items.len(), bytes, reason);
+        self.emit(OutboundMessage {
+            dest: MessageDest::Process(dst_proc),
+            items,
+            bytes,
+            reason,
+            grouped_at_source: false,
+        });
+    }
+
+    /// Seal-flush every shared PP buffer of this worker's process.
+    fn flush_pp(&mut self, reason: EmitReason) {
+        let shared = self.shared;
+        for dst in 0..shared.pp[self.my_proc.idx()].len() {
+            let items = shared.pp[self.my_proc.idx()][dst].seal_flush();
+            self.emit_pp(ProcId(dst as u32), items, reason);
+        }
+    }
+
+    /// Emit messages whose buffer timeout has expired (worker-owned
+    /// aggregators only; the PP claim buffers keep no per-item timestamps).
+    pub(crate) fn poll_timeout(&mut self) {
+        let now = self.shared.now_ns();
+        if let Some(mut agg) = self.aggregator.take() {
+            agg.poll_timeout_each(now, |message| self.emit(message));
+            self.aggregator = Some(agg);
+        }
+    }
+
+    /// Fold the aggregator's (and, on the mesh, the receiver's) pool reuse
+    /// statistics into this worker's counters before the thread exits.
+    pub(crate) fn export_pool_counters(&mut self) {
+        if let Some(agg) = &self.aggregator {
+            let pool = agg.pool_stats();
+            self.counters.add("agg_pool_hits", pool.hits);
+            self.counters.add("agg_pool_misses", pool.misses);
+        }
+    }
+}
+
+impl RunCtx for NativeWorkerCtx<'_> {
+    fn my_id(&self) -> WorkerId {
+        self.me
+    }
+
+    fn topology(&self) -> net_model::Topology {
+        self.shared.topo
+    }
+
+    /// Wall-clock nanoseconds since the run started (cached: refreshed once
+    /// per delivered batch / scheduling quantum, not per call).
+    fn now_ns(&self) -> u64 {
+        self.now_cache
+    }
+
+    fn rng(&mut self) -> &mut StreamRng {
+        &mut self.rng
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.counters.add(name, delta);
+    }
+
+    fn send(&mut self, dest: WorkerId, payload: Payload) {
+        let created = self.now_cache;
+        let item = Item::new(dest, payload, created);
+        if self.shared.tram.scheme == Scheme::PP {
+            // Counted eagerly: a sibling worker may seal and emit this item
+            // before our next publish (see the `pending_sent` docs).
+            self.shared.items_sent[self.me.idx()].fetch_add(1, Ordering::Relaxed);
+            self.send_pp(item);
+            return;
+        }
+        self.pending_sent += 1;
+        let agg = self.aggregator.as_mut().expect("worker aggregator");
+        let outcome = agg.insert_at(item, created);
+        if let Some(local) = outcome.local_delivery {
+            self.deliver_local(local);
+        }
+        if let Some(message) = outcome.message {
+            self.emit(message);
+        }
+    }
+
+    fn flush(&mut self) {
+        // An explicit flush means "everything I sent is on its way": ship the
+        // pending local-bypass batches too.
+        self.flush_local();
+        if self.shared.tram.scheme == Scheme::PP {
+            self.pp_stats.record_flush_call();
+            self.flush_pp(EmitReason::ExplicitFlush);
+            return;
+        }
+        if let Some(mut agg) = self.aggregator.take() {
+            agg.flush_each(|message| self.emit(message));
+            self.aggregator = Some(agg);
+        }
+    }
+
+    fn flush_on_idle(&mut self) {
+        if self.shared.tram.scheme == Scheme::PP {
+            if self.shared.tram.flush_policy.on_idle {
+                self.flush_pp(EmitReason::IdleFlush);
+            }
+            return;
+        }
+        if let Some(mut agg) = self.aggregator.take() {
+            agg.flush_on_idle_each(|message| self.emit(message));
+            self.aggregator = Some(agg);
+        }
+    }
+}
+
+/// Run one batch of delivered items through the application handler, leaving
+/// the (empty) vector in place so its allocation can be recycled.  The
+/// delivered counter is bumped once per batch, strictly after the handlers:
+/// any sends the handlers made are already counted by then, so
+/// `sent sum == delivered sum` still implies global quiescence.
+///
+/// Latency is **sampled once per batch** (its first item, which is the
+/// oldest of the cohort: batches fill in FIFO order): a per-item log-bucket
+/// sketch update costs more than the delivery itself at mesh throughput, and
+/// the native backend's latency numbers are a distribution summary, not a
+/// per-item trace.
+pub(crate) fn deliver_batch(
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    batch: &mut Batch,
+) {
+    let count = batch.len() as u64;
+    if count > 1 {
+        // One clock read per real batch keeps handler-visible timestamps
+        // honest across long drain bursts; single-item batches (NoAgg) stay
+        // on the per-quantum cache — a clock read per item is exactly the
+        // cost the inline envelope avoids.
+        ctx.refresh_now();
+    }
+    if let Some(first) = batch.first() {
+        ctx.latency.record_span(first.created_at_ns, ctx.now_cache);
+    }
+    for item in batch.drain(..) {
+        debug_assert_eq!(item.dest, ctx.me, "item delivered to wrong worker");
+        app.on_item(item.data, item.created_at_ns, ctx);
+    }
+    ctx.pending_delivered += count;
+}

@@ -1,0 +1,218 @@
+//! The mesh delivery topology: direct worker↔worker SPSC rings, no central
+//! collector on the data path.
+//!
+//! Each worker drains its column of the N×N envelope grid (one bounded SPSC
+//! ring per source worker), runs the receive-side grouping pass *locally*
+//! with its own [`PooledReceiver`], delivers its items inline and forwards
+//! process peers' slices as pre-grouped batches over its own row.  Spent
+//! vectors travel back over the per-pair return rings to whichever worker
+//! filled them, keeping every pool warm.
+//!
+//! Progress / deadlock freedom: a push onto a full ring never blocks — the
+//! envelope goes to the sender's per-destination stash and is retried at the
+//! top of every loop iteration, so every worker keeps draining its inboxes no
+//! matter how congested its own output rows are.  (A blocking push would let
+//! two workers wedge on each other's full rings, each unable to drain.)
+//! Items parked in a stash keep the sent sum ahead of the delivered sum, so
+//! the quiescence monitor cannot declare the run finished around them.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use net_model::WorkerId;
+use runtime_api::{Payload, RunCtx, WorkerApp};
+use tramlib::{MessageDest, PooledReceiver};
+
+use super::ctx::deliver_batch;
+use super::{Envelope, NativeWorkerCtx, Shared, WorkerOutput};
+
+/// Max envelopes drained from one source ring per loop iteration, so a
+/// single hot source cannot starve the others (or the idle-flush path).
+const INBOX_BUDGET: usize = 128;
+
+/// Idle backoff: yield the CPU for the first rounds (on an oversubscribed
+/// host the producers need it to make work for us), then nap with doubling
+/// duration up to the cap, so persistently idle workers stop costing the
+/// scheduler anything while busy workers finish the run.
+const IDLE_YIELDS: u32 = 2;
+const IDLE_NAP: Duration = Duration::from_micros(50);
+// Capped at 400µs: the quiescence monitor polls at 200µs, so longer naps
+// only lengthen the end-of-run tail in which late batches wait on sleeping
+// consumers.
+const IDLE_NAP_MAX_DOUBLINGS: u32 = 3;
+
+/// One worker PE on the mesh: retry stashed pushes, reclaim returned
+/// vectors, drain inbox rings, generate work, idle-flush, back off.
+pub(crate) fn worker_main(
+    shared: &Shared,
+    me: WorkerId,
+    mut app: Box<dyn WorkerApp>,
+) -> WorkerOutput {
+    let workers = shared.topo.total_workers() as usize;
+    let mut ctx = NativeWorkerCtx::new(shared, me, workers);
+    let mut receiver: PooledReceiver<Payload> = PooledReceiver::new(shared.tram);
+    // Wait out the start barrier: setup cost must not skew the measured run.
+    while !shared.go.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    ctx.refresh_now();
+    app.on_start(&mut ctx);
+
+    let mesh = shared.plane.mesh();
+    let me_i = me.idx();
+    let mut idle_rounds = 0u32;
+    let mut iteration = 0u32;
+    let mut done_stored = false;
+    // Reused drain buffer: one batched head publication per source ring.
+    let mut inbox: Vec<Envelope> = Vec::with_capacity(INBOX_BUDGET);
+    loop {
+        // Checked every iteration (not just on the idle path) so the watchdog
+        // can abort even a worker whose on_idle never stops returning true.
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        iteration = iteration.wrapping_add(1);
+        ctx.refresh_now();
+        let mut did_work = ctx.flush_stash();
+        // Reclaim spent vectors our consumers sent back.  Returns only feed
+        // pools, so probing all N rings every iteration buys nothing; every
+        // 8th iteration (and every idle one) keeps the pools warm at 1/8th
+        // of the probe cost — the probe loop itself scales with the worker
+        // count and would otherwise tax big clusters per iteration.
+        if iteration % 8 == 0 || idle_rounds > 0 {
+            for dst in 0..workers {
+                while let Some(batch) = mesh.return_ring(me_i, dst).pop() {
+                    ctx.reclaim(batch);
+                }
+            }
+        }
+        for src in 0..workers {
+            // One budgeted drain per source per iteration — a hot source gets
+            // the next helping only after every other ring (and the stash
+            // retry at the loop top) has had its turn.
+            if mesh.ring(src, me_i).pop_into(&mut inbox, INBOX_BUDGET) > 0 {
+                for envelope in inbox.drain(..) {
+                    handle_envelope(&mut *app, &mut ctx, &mut receiver, src, envelope);
+                }
+                did_work = true;
+            }
+        }
+        if !did_work && !app.local_done() {
+            did_work = app.on_idle(&mut ctx);
+        }
+        // Publish batched sends before reporting done (the monitor must see
+        // every send that precedes a true done flag), and batched deliveries
+        // strictly after the sends (a delivered item's handler-generated
+        // sends must always be counted first).  The done flag is monotonic,
+        // so one store suffices.
+        ctx.publish_sent();
+        if !done_stored && app.local_done() {
+            shared.workers_done[me_i].store(true, Ordering::Release);
+            done_stored = true;
+        }
+        ctx.publish_delivered();
+        if did_work {
+            idle_rounds = 0;
+            continue;
+        }
+        // Out of other work: ship any partial local-bypass batches so peers
+        // (and the quiescence check) are never left waiting on them.
+        ctx.flush_local();
+        if idle_rounds == 0 {
+            // Transition into idle: the same point at which the simulator
+            // flushes, once per idle quantum (an idle PP worker must not
+            // continuously seal-flush the buffers its peers are filling).
+            ctx.flush_on_idle();
+        }
+        ctx.poll_timeout();
+        idle_rounds += 1;
+        if idle_rounds <= IDLE_YIELDS {
+            std::thread::yield_now();
+        } else {
+            let doublings = (idle_rounds - IDLE_YIELDS - 1).min(IDLE_NAP_MAX_DOUBLINGS);
+            std::thread::sleep(IDLE_NAP * (1 << doublings));
+        }
+    }
+
+    // The final (possibly abort-interrupted) iteration may hold unpublished
+    // counts; the run report reads the sums after every thread joins.
+    ctx.publish_sent();
+    ctx.publish_delivered();
+    ctx.export_pool_counters();
+    let pool = receiver.pool_stats();
+    ctx.counters.add("batch_pool_hits", pool.hits);
+    ctx.counters.add("batch_pool_misses", pool.misses);
+    let mut tram = ctx.pp_stats;
+    if let Some(agg) = &ctx.aggregator {
+        tram.merge(agg.stats());
+    }
+    WorkerOutput {
+        app,
+        counters: ctx.counters,
+        latency: ctx.latency,
+        tram,
+    }
+}
+
+/// Process one envelope popped from the ring of source worker `src`.
+fn handle_envelope(
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    receiver: &mut PooledReceiver<Payload>,
+    src: usize,
+    envelope: Envelope,
+) {
+    match envelope {
+        // A worker-addressed raw batch: local-bypass traffic or a slice a
+        // peer already grouped for us.  Straight to the handler.
+        Envelope::Batch(mut batch) => {
+            deliver_batch(app, ctx, &mut batch);
+            ctx.return_spent(src, batch);
+        }
+        // An inline single-item message (NoAgg): nothing to group, nothing
+        // to return.
+        Envelope::Single(item) => {
+            debug_assert_eq!(item.dest, ctx.me, "item delivered to wrong worker");
+            ctx.latency.record_span(item.created_at_ns, ctx.now_cache);
+            app.on_item(item.data, item.created_at_ns, ctx);
+            ctx.pending_delivered += 1;
+        }
+        Envelope::Message(message) => match message.dest {
+            // WW / NoAgg: the message already names its final worker.
+            MessageDest::Worker(_) => {
+                let mut items = message.items;
+                deliver_batch(app, ctx, &mut items);
+                ctx.return_spent(src, items);
+            }
+            // WPs / WsP / PP: this worker owns the grouping pass for this
+            // source process.  Deliver its own slice inline, forward the
+            // peers' slices pre-grouped; the spent message vector goes home
+            // to the worker that filled it.
+            MessageDest::Process(p) => {
+                debug_assert_eq!(p, ctx.my_proc, "message routed to wrong process");
+                let mut items = message.items;
+                let me = ctx.me;
+                let outcome = receiver.drain_grouped(
+                    &mut items,
+                    message.grouped_at_source,
+                    |w, mut bucket| {
+                        if w == me {
+                            deliver_batch(app, ctx, &mut bucket);
+                            // Back into the receiver pool for the next pass.
+                            Some(bucket)
+                        } else {
+                            ctx.counters.incr("local_forwards");
+                            ctx.push_mesh(w, Envelope::Batch(bucket));
+                            None
+                        }
+                    },
+                );
+                if outcome.grouping_performed {
+                    ctx.counters.incr("grouping_passes");
+                    ctx.counters.add("grouped_items", outcome.item_count as u64);
+                }
+                ctx.return_spent(src, items);
+            }
+        },
+    }
+}

@@ -1,0 +1,806 @@
+//! The full threaded backend: real applications on real threads.
+//!
+//! One OS thread per worker PE.  Delivery runs over one of two topologies
+//! (selectable per run, see [`DeliveryTopology`]):
+//!
+//! **Mesh (default).**  An N×N grid of bounded SPSC rings connects every pair
+//! of workers directly; each ring has exactly one producer (the source
+//! worker) and one consumer (the destination worker), so the hot path is
+//! lock-free end to end:
+//!
+//! ```text
+//! worker thread ──insert──▶ Aggregator (WW/WPs/WsP/NoAgg, private)
+//!                           ClaimBuffer (PP, shared, lock-free)
+//!        │                                         │ sealed/flushed message
+//!        │ local bypass: item batches              ▼
+//!        └─────────▶ mesh[src][dst] SPSC ring ──▶ destination worker:
+//!                                                  grouping pass runs HERE
+//!        spent vectors ◀── returns[src][dst] ◀──  (per-worker PooledReceiver)
+//! ```
+//!
+//! A process-addressed message (WPs/WsP/PP) is routed to the destination
+//! worker chosen by [`net_model::Topology::group_receiver`] — the same rule
+//! the simulator uses — which runs the receive-side grouping pass locally and
+//! forwards peer workers' slices as pre-grouped batches over its own mesh
+//! rows.  Spent vectors ride per-pair return rings back to the worker that
+//! filled them, so every pool (aggregator, receiver, local-bypass spares)
+//! stays hot without a central broker.  A full mesh ring never blocks the
+//! sender: after one failed push the envelope parks in a per-destination
+//! stash that is retried every loop iteration — backpressure without the
+//! deadlock a blocking N×N mesh invites (two workers pushing to each other's
+//! full rings would otherwise both stop draining).
+//!
+//! **Star (the PR 3 collector, kept for A/B comparison).**  Workers funnel
+//! every message through an MPSC channel into a collector thread that runs
+//! the grouping pass centrally and fans item batches out over per-worker SPSC
+//! rings.  The collector serializes all aggregation traffic, which is exactly
+//! the bottleneck the mesh removes; `bench::throughput` measures the two
+//! topologies against each other.
+//!
+//! **Termination.**  Every `send` increments the sending worker's padded
+//! `items_sent` slot and every completed `on_item` handler batch increments
+//! the delivering worker's `items_delivered` slot — per-worker counters, so
+//! the hot path never bounces a shared cache line.  An item that is buffered,
+//! stashed, in flight, or queued keeps the `items_sent` sum ahead of the
+//! `items_delivered` sum, so once every worker reports
+//! [`runtime_api::WorkerApp::local_done`] (monotonic by contract) and the two
+//! sums agree across a double-read of the sent sum, no handler is running and
+//! none can ever run again — the run is quiescent.  (Each item's sent
+//! increment happens-before its delivered increment through the ring's
+//! release/acquire hand-off, so an item counted in the delivered sum is
+//! always visible in the following sent read.)  A watchdog wall-clock limit
+//! turns an application that strands items in unflushed buffers into an
+//! unclean report instead of a hang, mirroring the simulator's
+//! `clean = false` runs.
+
+mod ctx;
+mod mesh;
+mod star;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Sender};
+use crossbeam_utils::CachePadded;
+use metrics::{Counters, LatencyRecorder};
+use net_model::{Topology, WorkerId};
+use runtime_api::{Backend, Payload, RunReport, WorkerApp};
+use shmem::{ClaimBuffer, SpscRing};
+use tramlib::{Item, OutboundMessage, Scheme, TramConfig, TramStats};
+
+pub(crate) use ctx::NativeWorkerCtx;
+
+/// A vector of items, all addressed to the same worker, ready for its handler.
+pub(crate) type Batch = Vec<Item<Payload>>;
+
+/// One unit of worker↔worker traffic on the delivery mesh.
+#[derive(Debug)]
+pub(crate) enum Envelope {
+    /// An aggregated message exactly as the source emitted it;
+    /// process-addressed envelopes get the grouping pass at the receiving
+    /// worker.
+    Message(OutboundMessage<Payload>),
+    /// A worker-addressed raw item batch: local-bypass traffic and the
+    /// grouped slices a receiving worker forwards to its process peers.
+    Batch(Batch),
+    /// A single-item worker-addressed message (NoAgg), carried inline: no
+    /// heap vector rides the mesh, so the per-item scheme pays neither an
+    /// allocation nor a return-ring round trip per message.  The wire
+    /// counters were already recorded at emit time — this is a transport
+    /// compression, not a semantic change.
+    Single(Item<Payload>),
+}
+
+/// How many spare delivered-batch vectors a worker keeps for its own
+/// local-bypass batches before handing further returns to the aggregator
+/// pool (or dropping them).
+pub(crate) const SPARE_BATCHES: usize = 32;
+
+/// Which delivery topology connects the worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryTopology {
+    /// Direct worker↔worker SPSC mesh; the grouping pass runs on the
+    /// receiving worker and no thread touches traffic it does not own.
+    Mesh,
+    /// The historical star: a central collector thread receives every message
+    /// over an MPSC channel, groups, and fans out.  Kept as the A/B baseline
+    /// for `bench::throughput`.
+    Star,
+}
+
+/// Configuration of one native threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeBackendConfig {
+    /// TramLib configuration; its topology decides the thread layout (one
+    /// thread per worker PE, claim buffers per process pair for PP).
+    pub tram: TramConfig,
+    /// Experiment seed; every worker derives the same deterministic RNG stream
+    /// as it would on the simulator.
+    pub seed: u64,
+    /// Capacity (in batches) of each star-topology collector↔worker ring.
+    pub ring_capacity: usize,
+    /// Capacity (in envelopes) of each mesh ring.  `0` (the default) sizes
+    /// rings automatically: `max(64, 4096 / workers)` per pair, so total
+    /// mesh memory stays flat as the cluster grows.
+    pub mesh_ring_capacity: usize,
+    /// Same-process (local bypass) deliveries are shipped in batches of up to
+    /// this many items per destination worker; a worker's partial batches are
+    /// flushed whenever it runs out of other work.  1 restores per-item sends.
+    pub local_batch_items: usize,
+    /// Watchdog: if the run is not quiescent after this much wall-clock time
+    /// it is aborted and reported as not clean.
+    pub max_wall: Duration,
+    /// Delivery topology (mesh by default).
+    pub delivery: DeliveryTopology,
+}
+
+impl NativeBackendConfig {
+    /// Defaults for `tram`: the simulator's default seed, the mesh topology
+    /// with auto-sized rings, 4096-batch star rings, 32-item local-bypass
+    /// batches and a 60 s watchdog.
+    pub fn new(tram: TramConfig) -> Self {
+        Self {
+            tram,
+            seed: 0x5eed_1234,
+            ring_capacity: 4096,
+            mesh_ring_capacity: 0,
+            local_batch_items: 32,
+            max_wall: Duration::from_secs(60),
+            delivery: DeliveryTopology::Mesh,
+        }
+    }
+
+    /// Override the experiment seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the local-bypass batch size.
+    pub fn with_local_batch_items(mut self, items: usize) -> Self {
+        assert!(items > 0, "local batches must hold at least one item");
+        self.local_batch_items = items;
+        self
+    }
+
+    /// Override the watchdog limit.
+    pub fn with_max_wall(mut self, max_wall: Duration) -> Self {
+        self.max_wall = max_wall;
+        self
+    }
+
+    /// Override the delivery topology.
+    pub fn with_delivery(mut self, delivery: DeliveryTopology) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Override the per-pair mesh ring capacity (`0` = auto).
+    pub fn with_mesh_ring_capacity(mut self, capacity: usize) -> Self {
+        self.mesh_ring_capacity = capacity;
+        self
+    }
+
+    /// The per-pair mesh ring capacity this configuration resolves to for
+    /// `workers` worker PEs.
+    ///
+    /// NoAgg ships one envelope per item (that is the scheme), so its rings
+    /// are deeper — a sender can outrun a descheduled consumer by thousands
+    /// of envelopes — but not unboundedly so: ring slots are the working
+    /// set, and a mesh bigger than the cache turns every push into a miss.
+    /// The overflow stash (sender-local, contiguous, cache-warm) absorbs
+    /// what the rings cannot.
+    pub fn resolved_mesh_capacity(&self, workers: usize) -> usize {
+        if self.mesh_ring_capacity > 0 {
+            return self.mesh_ring_capacity;
+        }
+        let base = (4096 / workers.max(1)).max(64);
+        if self.tram.scheme == Scheme::NoAgg {
+            base * 2
+        } else {
+            base
+        }
+    }
+}
+
+/// The star topology's data plane: the collector's fan-out and return rings
+/// plus the channels feeding the collector and the local-bypass inboxes.
+pub(crate) struct StarPlane {
+    /// Collector→worker rings, indexed by destination worker.  The collector
+    /// is the single producer, the owning worker the single consumer.
+    pub(crate) rings: Vec<SpscRing<Batch>>,
+    /// Worker→collector batch-return rings, indexed by source worker: spent
+    /// delivery batches travel back so the collector's grouping pool can
+    /// reuse their capacity instead of allocating per message.
+    pub(crate) returns: Vec<SpscRing<Batch>>,
+    /// Same-process (local bypass) inboxes, one per worker, carrying item
+    /// *batches*; unbounded so workers never block each other.
+    pub(crate) local_tx: Vec<Sender<Batch>>,
+    /// Aggregated messages on their way to the collector.
+    pub(crate) msg_tx: Sender<OutboundMessage<Payload>>,
+}
+
+/// The mesh topology's data plane: per-pair envelope rings and per-pair
+/// batch-return rings, both flattened `src * workers + dst`.
+pub(crate) struct MeshPlane {
+    workers: usize,
+    /// `inbox[src * workers + dst]`: envelopes from worker `src` to worker
+    /// `dst`.  Producer `src`, consumer `dst`.
+    inbox: Vec<SpscRing<Envelope>>,
+    /// `returns[src * workers + dst]`: spent vectors flowing back from the
+    /// worker that consumed them (`dst`) to the worker that filled them
+    /// (`src`).  Producer `dst`, consumer `src`.
+    returns: Vec<SpscRing<Batch>>,
+}
+
+impl MeshPlane {
+    fn new(workers: usize, capacity: usize) -> Self {
+        let pairs = workers * workers;
+        Self {
+            workers,
+            inbox: (0..pairs).map(|_| SpscRing::new(capacity)).collect(),
+            returns: (0..pairs).map(|_| SpscRing::new(capacity)).collect(),
+        }
+    }
+
+    /// The envelope ring from worker `src` to worker `dst`.
+    pub(crate) fn ring(&self, src: usize, dst: usize) -> &SpscRing<Envelope> {
+        &self.inbox[src * self.workers + dst]
+    }
+
+    /// The spent-vector return ring of the `src → dst` pair (`dst` produces,
+    /// `src` consumes).
+    pub(crate) fn return_ring(&self, src: usize, dst: usize) -> &SpscRing<Batch> {
+        &self.returns[src * self.workers + dst]
+    }
+}
+
+/// The delivery plane of one run: exactly one topology is materialized.
+pub(crate) enum Plane {
+    Star(StarPlane),
+    Mesh(MeshPlane),
+}
+
+impl Plane {
+    pub(crate) fn star(&self) -> &StarPlane {
+        match self {
+            Plane::Star(star) => star,
+            Plane::Mesh(_) => unreachable!("star plane requested on a mesh run"),
+        }
+    }
+
+    pub(crate) fn mesh(&self) -> &MeshPlane {
+        match self {
+            Plane::Mesh(mesh) => mesh,
+            Plane::Star(_) => unreachable!("mesh plane requested on a star run"),
+        }
+    }
+}
+
+/// State shared by every thread of one run.
+pub(crate) struct Shared {
+    pub(crate) tram: TramConfig,
+    pub(crate) topo: Topology,
+    pub(crate) seed: u64,
+    pub(crate) local_batch_items: usize,
+    /// Wall-clock origin; `now_ns` values are offsets from it.
+    pub(crate) epoch: Instant,
+    /// Start barrier: workers spin on this after setup so the measured run
+    /// window excludes OS thread creation (which scales with worker count).
+    pub(crate) go: AtomicBool,
+    pub(crate) stop: AtomicBool,
+    /// Per-worker sent counters (padded: each worker writes only its own).
+    pub(crate) items_sent: Vec<CachePadded<AtomicU64>>,
+    /// Per-worker delivered counters (padded, owner-written).
+    pub(crate) items_delivered: Vec<CachePadded<AtomicU64>>,
+    /// Latest `local_done` observation per worker (monotonic by contract).
+    pub(crate) workers_done: Vec<AtomicBool>,
+    /// PP only: `pp[src_proc][dst_proc]` shared claim buffers.
+    pub(crate) pp: Vec<Vec<ClaimBuffer<Item<Payload>>>>,
+    /// The delivery topology's data plane.
+    pub(crate) plane: Plane,
+}
+
+impl Shared {
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Sum of the per-worker sent counters (Acquire loads).
+    fn sent_sum(&self) -> u64 {
+        self.items_sent
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Sum of the per-worker delivered counters (Acquire loads).
+    fn delivered_sum(&self) -> u64 {
+        self.items_delivered
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+/// Everything a worker thread hands back when it exits.
+pub(crate) struct WorkerOutput {
+    pub(crate) app: Box<dyn WorkerApp>,
+    pub(crate) counters: Counters,
+    pub(crate) latency: LatencyRecorder,
+    pub(crate) tram: TramStats,
+}
+
+/// Run `make_app` (one application instance per worker PE, in worker-id order)
+/// on the native threaded backend and return the unified report.
+///
+/// Times in the report are wall-clock nanoseconds on the host machine; item
+/// and counter totals are identical to a simulator run of the same
+/// deterministic workload, on either delivery topology.
+pub fn run_threaded(
+    config: NativeBackendConfig,
+    mut make_app: impl FnMut(WorkerId) -> Box<dyn WorkerApp>,
+) -> RunReport {
+    let topo = config.tram.topology;
+    let workers = topo.total_workers() as usize;
+    assert!(workers > 0, "topology must have at least one worker");
+    assert!(config.ring_capacity > 0, "ring capacity must be positive");
+    assert!(
+        config.local_batch_items > 0,
+        "local batches must hold at least one item"
+    );
+
+    // Star-only plumbing: the collector channel and the per-worker local
+    // bypass channels (mesh traffic rides the per-pair rings instead).
+    let mut star_channels = None;
+    let plane = match config.delivery {
+        DeliveryTopology::Mesh => Plane::Mesh(MeshPlane::new(
+            workers,
+            config.resolved_mesh_capacity(workers),
+        )),
+        DeliveryTopology::Star => {
+            let (msg_tx, msg_rx) = unbounded();
+            let mut local_tx = Vec::with_capacity(workers);
+            let mut local_rxs = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = unbounded();
+                local_tx.push(tx);
+                local_rxs.push(rx);
+            }
+            star_channels = Some((msg_rx, local_rxs));
+            Plane::Star(StarPlane {
+                rings: (0..workers)
+                    .map(|_| SpscRing::new(config.ring_capacity))
+                    .collect(),
+                returns: (0..workers)
+                    .map(|_| SpscRing::new(config.ring_capacity))
+                    .collect(),
+                local_tx,
+                msg_tx,
+            })
+        }
+    };
+    let pp = if config.tram.scheme == Scheme::PP {
+        (0..topo.total_procs())
+            .map(|_| {
+                (0..topo.total_procs())
+                    .map(|_| ClaimBuffer::new(config.tram.buffer_items))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let shared = Shared {
+        tram: config.tram,
+        topo,
+        seed: config.seed,
+        local_batch_items: config.local_batch_items,
+        epoch: Instant::now(),
+        go: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        items_sent: (0..workers)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        items_delivered: (0..workers)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        workers_done: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        pp,
+        plane,
+    };
+    let apps: Vec<Box<dyn WorkerApp>> = topo.all_workers().map(&mut make_app).collect();
+
+    let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(workers);
+    let mut collector_counters = Counters::new();
+    let mut finished = false;
+    let mut total_time_ns = 0;
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let mut collector = None;
+        let handles: Vec<_> = match star_channels {
+            Some((msg_rx, local_rxs)) => {
+                collector = Some(scope.spawn(move || star::collector_main(shared, msg_rx)));
+                topo.all_workers()
+                    .zip(apps.into_iter().zip(local_rxs))
+                    .map(|(w, (app, local_rx))| {
+                        scope.spawn(move || star::worker_main(shared, w, app, local_rx))
+                    })
+                    .collect()
+            }
+            None => topo
+                .all_workers()
+                .zip(apps)
+                .map(|(w, app)| scope.spawn(move || mesh::worker_main(shared, w, app)))
+                .collect(),
+        };
+
+        // Release the start barrier only once every thread exists: the
+        // measured window is pure run time, not OS thread creation (whose
+        // cost scales with the worker count and would bias cluster sweeps).
+        let start = Instant::now();
+        shared.go.store(true, Ordering::Release);
+
+        // Quiescence monitor — the control plane.  On the mesh this is all
+        // that remains of the collector role: watch the per-worker done
+        // flags and the sent/delivered counter sums (see the module docs for
+        // why the double-read of the sent sum around the delivered sum is
+        // sufficient), enforce the watchdog, and signal stop.
+        let deadline = start + config.max_wall;
+        finished = loop {
+            let all_done = shared
+                .workers_done
+                .iter()
+                .all(|flag| flag.load(Ordering::Acquire));
+            if all_done {
+                let sent_before = shared.sent_sum();
+                let delivered = shared.delivered_sum();
+                let sent_after = shared.sent_sum();
+                if sent_before == sent_after && delivered == sent_before {
+                    break true;
+                }
+            }
+            if Instant::now() > deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        // The run ends at the quiescence instant; thread teardown (workers
+        // notice `stop` within one idle nap) is not part of the run.
+        total_time_ns = start.elapsed().as_nanos() as u64;
+        shared.stop.store(true, Ordering::Release);
+        for handle in handles {
+            outputs.push(handle.join().expect("worker thread panicked"));
+        }
+        if let Some(collector) = collector {
+            collector_counters = collector.join().expect("collector thread panicked");
+        }
+    });
+
+    let mut counters = collector_counters;
+    let mut latency = LatencyRecorder::new();
+    let mut tram = TramStats::new();
+    let mut finished_apps = Vec::with_capacity(outputs.len());
+    for output in outputs {
+        counters.merge(&output.counters);
+        latency.merge(&output.latency);
+        tram.merge(&output.tram);
+        finished_apps.push(output.app);
+    }
+    for mut app in finished_apps {
+        app.on_finalize(&mut counters);
+    }
+
+    let items_sent = shared.sent_sum();
+    let items_delivered = shared.delivered_sum();
+    RunReport {
+        backend: Backend::Native,
+        total_time_ns,
+        latency,
+        counters,
+        tram,
+        events_executed: 0,
+        items_sent,
+        items_delivered,
+        clean: finished && items_sent == items_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime_api::RunCtx;
+
+    /// Every worker sends `updates` items to deterministic pseudo-random
+    /// destinations, then flushes; received items bump counters.
+    struct RandomUpdates {
+        me: WorkerId,
+        remaining: u64,
+        chunk: u64,
+        flushed: bool,
+    }
+
+    impl WorkerApp for RandomUpdates {
+        fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
+            ctx.counter("app_received", 1);
+            ctx.counter("app_received_checksum", item.a);
+        }
+
+        fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
+            if self.remaining == 0 {
+                return false;
+            }
+            let n = self.chunk.min(self.remaining);
+            let total = ctx.total_workers() as u64;
+            for _ in 0..n {
+                let value = ctx.rng().below(1_000);
+                let dest = WorkerId(ctx.rng().below(total) as u32);
+                ctx.counter("app_sent_checksum", value);
+                ctx.send(dest, Payload::new(value, self.me.0 as u64));
+            }
+            self.remaining -= n;
+            if self.remaining == 0 && !self.flushed {
+                ctx.flush();
+                self.flushed = true;
+            }
+            true
+        }
+
+        fn local_done(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    fn run_on(delivery: DeliveryTopology, scheme: Scheme, updates: u64, seed: u64) -> RunReport {
+        let topo = Topology::smp(1, 2, 4); // 8 workers, 2 procs
+        let tram = TramConfig::new(scheme, topo)
+            .with_buffer_items(32)
+            .with_item_bytes(16);
+        run_threaded(
+            NativeBackendConfig::new(tram)
+                .with_seed(seed)
+                .with_delivery(delivery),
+            |w| {
+                Box::new(RandomUpdates {
+                    me: w,
+                    remaining: updates,
+                    chunk: 64,
+                    flushed: false,
+                })
+            },
+        )
+    }
+
+    fn run(scheme: Scheme, updates: u64, seed: u64) -> RunReport {
+        run_on(DeliveryTopology::Mesh, scheme, updates, seed)
+    }
+
+    #[test]
+    fn all_items_delivered_every_scheme_on_both_topologies() {
+        for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
+            for scheme in Scheme::ALL {
+                let report = run_on(delivery, scheme, 500, 7);
+                let expected = 500 * 8;
+                assert!(
+                    report.clean,
+                    "{delivery:?}/{scheme}: run did not finish cleanly"
+                );
+                assert_eq!(report.backend, Backend::Native);
+                assert_eq!(
+                    report.items_sent, expected,
+                    "{delivery:?}/{scheme}: wrong send count"
+                );
+                assert_eq!(
+                    report.items_delivered, expected,
+                    "{delivery:?}/{scheme}: items lost or duplicated"
+                );
+                assert_eq!(
+                    report.counter("app_received"),
+                    expected,
+                    "{delivery:?}/{scheme}"
+                );
+                assert_eq!(
+                    report.counter("app_sent_checksum"),
+                    report.counter("app_received_checksum"),
+                    "{delivery:?}/{scheme}: checksum mismatch"
+                );
+                assert!(report.total_time_ns > 0);
+                assert!(report.latency.count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_and_star_produce_identical_totals() {
+        for scheme in Scheme::ALL {
+            let mesh = run_on(DeliveryTopology::Mesh, scheme, 400, 23);
+            let star = run_on(DeliveryTopology::Star, scheme, 400, 23);
+            assert_eq!(
+                mesh.counter("app_received_checksum"),
+                star.counter("app_received_checksum"),
+                "{scheme}: topology changed the results"
+            );
+            assert_eq!(mesh.items_sent, star.items_sent, "{scheme}");
+            assert_eq!(
+                mesh.counter("wire_items"),
+                star.counter("wire_items"),
+                "{scheme}: topology changed what counts as wire traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn totals_are_deterministic_per_seed() {
+        let a = run(Scheme::WPs, 300, 42);
+        let b = run(Scheme::WPs, 300, 42);
+        assert_eq!(
+            a.counter("app_sent_checksum"),
+            b.counter("app_sent_checksum")
+        );
+        assert_eq!(a.items_sent, b.items_sent);
+        let c = run(Scheme::WPs, 300, 43);
+        assert_ne!(
+            a.counter("app_sent_checksum"),
+            c.counter("app_sent_checksum"),
+            "different seeds should generate different traffic"
+        );
+    }
+
+    #[test]
+    fn aggregation_reduces_wire_messages() {
+        let none = run(Scheme::NoAgg, 400, 3);
+        let agg = run(Scheme::WPs, 400, 3);
+        assert!(
+            agg.counter("wire_messages") < none.counter("wire_messages"),
+            "aggregation should cut message count: agg={} none={}",
+            agg.counter("wire_messages"),
+            none.counter("wire_messages")
+        );
+    }
+
+    #[test]
+    fn local_bypass_skips_the_wire() {
+        let report = run(Scheme::WPs, 300, 9);
+        assert!(report.counter("local_deliveries") > 0);
+        // With 2 processes roughly half the traffic is process-local.
+        assert!(report.counter("wire_items") < report.items_sent);
+    }
+
+    #[test]
+    fn local_bypass_ships_batches_not_items() {
+        let report = run(Scheme::WPs, 500, 21);
+        assert!(report.clean);
+        let items = report.counter("local_deliveries");
+        let batches = report.counter("local_batches");
+        assert!(batches > 0, "local traffic must ride in batches");
+        assert!(
+            batches < items,
+            "batching must coalesce local sends: {batches} batches for {items} items"
+        );
+    }
+
+    #[test]
+    fn grouping_pool_gets_hits_after_warmup_on_both_topologies() {
+        // A steady stream of process-addressed messages: after warm-up the
+        // grouping pass (collector thread on the star, receiving workers on
+        // the mesh) must be recycling vectors instead of allocating.
+        for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
+            let report = run_on(delivery, Scheme::WPs, 2_000, 5);
+            assert!(report.clean);
+            let hits = report.counter("batch_pool_hits");
+            let misses = report.counter("batch_pool_misses");
+            assert!(
+                hits > 0,
+                "{delivery:?}: grouping must reuse vectors (hits={hits} misses={misses})"
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_returns_message_vectors_to_their_origin() {
+        // The per-pair return rings feed the sending aggregators: a steady
+        // WW workload must show aggregator pool hits (vectors coming home),
+        // not just receiver-side reuse.
+        let report = run(Scheme::WW, 3_000, 15);
+        assert!(report.clean);
+        assert!(
+            report.counter("agg_pool_hits") > 0,
+            "sealed-buffer vectors must come back over the return rings"
+        );
+    }
+
+    #[test]
+    fn pp_uses_shared_claim_buffers() {
+        for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
+            let report = run_on(delivery, Scheme::PP, 500, 11);
+            assert!(report.clean, "{delivery:?}");
+            // The PP path records its stats manually; inserts must show up.
+            assert!(report.tram.items_inserted() > 0, "{delivery:?}");
+            assert!(
+                report.counter("grouping_passes") > 0,
+                "{delivery:?}: PP groups at the destination"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_unclean_instead_of_hanging() {
+        // An app that strands items in a buffer it never flushes (and a policy
+        // that never flushes them either) must terminate via the watchdog, on
+        // both topologies.
+        struct Strander {
+            sent: bool,
+        }
+        impl WorkerApp for Strander {
+            fn on_item(&mut self, _item: Payload, _created: u64, _ctx: &mut dyn RunCtx) {}
+            fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
+                if self.sent {
+                    return false;
+                }
+                self.sent = true;
+                let dest = WorkerId((ctx.my_id().0 + 4) % 8);
+                ctx.send(dest, Payload::new(1, 2));
+                true
+            }
+            fn local_done(&self) -> bool {
+                self.sent
+            }
+        }
+        for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
+            let topo = Topology::smp(1, 2, 4);
+            let tram = TramConfig::new(Scheme::WW, topo).with_buffer_items(1024);
+            let report = run_threaded(
+                NativeBackendConfig::new(tram)
+                    .with_max_wall(Duration::from_millis(300))
+                    .with_delivery(delivery),
+                |_| Box::new(Strander { sent: false }),
+            );
+            assert!(
+                !report.clean,
+                "{delivery:?}: stranded items must be reported, not hidden"
+            );
+            assert!(report.items_delivered < report.items_sent, "{delivery:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_mesh_rings_still_deliver_everything() {
+        // Force constant backpressure: rings of capacity 1 make almost every
+        // push overflow into the stash, exercising the retry path end to end.
+        let topo = Topology::smp(1, 2, 2);
+        let tram = TramConfig::new(Scheme::WW, topo)
+            .with_buffer_items(4)
+            .with_item_bytes(16);
+        let report = run_threaded(
+            NativeBackendConfig::new(tram)
+                .with_seed(3)
+                .with_mesh_ring_capacity(1),
+            |w| {
+                Box::new(RandomUpdates {
+                    me: w,
+                    remaining: 2_000,
+                    chunk: 64,
+                    flushed: false,
+                })
+            },
+        );
+        assert!(report.clean, "stash path must drain under backpressure");
+        assert_eq!(report.items_sent, 2_000 * 4);
+        assert_eq!(report.items_delivered, 2_000 * 4);
+    }
+
+    #[test]
+    fn resolved_mesh_capacity_scales_down_with_workers() {
+        let topo = Topology::smp(1, 1, 2);
+        let cfg = NativeBackendConfig::new(TramConfig::new(Scheme::WW, topo));
+        assert_eq!(cfg.resolved_mesh_capacity(8), 512);
+        assert_eq!(cfg.resolved_mesh_capacity(16), 256);
+        assert_eq!(cfg.resolved_mesh_capacity(64), 64);
+        assert_eq!(cfg.resolved_mesh_capacity(1024), 64, "floor holds");
+        assert_eq!(
+            cfg.with_mesh_ring_capacity(7).resolved_mesh_capacity(64),
+            7,
+            "explicit capacity wins"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! The star delivery topology: the PR 3 collector, kept as the A/B baseline.
+//!
+//! Workers funnel every aggregated message through one MPSC channel into a
+//! central collector thread, which runs the receive-side grouping pass
+//! ([`tramlib::PooledReceiver`]) and fans per-worker item batches out over
+//! per-worker SPSC rings.  Local-bypass batches ride unbounded channels.
+//! Every message is therefore handled twice (source worker + collector), and
+//! the collector serializes all aggregation traffic — the scaling ceiling the
+//! mesh topology removes.  `bench::throughput` measures both.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crossbeam_channel::Receiver as ChannelReceiver;
+use metrics::Counters;
+use net_model::WorkerId;
+use runtime_api::{Payload, RunCtx, WorkerApp};
+use tramlib::{OutboundMessage, PooledReceiver};
+
+use super::ctx::deliver_batch;
+use super::{Batch, NativeWorkerCtx, Shared, WorkerOutput};
+
+/// One worker PE: drain deliveries, generate work, idle-flush, back off.
+pub(crate) fn worker_main(
+    shared: &Shared,
+    me: WorkerId,
+    mut app: Box<dyn WorkerApp>,
+    local_rx: ChannelReceiver<Batch>,
+) -> WorkerOutput {
+    let mut ctx = NativeWorkerCtx::new(shared, me, 0);
+    // Wait out the start barrier: setup cost must not skew the measured run.
+    while !shared.go.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    ctx.refresh_now();
+    app.on_start(&mut ctx);
+
+    let star = shared.plane.star();
+    let ring = &star.rings[me.idx()];
+    let returns = &star.returns[me.idx()];
+    let mut idle_rounds = 0u32;
+    loop {
+        // Checked every iteration (not just on the idle path) so the watchdog
+        // can abort even a worker whose on_idle never stops returning true.
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        ctx.refresh_now();
+        let mut did_work = false;
+        while let Some(mut batch) = ring.pop() {
+            deliver_batch(&mut *app, &mut ctx, &mut batch);
+            // Send the spent vector back to the collector's grouping pool
+            // (keep it as a local spare if the return ring is full).
+            if let Err(batch) = returns.push(batch) {
+                ctx.retain_spare(batch);
+            }
+            did_work = true;
+        }
+        while let Ok(mut batch) = local_rx.try_recv() {
+            deliver_batch(&mut *app, &mut ctx, &mut batch);
+            ctx.retain_spare(batch);
+            did_work = true;
+        }
+        if !did_work && !app.local_done() {
+            did_work = app.on_idle(&mut ctx);
+        }
+        // Publish batched sends before reporting done (the monitor must see
+        // every send that precedes a true done flag), and batched deliveries
+        // strictly after the sends (a delivered item's handler-generated
+        // sends must always be counted first).
+        ctx.publish_sent();
+        shared.workers_done[me.idx()].store(app.local_done(), Ordering::Release);
+        ctx.publish_delivered();
+        if did_work {
+            idle_rounds = 0;
+            continue;
+        }
+        // Out of other work: ship any partial local-bypass batches so peers
+        // (and the quiescence check) are never left waiting on them.
+        ctx.flush_local();
+        if idle_rounds == 0 {
+            // Transition into idle: the same point at which the simulator
+            // flushes, once per idle quantum.  Flushing on every backoff
+            // iteration instead would let an idle PP worker continuously
+            // seal-flush the process-shared buffers its peers are filling.
+            ctx.flush_on_idle();
+        }
+        ctx.poll_timeout();
+        idle_rounds += 1;
+        if idle_rounds < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    // The final (possibly abort-interrupted) iteration may hold unpublished
+    // counts; the run report reads the sums after every thread joins.
+    ctx.publish_sent();
+    ctx.publish_delivered();
+    ctx.export_pool_counters();
+    let mut tram = ctx.pp_stats;
+    if let Some(agg) = &ctx.aggregator {
+        tram.merge(agg.stats());
+    }
+    WorkerOutput {
+        app,
+        counters: ctx.counters,
+        latency: ctx.latency,
+        tram,
+    }
+}
+
+/// The communication thread's stand-in: receive aggregated messages, run the
+/// receive-side grouping pass, hand item slices to the destination workers.
+///
+/// Steady-state allocation-free: the grouping pass draws its per-worker
+/// vectors from the [`PooledReceiver`]'s free list, which is fed by the
+/// consumed message vectors and by the spent delivery batches the workers
+/// send back over the return rings.
+pub(crate) fn collector_main(
+    shared: &Shared,
+    msg_rx: ChannelReceiver<OutboundMessage<Payload>>,
+) -> Counters {
+    let mut receiver: PooledReceiver<Payload> = PooledReceiver::new(shared.tram);
+    let mut counters = Counters::new();
+    let star = shared.plane.star();
+    loop {
+        // Reclaim spent delivery batches the workers have returned.
+        for ring in &star.returns {
+            while let Some(batch) = ring.pop() {
+                receiver.recycle(batch);
+            }
+        }
+        match msg_rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(message) => {
+                let plan = receiver.process_owned(message);
+                if plan.grouping_performed {
+                    counters.incr("grouping_passes");
+                    counters.add("grouped_items", plan.item_count as u64);
+                }
+                for (dest, batch) in plan.per_worker {
+                    // Aborted run: the consumer may already be gone; drop
+                    // rather than deadlock (the report is unclean either way).
+                    let _ = star.rings[dest.idx()]
+                        .push_wait_or(batch, || shared.stop.load(Ordering::Acquire));
+                }
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) && msg_rx.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    let pool = receiver.pool_stats();
+    counters.add("batch_pool_hits", pool.hits);
+    counters.add("batch_pool_misses", pool.misses);
+    counters
+}

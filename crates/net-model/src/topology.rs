@@ -190,6 +190,22 @@ impl Topology {
         (0..self.total_procs()).map(ProcId)
     }
 
+    /// The worker of process `dst` that receives (and runs the grouping pass
+    /// for) process-addressed messages sent by process `src`.
+    ///
+    /// Process-addressed traffic is spread across the destination process's
+    /// workers by source process, mirroring how TramLib instantiates a
+    /// receiver chare per PE.  Both execution backends use this one rule —
+    /// the simulator when it enqueues a `DeliveryBatch`, the native mesh when
+    /// it picks the inbox ring — so a (src process, dst process) pair always
+    /// maps to the same receiving worker and cross-backend runs stay
+    /// bit-identical.
+    pub fn group_receiver(&self, src: ProcId, dst: ProcId) -> WorkerId {
+        debug_assert!(src.0 < self.total_procs());
+        debug_assert!(dst.0 < self.total_procs());
+        self.worker_of(dst, src.0 % self.workers_per_proc)
+    }
+
     /// True if two workers live in the same process (items between them never
     /// touch the network or the comm thread).
     pub fn same_proc(&self, a: WorkerId, b: WorkerId) -> bool {
@@ -258,6 +274,24 @@ mod tests {
         let t = Topology::smp(2, 4, 1);
         let procs: Vec<u32> = t.procs_of(NodeId(1)).map(|p| p.0).collect();
         assert_eq!(procs, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn group_receiver_spreads_by_source_and_stays_in_dst_proc() {
+        let t = Topology::smp(2, 2, 3);
+        for src in t.all_procs() {
+            for dst in t.all_procs() {
+                let w = t.group_receiver(src, dst);
+                assert_eq!(t.proc_of_worker(w), dst);
+                assert_eq!(t.local_rank(w), src.0 % t.workers_per_proc());
+            }
+        }
+        // Different source processes land on different receiver workers
+        // (modulo the process width), spreading the grouping work.
+        assert_ne!(
+            t.group_receiver(ProcId(0), ProcId(2)),
+            t.group_receiver(ProcId(1), ProcId(2))
+        );
     }
 
     #[test]

@@ -210,13 +210,7 @@ impl Cluster {
         // Destination process and the worker that will receive the batch.
         let (dst_proc, recv_worker) = match message.dest {
             tramlib::MessageDest::Worker(w) => (topo.proc_of_worker(w), w),
-            tramlib::MessageDest::Process(p) => {
-                // Spread process-addressed messages across the destination
-                // process's workers based on the source process, mirroring how
-                // TramLib instantiates a receiver chare per PE.
-                let rank = src_proc.0 % topo.workers_per_proc();
-                (p, topo.worker_of(p, rank))
-            }
+            tramlib::MessageDest::Process(p) => (p, topo.group_receiver(src_proc, p)),
         };
         let same_node = topo.node_of_proc(src_proc) == topo.node_of_proc(dst_proc);
         let wire_ns = costs.link_for(same_node).one_way_nanos(bytes);

@@ -62,10 +62,16 @@ impl<T> InsertOutcome<T> {
 pub struct Aggregator<T> {
     config: TramConfig,
     owner: Owner,
-    owner_proc: ProcId,
     /// Destination buffers, indexed by destination worker (WW) or destination
     /// process (WPs/WsP/PP).  Allocated lazily.
     buffers: Vec<Option<ItemBuffer<T>>>,
+    /// Buffer slot per destination worker, precomputed so the per-item hot
+    /// path is one table load instead of a `proc_of_worker` division.
+    /// Empty under NoAgg (no buffering).
+    slot_of: Box<[u32]>,
+    /// Per destination worker: does an item to it bypass aggregation?  All
+    /// false when the local bypass is disabled.
+    local_to_owner: Box<[bool]>,
     /// Free list of spent item vectors: each drained buffer ships its vector
     /// away inside the message, and refills from here instead of allocating.
     /// Substrates feed it by calling [`Aggregator::recycle`] with vectors they
@@ -122,11 +128,25 @@ impl<T: Clone> Aggregator<T> {
             Scheme::WW => topo.total_workers() as usize,
             Scheme::WPs | Scheme::WsP | Scheme::PP => topo.total_procs() as usize,
         };
+        let slot_of: Box<[u32]> = match config.scheme {
+            Scheme::NoAgg => Box::from([]),
+            Scheme::WW => (0..topo.total_workers()).collect(),
+            Scheme::WPs | Scheme::WsP | Scheme::PP => topo
+                .all_workers()
+                .map(|w| topo.proc_of_worker(w).0)
+                .collect(),
+        };
+        let owner_proc = owner.proc(&topo);
+        let local_to_owner: Box<[bool]> = topo
+            .all_workers()
+            .map(|w| config.local_bypass && topo.proc_of_worker(w) == owner_proc)
+            .collect();
         Ok(Self {
             config,
             owner,
-            owner_proc: owner.proc(&topo),
             buffers: (0..slots).map(|_| None).collect(),
+            slot_of,
+            local_to_owner,
             pool: VecPool::default(),
             stats: TramStats::new(),
         })
@@ -161,6 +181,14 @@ impl<T: Clone> Aggregator<T> {
         self.pool.stats()
     }
 
+    /// Take an (empty) vector from the pool, or a fresh one if the pool is
+    /// dry.  Substrates use this to share the aggregator's recycled capacity
+    /// with sibling per-item paths (the native runtime's local-bypass
+    /// batches), keeping one circulation of vectors per worker.
+    pub fn take_pooled(&mut self) -> Vec<Item<T>> {
+        self.pool.take()
+    }
+
     /// Total number of items currently sitting in buffers.
     pub fn buffered_items(&self) -> usize {
         self.buffers.iter().flatten().map(|b| b.len()).sum()
@@ -178,13 +206,7 @@ impl<T: Clone> Aggregator<T> {
     /// The buffer slot index an item for `dest` belongs to, or `None` when the
     /// scheme does not buffer (NoAgg).
     fn slot_for(&self, dest: WorkerId) -> Option<usize> {
-        match self.config.scheme {
-            Scheme::NoAgg => None,
-            Scheme::WW => Some(dest.idx()),
-            Scheme::WPs | Scheme::WsP | Scheme::PP => {
-                Some(self.config.topology.proc_of_worker(dest).idx())
-            }
-        }
+        self.slot_of.get(dest.idx()).map(|slot| *slot as usize)
     }
 
     /// The message destination for a buffer slot.
@@ -197,9 +219,34 @@ impl<T: Clone> Aggregator<T> {
     }
 
     /// Whether an item destined to `dest` should bypass aggregation because the
-    /// destination worker lives in the owner's process.
+    /// destination worker lives in the owner's process (and the bypass is on).
     pub fn is_local(&self, dest: WorkerId) -> bool {
-        self.config.local_bypass && self.config.topology.proc_of_worker(dest) == self.owner_proc
+        self.local_to_owner[dest.idx()]
+    }
+
+    /// WsP source-side grouping: stable-sort items by destination worker.
+    ///
+    /// All destinations lie in one process's contiguous worker-id range, so
+    /// this is an `O(g + t)` bucket distribution (one pooled bucket per
+    /// worker rank) rather than a comparison sort — the same complexity the
+    /// paper charges for the grouping pass, and several times cheaper per
+    /// item on the native hot path.
+    fn group_at_source(&mut self, items: &mut Vec<Item<T>>) {
+        let wpp = self.config.topology.workers_per_proc() as usize;
+        if items.len() < 2 || wpp < 2 {
+            return;
+        }
+        let base = (items[0].dest.idx() / wpp) * wpp;
+        let mut buckets: Vec<Vec<Item<T>>> = (0..wpp).map(|_| self.pool.take()).collect();
+        for item in items.drain(..) {
+            let rank = item.dest.idx() - base;
+            debug_assert!(rank < wpp, "item crosses its destination process");
+            buckets[rank].push(item);
+        }
+        for mut bucket in buckets {
+            items.append(&mut bucket);
+            self.pool.put(bucket);
+        }
     }
 
     /// Build an outbound message from drained items.
@@ -211,8 +258,7 @@ impl<T: Clone> Aggregator<T> {
     ) -> OutboundMessage<T> {
         let grouped_at_source = self.config.scheme.groups_at_source();
         if grouped_at_source {
-            // WsP: group (stable sort) items by destination worker at the source.
-            items.sort_by_key(|item| item.dest.0);
+            self.group_at_source(&mut items);
         }
         let bytes = self.config.message_bytes(items.len());
         self.stats.record_message(items.len(), bytes, reason);
@@ -263,9 +309,15 @@ impl<T: Clone> Aggregator<T> {
         self.stats.record_insert();
 
         let Some(slot) = self.slot_for(item.dest) else {
-            // NoAgg: the item is its own message.
+            // NoAgg: the item is its own message.  The single-item vector
+            // comes from the pool, so a substrate that returns delivered
+            // vectors (per-pair return rings on the native mesh, the
+            // simulator's recycling) makes even the unaggregated scheme
+            // allocation-free in steady state.
             let dest = MessageDest::Worker(item.dest);
-            let msg = self.make_message(dest, vec![item], EmitReason::Unaggregated);
+            let mut items = self.pool.take();
+            items.push(item);
+            let msg = self.make_message(dest, items, EmitReason::Unaggregated);
             return InsertOutcome {
                 local_delivery: None,
                 message: Some(msg),
@@ -289,10 +341,9 @@ impl<T: Clone> Aggregator<T> {
         }
     }
 
-    /// Drain every non-empty buffer, emitting one (resized) message per
-    /// destination.  `reason` records why (explicit, idle, timeout).
-    fn drain_all(&mut self, reason: EmitReason) -> Vec<OutboundMessage<T>> {
-        let mut out = Vec::new();
+    /// Drain every non-empty buffer, handing one (resized) message per
+    /// destination to `sink`.  `reason` records why (explicit, idle, timeout).
+    fn drain_all_each(&mut self, reason: EmitReason, mut sink: impl FnMut(OutboundMessage<T>)) {
         for slot in 0..self.buffers.len() {
             match self.buffers[slot].as_ref() {
                 Some(buffer) if !buffer.is_empty() => {}
@@ -300,9 +351,8 @@ impl<T: Clone> Aggregator<T> {
             }
             let items = self.drain_slot(slot);
             let dest = self.dest_for_slot(slot);
-            out.push(self.make_message(dest, items, reason));
+            sink(self.make_message(dest, items, reason));
         }
-        out
     }
 
     /// Explicit application flush: drain all partially-filled buffers.
@@ -311,27 +361,47 @@ impl<T: Clone> Aggregator<T> {
     /// update loop, and that flush-dominated configurations (Fig. 9 at 32+
     /// nodes for WW, Fig. 11) suffer from.
     pub fn flush(&mut self) -> Vec<OutboundMessage<T>> {
+        let mut out = Vec::new();
+        self.flush_each(|m| out.push(m));
+        out
+    }
+
+    /// [`Aggregator::flush`] without the intermediate message vector: each
+    /// drained message goes straight to `sink` (the native runtime's
+    /// flush-to-ring fast path).
+    pub fn flush_each(&mut self, sink: impl FnMut(OutboundMessage<T>)) {
         self.stats.record_flush_call();
-        self.drain_all(EmitReason::ExplicitFlush)
+        self.drain_all_each(EmitReason::ExplicitFlush, sink);
     }
 
     /// Idle flush: called by the runtime when the owning worker has no work.
     /// Only drains if the flush policy enables flushing on idle.
     pub fn flush_on_idle(&mut self) -> Vec<OutboundMessage<T>> {
+        let mut out = Vec::new();
+        self.flush_on_idle_each(|m| out.push(m));
+        out
+    }
+
+    /// [`Aggregator::flush_on_idle`] with messages handed straight to `sink`.
+    pub fn flush_on_idle_each(&mut self, sink: impl FnMut(OutboundMessage<T>)) {
         if self.config.flush_policy.on_idle {
-            self.drain_all(EmitReason::IdleFlush)
-        } else {
-            Vec::new()
+            self.drain_all_each(EmitReason::IdleFlush, sink);
         }
     }
 
     /// Timeout poll: drain buffers whose oldest item is older than the
     /// configured timeout at time `now_ns`.
     pub fn poll_timeout(&mut self, now_ns: u64) -> Vec<OutboundMessage<T>> {
-        let Some(timeout) = self.config.flush_policy.timeout_ns else {
-            return Vec::new();
-        };
         let mut out = Vec::new();
+        self.poll_timeout_each(now_ns, |m| out.push(m));
+        out
+    }
+
+    /// [`Aggregator::poll_timeout`] with messages handed straight to `sink`.
+    pub fn poll_timeout_each(&mut self, now_ns: u64, mut sink: impl FnMut(OutboundMessage<T>)) {
+        let Some(timeout) = self.config.flush_policy.timeout_ns else {
+            return;
+        };
         for slot in 0..self.buffers.len() {
             match self.buffers[slot].as_ref() {
                 Some(buffer) if !buffer.is_empty() && buffer.oldest_age_ns(now_ns) >= timeout => {}
@@ -339,9 +409,8 @@ impl<T: Clone> Aggregator<T> {
             }
             let items = self.drain_slot(slot);
             let dest = self.dest_for_slot(slot);
-            out.push(self.make_message(dest, items, EmitReason::TimeoutFlush));
+            sink(self.make_message(dest, items, EmitReason::TimeoutFlush));
         }
-        out
     }
 
     /// The earliest deadline at which [`Self::poll_timeout`] would flush

@@ -66,6 +66,6 @@ pub use error::TramError;
 pub use item::Item;
 pub use message::{EmitReason, MessageDest, OutboundMessage};
 pub use pool::{PoolStats, VecPool};
-pub use receiver::{DeliveryPlan, PooledReceiver, Receiver};
+pub use receiver::{DeliveryPlan, GroupingOutcome, PooledReceiver, Receiver};
 pub use scheme::Scheme;
 pub use stats::TramStats;

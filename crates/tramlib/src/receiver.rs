@@ -129,6 +129,26 @@ fn group_by_worker<T: Clone>(items: &[Item<T>]) -> Vec<(WorkerId, Vec<Item<T>>)>
 pub struct PooledReceiver<T> {
     inner: Receiver,
     pool: VecPool<Item<T>>,
+    /// Reusable grouping table for [`PooledReceiver::drain_grouped`]; kept
+    /// across calls so the borrowed-batch drain allocates nothing either.
+    scratch: Vec<(WorkerId, Vec<Item<T>>)>,
+    /// Reusable run-boundary table for the sorted (grouped-at-source) fast
+    /// path of [`PooledReceiver::drain_grouped`].
+    runs: Vec<(WorkerId, usize)>,
+}
+
+/// Cost summary of one [`PooledReceiver::drain_grouped`] pass: the
+/// [`DeliveryPlan`] accounting fields without the per-worker vectors (those
+/// went to the sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupingOutcome {
+    /// Whether a grouping pass was required (the payload was not grouped at
+    /// the source).
+    pub grouping_performed: bool,
+    /// Number of items drained (the `g` of the `O(g + t)` grouping cost).
+    pub item_count: usize,
+    /// Number of distinct destination workers touched (the `t`).
+    pub worker_count: usize,
 }
 
 impl<T> PooledReceiver<T> {
@@ -137,6 +157,8 @@ impl<T> PooledReceiver<T> {
         Self {
             inner: Receiver::new(config),
             pool: VecPool::default(),
+            scratch: Vec::new(),
+            runs: Vec::new(),
         }
     }
 
@@ -154,6 +176,91 @@ impl<T> PooledReceiver<T> {
     /// Reuse statistics of the internal vector pool.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Drain a **borrowed** process-addressed payload, grouping its items by
+    /// destination worker and handing each per-worker batch to `sink` in
+    /// worker-id order (same grouping, same ordering as
+    /// [`PooledReceiver::process_owned`]).
+    ///
+    /// `items` is left empty but keeps its capacity: the caller still owns
+    /// the vector and can send it back to the worker that filled it (the
+    /// native mesh's per-pair batch-return rings), so *both* sides of a
+    /// delivery stay allocation-free.  The sink may return a spent vector —
+    /// typically the batch it just delivered locally — to feed this
+    /// receiver's pool for the next grouping pass.
+    ///
+    /// `grouped_at_source` is the payload's [`OutboundMessage`] flag; it only
+    /// affects the reported [`GroupingOutcome::grouping_performed`] (WsP runs
+    /// are split, not re-grouped, and must not be charged a grouping pass).
+    pub fn drain_grouped(
+        &mut self,
+        items: &mut Vec<Item<T>>,
+        grouped_at_source: bool,
+        mut sink: impl FnMut(WorkerId, Vec<Item<T>>) -> Option<Vec<Item<T>>>,
+    ) -> GroupingOutcome {
+        let item_count = items.len();
+        if grouped_at_source {
+            // WsP fast path: the source already sorted by destination, so
+            // the payload is a sequence of per-worker runs — splitting is a
+            // boundary scan plus straight moves, not a grouping pass.
+            let mut runs = std::mem::take(&mut self.runs);
+            debug_assert!(runs.is_empty());
+            let mut start = 0;
+            while start < items.len() {
+                let dest = items[start].dest;
+                let mut end = start + 1;
+                while end < items.len() && items[end].dest == dest {
+                    end += 1;
+                }
+                runs.push((dest, end - start));
+                start = end;
+            }
+            let worker_count = runs.len();
+            // One front-to-back drain: no element ever shifts within the
+            // source vector.
+            let mut drained = items.drain(..);
+            for (dest, len) in runs.drain(..) {
+                let mut bucket = self.pool.take();
+                bucket.extend(drained.by_ref().take(len));
+                if let Some(spent) = sink(dest, bucket) {
+                    self.pool.put(spent);
+                }
+            }
+            drop(drained);
+            self.runs = runs;
+            return GroupingOutcome {
+                grouping_performed: false,
+                item_count,
+                worker_count,
+            };
+        }
+        let mut groups = std::mem::take(&mut self.scratch);
+        debug_assert!(groups.is_empty());
+        for item in items.drain(..) {
+            let dest = item.dest;
+            match groups.iter_mut().find(|(w, _)| *w == dest) {
+                Some((_, bucket)) => bucket.push(item),
+                None => {
+                    let mut bucket = self.pool.take();
+                    bucket.push(item);
+                    groups.push((dest, bucket));
+                }
+            }
+        }
+        groups.sort_by_key(|(w, _)| w.0);
+        let worker_count = groups.len();
+        for (worker, bucket) in groups.drain(..) {
+            if let Some(spent) = sink(worker, bucket) {
+                self.pool.put(spent);
+            }
+        }
+        self.scratch = groups;
+        GroupingOutcome {
+            grouping_performed: !grouped_at_source,
+            item_count,
+            worker_count,
+        }
     }
 
     /// Turn an incoming message into a delivery plan, consuming the message.
@@ -351,6 +458,72 @@ mod tests {
             stats.hit_rate() > 0.5,
             "warmed-up grouping must reuse vectors: {stats:?}"
         );
+    }
+
+    #[test]
+    fn drain_grouped_matches_process_owned_and_keeps_the_borrowed_vec() {
+        let cfg = config(Scheme::WPs);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+        agg.insert(Item::new(WorkerId(5), 1u32, 0));
+        agg.insert(Item::new(WorkerId(4), 2, 0));
+        agg.insert(Item::new(WorkerId(5), 3, 0));
+        let msg = agg.flush().remove(0);
+
+        let reference = Receiver::new(cfg).process(&msg);
+        let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        let mut items = msg.items;
+        let capacity = items.capacity();
+        let mut seen: Vec<(u32, Vec<u32>)> = Vec::new();
+        let outcome = pooled.drain_grouped(&mut items, msg.grouped_at_source, |w, bucket| {
+            seen.push((w.0, bucket.iter().map(|i| i.data).collect()));
+            Some(bucket)
+        });
+
+        assert_eq!(outcome.grouping_performed, reference.grouping_performed);
+        assert_eq!(outcome.item_count, reference.item_count);
+        assert_eq!(outcome.worker_count, reference.worker_count);
+        let flat: Vec<(u32, Vec<u32>)> = reference
+            .per_worker
+            .iter()
+            .map(|(w, items)| (w.0, items.iter().map(|i| i.data).collect()))
+            .collect();
+        assert_eq!(seen, flat, "buckets must match the owned path, in order");
+        assert!(items.is_empty(), "borrowed vector drained");
+        assert_eq!(
+            items.capacity(),
+            capacity,
+            "capacity stays with the caller for the return path"
+        );
+    }
+
+    #[test]
+    fn drain_grouped_reuses_sink_returned_vectors() {
+        let cfg = config(Scheme::WPs);
+        let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        let mut items = Vec::new();
+        for round in 0..20u32 {
+            items.push(Item::new(WorkerId(4), round, 0));
+            items.push(Item::new(WorkerId(5), round, 0));
+            pooled.drain_grouped(&mut items, false, |_, bucket| Some(bucket));
+        }
+        assert!(
+            pooled.pool_stats().hit_rate() > 0.5,
+            "warmed-up borrowed drain must reuse vectors: {:?}",
+            pooled.pool_stats()
+        );
+    }
+
+    #[test]
+    fn drain_grouped_respects_grouped_at_source_flag() {
+        let cfg = config(Scheme::WsP);
+        let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        let mut items = vec![
+            Item::new(WorkerId(4), 1u32, 0),
+            Item::new(WorkerId(5), 2, 0),
+        ];
+        let outcome = pooled.drain_grouped(&mut items, true, |_, b| Some(b));
+        assert!(!outcome.grouping_performed, "WsP splits, never re-groups");
+        assert_eq!(outcome.worker_count, 2);
     }
 
     #[test]
