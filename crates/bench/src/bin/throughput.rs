@@ -6,10 +6,17 @@
 //! ```text
 //! cargo run --release -p bench --bin throughput              # full sweep
 //! cargo run --release -p bench --bin throughput -- --fast    # CI smoke sizes
+//! cargo run --release -p bench --bin throughput -- --pin     # pin worker threads
 //! cargo run --release -p bench --bin throughput -- --out p   # custom path
 //! cargo run --release -p bench --bin throughput -- \
 //!     --fast --check BENCH_throughput.json                   # regression gate
 //! ```
+//!
+//! Every effort level measures the zero-copy slab-arena mesh (the default
+//! configuration), the VecPool-store mesh (the arena-vs-pool A/B), and the
+//! star-collector topology, so the regression gate covers both delivery
+//! topologies and both message stores.  `--pin` pins each worker thread to
+//! `worker_index % cpus` — see `docs/DESIGN.md` §5 for when that matters.
 //!
 //! Every application run doubles as a conservation check (clean termination,
 //! `items_sent == items_delivered`); a violation panics, so a zero exit code
@@ -25,11 +32,10 @@
 
 use bench::regression::{regression_gate, tolerance_from_env, TOLERANCE_ENV};
 use bench::throughput::{
-    pp_insert_comparison, throughput_histogram, throughput_histogram_on, throughput_index_gather,
-    write_throughput_json,
+    pp_insert_comparison, throughput_histogram_on, throughput_index_gather, write_throughput_json,
+    Tune,
 };
 use bench::Effort;
-use native_rt::DeliveryTopology;
 use std::path::PathBuf;
 
 fn main() {
@@ -49,36 +55,51 @@ fn main() {
         .iter()
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check takes a path").into());
+    let pin = args.iter().any(|a| a == "--pin");
 
-    println!("# smp-aggregation throughput suite (effort: {effort:?})\n");
+    println!("# smp-aggregation throughput suite (effort: {effort:?}, pin: {pin})\n");
 
-    let histogram = throughput_histogram(effort);
+    // Both message stores on the mesh (the zero-copy arena-vs-pool A/B) and
+    // the star-collector topology, at every effort level: the CI smoke gate
+    // must cover every delivery configuration a regression could hide in.
+    let histogram = throughput_histogram_on(effort, Tune::mesh_arena().with_pin(pin));
     println!("{}\n", histogram.to_text());
-    let index_gather = throughput_index_gather(effort);
+    let histogram_vecpool = throughput_histogram_on(effort, Tune::mesh_vecpool().with_pin(pin));
+    println!("{}\n", histogram_vecpool.to_text());
+    let star = throughput_histogram_on(effort, Tune::star().with_pin(pin));
+    println!("{}\n", star.to_text());
+    let index_gather = throughput_index_gather(effort, Tune::mesh_arena().with_pin(pin));
     println!("{}\n", index_gather.to_text());
     let pp_insert = pp_insert_comparison(effort);
     println!("{}\n", pp_insert.to_text());
 
     let mut series: Vec<(&str, &metrics::Series)> = vec![
         ("histogram_native", &histogram),
+        ("histogram_native_vecpool", &histogram_vecpool),
+        ("histogram_native_star", &star),
         ("index_gather_native", &index_gather),
         ("pp_insert", &pp_insert),
     ];
 
-    // Full runs also record the star-topology A/B line and the smoke-sized
-    // baselines the CI regression gate compares against.
+    // Full runs also record the smoke-sized baselines the CI regression gate
+    // compares against.
     let mut extra = Vec::new();
     if effort == Effort::Paper {
-        let star = throughput_histogram_on(effort, DeliveryTopology::Star);
-        println!("{}\n", star.to_text());
-        extra.push(("histogram_native_star", star));
         extra.push((
             "histogram_native_smoke",
-            throughput_histogram(Effort::Smoke),
+            throughput_histogram_on(Effort::Smoke, Tune::mesh_arena().with_pin(pin)),
+        ));
+        extra.push((
+            "histogram_native_vecpool_smoke",
+            throughput_histogram_on(Effort::Smoke, Tune::mesh_vecpool().with_pin(pin)),
+        ));
+        extra.push((
+            "histogram_native_star_smoke",
+            throughput_histogram_on(Effort::Smoke, Tune::star().with_pin(pin)),
         ));
         extra.push((
             "index_gather_native_smoke",
-            throughput_index_gather(Effort::Smoke),
+            throughput_index_gather(Effort::Smoke, Tune::mesh_arena().with_pin(pin)),
         ));
     }
     for (name, s) in &extra {
@@ -86,7 +107,7 @@ fn main() {
     }
 
     write_throughput_json(&out, effort, &series).expect("write BENCH_throughput.json");
-    println!("item conservation held on every run");
+    println!("item conservation held on every run (arena miss counters: 0)");
     println!("-> {}", out.display());
 
     if let Some(committed_path) = check {
@@ -100,6 +121,8 @@ fn main() {
         );
         let fresh: Vec<(&str, &metrics::Series)> = vec![
             ("histogram_native", &histogram),
+            ("histogram_native_vecpool", &histogram_vecpool),
+            ("histogram_native_star", &star),
             ("index_gather_native", &index_gather),
         ];
         let outcome = regression_gate(&committed, &fresh, tolerance)

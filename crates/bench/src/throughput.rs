@@ -20,7 +20,7 @@ use apps::histogram::{run_histogram_native, HistogramConfig};
 use apps::index_gather::{run_index_gather_native, IndexGatherConfig};
 use apps::ClusterSpec;
 use metrics::Series;
-use native_rt::DeliveryTopology;
+use native_rt::{DeliveryTopology, MessageStore};
 use runtime_api::RunReport;
 use shmem::{ClaimBuffer, ClaimResult};
 use std::io;
@@ -50,13 +50,24 @@ fn cluster_label(cluster: &ClusterSpec) -> String {
     )
 }
 
-/// Items delivered per wall-clock second, with the conservation gate applied.
+/// Items delivered per wall-clock second, with the conservation gate applied
+/// — and, on slab-arena runs, the zero-copy gate: an arena that claimed
+/// slabs must never have missed (a miss means some message fell back to a
+/// heap vector, i.e. the steady state was not allocation-free).
 fn items_per_sec(context: &str, report: &RunReport) -> f64 {
     assert!(report.clean, "{context}: run did not finish cleanly");
     assert_eq!(
         report.items_sent, report.items_delivered,
         "{context}: item conservation violated"
     );
+    if report.counter("arena_claims") > 0 {
+        assert_eq!(
+            report.counter("arena_claim_misses"),
+            0,
+            "{context}: slab arena ran dry ({} claims) — zero-copy steady state violated",
+            report.counter("arena_claims"),
+        );
+    }
     let secs = report.total_time_ns as f64 / 1e9;
     report.items_delivered as f64 / secs.max(1e-9)
 }
@@ -74,15 +85,65 @@ fn best_rate(context: &str, reps: u32, mut run: impl FnMut() -> RunReport) -> f6
 /// One tiny throwaway run so first-measurement artifacts (cold page cache,
 /// lazily faulted thread stacks, allocator warm-up) do not land on whichever
 /// scheme happens to run first.
-fn warmup(delivery: DeliveryTopology) {
+fn warmup(tune: Tune) {
     let report = run_histogram_native(
         HistogramConfig::new(ClusterSpec::smp(1, 2, 2), Scheme::WW)
             .with_updates(5_000)
             .with_buffer(64)
             .with_seed(1),
-        |native| native.with_delivery(delivery),
+        |native| {
+            native
+                .with_delivery(tune.delivery)
+                .with_message_store(tune.store)
+                .with_pin_workers(tune.pin)
+        },
     );
     assert!(report.clean, "warmup run failed");
+}
+
+/// Backend tuning of one measured series: delivery topology, message store,
+/// and core pinning (`--pin`).
+#[derive(Debug, Clone, Copy)]
+pub struct Tune {
+    /// Delivery topology.
+    pub delivery: DeliveryTopology,
+    /// Message store (slab arena vs pooled vectors — the zero-copy A/B).
+    pub store: MessageStore,
+    /// Pin worker threads to cores.
+    pub pin: bool,
+}
+
+impl Tune {
+    /// The default measured configuration: mesh + slab arenas, no pinning.
+    pub fn mesh_arena() -> Self {
+        Tune {
+            delivery: DeliveryTopology::Mesh,
+            store: MessageStore::SlabArena,
+            pin: false,
+        }
+    }
+
+    /// The A/B baseline: mesh + pooled heap vectors.
+    pub fn mesh_vecpool() -> Self {
+        Tune {
+            store: MessageStore::VecPool,
+            ..Tune::mesh_arena()
+        }
+    }
+
+    /// The star-collector baseline (always on pooled vectors).
+    pub fn star() -> Self {
+        Tune {
+            delivery: DeliveryTopology::Star,
+            ..Tune::mesh_vecpool()
+        }
+    }
+
+    /// Enable core pinning.
+    pub fn with_pin(mut self, pin: bool) -> Self {
+        self.pin = pin;
+        self
+    }
 }
 
 /// Suite-wide native tuning.  The sweep measures the delivery *pipeline*
@@ -93,12 +154,14 @@ fn warmup(delivery: DeliveryTopology) {
 /// the same pipeline at different scales.  Only the measurement disables the
 /// bypass — the backend default (bypass on) is untouched.
 fn pipeline_tune(
-    delivery: DeliveryTopology,
+    tune: Tune,
 ) -> impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig {
     move |mut native| {
         native.tram.local_bypass = false;
         native
-            .with_delivery(delivery)
+            .with_delivery(tune.delivery)
+            .with_message_store(tune.store)
+            .with_pin_workers(tune.pin)
             // Generous: the all-remote workload on the star baseline can
             // legitimately need minutes; the watchdog is for hangs, not for
             // slow topologies.
@@ -107,12 +170,12 @@ fn pipeline_tune(
 }
 
 /// Histogram items/sec on the native backend: all five schemes × the worker
-/// sweep, on the given delivery topology.
+/// sweep, on the given tuning (topology × store × pinning).
 ///
 /// Paper-effort runs use 150K updates per worker: on a fast delivery path a
 /// smaller run finishes in a few milliseconds, which scheduling noise and
 /// quiescence-detection latency would dominate.
-pub fn throughput_histogram_on(effort: Effort, delivery: DeliveryTopology) -> Series {
+pub fn throughput_histogram_on(effort: Effort, tune: Tune) -> Series {
     // The star baseline moves every item through the central collector at a
     // rate the watchdog cannot tolerate on the mesh's workload size; its
     // series runs a smaller per-worker load (and a longer watchdog), which
@@ -120,28 +183,35 @@ pub fn throughput_histogram_on(effort: Effort, delivery: DeliveryTopology) -> Se
     // Smoke runs back the CI regression gate: they must be big enough that
     // per-scheme throughput *ratios* are stable run-to-run on a noisy
     // runner, which 1K-update runs are not.
-    let updates = match delivery {
+    let updates = match tune.delivery {
         DeliveryTopology::Mesh => effort.pick(10_000, 150_000),
         DeliveryTopology::Star => effort.pick(10_000, 20_000),
     };
     let buffer = effort.pick(64, 512);
     let clusters = cluster_sweep(effort);
     let mut series = Series::new(
-        match delivery {
-            DeliveryTopology::Mesh => "Throughput: histogram on the native backend (items/sec)",
-            DeliveryTopology::Star => {
+        match (tune.delivery, tune.store) {
+            (DeliveryTopology::Mesh, MessageStore::SlabArena) => {
+                "Throughput: histogram on the native backend, slab-arena store (items/sec)"
+            }
+            (DeliveryTopology::Mesh, MessageStore::VecPool) => {
+                "Throughput: histogram on the native backend, VecPool store A/B (items/sec)"
+            }
+            (DeliveryTopology::Star, _) => {
                 "Throughput: histogram on the native backend, star/collector topology (items/sec)"
             }
         },
         "cluster",
     );
     series.set_x_values(clusters.iter().map(cluster_label));
-    warmup(delivery);
-    // The star baseline is a slow illustration series; one repetition is
-    // plenty (and keeps the full sweep's runtime in check).
-    let reps = match delivery {
-        DeliveryTopology::Mesh => 2,
-        DeliveryTopology::Star => 1,
+    warmup(tune);
+    // Smoke runs take the best of three: they back the CI regression gate,
+    // and at smoke sizes a single unlucky scheduling quantum can halve one
+    // scheme's rate.  The star baseline at paper effort is a slow
+    // illustration series; one repetition is plenty there.
+    let reps = match tune.delivery {
+        DeliveryTopology::Mesh => effort.pick(3, 2),
+        DeliveryTopology::Star => effort.pick(3, 1),
     };
     for scheme in Scheme::ALL {
         let column = clusters
@@ -156,7 +226,7 @@ pub fn throughput_histogram_on(effort: Effort, delivery: DeliveryTopology) -> Se
                                 .with_updates(updates)
                                 .with_buffer(buffer)
                                 .with_seed(31),
-                            pipeline_tune(delivery),
+                            pipeline_tune(tune),
                         )
                     },
                 )
@@ -167,13 +237,13 @@ pub fn throughput_histogram_on(effort: Effort, delivery: DeliveryTopology) -> Se
     series
 }
 
-/// Histogram items/sec on the default (mesh) delivery topology.
+/// Histogram items/sec on the default tuning (mesh + slab arenas).
 pub fn throughput_histogram(effort: Effort) -> Series {
-    throughput_histogram_on(effort, DeliveryTopology::Mesh)
+    throughput_histogram_on(effort, Tune::mesh_arena())
 }
 
 /// Index-gather items/sec (requests + responses) on the native backend.
-pub fn throughput_index_gather(effort: Effort) -> Series {
+pub fn throughput_index_gather(effort: Effort, tune: Tune) -> Series {
     let requests = effort.pick(5_000, 60_000);
     let buffer = effort.pick(64, 512);
     let clusters = cluster_sweep(effort);
@@ -182,8 +252,10 @@ pub fn throughput_index_gather(effort: Effort) -> Series {
         "cluster",
     );
     series.set_x_values(clusters.iter().map(cluster_label));
-    warmup(DeliveryTopology::Mesh);
-    let reps = 2;
+    warmup(tune);
+    // Best of three at smoke size for the same gate-stability reason as the
+    // histogram sweep.
+    let reps = effort.pick(3, 2);
     for scheme in Scheme::ALL {
         let column = clusters
             .iter()
@@ -197,7 +269,7 @@ pub fn throughput_index_gather(effort: Effort) -> Series {
                                 .with_requests(requests)
                                 .with_buffer(buffer)
                                 .with_seed(37),
-                            pipeline_tune(DeliveryTopology::Mesh),
+                            pipeline_tune(tune),
                         )
                     },
                 )
@@ -377,18 +449,26 @@ mod tests {
     #[test]
     #[ignore = "manual perf probe, run with --ignored"]
     fn perf_probe_histogram() {
-        for scheme in [Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::NoAgg] {
-            for (procs, workers) in [(1u32, 4u32), (2, 4), (4, 4)] {
-                for _ in 0..2 {
-                    let report = run_histogram_native(
-                        HistogramConfig::new(ClusterSpec::smp(1, procs, workers), scheme)
-                            .with_updates(150_000)
-                            .with_buffer(512)
-                            .with_seed(31),
-                        pipeline_tune(DeliveryTopology::Mesh),
-                    );
-                    let rate = items_per_sec("probe", &report);
-                    println!("{scheme} {procs}p x {workers}w: {:.2}M items/s", rate / 1e6);
+        for (label, tune) in [
+            ("arena", Tune::mesh_arena()),
+            ("vecpool", Tune::mesh_vecpool()),
+        ] {
+            for scheme in [Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::NoAgg] {
+                for (procs, workers) in [(1u32, 4u32), (2, 4), (4, 4)] {
+                    for _ in 0..2 {
+                        let report = run_histogram_native(
+                            HistogramConfig::new(ClusterSpec::smp(1, procs, workers), scheme)
+                                .with_updates(150_000)
+                                .with_buffer(512)
+                                .with_seed(31),
+                            pipeline_tune(tune),
+                        );
+                        let rate = items_per_sec("probe", &report);
+                        println!(
+                            "{label:7} {scheme} {procs}p x {workers}w: {:.2}M items/s",
+                            rate / 1e6
+                        );
+                    }
                 }
             }
         }
@@ -404,7 +484,7 @@ mod tests {
     fn smoke_sweep_runs_every_scheme_on_both_apps() {
         for series in [
             throughput_histogram(Effort::Smoke),
-            throughput_index_gather(Effort::Smoke),
+            throughput_index_gather(Effort::Smoke, Tune::mesh_arena()),
         ] {
             for scheme in Scheme::ALL {
                 let col = series

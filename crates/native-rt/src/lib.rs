@@ -33,8 +33,10 @@
 //! The original synthetic contention microbenchmark (ablation A2) lives on in
 //! [`micro`].
 
+pub mod affinity;
 pub mod micro;
 pub mod threaded;
 
+pub use affinity::{available_cpus, pin_current_thread};
 pub use micro::{run_native, NativeConfig, NativeReport, NativeScheme};
-pub use threaded::{run_threaded, DeliveryTopology, NativeBackendConfig};
+pub use threaded::{run_threaded, DeliveryTopology, MessageStore, NativeBackendConfig};

@@ -12,13 +12,14 @@ use std::sync::atomic::Ordering;
 use metrics::{Counters, LatencyRecorder};
 use net_model::{ProcId, WorkerId};
 use runtime_api::{Payload, RunCtx, WorkerApp};
-use shmem::ClaimResult;
+use shmem::{ClaimResult, SlabArena, SlabHandle};
 use sim_core::StreamRng;
 use tramlib::{
-    Aggregator, EmitReason, Item, MessageDest, OutboundMessage, Owner, Scheme, TramStats,
+    Aggregator, EmitReason, EmittedMessage, Item, MessageDest, OutboundMessage, Owner, Scheme,
+    SlabSealed, TramStats,
 };
 
-use super::{Batch, Envelope, Plane, Shared, SPARE_BATCHES};
+use super::{Batch, Envelope, Plane, Shared, Spent, SPARE_BATCHES};
 
 /// The native backend's [`RunCtx`] implementation, one per worker thread.
 pub(crate) struct NativeWorkerCtx<'a> {
@@ -73,6 +74,13 @@ pub(crate) struct NativeWorkerCtx<'a> {
     /// NoAgg ships one envelope per item; pushing each individually would pay
     /// a cold ring-slot write and a tail publication per item.
     pub(crate) defer_pushes: bool,
+    /// Slab store only: this worker's shared arena (claims and releases are
+    /// ours alone; consumers only borrow and decrement).
+    pub(crate) arena: Option<&'a SlabArena<Item<Payload>>>,
+    /// Spent slab handles whose return ring to the owner was full; retried
+    /// every loop iteration (a handle must never be dropped — the owner's
+    /// arena would leak the slab for the rest of the run).
+    pub(crate) pending_returns: Vec<(u32, SlabHandle)>,
 }
 
 impl<'a> NativeWorkerCtx<'a> {
@@ -105,6 +113,8 @@ impl<'a> NativeWorkerCtx<'a> {
             stash: (0..stash_lanes).map(|_| VecDeque::new()).collect(),
             stash_len: 0,
             defer_pushes: stash_lanes > 0 && shared.tram.scheme == Scheme::NoAgg,
+            arena: shared.arenas.get(me.idx()),
+            pending_returns: Vec::new(),
         }
     }
 
@@ -170,6 +180,36 @@ impl<'a> NativeWorkerCtx<'a> {
                     self.push_mesh(target, Envelope::Message(message));
                 }
             }
+        }
+    }
+
+    /// Hand a zero-copy slab message to the mesh, recording the same wire
+    /// counters as [`NativeWorkerCtx::emit`] — a slab is a transport detail,
+    /// not a different kind of message.
+    pub(crate) fn emit_slab(&mut self, sealed: SlabSealed) {
+        self.publish_sent();
+        self.counters.incr("wire_messages");
+        self.counters.add("wire_bytes", sealed.bytes);
+        self.counters.add("wire_items", sealed.handle.len as u64);
+        if sealed.reason.is_flush() {
+            self.counters.incr("wire_messages_flush");
+        }
+        let target = match sealed.dest {
+            MessageDest::Worker(w) => w,
+            // Same spread rule as the simulator: the (src proc, dst proc)
+            // pair pins the worker that runs the grouping pass.
+            MessageDest::Process(p) => self.shared.topo.group_receiver(self.my_proc, p),
+        };
+        self.push_mesh(target, Envelope::Slab(sealed));
+    }
+
+    /// Route a slab-path emission: sealed slabs to [`NativeWorkerCtx::
+    /// emit_slab`], arena-miss fallbacks (and NoAgg singles) to the vector
+    /// path's [`NativeWorkerCtx::emit`].
+    pub(crate) fn emit_any(&mut self, message: EmittedMessage<Payload>) {
+        match message {
+            EmittedMessage::Slab(sealed) => self.emit_slab(sealed),
+            EmittedMessage::Vec(message) => self.emit(message),
         }
     }
 
@@ -301,8 +341,59 @@ impl<'a> NativeWorkerCtx<'a> {
             return;
         }
         let mesh = self.shared.plane.mesh();
-        if let Err(batch) = mesh.return_ring(src, self.me.idx()).push(batch) {
+        if let Err(Spent::Batch(batch)) = mesh
+            .return_ring(src, self.me.idx())
+            .push(Spent::Batch(batch))
+        {
             self.reclaim(batch);
+        }
+    }
+
+    /// Send a spent slab handle home to the worker whose arena owns it.
+    /// Called by whichever consumer's [`shmem::SlabArena::finish_consumer`]
+    /// was the last; a full return ring parks the handle for retry (it can
+    /// never be dropped — the owner would leak the slab until run end).
+    pub(crate) fn return_slab(&mut self, owner: usize, handle: SlabHandle) {
+        if owner == self.me.idx() {
+            // Our own slab came straight back (local forward of a range, or
+            // a self-addressed message): release without touching a ring.
+            self.shared.arenas[owner].release(handle.slab);
+            return;
+        }
+        let mesh = self.shared.plane.mesh();
+        if mesh
+            .return_ring(owner, self.me.idx())
+            .push(Spent::Slab(handle))
+            .is_err()
+        {
+            self.pending_returns.push((owner as u32, handle));
+        }
+    }
+
+    /// Retry parked slab returns.  Returns true if any handle moved.
+    pub(crate) fn flush_pending_returns(&mut self) -> bool {
+        if self.pending_returns.is_empty() {
+            return false;
+        }
+        let mesh = self.shared.plane.mesh();
+        let me = self.me.idx();
+        let before = self.pending_returns.len();
+        self.pending_returns.retain(|&(owner, handle)| {
+            mesh.return_ring(owner as usize, me)
+                .push(Spent::Slab(handle))
+                .is_err()
+        });
+        self.pending_returns.len() < before
+    }
+
+    /// Take back one unit of spent storage that came home over a return
+    /// ring: vectors feed the pools, slab handles reopen their arena slab.
+    pub(crate) fn reclaim_spent(&mut self, spent: Spent) {
+        match spent {
+            Spent::Batch(batch) => self.reclaim(batch),
+            Spent::Slab(handle) => {
+                self.shared.arenas[self.me.idx()].release(handle.slab);
+            }
         }
     }
 
@@ -374,7 +465,12 @@ impl<'a> NativeWorkerCtx<'a> {
     pub(crate) fn poll_timeout(&mut self) {
         let now = self.shared.now_ns();
         if let Some(mut agg) = self.aggregator.take() {
-            agg.poll_timeout_each(now, |message| self.emit(message));
+            match self.arena {
+                Some(arena) => {
+                    agg.poll_timeout_slab_each(arena, now, |message| self.emit_any(message));
+                }
+                None => agg.poll_timeout_each(now, |message| self.emit(message)),
+            }
             self.aggregator = Some(agg);
         }
     }
@@ -386,6 +482,13 @@ impl<'a> NativeWorkerCtx<'a> {
             let pool = agg.pool_stats();
             self.counters.add("agg_pool_hits", pool.hits);
             self.counters.add("agg_pool_misses", pool.misses);
+        }
+        if let Some(arena) = self.arena {
+            let stats = arena.stats();
+            self.counters.add("arena_claims", stats.claims);
+            // Zero across a run = the zero-copy steady state never fell back
+            // to heap vectors; asserted by the throughput suite.
+            self.counters.add("arena_claim_misses", stats.misses);
         }
     }
 }
@@ -424,6 +527,20 @@ impl RunCtx for NativeWorkerCtx<'_> {
             return;
         }
         self.pending_sent += 1;
+        if let Some(arena) = self.arena {
+            // Zero-copy path: the item is written straight into its
+            // destination's slab slot; nothing else happens until a slab
+            // seals.
+            let agg = self.aggregator.as_mut().expect("worker aggregator");
+            let outcome = agg.insert_slab_at(arena, item, created);
+            if let Some(local) = outcome.local_delivery {
+                self.deliver_local(local);
+            }
+            if let Some(message) = outcome.message {
+                self.emit_any(message);
+            }
+            return;
+        }
         let agg = self.aggregator.as_mut().expect("worker aggregator");
         let outcome = agg.insert_at(item, created);
         if let Some(local) = outcome.local_delivery {
@@ -444,7 +561,10 @@ impl RunCtx for NativeWorkerCtx<'_> {
             return;
         }
         if let Some(mut agg) = self.aggregator.take() {
-            agg.flush_each(|message| self.emit(message));
+            match self.arena {
+                Some(arena) => agg.flush_slab_each(arena, |message| self.emit_any(message)),
+                None => agg.flush_each(|message| self.emit(message)),
+            }
             self.aggregator = Some(agg);
         }
     }
@@ -457,29 +577,33 @@ impl RunCtx for NativeWorkerCtx<'_> {
             return;
         }
         if let Some(mut agg) = self.aggregator.take() {
-            agg.flush_on_idle_each(|message| self.emit(message));
+            match self.arena {
+                Some(arena) => agg.flush_on_idle_slab_each(arena, |message| self.emit_any(message)),
+                None => agg.flush_on_idle_each(|message| self.emit(message)),
+            }
             self.aggregator = Some(agg);
         }
     }
 }
 
-/// Run one batch of delivered items through the application handler, leaving
-/// the (empty) vector in place so its allocation can be recycled.  The
-/// delivered counter is bumped once per batch, strictly after the handlers:
-/// any sends the handlers made are already counted by then, so
+/// Run one borrowed slice of delivered items through the application's
+/// slice-based handler.  The items are read **in place** — from a slab in
+/// some worker's arena, or from a pooled batch vector — and never moved.
+/// The delivered counter is bumped once per slice, strictly after the
+/// handlers: any sends the handlers made are already counted by then, so
 /// `sent sum == delivered sum` still implies global quiescence.
 ///
-/// Latency is **sampled once per batch** (its first item, which is the
-/// oldest of the cohort: batches fill in FIFO order): a per-item log-bucket
+/// Latency is **sampled once per slice** (its first item, which is the
+/// oldest of the cohort: buffers fill in FIFO order): a per-item log-bucket
 /// sketch update costs more than the delivery itself at mesh throughput, and
 /// the native backend's latency numbers are a distribution summary, not a
 /// per-item trace.
-pub(crate) fn deliver_batch(
+pub(crate) fn deliver_slice(
     app: &mut dyn WorkerApp,
     ctx: &mut NativeWorkerCtx<'_>,
-    batch: &mut Batch,
+    items: &[Item<Payload>],
 ) {
-    let count = batch.len() as u64;
+    let count = items.len() as u64;
     if count > 1 {
         // One clock read per real batch keeps handler-visible timestamps
         // honest across long drain bursts; single-item batches (NoAgg) stay
@@ -487,12 +611,24 @@ pub(crate) fn deliver_batch(
         // cost the inline envelope avoids.
         ctx.refresh_now();
     }
-    if let Some(first) = batch.first() {
+    if let Some(first) = items.first() {
         ctx.latency.record_span(first.created_at_ns, ctx.now_cache);
     }
-    for item in batch.drain(..) {
-        debug_assert_eq!(item.dest, ctx.me, "item delivered to wrong worker");
-        app.on_item(item.data, item.created_at_ns, ctx);
-    }
+    debug_assert!(
+        items.iter().all(|i| i.dest == ctx.me),
+        "items delivered to wrong worker"
+    );
+    app.on_item_slice(items, ctx);
     ctx.pending_delivered += count;
+}
+
+/// [`deliver_slice`] over an owned batch vector, leaving the (emptied)
+/// vector in place so its allocation can be recycled.
+pub(crate) fn deliver_batch(
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    batch: &mut Batch,
+) {
+    deliver_slice(app, ctx, batch);
+    batch.clear();
 }

@@ -21,14 +21,17 @@ use std::time::Duration;
 
 use net_model::WorkerId;
 use runtime_api::{Payload, RunCtx, WorkerApp};
-use tramlib::{MessageDest, PooledReceiver};
+use shmem::SlabRange;
+use tramlib::{MessageDest, PooledReceiver, SlabSealed};
 
-use super::ctx::deliver_batch;
+use super::ctx::{deliver_batch, deliver_slice};
 use super::{Envelope, NativeWorkerCtx, Shared, WorkerOutput};
 
 /// Max envelopes drained from one source ring per loop iteration, so a
 /// single hot source cannot starve the others (or the idle-flush path).
-const INBOX_BUDGET: usize = 128;
+/// Also a term of the arena sizing: a consumer can hold this many popped
+/// envelopes (slabs among them) mid-processing.
+pub(crate) const INBOX_BUDGET: usize = 128;
 
 /// Idle backoff: yield the CPU for the first rounds (on an oversubscribed
 /// host the producers need it to make work for us), then nap with doubling
@@ -51,6 +54,10 @@ pub(crate) fn worker_main(
     let workers = shared.topo.total_workers() as usize;
     let mut ctx = NativeWorkerCtx::new(shared, me, workers);
     let mut receiver: PooledReceiver<Payload> = PooledReceiver::new(shared.tram);
+    if shared.pin_workers {
+        // Pin before the barrier so placement never counts as run time.
+        crate::affinity::pin_current_thread(me.idx());
+    }
     // Wait out the start barrier: setup cost must not skew the measured run.
     while !shared.go.load(Ordering::Acquire) {
         std::thread::yield_now();
@@ -74,15 +81,21 @@ pub(crate) fn worker_main(
         iteration = iteration.wrapping_add(1);
         ctx.refresh_now();
         let mut did_work = ctx.flush_stash();
-        // Reclaim spent vectors our consumers sent back.  Returns only feed
-        // pools, so probing all N rings every iteration buys nothing; every
-        // 8th iteration (and every idle one) keeps the pools warm at 1/8th
-        // of the probe cost — the probe loop itself scales with the worker
-        // count and would otherwise tax big clusters per iteration.
-        if iteration % 8 == 0 || idle_rounds > 0 {
+        // A slab handle parked on a full return ring must be retried until
+        // it lands (dropping one would leak the owner's slab for the run).
+        did_work |= ctx.flush_pending_returns();
+        // Reclaim spent storage our consumers sent back (vectors feed the
+        // pools, slab handles reopen arena slabs).  On the vector store,
+        // returns only feed pools, so probing all N rings every iteration
+        // buys nothing — every 8th iteration (and every idle one) keeps the
+        // recycling at 1/8th of the probe cost, which itself scales with the
+        // worker count.  On the slab store the returns ARE the arena's
+        // capacity: drain them every iteration so a burst of sealed slabs
+        // never dries the arena into the heap-vector fallback.
+        if ctx.arena.is_some() || iteration % 8 == 0 || idle_rounds > 0 {
             for dst in 0..workers {
-                while let Some(batch) = mesh.return_ring(me_i, dst).pop() {
-                    ctx.reclaim(batch);
+                while let Some(spent) = mesh.return_ring(me_i, dst).pop() {
+                    ctx.reclaim_spent(spent);
                 }
             }
         }
@@ -97,7 +110,13 @@ pub(crate) fn worker_main(
                 did_work = true;
             }
         }
-        if !did_work && !app.local_done() {
+        // Generate new work only while the outbound stash is under the
+        // throttle: a producer that keeps generating against full rings
+        // grows its stash without bound (and dries its slab arena); pausing
+        // generation — while still draining, flushing and retrying — is the
+        // backpressure that keeps in-flight storage bounded.
+        let throttled = ctx.stash_len >= super::STASH_THROTTLE;
+        if !did_work && !app.local_done() && !throttled {
             did_work = app.on_idle(&mut ctx);
         }
         // Publish batched sends before reporting done (the monitor must see
@@ -126,7 +145,10 @@ pub(crate) fn worker_main(
         }
         ctx.poll_timeout();
         idle_rounds += 1;
-        if idle_rounds <= IDLE_YIELDS {
+        if throttled || idle_rounds <= IDLE_YIELDS {
+            // Throttled is not idle: the stash is waiting on consumers, who
+            // need this CPU — yield, but never escalate into naps that would
+            // leave the producer asleep after its rings drain.
             std::thread::yield_now();
         } else {
             let doublings = (idle_rounds - IDLE_YIELDS - 1).min(IDLE_NAP_MAX_DOUBLINGS);
@@ -169,6 +191,32 @@ fn handle_envelope(
             deliver_batch(app, ctx, &mut batch);
             ctx.return_spent(src, batch);
         }
+        // A zero-copy slab message: borrow the items straight out of the
+        // owning worker's arena (`src` — slab envelopes always arrive on
+        // their owner's ring) and return only the handle.
+        Envelope::Slab(sealed) => handle_slab(app, ctx, receiver, src, sealed),
+        // A pre-grouped index range of a peer's slab, forwarded by the
+        // worker that ran the grouping pass.  Deliver the borrowed
+        // sub-slice; the last consumer sends the handle home.
+        Envelope::SlabSlice { owner, range } => {
+            let shared = ctx.shared;
+            let arena = &shared.arenas[owner as usize];
+            debug_assert_eq!(arena.generation(range.slab), range.generation);
+            // SAFETY: this worker holds the live forwarded range of a sealed
+            // slab; the owner cannot reuse it until every consumer finished.
+            let items = unsafe { arena.slice(range.slab, range.start, range.len) };
+            deliver_slice(app, ctx, items);
+            if arena.finish_consumer(range.slab) {
+                ctx.return_slab(
+                    owner as usize,
+                    shmem::SlabHandle {
+                        slab: range.slab,
+                        len: range.len,
+                        generation: range.generation,
+                    },
+                );
+            }
+        }
         // An inline single-item message (NoAgg): nothing to group, nothing
         // to return.
         Envelope::Single(item) => {
@@ -177,42 +225,127 @@ fn handle_envelope(
             app.on_item(item.data, item.created_at_ns, ctx);
             ctx.pending_delivered += 1;
         }
-        Envelope::Message(message) => match message.dest {
-            // WW / NoAgg: the message already names its final worker.
-            MessageDest::Worker(_) => {
-                let mut items = message.items;
-                deliver_batch(app, ctx, &mut items);
-                ctx.return_spent(src, items);
+        Envelope::Message(message) => handle_vec_message(app, ctx, receiver, src, message),
+    }
+}
+
+/// Process one zero-copy slab envelope from the arena of worker `owner`.
+fn handle_slab(
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    receiver: &mut PooledReceiver<Payload>,
+    owner: usize,
+    sealed: SlabSealed,
+) {
+    let shared = ctx.shared;
+    let arena = &shared.arenas[owner];
+    let handle = sealed.handle;
+    debug_assert_eq!(arena.generation(handle.slab), handle.generation);
+    match sealed.dest {
+        // WW: the slab already names its final worker — deliver the whole
+        // borrowed slice, zero moves anywhere.
+        MessageDest::Worker(_) => {
+            // SAFETY: we hold the live handle of a sealed slab (its sole
+            // consumers until `finish_consumer` below).
+            let items = unsafe { arena.slice(handle.slab, 0, handle.len) };
+            deliver_slice(app, ctx, items);
+            if arena.finish_consumer(handle.slab) {
+                ctx.return_slab(owner, handle);
             }
-            // WPs / WsP / PP: this worker owns the grouping pass for this
-            // source process.  Deliver its own slice inline, forward the
-            // peers' slices pre-grouped; the spent message vector goes home
-            // to the worker that filled it.
-            MessageDest::Process(p) => {
-                debug_assert_eq!(p, ctx.my_proc, "message routed to wrong process");
-                let mut items = message.items;
-                let me = ctx.me;
-                let outcome = receiver.drain_grouped(
-                    &mut items,
-                    message.grouped_at_source,
-                    |w, mut bucket| {
-                        if w == me {
-                            deliver_batch(app, ctx, &mut bucket);
-                            // Back into the receiver pool for the next pass.
-                            Some(bucket)
-                        } else {
-                            ctx.counters.incr("local_forwards");
-                            ctx.push_mesh(w, Envelope::Batch(bucket));
-                            None
-                        }
-                    },
-                );
+        }
+        // WPs / WsP / PP: this worker owns the grouping pass.  Group the
+        // slab *in place* (we are its sole consumer until we forward),
+        // deliver our own index range, and forward the peers' ranges as
+        // borrowed sub-slices of the same slab — the items never move out.
+        MessageDest::Process(p) => {
+            debug_assert_eq!(p, ctx.my_proc, "slab routed to wrong process");
+            {
+                // SAFETY: sole consumer of the sealed slab (no range has
+                // been forwarded yet), all `len` slots written before seal.
+                let items = unsafe { arena.slice_mut(handle.slab, 0, handle.len) };
+                let outcome = receiver.group_ranges(items, sealed.grouped_at_source);
                 if outcome.grouping_performed {
                     ctx.counters.incr("grouping_passes");
                     ctx.counters.add("grouped_items", outcome.item_count as u64);
                 }
-                ctx.return_spent(src, items);
             }
-        },
+            let ranges = receiver.take_ranges();
+            let me = ctx.me;
+            // Register every forwarded consumer *before* any range ships:
+            // a forwarded peer may finish before we do.
+            let forwards = ranges.iter().filter(|&&(w, _, _)| w != me).count() as u32;
+            arena.add_consumers(handle.slab, forwards);
+            for &(w, start, len) in &ranges {
+                if w == me {
+                    // SAFETY: our own range of the sealed slab, stable until
+                    // the slab's last consumer finishes.
+                    let slice = unsafe { arena.slice(handle.slab, start, len) };
+                    deliver_slice(app, ctx, slice);
+                } else {
+                    ctx.counters.incr("local_forwards");
+                    ctx.push_mesh(
+                        w,
+                        Envelope::SlabSlice {
+                            owner: owner as u32,
+                            range: SlabRange {
+                                slab: handle.slab,
+                                start,
+                                len,
+                                generation: handle.generation,
+                            },
+                        },
+                    );
+                }
+            }
+            receiver.put_ranges(ranges);
+            if arena.finish_consumer(handle.slab) {
+                ctx.return_slab(owner, handle);
+            }
+        }
+    }
+}
+
+/// Process one heap-vector message (the VecPool store, and every arena-miss
+/// fallback): the PR 4 delivery path, unchanged.
+fn handle_vec_message(
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    receiver: &mut PooledReceiver<Payload>,
+    src: usize,
+    message: tramlib::OutboundMessage<Payload>,
+) {
+    match message.dest {
+        // WW / NoAgg: the message already names its final worker.
+        MessageDest::Worker(_) => {
+            let mut items = message.items;
+            deliver_batch(app, ctx, &mut items);
+            ctx.return_spent(src, items);
+        }
+        // WPs / WsP / PP: this worker owns the grouping pass for this
+        // source process.  Deliver its own slice inline, forward the
+        // peers' slices pre-grouped; the spent message vector goes home
+        // to the worker that filled it.
+        MessageDest::Process(p) => {
+            debug_assert_eq!(p, ctx.my_proc, "message routed to wrong process");
+            let mut items = message.items;
+            let me = ctx.me;
+            let outcome =
+                receiver.drain_grouped(&mut items, message.grouped_at_source, |w, mut bucket| {
+                    if w == me {
+                        deliver_batch(app, ctx, &mut bucket);
+                        // Back into the receiver pool for the next pass.
+                        Some(bucket)
+                    } else {
+                        ctx.counters.incr("local_forwards");
+                        ctx.push_mesh(w, Envelope::Batch(bucket));
+                        None
+                    }
+                });
+            if outcome.grouping_performed {
+                ctx.counters.incr("grouping_passes");
+                ctx.counters.add("grouped_items", outcome.item_count as u64);
+            }
+            ctx.return_spent(src, items);
+        }
     }
 }

@@ -65,8 +65,8 @@ use crossbeam_utils::CachePadded;
 use metrics::{Counters, LatencyRecorder};
 use net_model::{Topology, WorkerId};
 use runtime_api::{Backend, Payload, RunReport, WorkerApp};
-use shmem::{ClaimBuffer, SpscRing};
-use tramlib::{Item, OutboundMessage, Scheme, TramConfig, TramStats};
+use shmem::{ClaimBuffer, SlabArena, SlabHandle, SlabRange, SpscRing};
+use tramlib::{Item, OutboundMessage, Scheme, SlabSealed, TramConfig, TramStats};
 
 pub(crate) use ctx::NativeWorkerCtx;
 
@@ -80,6 +80,14 @@ pub(crate) enum Envelope {
     /// process-addressed envelopes get the grouping pass at the receiving
     /// worker.
     Message(OutboundMessage<Payload>),
+    /// A zero-copy aggregated message: the items sit in the emitting worker's
+    /// slab arena and only this descriptor rides the ring.  The ring's `src`
+    /// identifies the owning arena.
+    Slab(SlabSealed),
+    /// A pre-grouped per-worker index range of a process-addressed slab,
+    /// forwarded by the worker that ran the grouping pass.  `owner` is the
+    /// worker whose arena holds the slab (not necessarily the forwarder).
+    SlabSlice { owner: u32, range: SlabRange },
     /// A worker-addressed raw item batch: local-bypass traffic and the
     /// grouped slices a receiving worker forwards to its process peers.
     Batch(Batch),
@@ -91,10 +99,41 @@ pub(crate) enum Envelope {
     Single(Item<Payload>),
 }
 
+/// One unit of traffic on a per-pair return ring: a spent heap vector going
+/// home to the pool that filled it, or a spent slab handle going home to the
+/// arena that owns it.
+#[derive(Debug)]
+pub(crate) enum Spent {
+    Batch(Batch),
+    Slab(SlabHandle),
+}
+
+/// Which message store backs the aggregation hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MessageStore {
+    /// Zero-copy slab arenas (the default): items are written once into
+    /// per-worker shared arenas and borrowed in place by consumers; only
+    /// handles move.  Mesh topology only — the star's central collector
+    /// falls back to pooled vectors.
+    #[default]
+    SlabArena,
+    /// Pooled heap vectors (the PR 3/4 path), kept as the A/B baseline.
+    VecPool,
+}
+
 /// How many spare delivered-batch vectors a worker keeps for its own
 /// local-bypass batches before handing further returns to the aggregator
 /// pool (or dropping them).
 pub(crate) const SPARE_BATCHES: usize = 32;
+
+/// Generation backpressure: once this many envelopes sit in a mesh worker's
+/// overflow stash, the worker stops calling `on_idle` (generating new work)
+/// until the stash drains below the limit again.  Draining inboxes, flushing
+/// and retrying the stash continue untouched — only *new* production pauses,
+/// so the mesh stays deadlock-free while a burst can no longer run
+/// arbitrarily far ahead of descheduled consumers (which is what used to
+/// grow stashes without bound and, on the slab store, dry out the arena).
+pub(crate) const STASH_THROTTLE: usize = 128;
 
 /// Which delivery topology connects the worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,12 +171,24 @@ pub struct NativeBackendConfig {
     pub max_wall: Duration,
     /// Delivery topology (mesh by default).
     pub delivery: DeliveryTopology,
+    /// Message store for the aggregation hot path (slab arenas by default on
+    /// the mesh; the star topology always runs on pooled vectors).
+    pub message_store: MessageStore,
+    /// Slabs per worker arena.  `0` (the default) sizes arenas automatically:
+    /// one slab per destination slot plus enough headroom for the slabs in
+    /// flight on the rings — see [`NativeBackendConfig::resolved_arena_slabs`].
+    pub arena_slabs: usize,
+    /// Pin each worker thread to core `worker_index % available_cpus` (the
+    /// `--pin` option of the throughput binary).  Off by default: pinning
+    /// helps steady benchmark sweeps, but a general run should leave
+    /// placement to the scheduler.
+    pub pin_workers: bool,
 }
 
 impl NativeBackendConfig {
     /// Defaults for `tram`: the simulator's default seed, the mesh topology
-    /// with auto-sized rings, 4096-batch star rings, 32-item local-bypass
-    /// batches and a 60 s watchdog.
+    /// with auto-sized rings and slab arenas, 4096-batch star rings, 32-item
+    /// local-bypass batches and a 60 s watchdog.
     pub fn new(tram: TramConfig) -> Self {
         Self {
             tram,
@@ -147,6 +198,9 @@ impl NativeBackendConfig {
             local_batch_items: 32,
             max_wall: Duration::from_secs(60),
             delivery: DeliveryTopology::Mesh,
+            message_store: MessageStore::default(),
+            arena_slabs: 0,
+            pin_workers: false,
         }
     }
 
@@ -181,6 +235,65 @@ impl NativeBackendConfig {
         self
     }
 
+    /// Override the message store (slab arena vs pooled vectors — the A/B
+    /// switch of the throughput suite).
+    pub fn with_message_store(mut self, store: MessageStore) -> Self {
+        self.message_store = store;
+        self
+    }
+
+    /// Override the per-worker arena size in slabs (`0` = auto).
+    pub fn with_arena_slabs(mut self, slabs: usize) -> Self {
+        self.arena_slabs = slabs;
+        self
+    }
+
+    /// Enable or disable worker-thread core pinning.
+    pub fn with_pin_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
+    }
+
+    /// Whether this run uses slab arenas: the configured store, on the mesh
+    /// (the star's central collector cannot borrow from remote arenas), for
+    /// the schemes whose aggregation runs in a worker-owned aggregator.
+    /// PP (process-shared claim buffers) and NoAgg (inline single items)
+    /// always use the vector path.
+    pub fn uses_arena(&self) -> bool {
+        self.message_store == MessageStore::SlabArena
+            && self.delivery == DeliveryTopology::Mesh
+            && !matches!(self.tram.scheme, Scheme::PP | Scheme::NoAgg)
+    }
+
+    /// The per-worker arena size (in slabs) this configuration resolves to.
+    ///
+    /// Sizing rule: budget the demand sources rather than guess at
+    /// steady-state behaviour.  A sender's slabs in flight live in (a) one
+    /// mid-fill slab per destination slot, (b) the slots of its outgoing
+    /// rings (`workers × per-pair ring capacity` — the auto-sized slab
+    /// rings keep that product ≈ 2048), (c) envelopes a consumer has popped
+    /// but not yet finished (bounded per iteration by the inbox budget),
+    /// and (d) the sender-side stash, whose growth the generation throttle
+    /// caps (`STASH_THROTTLE`; handler-generated sends can overshoot it,
+    /// which the multiplier absorbs).  The bound is deliberately generous —
+    /// arena memory is cheap next to rings — and when a pathological
+    /// schedule still runs the arena dry, inserts fall back to pooled heap
+    /// vectors — a throughput dip recorded in the `arena_claim_misses`
+    /// counter, never a stall or a loss.
+    pub fn resolved_arena_slabs(&self, workers: usize) -> usize {
+        if self.arena_slabs > 0 {
+            return self.arena_slabs;
+        }
+        let dests = match self.tram.scheme {
+            Scheme::WW => workers,
+            _ => self.tram.topology.total_procs() as usize,
+        };
+        dests
+            + workers * self.resolved_mesh_capacity(workers)
+            + mesh::INBOX_BUDGET
+            + 4 * STASH_THROTTLE
+    }
+
     /// The per-pair mesh ring capacity this configuration resolves to for
     /// `workers` worker PEs.
     ///
@@ -190,9 +303,18 @@ impl NativeBackendConfig {
     /// set, and a mesh bigger than the cache turns every push into a miss.
     /// The overflow stash (sender-local, contiguous, cache-warm) absorbs
     /// what the rings cannot.
+    ///
+    /// On the slab-arena store the rings are much shallower: every envelope
+    /// is a whole sealed buffer (`g` items), so a few dozen slots per pair
+    /// already buffer tens of thousands of items — and every occupied slot
+    /// pins one slab of the sender's bounded arena, so ring depth directly
+    /// sets the arena headroom a sender needs to stay zero-miss.
     pub fn resolved_mesh_capacity(&self, workers: usize) -> usize {
         if self.mesh_ring_capacity > 0 {
             return self.mesh_ring_capacity;
+        }
+        if self.uses_arena() {
+            return (2048 / workers.max(1)).clamp(8, 128);
         }
         let base = (4096 / workers.max(1)).max(64);
         if self.tram.scheme == Scheme::NoAgg {
@@ -227,10 +349,10 @@ pub(crate) struct MeshPlane {
     /// `inbox[src * workers + dst]`: envelopes from worker `src` to worker
     /// `dst`.  Producer `src`, consumer `dst`.
     inbox: Vec<SpscRing<Envelope>>,
-    /// `returns[src * workers + dst]`: spent vectors flowing back from the
-    /// worker that consumed them (`dst`) to the worker that filled them
-    /// (`src`).  Producer `dst`, consumer `src`.
-    returns: Vec<SpscRing<Batch>>,
+    /// `returns[src * workers + dst]`: spent storage (heap vectors and slab
+    /// handles alike) flowing back from the worker that consumed it (`dst`)
+    /// to the worker that filled it (`src`).  Producer `dst`, consumer `src`.
+    returns: Vec<SpscRing<Spent>>,
 }
 
 impl MeshPlane {
@@ -248,9 +370,9 @@ impl MeshPlane {
         &self.inbox[src * self.workers + dst]
     }
 
-    /// The spent-vector return ring of the `src → dst` pair (`dst` produces,
+    /// The spent-storage return ring of the `src → dst` pair (`dst` produces,
     /// `src` consumes).
-    pub(crate) fn return_ring(&self, src: usize, dst: usize) -> &SpscRing<Batch> {
+    pub(crate) fn return_ring(&self, src: usize, dst: usize) -> &SpscRing<Spent> {
         &self.returns[src * self.workers + dst]
     }
 }
@@ -297,6 +419,12 @@ pub(crate) struct Shared {
     pub(crate) workers_done: Vec<AtomicBool>,
     /// PP only: `pp[src_proc][dst_proc]` shared claim buffers.
     pub(crate) pp: Vec<Vec<ClaimBuffer<Item<Payload>>>>,
+    /// Slab-arena store only: one arena per worker, indexed by worker id.
+    /// Every thread can borrow slices from every arena; claims and releases
+    /// stay with the owning worker.
+    pub(crate) arenas: Vec<SlabArena<Item<Payload>>>,
+    /// Pin worker threads to cores (`--pin`).
+    pub(crate) pin_workers: bool,
     /// The delivery topology's data plane.
     pub(crate) plane: Plane,
 }
@@ -391,6 +519,14 @@ pub fn run_threaded(
     } else {
         Vec::new()
     };
+    let arenas = if config.uses_arena() {
+        let slabs = config.resolved_arena_slabs(workers);
+        (0..workers)
+            .map(|_| SlabArena::new(slabs, config.tram.buffer_items))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let shared = Shared {
         tram: config.tram,
         topo,
@@ -407,6 +543,8 @@ pub fn run_threaded(
             .collect(),
         workers_done: (0..workers).map(|_| AtomicBool::new(false)).collect(),
         pp,
+        arenas,
+        pin_workers: config.pin_workers,
         plane,
     };
     let apps: Vec<Box<dyn WorkerApp>> = topo.all_workers().map(&mut make_app).collect();
@@ -551,7 +689,13 @@ mod tests {
         }
     }
 
-    fn run_on(delivery: DeliveryTopology, scheme: Scheme, updates: u64, seed: u64) -> RunReport {
+    fn run_with(
+        delivery: DeliveryTopology,
+        store: MessageStore,
+        scheme: Scheme,
+        updates: u64,
+        seed: u64,
+    ) -> RunReport {
         let topo = Topology::smp(1, 2, 4); // 8 workers, 2 procs
         let tram = TramConfig::new(scheme, topo)
             .with_buffer_items(32)
@@ -559,7 +703,8 @@ mod tests {
         run_threaded(
             NativeBackendConfig::new(tram)
                 .with_seed(seed)
-                .with_delivery(delivery),
+                .with_delivery(delivery)
+                .with_message_store(store),
             |w| {
                 Box::new(RandomUpdates {
                     me: w,
@@ -569,6 +714,10 @@ mod tests {
                 })
             },
         )
+    }
+
+    fn run_on(delivery: DeliveryTopology, scheme: Scheme, updates: u64, seed: u64) -> RunReport {
+        run_with(delivery, MessageStore::SlabArena, scheme, updates, seed)
     }
 
     fn run(scheme: Scheme, updates: u64, seed: u64) -> RunReport {
@@ -630,6 +779,53 @@ mod tests {
     }
 
     #[test]
+    fn arena_and_vecpool_stores_produce_identical_totals() {
+        // The message store is a transport detail: switching it must never
+        // change what the application computes, item totals, or what counts
+        // as wire traffic.
+        for scheme in Scheme::ALL {
+            let arena = run_with(
+                DeliveryTopology::Mesh,
+                MessageStore::SlabArena,
+                scheme,
+                400,
+                29,
+            );
+            let pool = run_with(
+                DeliveryTopology::Mesh,
+                MessageStore::VecPool,
+                scheme,
+                400,
+                29,
+            );
+            assert!(arena.clean && pool.clean, "{scheme}");
+            // PP's message *boundaries* depend on how the racing inserters
+            // interleave (same either store, but not across two runs), so
+            // message/byte counts are only comparable for the worker-private
+            // schemes; item totals are exact everywhere.
+            let comparable: &[&str] = if scheme == Scheme::PP {
+                &["app_received_checksum", "wire_items"]
+            } else {
+                &[
+                    "app_received_checksum",
+                    "wire_items",
+                    "wire_messages",
+                    "wire_bytes",
+                ]
+            };
+            for &counter in comparable {
+                assert_eq!(
+                    arena.counter(counter),
+                    pool.counter(counter),
+                    "{scheme}: {counter} diverged between stores"
+                );
+            }
+            assert_eq!(arena.items_sent, pool.items_sent, "{scheme}");
+            assert_eq!(arena.items_delivered, pool.items_delivered, "{scheme}");
+        }
+    }
+
+    #[test]
     fn totals_are_deterministic_per_seed() {
         let a = run(Scheme::WPs, 300, 42);
         let b = run(Scheme::WPs, 300, 42);
@@ -680,12 +876,14 @@ mod tests {
     }
 
     #[test]
-    fn grouping_pool_gets_hits_after_warmup_on_both_topologies() {
-        // A steady stream of process-addressed messages: after warm-up the
-        // grouping pass (collector thread on the star, receiving workers on
-        // the mesh) must be recycling vectors instead of allocating.
+    fn grouping_recycles_on_every_topology_and_store() {
+        // A steady stream of process-addressed messages must recycle its
+        // message storage, whatever that storage is: the star collector and
+        // the VecPool mesh reuse grouping vectors; the slab-arena mesh
+        // recycles slabs (claims keep succeeding — zero misses — because
+        // consumed slabs come home over the return rings).
         for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
-            let report = run_on(delivery, Scheme::WPs, 2_000, 5);
+            let report = run_with(delivery, MessageStore::VecPool, Scheme::WPs, 2_000, 5);
             assert!(report.clean);
             let hits = report.counter("batch_pool_hits");
             let misses = report.counter("batch_pool_misses");
@@ -694,6 +892,19 @@ mod tests {
                 "{delivery:?}: grouping must reuse vectors (hits={hits} misses={misses})"
             );
         }
+        let report = run_on(DeliveryTopology::Mesh, Scheme::WPs, 2_000, 5);
+        assert!(report.clean);
+        let claims = report.counter("arena_claims");
+        assert!(claims > 0, "arena store must claim slabs");
+        assert_eq!(
+            report.counter("arena_claim_misses"),
+            0,
+            "slab recycling must keep the arena from running dry ({claims} claims)"
+        );
+        assert!(
+            report.counter("wire_items") > 0,
+            "the sweep must actually cross the wire"
+        );
     }
 
     #[test]
@@ -792,15 +1003,46 @@ mod tests {
     #[test]
     fn resolved_mesh_capacity_scales_down_with_workers() {
         let topo = Topology::smp(1, 1, 2);
-        let cfg = NativeBackendConfig::new(TramConfig::new(Scheme::WW, topo));
-        assert_eq!(cfg.resolved_mesh_capacity(8), 512);
-        assert_eq!(cfg.resolved_mesh_capacity(16), 256);
-        assert_eq!(cfg.resolved_mesh_capacity(64), 64);
-        assert_eq!(cfg.resolved_mesh_capacity(1024), 64, "floor holds");
+        let arena = NativeBackendConfig::new(TramConfig::new(Scheme::WW, topo));
+        // Slab rings: ~2048 total slots, clamped to [8, 128] per pair.
+        assert!(arena.uses_arena());
+        assert_eq!(arena.resolved_mesh_capacity(8), 128);
+        assert_eq!(arena.resolved_mesh_capacity(64), 32);
+        assert_eq!(arena.resolved_mesh_capacity(1024), 8, "floor holds");
+        // Vector rings: the PR 4 sizing, unchanged.
+        let pool = arena.with_message_store(MessageStore::VecPool);
+        assert_eq!(pool.resolved_mesh_capacity(8), 512);
+        assert_eq!(pool.resolved_mesh_capacity(16), 256);
+        assert_eq!(pool.resolved_mesh_capacity(64), 64);
+        assert_eq!(pool.resolved_mesh_capacity(1024), 64, "floor holds");
         assert_eq!(
-            cfg.with_mesh_ring_capacity(7).resolved_mesh_capacity(64),
+            pool.with_mesh_ring_capacity(7).resolved_mesh_capacity(64),
             7,
             "explicit capacity wins"
         );
+    }
+
+    #[test]
+    fn resolved_arena_covers_every_ring_slot() {
+        let topo = Topology::smp(1, 4, 4);
+        let cfg = NativeBackendConfig::new(TramConfig::new(Scheme::WW, topo));
+        let workers = 16;
+        // One slab per destination + every outgoing ring slot + stash slack:
+        // a sender whose rings are all full still cannot run the arena dry.
+        let ring = cfg.resolved_mesh_capacity(workers);
+        assert_eq!(
+            cfg.resolved_arena_slabs(workers),
+            workers + workers * ring + mesh::INBOX_BUDGET + 4 * STASH_THROTTLE
+        );
+        assert_eq!(
+            cfg.with_arena_slabs(9).resolved_arena_slabs(workers),
+            9,
+            "explicit arena size wins"
+        );
+        // PP and NoAgg never build arenas at all.
+        let pp = NativeBackendConfig::new(TramConfig::new(Scheme::PP, topo));
+        assert!(!pp.uses_arena());
+        let star = cfg.with_delivery(DeliveryTopology::Star);
+        assert!(!star.uses_arena(), "the star collector stays on vectors");
     }
 }

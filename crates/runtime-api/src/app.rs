@@ -19,6 +19,7 @@
 
 use net_model::{Topology, WorkerId};
 use sim_core::StreamRng;
+use tramlib::Item;
 
 use crate::payload::Payload;
 
@@ -35,6 +36,27 @@ pub trait WorkerApp: Send {
 
     /// Called for every item delivered to this worker.
     fn on_item(&mut self, item: Payload, created_at_ns: u64, ctx: &mut dyn RunCtx);
+
+    /// Slice-based delivery: called with a **borrowed** batch of items, all
+    /// addressed to this worker, in delivery order.
+    ///
+    /// This is the zero-copy delivery entry point both backends drive: the
+    /// native runtime hands over slices borrowed straight from shared slab
+    /// arenas (or from pooled batch vectors), the simulator the per-worker
+    /// groups of each delivered message.  The items are only borrowed — an
+    /// implementation must copy out anything it wants to keep.
+    ///
+    /// The default forwards to [`WorkerApp::on_item`] per item; throughput-
+    /// sensitive applications override it to amortize per-item work (counter
+    /// updates, virtual dispatch) over the whole batch.  An override must be
+    /// observably equivalent to the per-item default — same counter totals,
+    /// same sends — because which entry point a backend batches through is a
+    /// transport detail, and cross-backend equivalence is asserted in CI.
+    fn on_item_slice(&mut self, items: &[Item<Payload>], ctx: &mut dyn RunCtx) {
+        for item in items {
+            self.on_item(item.data, item.created_at_ns, ctx);
+        }
+    }
 
     /// Called when the worker has no delivered items to process.  Generate the
     /// next chunk of work (sending items, charging generation cost) and return

@@ -35,3 +35,6 @@ pub use app::{RunCtx, WorkerApp};
 pub use backend::{Backend, ParseBackendError};
 pub use payload::Payload;
 pub use report::RunReport;
+// Re-exported so applications can implement `WorkerApp::on_item_slice`
+// without naming `tramlib` directly.
+pub use tramlib::Item;

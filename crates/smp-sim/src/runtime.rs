@@ -95,14 +95,19 @@ fn process_batch(app: &mut dyn WorkerApp, ctx: &mut WorkerCtx<'_, '_>, batch: De
 
     for (dest, mut items) in plan.per_worker {
         if dest == my_id {
-            // Items for this worker: run the handler inline.
-            for item in items.drain(..) {
+            // Items for this worker: charge the handler cost and record the
+            // delivery latency per item (the same per-item cost sequence the
+            // per-item delivery path charged), then run the handlers through
+            // the slice-based entry point — one borrowed batch, no item
+            // moves.
+            for item in items.iter() {
                 ctx.charged_ns += handler_ns;
                 let now = ctx.now_ns();
                 ctx.cluster.items_delivered += 1;
                 ctx.cluster.latency.record_span(item.created_at_ns, now);
-                app.on_item(item.data, item.created_at_ns, ctx);
             }
+            app.on_item_slice(&items, ctx);
+            items.clear();
             // The spent batch refills an aggregation buffer on this worker's
             // next drain (or the receiver's next grouping pass).
             ctx.cluster.recycle_items(my_id, items);

@@ -4,12 +4,14 @@
 use crate::buffer::ItemBuffer;
 use crate::config::TramConfig;
 use crate::error::TramError;
+use crate::group::GroupScratch;
 use crate::item::Item;
-use crate::message::{EmitReason, MessageDest, OutboundMessage};
+use crate::message::{EmitReason, EmittedMessage, MessageDest, OutboundMessage, SlabSealed};
 use crate::pool::{PoolStats, VecPool};
 use crate::scheme::Scheme;
 use crate::stats::TramStats;
 use net_model::{ProcId, WorkerId};
+use shmem::SlabArena;
 
 /// Who owns this aggregator: a worker PE (WW, WPs, WsP, NoAgg) or a whole
 /// process (PP — the buffer is shared by all workers of the process).
@@ -52,6 +54,27 @@ impl<T> InsertOutcome<T> {
     }
 }
 
+/// Result of inserting one item on the zero-copy slab path
+/// ([`Aggregator::insert_slab_at`]).
+#[derive(Debug)]
+pub struct SlabInsertOutcome<T> {
+    /// Same-process destination with the local bypass enabled: the item comes
+    /// straight back for immediate local delivery.
+    pub local_delivery: Option<Item<T>>,
+    /// A message that became ready: a sealed slab in the steady state, a
+    /// heap-vector fallback when the arena was dry (or under NoAgg).
+    pub message: Option<EmittedMessage<T>>,
+}
+
+impl<T> SlabInsertOutcome<T> {
+    fn buffered() -> Self {
+        Self {
+            local_delivery: None,
+            message: None,
+        }
+    }
+}
+
 /// A TramLib aggregation endpoint.
 ///
 /// One aggregator exists per source worker for the worker-level schemes and per
@@ -77,6 +100,17 @@ pub struct Aggregator<T> {
     /// Substrates feed it by calling [`Aggregator::recycle`] with vectors they
     /// have finished delivering.
     pool: VecPool<Item<T>>,
+    /// Slab path only: the active `(slab id, items written)` per destination
+    /// slot.  A slot never has an active slab *and* a non-empty fallback
+    /// vector buffer: the vector path is entered only when the arena is dry
+    /// and left only by emitting the vector, so per-destination item order is
+    /// preserved either way.
+    slabs: Vec<Option<(u32, u32)>>,
+    /// Slab path only: insertion timestamp of each slot's oldest slab item
+    /// (for timeout flushing; the fallback vector buffers track their own).
+    slab_oldest: Vec<u64>,
+    /// Reusable scratch for the in-place WsP source grouping of sealed slabs.
+    group_scratch: GroupScratch,
     stats: TramStats,
 }
 
@@ -148,6 +182,9 @@ impl<T: Clone> Aggregator<T> {
             slot_of,
             local_to_owner,
             pool: VecPool::default(),
+            slabs: (0..slots).map(|_| None).collect(),
+            slab_oldest: vec![0; slots],
+            group_scratch: GroupScratch::default(),
             stats: TramStats::new(),
         })
     }
@@ -189,9 +226,17 @@ impl<T: Clone> Aggregator<T> {
         self.pool.take()
     }
 
-    /// Total number of items currently sitting in buffers.
+    /// Total number of items currently sitting in buffers (heap vectors and
+    /// active slabs alike).
     pub fn buffered_items(&self) -> usize {
-        self.buffers.iter().flatten().map(|b| b.len()).sum()
+        let in_vecs: usize = self.buffers.iter().flatten().map(|b| b.len()).sum();
+        let in_slabs: usize = self
+            .slabs
+            .iter()
+            .flatten()
+            .map(|(_, len)| *len as usize)
+            .sum();
+        in_vecs + in_slabs
     }
 
     /// Number of destination buffers that currently hold at least one item.
@@ -309,21 +354,41 @@ impl<T: Clone> Aggregator<T> {
         self.stats.record_insert();
 
         let Some(slot) = self.slot_for(item.dest) else {
-            // NoAgg: the item is its own message.  The single-item vector
-            // comes from the pool, so a substrate that returns delivered
-            // vectors (per-pair return rings on the native mesh, the
-            // simulator's recycling) makes even the unaggregated scheme
-            // allocation-free in steady state.
-            let dest = MessageDest::Worker(item.dest);
-            let mut items = self.pool.take();
-            items.push(item);
-            let msg = self.make_message(dest, items, EmitReason::Unaggregated);
             return InsertOutcome {
                 local_delivery: None,
-                message: Some(msg),
+                message: Some(self.emit_single(item)),
             };
         };
 
+        match self.push_vec_slot(slot, item, now_ns) {
+            Some(msg) => InsertOutcome {
+                local_delivery: None,
+                message: Some(msg),
+            },
+            None => InsertOutcome::buffered(),
+        }
+    }
+
+    /// NoAgg: the item is its own message.  The single-item vector comes from
+    /// the pool, so a substrate that returns delivered vectors (per-pair
+    /// return rings on the native mesh, the simulator's recycling) makes even
+    /// the unaggregated scheme allocation-free in steady state.
+    fn emit_single(&mut self, item: Item<T>) -> OutboundMessage<T> {
+        let dest = MessageDest::Worker(item.dest);
+        let mut items = self.pool.take();
+        items.push(item);
+        self.make_message(dest, items, EmitReason::Unaggregated)
+    }
+
+    /// Push one item into slot `slot`'s heap-vector buffer, returning the
+    /// drained message if the push filled it.  Shared by the vector path and
+    /// the slab path's arena-miss fallback.
+    fn push_vec_slot(
+        &mut self,
+        slot: usize,
+        item: Item<T>,
+        now_ns: u64,
+    ) -> Option<OutboundMessage<T>> {
         let capacity = self.config.buffer_items;
         let full = self.buffers[slot]
             .get_or_insert_with(|| ItemBuffer::new(capacity))
@@ -331,13 +396,9 @@ impl<T: Clone> Aggregator<T> {
         if full {
             let items = self.drain_slot(slot);
             let dest = self.dest_for_slot(slot);
-            let msg = self.make_message(dest, items, EmitReason::BufferFull);
-            InsertOutcome {
-                local_delivery: None,
-                message: Some(msg),
-            }
+            Some(self.make_message(dest, items, EmitReason::BufferFull))
         } else {
-            InsertOutcome::buffered()
+            None
         }
     }
 
@@ -418,18 +479,252 @@ impl<T: Clone> Aggregator<T> {
     /// non-empty.  Substrates use this to schedule their next timeout poll.
     pub fn next_timeout_deadline(&self) -> Option<u64> {
         let timeout = self.config.flush_policy.timeout_ns?;
-        self.buffers
+        let in_vecs = self
+            .buffers
             .iter()
             .flatten()
-            .filter_map(|b| b.oldest_insert_ns())
+            .filter_map(|b| b.oldest_insert_ns());
+        let in_slabs = self
+            .slabs
+            .iter()
+            .zip(&self.slab_oldest)
+            .filter(|(slab, _)| slab.is_some())
+            .map(|(_, oldest)| *oldest);
+        in_vecs
+            .chain(in_slabs)
             .min()
             .map(|oldest| oldest.saturating_add(timeout))
+    }
+}
+
+/// The zero-copy slab path.
+///
+/// In slab mode the aggregator claims one slab per destination from the
+/// owning worker's shared [`SlabArena`] and writes every inserted item
+/// **directly into its slab slot** — there is no intermediate buffer, and the
+/// item never moves again: the sealed slab ships as a 32-byte
+/// [`SlabSealed`] descriptor and is borrowed in place by its consumers.
+/// When the arena is dry (every slab out with slow consumers), the slot
+/// falls back to the pooled heap-vector path until that vector is emitted —
+/// the fallback shows up in the arena's miss counter, which reads 0 in a
+/// correctly sized steady state.
+///
+/// Requires `T: Copy`: slabs are shared plain-old-data stores and must not
+/// carry drop obligations across threads.
+impl<T: Copy> Aggregator<T> {
+    /// Insert one item on the slab path, using `now_ns` for timeout
+    /// accounting.  The item lands in (in priority order) the local-bypass
+    /// return, its destination's active slab, or the slot's fallback vector.
+    pub fn insert_slab_at(
+        &mut self,
+        arena: &SlabArena<Item<T>>,
+        item: Item<T>,
+        now_ns: u64,
+    ) -> SlabInsertOutcome<T> {
+        if self.is_local(item.dest) {
+            self.stats.record_local_bypass();
+            return SlabInsertOutcome {
+                local_delivery: Some(item),
+                message: None,
+            };
+        }
+        self.stats.record_insert();
+
+        let Some(slot) = self.slot_for(item.dest) else {
+            // NoAgg never buffers: single-item messages stay on the pooled
+            // vector path (the native mesh ships them inline anyway).
+            return SlabInsertOutcome {
+                local_delivery: None,
+                message: Some(EmittedMessage::Vec(self.emit_single(item))),
+            };
+        };
+
+        // Soundness gate for the unchecked slab writes below: every write
+        // index is `< buffer_items`, so slabs at least that big make the
+        // whole fill phase in-bounds.  Checked here — outside the per-item
+        // fast path only in the sense that it is one branch — so a caller
+        // pairing a mis-sized arena with this config gets a panic, never UB.
+        assert!(
+            arena.slab_capacity() >= self.config.buffer_items,
+            "arena slabs ({}) smaller than the configured buffer ({})",
+            arena.slab_capacity(),
+            self.config.buffer_items
+        );
+        let capacity = self.config.buffer_items as u32;
+        if let Some((slab, len)) = self.slabs[slot] {
+            // SAFETY: this aggregator claimed `slab` (rule: claim → seal is
+            // owner-exclusive) and `len < capacity` because a full slab is
+            // sealed immediately below.
+            unsafe { arena.write(slab, len as usize, item) };
+            let len = len + 1;
+            if len == capacity {
+                self.slabs[slot] = None;
+                let msg = self.seal_slab(arena, slot, slab, len, EmitReason::BufferFull);
+                return SlabInsertOutcome {
+                    local_delivery: None,
+                    message: Some(msg),
+                };
+            }
+            self.slabs[slot] = Some((slab, len));
+            return SlabInsertOutcome::buffered();
+        }
+
+        // No active slab.  If the slot is mid-fallback (items already in its
+        // vector buffer), stay on the vector path until that message leaves —
+        // mixing the two stores would reorder the destination's items.
+        let vec_pending = self.buffers[slot].as_ref().is_some_and(|b| !b.is_empty());
+        if !vec_pending {
+            if let Some(slab) = arena.try_claim() {
+                // SAFETY: freshly claimed, slot 0 is in range.
+                unsafe { arena.write(slab, 0, item) };
+                self.slab_oldest[slot] = now_ns;
+                if capacity == 1 {
+                    let msg = self.seal_slab(arena, slot, slab, 1, EmitReason::BufferFull);
+                    return SlabInsertOutcome {
+                        local_delivery: None,
+                        message: Some(msg),
+                    };
+                }
+                self.slabs[slot] = Some((slab, 1));
+                return SlabInsertOutcome::buffered();
+            }
+        }
+        // Arena dry (or finishing an earlier fallback): pooled heap vector.
+        match self.push_vec_slot(slot, item, now_ns) {
+            Some(msg) => SlabInsertOutcome {
+                local_delivery: None,
+                message: Some(EmittedMessage::Vec(msg)),
+            },
+            None => SlabInsertOutcome::buffered(),
+        }
+    }
+
+    /// Seal a slot's active slab into an outbound descriptor: WsP grouping
+    /// runs here, in place, before the handle ships (the sealer is still the
+    /// slab's sole consumer).
+    fn seal_slab(
+        &mut self,
+        arena: &SlabArena<Item<T>>,
+        slot: usize,
+        slab: u32,
+        len: u32,
+        reason: EmitReason,
+    ) -> EmittedMessage<T> {
+        let grouped_at_source = self.config.scheme.groups_at_source();
+        let handle = arena.seal(slab, len);
+        if grouped_at_source && len > 1 {
+            let wpp = self.config.topology.workers_per_proc() as usize;
+            // SAFETY: sealed above with `outstanding == 1`, and the handle
+            // has not shipped yet, so this thread is the sole consumer; all
+            // `len` slots were written by the fill phase.
+            let items = unsafe { arena.slice_mut(slab, 0, len) };
+            crate::group::group_in_place(items, wpp, &mut self.group_scratch);
+        }
+        let bytes = self.config.message_bytes(len as usize);
+        self.stats.record_message(len as usize, bytes, reason);
+        if self.config.detailed_dest_stats {
+            // SAFETY: as above — sealed, unshipped, fully written.
+            let items = unsafe { arena.slice(slab, 0, len) };
+            let distinct = if grouped_at_source {
+                crate::message::distinct_sorted_dest_workers(items)
+            } else {
+                let mut dests: Vec<u32> = items.iter().map(|i| i.dest.0).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                dests.len()
+            };
+            self.stats.record_dest_spread(distinct);
+        }
+        EmittedMessage::Slab(SlabSealed {
+            dest: self.dest_for_slot(slot),
+            handle,
+            bytes,
+            reason,
+            grouped_at_source,
+        })
+    }
+
+    /// Drain every non-empty slot (active slabs and fallback vectors alike),
+    /// handing one resized message per destination to `sink`.
+    fn drain_all_slab_each(
+        &mut self,
+        arena: &SlabArena<Item<T>>,
+        reason: EmitReason,
+        mut sink: impl FnMut(EmittedMessage<T>),
+    ) {
+        for slot in 0..self.slabs.len() {
+            if let Some((slab, len)) = self.slabs[slot].take() {
+                sink(self.seal_slab(arena, slot, slab, len, reason));
+            }
+            match self.buffers[slot].as_ref() {
+                Some(buffer) if !buffer.is_empty() => {}
+                _ => continue,
+            }
+            let items = self.drain_slot(slot);
+            let dest = self.dest_for_slot(slot);
+            sink(EmittedMessage::Vec(self.make_message(dest, items, reason)));
+        }
+    }
+
+    /// Explicit application flush on the slab path: drain every
+    /// partially-filled slab and fallback buffer straight to `sink`.
+    pub fn flush_slab_each(
+        &mut self,
+        arena: &SlabArena<Item<T>>,
+        sink: impl FnMut(EmittedMessage<T>),
+    ) {
+        self.stats.record_flush_call();
+        self.drain_all_slab_each(arena, EmitReason::ExplicitFlush, sink);
+    }
+
+    /// Idle flush on the slab path (only drains if the policy enables it).
+    pub fn flush_on_idle_slab_each(
+        &mut self,
+        arena: &SlabArena<Item<T>>,
+        sink: impl FnMut(EmittedMessage<T>),
+    ) {
+        if self.config.flush_policy.on_idle {
+            self.drain_all_slab_each(arena, EmitReason::IdleFlush, sink);
+        }
+    }
+
+    /// Timeout poll on the slab path: drain slots whose oldest item is older
+    /// than the configured timeout at `now_ns`.
+    pub fn poll_timeout_slab_each(
+        &mut self,
+        arena: &SlabArena<Item<T>>,
+        now_ns: u64,
+        mut sink: impl FnMut(EmittedMessage<T>),
+    ) {
+        let Some(timeout) = self.config.flush_policy.timeout_ns else {
+            return;
+        };
+        for slot in 0..self.slabs.len() {
+            if let Some((slab, len)) = self.slabs[slot] {
+                if now_ns.saturating_sub(self.slab_oldest[slot]) >= timeout {
+                    self.slabs[slot] = None;
+                    sink(self.seal_slab(arena, slot, slab, len, EmitReason::TimeoutFlush));
+                }
+            }
+            match self.buffers[slot].as_ref() {
+                Some(buffer) if !buffer.is_empty() && buffer.oldest_age_ns(now_ns) >= timeout => {}
+                _ => continue,
+            }
+            let items = self.drain_slot(slot);
+            let dest = self.dest_for_slot(slot);
+            sink(EmittedMessage::Vec(self.make_message(
+                dest,
+                items,
+                EmitReason::TimeoutFlush,
+            )));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::EmittedMessage;
     use net_model::Topology;
 
     /// 2 nodes x 2 procs x 2 workers = 8 workers, 4 procs.
@@ -697,6 +992,177 @@ mod tests {
         assert_eq!(msg.item_count(), 3);
         assert_eq!(agg.stats().dest_spread().count(), 1);
         assert!((agg.stats().dest_spread().mean() - 2.0).abs() < 1e-12);
+    }
+
+    fn slab_arena(capacity: usize) -> SlabArena<Item<u32>> {
+        SlabArena::new(8, capacity)
+    }
+
+    /// Drain a slab message's items for assertions, releasing the slab.
+    fn read_slab(arena: &SlabArena<Item<u32>>, msg: &EmittedMessage<u32>) -> Vec<(u32, u32)> {
+        match msg {
+            EmittedMessage::Slab(sealed) => {
+                // SAFETY: test is the sole consumer of the just-sealed slab.
+                let items = unsafe { arena.slice(sealed.handle.slab, 0, sealed.handle.len) };
+                let out = items.iter().map(|i| (i.dest.0, i.data)).collect();
+                assert!(arena.finish_consumer(sealed.handle.slab));
+                arena.release(sealed.handle.slab);
+                out
+            }
+            EmittedMessage::Vec(m) => m.items.iter().map(|i| (i.dest.0, i.data)).collect(),
+        }
+    }
+
+    #[test]
+    fn slab_path_seals_at_capacity_without_moving_items() {
+        let arena = slab_arena(3);
+        let mut agg = Aggregator::new(config(Scheme::WW), Owner::Worker(WorkerId(0)));
+        assert!(agg.insert_slab_at(&arena, item(4, 1), 0).message.is_none());
+        assert!(agg.insert_slab_at(&arena, item(5, 2), 0).message.is_none());
+        assert!(agg.insert_slab_at(&arena, item(4, 3), 0).message.is_none());
+        assert_eq!(agg.buffered_items(), 3);
+        let out = agg.insert_slab_at(&arena, item(4, 4), 0);
+        let msg = out.message.expect("third item to worker 4 seals its slab");
+        assert!(
+            matches!(msg, EmittedMessage::Slab(_)),
+            "steady state ships slabs"
+        );
+        assert_eq!(msg.dest(), MessageDest::Worker(WorkerId(4)));
+        assert_eq!(read_slab(&arena, &msg), vec![(4, 1), (4, 3), (4, 4)]);
+        assert_eq!(agg.stats().messages_full(), 1);
+        assert_eq!(arena.stats().misses, 0);
+    }
+
+    #[test]
+    fn slab_path_falls_back_to_vectors_when_arena_dry() {
+        // A 1-slab arena: the second destination cannot claim and must use
+        // the pooled vector path; no item may be lost either way.
+        let arena: SlabArena<Item<u32>> = SlabArena::new(1, 3);
+        let mut agg = Aggregator::new(config(Scheme::WW), Owner::Worker(WorkerId(0)));
+        agg.insert_slab_at(&arena, item(4, 1), 0);
+        agg.insert_slab_at(&arena, item(5, 2), 0); // arena dry -> vector
+        assert_eq!(arena.stats().misses, 1);
+        let full = agg.insert_slab_at(&arena, item(5, 3), 0);
+        assert!(full.message.is_none());
+        let msg = agg
+            .insert_slab_at(&arena, item(5, 4), 0)
+            .message
+            .expect("vector buffer fills at capacity 3");
+        assert!(
+            matches!(msg, EmittedMessage::Vec(_)),
+            "fallback ships vectors"
+        );
+        assert_eq!(read_slab(&arena, &msg), vec![(5, 2), (5, 3), (5, 4)]);
+        // The slab destination still seals through the arena.
+        agg.insert_slab_at(&arena, item(4, 5), 0);
+        let msg = agg
+            .insert_slab_at(&arena, item(4, 6), 0)
+            .message
+            .expect("slab seals");
+        assert!(matches!(msg, EmittedMessage::Slab(_)));
+        assert_eq!(read_slab(&arena, &msg), vec![(4, 1), (4, 5), (4, 6)]);
+    }
+
+    #[test]
+    fn slab_flush_drains_slabs_and_fallback_vectors() {
+        let arena: SlabArena<Item<u32>> = SlabArena::new(1, 3);
+        let cfg = config(Scheme::WPs);
+        let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));
+        agg.insert_slab_at(&arena, item(4, 1), 0); // proc 2 -> slab
+        agg.insert_slab_at(&arena, item(6, 2), 0); // proc 3 -> arena dry -> vector
+        let mut flushed = Vec::new();
+        agg.flush_slab_each(&arena, |m| flushed.push(read_slab(&arena, &m)));
+        assert_eq!(flushed, vec![vec![(4, 1)], vec![(6, 2)]]);
+        assert_eq!(agg.buffered_items(), 0);
+        assert_eq!(agg.stats().flush_calls(), 1);
+        assert_eq!(agg.stats().messages_flushed(), 2);
+    }
+
+    #[test]
+    fn slab_path_groups_wsp_in_place_at_the_source() {
+        let arena = slab_arena(3);
+        let mut agg = Aggregator::new(config(Scheme::WsP), Owner::Worker(WorkerId(0)));
+        agg.insert_slab_at(&arena, item(5, 1), 0);
+        agg.insert_slab_at(&arena, item(4, 2), 0);
+        let msg = agg
+            .insert_slab_at(&arena, item(5, 3), 0)
+            .message
+            .expect("slab seals");
+        match &msg {
+            EmittedMessage::Slab(sealed) => assert!(sealed.grouped_at_source),
+            EmittedMessage::Vec(_) => panic!("expected a slab"),
+        }
+        // Items sorted by destination worker, per-worker order preserved.
+        assert_eq!(read_slab(&arena, &msg), vec![(4, 2), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn slab_path_honours_local_bypass_and_noagg() {
+        let arena = slab_arena(3);
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        let out = agg.insert_slab_at(&arena, item(1, 7), 0);
+        assert_eq!(out.local_delivery.expect("same-process bypass").data, 7);
+
+        let mut agg = Aggregator::new(config(Scheme::NoAgg), Owner::Worker(WorkerId(0)));
+        let out = agg.insert_slab_at(&arena, item(4, 9), 0);
+        let msg = out.message.expect("NoAgg emits immediately");
+        assert!(
+            matches!(msg, EmittedMessage::Vec(_)),
+            "NoAgg stays on vectors"
+        );
+        assert_eq!(msg.item_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the configured buffer")]
+    fn slab_path_rejects_undersized_arenas() {
+        // The unchecked slab writes are bounded by the config's buffer size;
+        // pairing the aggregator with an arena of smaller slabs must panic
+        // (in all builds), never write out of bounds.
+        let arena: SlabArena<Item<u32>> = SlabArena::new(4, 2);
+        let mut agg = Aggregator::new(config(Scheme::WW), Owner::Worker(WorkerId(0)));
+        let _ = agg.insert_slab_at(&arena, item(4, 1), 0);
+    }
+
+    #[test]
+    fn slab_timeout_flush_drains_stale_slabs() {
+        let arena = slab_arena(8);
+        let cfg = config(Scheme::WPs).with_flush_policy(crate::FlushPolicy::with_timeout(1_000));
+        let mut agg = Aggregator::new(cfg, Owner::Worker(WorkerId(0)));
+        agg.insert_slab_at(&arena, item(4, 1), 100);
+        assert_eq!(agg.next_timeout_deadline(), Some(1_100));
+        let mut early = 0;
+        agg.poll_timeout_slab_each(&arena, 500, |_| early += 1);
+        assert_eq!(early, 0);
+        let mut msgs = Vec::new();
+        agg.poll_timeout_slab_each(&arena, 1_200, |m| msgs.push(read_slab(&arena, &m)));
+        assert_eq!(msgs, vec![vec![(4, 1)]]);
+        assert_eq!(agg.next_timeout_deadline(), None);
+    }
+
+    #[test]
+    fn slab_steady_state_recycles_without_a_single_miss() {
+        // The zero-copy invariant: with consumers releasing promptly, a
+        // steady workload never exhausts the arena — `misses == 0` and every
+        // item is written exactly once, into its slab.
+        let arena = slab_arena(3);
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        let mut delivered = 0usize;
+        for round in 0..200u32 {
+            let out = agg.insert_slab_at(&arena, item(4, round), 0);
+            if let Some(msg) = out.message {
+                delivered += read_slab(&arena, &msg).len();
+            }
+        }
+        let mut flushed = Vec::new();
+        agg.flush_slab_each(&arena, |m| flushed.push(read_slab(&arena, &m).len()));
+        assert_eq!(delivered + flushed.iter().sum::<usize>(), 200);
+        let stats = arena.stats();
+        assert_eq!(
+            stats.misses, 0,
+            "steady state must never fall back: {stats:?}"
+        );
+        assert!(stats.claims >= 66);
     }
 
     #[test]

@@ -9,7 +9,11 @@
 use net_model::WorkerId;
 
 /// One application item: a payload of type `T` destined to a worker.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Item<T>` is `Copy` whenever the payload is: the zero-copy slab path
+/// stores items as plain-old-data in shared arenas, where drop obligations
+/// would be unsound to track across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Item<T> {
     /// The destination worker (PE) this item must be delivered to.
     pub dest: WorkerId,

@@ -52,6 +52,7 @@ pub mod analysis;
 pub mod buffer;
 pub mod config;
 pub mod error;
+pub mod group;
 pub mod item;
 pub mod message;
 pub mod pool;
@@ -59,13 +60,13 @@ pub mod receiver;
 pub mod scheme;
 pub mod stats;
 
-pub use aggregator::{Aggregator, InsertOutcome, Owner};
+pub use aggregator::{Aggregator, InsertOutcome, Owner, SlabInsertOutcome};
 pub use buffer::ItemBuffer;
 pub use config::{FlushPolicy, TramConfig};
 pub use error::TramError;
 pub use item::Item;
-pub use message::{EmitReason, MessageDest, OutboundMessage};
+pub use message::{EmitReason, EmittedMessage, MessageDest, OutboundMessage, SlabSealed};
 pub use pool::{PoolStats, VecPool};
-pub use receiver::{DeliveryPlan, GroupingOutcome, PooledReceiver, Receiver};
+pub use receiver::{DeliveryPlan, GroupingOutcome, PooledReceiver};
 pub use scheme::Scheme;
 pub use stats::TramStats;

@@ -57,6 +57,64 @@ pub struct OutboundMessage<T> {
     pub grouped_at_source: bool,
 }
 
+/// An aggregated message whose items live in a [`shmem::SlabArena`] slab
+/// instead of a heap vector: the zero-copy counterpart of
+/// [`OutboundMessage`].  Only this 32-byte descriptor moves through the
+/// substrate — the items were written once into the slab at insert time and
+/// are borrowed in place by every consumer.
+#[derive(Debug, Clone, Copy)]
+pub struct SlabSealed {
+    /// Destination (worker or process) of the message.
+    pub dest: MessageDest,
+    /// The sealed slab in the emitting worker's arena.
+    pub handle: shmem::SlabHandle,
+    /// Wire size of the message in bytes (envelope + items), resized to the
+    /// actual item count like [`OutboundMessage::bytes`].
+    pub bytes: u64,
+    /// Why the message was emitted.
+    pub reason: EmitReason,
+    /// True if the source already grouped the slab by destination worker
+    /// (WsP), so the destination only splits contiguous runs.
+    pub grouped_at_source: bool,
+}
+
+impl SlabSealed {
+    /// Number of items carried.
+    pub fn item_count(&self) -> usize {
+        self.handle.len as usize
+    }
+}
+
+/// A message emitted by the aggregator's slab path: either a zero-copy slab
+/// descriptor, or — when the arena was dry and the aggregator fell back to
+/// pooled heap storage — a regular vector-backed [`OutboundMessage`].
+#[derive(Debug)]
+pub enum EmittedMessage<T> {
+    /// Items travel as a borrowed slab (the steady state).
+    Slab(SlabSealed),
+    /// Items travel in a heap vector (arena-miss fallback; also every
+    /// [`crate::Scheme::NoAgg`] single-item message).
+    Vec(OutboundMessage<T>),
+}
+
+impl<T> EmittedMessage<T> {
+    /// Number of items carried.
+    pub fn item_count(&self) -> usize {
+        match self {
+            EmittedMessage::Slab(s) => s.item_count(),
+            EmittedMessage::Vec(m) => m.item_count(),
+        }
+    }
+
+    /// Destination of the message.
+    pub fn dest(&self) -> MessageDest {
+        match self {
+            EmittedMessage::Slab(s) => s.dest,
+            EmittedMessage::Vec(m) => m.dest,
+        }
+    }
+}
+
 impl<T> OutboundMessage<T> {
     /// Number of items carried.
     pub fn item_count(&self) -> usize {

@@ -6,17 +6,25 @@
 //! pass whose `O(g + t)` cost §III-C analyses; for WsP the source already
 //! grouped them and the receiver only splits contiguous runs.
 //!
-//! The [`Receiver`] is stateless — it turns one incoming message into a
-//! [`DeliveryPlan`] that the execution substrate (simulator or native runtime)
-//! uses both to deliver the items and to charge the appropriate costs.
+//! All destination processing goes through the [`PooledReceiver`], which
+//! never clones an item (the historical clone-per-item `Receiver::process`
+//! path was deleted when the slab migration landed):
 //!
-//! The hot path of both substrates uses the [`PooledReceiver`] wrapper
-//! instead: it consumes messages (no per-item clone) and recycles every spent
-//! vector — the incoming message's and the delivered per-worker batches the
-//! substrate hands back — through a [`VecPool`], so the steady-state grouping
-//! pass allocates nothing.
+//! * [`PooledReceiver::process_owned`] consumes a heap-vector message and
+//!   *moves* its items into pooled per-worker batches;
+//! * [`PooledReceiver::drain_grouped`] drains a borrowed vector into pooled
+//!   batches handed to a sink, leaving the capacity with the caller;
+//! * [`PooledReceiver::group_ranges`] is the zero-copy endpoint: it groups a
+//!   borrowed slab slice **in place** and reports per-worker *index ranges*,
+//!   so not a single item is moved out of the slab — consumers borrow
+//!   `&[Item]` sub-slices straight from the owner's arena.
+//!
+//! Every spent vector — the incoming message's and the delivered per-worker
+//! batches the substrate hands back — recycles through a [`VecPool`], so the
+//! steady-state grouping pass allocates nothing on any of the three paths.
 
 use crate::config::TramConfig;
+use crate::group::{group_in_place, scan_runs, GroupScratch};
 use crate::item::Item;
 use crate::message::{MessageDest, OutboundMessage};
 use crate::pool::{PoolStats, VecPool};
@@ -42,104 +50,9 @@ pub struct DeliveryPlan<T> {
     pub local_deliveries: usize,
 }
 
-/// Stateless destination-side processor.
-#[derive(Debug, Clone, Copy)]
-pub struct Receiver {
-    config: TramConfig,
-}
-
-impl Receiver {
-    /// Create a receiver for the given configuration.
-    pub fn new(config: TramConfig) -> Self {
-        Self { config }
-    }
-
-    /// The configuration this receiver uses.
-    pub fn config(&self) -> &TramConfig {
-        &self.config
-    }
-
-    /// Turn an incoming message into a delivery plan.
-    ///
-    /// # Panics
-    /// Panics (in debug builds) if a process-addressed message contains an item
-    /// whose destination worker does not belong to that process.
-    pub fn process<T: Clone>(&self, message: &OutboundMessage<T>) -> DeliveryPlan<T> {
-        let item_count = message.items.len();
-        match message.dest {
-            MessageDest::Worker(w) => {
-                // WW / NoAgg: the message already arrived at its worker.
-                debug_assert!(message.items.iter().all(|i| i.dest == w));
-                DeliveryPlan {
-                    per_worker: vec![(w, message.items.clone())],
-                    grouping_performed: false,
-                    item_count,
-                    worker_count: 1,
-                    local_deliveries: 0,
-                }
-            }
-            MessageDest::Process(p) => {
-                debug_assert!(
-                    message
-                        .items
-                        .iter()
-                        .all(|i| self.config.topology.proc_of_worker(i.dest) == p),
-                    "process-addressed message contains foreign items"
-                );
-                let grouping_needed = !message.grouped_at_source;
-                let per_worker = group_by_worker(&message.items);
-                let worker_count = per_worker.len();
-                DeliveryPlan {
-                    per_worker,
-                    grouping_performed: grouping_needed,
-                    item_count,
-                    worker_count,
-                    local_deliveries: worker_count,
-                }
-            }
-        }
-    }
-}
-
-/// Group items by destination worker, preserving per-worker insertion order.
-fn group_by_worker<T: Clone>(items: &[Item<T>]) -> Vec<(WorkerId, Vec<Item<T>>)> {
-    let mut groups: Vec<(WorkerId, Vec<Item<T>>)> = Vec::new();
-    for item in items {
-        match groups.iter_mut().find(|(w, _)| *w == item.dest) {
-            Some((_, bucket)) => bucket.push(item.clone()),
-            None => groups.push((item.dest, vec![item.clone()])),
-        }
-    }
-    groups.sort_by_key(|(w, _)| w.0);
-    groups
-}
-
-/// A destination-side processor that owns the messages it processes and
-/// recycles every vector through an internal free list.
-///
-/// Semantically identical to [`Receiver::process`] (same grouping, same
-/// ordering, same [`DeliveryPlan`] costs), but:
-///
-/// * the message is consumed, so items are *moved* into the per-worker
-///   batches instead of cloned;
-/// * the spent message vector, and any delivered batch the substrate returns
-///   via [`PooledReceiver::recycle`], feed future grouping passes, making the
-///   steady state allocation-free.
-#[derive(Debug, Clone)]
-pub struct PooledReceiver<T> {
-    inner: Receiver,
-    pool: VecPool<Item<T>>,
-    /// Reusable grouping table for [`PooledReceiver::drain_grouped`]; kept
-    /// across calls so the borrowed-batch drain allocates nothing either.
-    scratch: Vec<(WorkerId, Vec<Item<T>>)>,
-    /// Reusable run-boundary table for the sorted (grouped-at-source) fast
-    /// path of [`PooledReceiver::drain_grouped`].
-    runs: Vec<(WorkerId, usize)>,
-}
-
-/// Cost summary of one [`PooledReceiver::drain_grouped`] pass: the
-/// [`DeliveryPlan`] accounting fields without the per-worker vectors (those
-/// went to the sink).
+/// Cost summary of one grouping pass: the [`DeliveryPlan`] accounting fields
+/// without the per-worker storage (that went to the sink, or stayed in the
+/// slab).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupingOutcome {
     /// Whether a grouping pass was required (the payload was not grouped at
@@ -151,20 +64,41 @@ pub struct GroupingOutcome {
     pub worker_count: usize,
 }
 
+/// A destination-side processor that owns (or borrows) the payloads it
+/// processes and recycles every vector through an internal free list.
+#[derive(Debug, Clone)]
+pub struct PooledReceiver<T> {
+    config: TramConfig,
+    pool: VecPool<Item<T>>,
+    /// Reusable grouping table for [`PooledReceiver::drain_grouped`]; kept
+    /// across calls so the borrowed-batch drain allocates nothing either.
+    scratch: Vec<(WorkerId, Vec<Item<T>>)>,
+    /// Reusable run-boundary table for the sorted (grouped-at-source) fast
+    /// path of [`PooledReceiver::drain_grouped`].
+    runs: Vec<(WorkerId, usize)>,
+    /// Reusable `(worker, start, len)` table for
+    /// [`PooledReceiver::group_ranges`].
+    ranges: Vec<(WorkerId, u32, u32)>,
+    /// Reusable permutation scratch for the in-place grouping pass.
+    group_scratch: GroupScratch,
+}
+
 impl<T> PooledReceiver<T> {
     /// Create a pooled receiver for the given configuration.
     pub fn new(config: TramConfig) -> Self {
         Self {
-            inner: Receiver::new(config),
+            config,
             pool: VecPool::default(),
             scratch: Vec::new(),
             runs: Vec::new(),
+            ranges: Vec::new(),
+            group_scratch: GroupScratch::default(),
         }
     }
 
     /// The configuration this receiver uses.
     pub fn config(&self) -> &TramConfig {
-        self.inner.config()
+        &self.config
     }
 
     /// Return a spent per-worker batch so a future grouping pass can reuse
@@ -176,6 +110,50 @@ impl<T> PooledReceiver<T> {
     /// Reuse statistics of the internal vector pool.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The zero-copy grouping endpoint: group a borrowed slab slice by
+    /// destination worker **in place** and record the per-worker index
+    /// ranges, retrievable with [`PooledReceiver::take_ranges`].
+    ///
+    /// Not a single item leaves the slice: an ungrouped payload (WPs/PP) is
+    /// stably permuted within the slab it already lives in (the `O(g + t)`
+    /// grouping cost — a counting pass plus at most one move per item, all
+    /// inside the slab), and a grouped one (WsP) is only scanned for run
+    /// boundaries.  Consumers then borrow `&items[start..start + len]`
+    /// sub-slices directly.
+    ///
+    /// The caller must hold exclusive access to the slice (for slabs: be the
+    /// sole consumer, *before* forwarding any range).
+    pub fn group_ranges(
+        &mut self,
+        items: &mut [Item<T>],
+        grouped_at_source: bool,
+    ) -> GroupingOutcome {
+        let item_count = items.len();
+        if !grouped_at_source {
+            let wpp = self.config.topology.workers_per_proc() as usize;
+            group_in_place(items, wpp, &mut self.group_scratch);
+        }
+        self.ranges.clear();
+        scan_runs(items, &mut self.ranges);
+        GroupingOutcome {
+            grouping_performed: !grouped_at_source,
+            item_count,
+            worker_count: self.ranges.len(),
+        }
+    }
+
+    /// Move the range table of the last [`PooledReceiver::group_ranges`] call
+    /// out (so the caller can iterate it while using the receiver's pool);
+    /// hand it back with [`PooledReceiver::put_ranges`] to keep the capacity.
+    pub fn take_ranges(&mut self) -> Vec<(WorkerId, u32, u32)> {
+        std::mem::take(&mut self.ranges)
+    }
+
+    /// Return a range table taken with [`PooledReceiver::take_ranges`].
+    pub fn put_ranges(&mut self, ranges: Vec<(WorkerId, u32, u32)>) {
+        self.ranges = ranges;
     }
 
     /// Drain a **borrowed** process-addressed payload, grouping its items by
@@ -264,6 +242,7 @@ impl<T> PooledReceiver<T> {
     }
 
     /// Turn an incoming message into a delivery plan, consuming the message.
+    /// Items are *moved* into the per-worker batches, never cloned.
     ///
     /// # Panics
     /// Panics (in debug builds) if a process-addressed message contains an
@@ -288,7 +267,7 @@ impl<T> PooledReceiver<T> {
                     message
                         .items
                         .iter()
-                        .all(|i| self.inner.config.topology.proc_of_worker(i.dest) == p),
+                        .all(|i| self.config.topology.proc_of_worker(i.dest) == p),
                     "process-addressed message contains foreign items"
                 );
                 let grouping_needed = !message.grouped_at_source;
@@ -349,8 +328,8 @@ mod tests {
         for i in 0..3u32 {
             agg.insert(Item::new(WorkerId(6), i, 0));
         }
-        let msg = &agg.flush()[0];
-        let plan = Receiver::new(cfg).process(msg);
+        let msg = agg.flush().remove(0);
+        let plan = PooledReceiver::new(cfg).process_owned(msg);
         assert!(!plan.grouping_performed);
         assert_eq!(plan.worker_count, 1);
         assert_eq!(plan.local_deliveries, 0);
@@ -366,9 +345,9 @@ mod tests {
         agg.insert(Item::new(WorkerId(5), 1u32, 0));
         agg.insert(Item::new(WorkerId(4), 2, 0));
         agg.insert(Item::new(WorkerId(5), 3, 0));
-        let msg = &agg.flush()[0];
+        let msg = agg.flush().remove(0);
         assert_eq!(msg.dest, MessageDest::Process(ProcId(2)));
-        let plan = Receiver::new(cfg).process(msg);
+        let plan = PooledReceiver::new(cfg).process_owned(msg);
         assert!(plan.grouping_performed, "WPs groups at the destination");
         assert_eq!(plan.worker_count, 2);
         assert_eq!(plan.local_deliveries, 2);
@@ -388,9 +367,9 @@ mod tests {
         let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
         agg.insert(Item::new(WorkerId(5), 1u32, 0));
         agg.insert(Item::new(WorkerId(4), 2, 0));
-        let msg = &agg.flush()[0];
+        let msg = agg.flush().remove(0);
         assert!(msg.grouped_at_source);
-        let plan = Receiver::new(cfg).process(msg);
+        let plan = PooledReceiver::new(cfg).process_owned(msg);
         assert!(
             !plan.grouping_performed,
             "WsP already grouped at the source"
@@ -405,37 +384,10 @@ mod tests {
         let mut agg = Aggregator::new(cfg, Owner::Process(ProcId(0)));
         agg.insert(Item::new(WorkerId(4), 1u32, 0));
         agg.insert(Item::new(WorkerId(5), 2, 0));
-        let msg = &agg.flush()[0];
-        let plan = Receiver::new(cfg).process(msg);
+        let msg = agg.flush().remove(0);
+        let plan = PooledReceiver::new(cfg).process_owned(msg);
         assert!(plan.grouping_performed);
         assert_eq!(plan.local_deliveries, 2);
-    }
-
-    #[test]
-    fn process_owned_matches_stateless_process() {
-        // The pooled path must produce exactly the plan of the cloning path.
-        let cfg = config(Scheme::WPs);
-        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
-        agg.insert(Item::new(WorkerId(5), 1u32, 0));
-        agg.insert(Item::new(WorkerId(4), 2, 0));
-        agg.insert(Item::new(WorkerId(5), 3, 0));
-        let msg = agg.flush().remove(0);
-
-        let reference = Receiver::new(cfg).process(&msg);
-        let mut pooled = PooledReceiver::new(cfg);
-        let plan = pooled.process_owned(msg);
-
-        assert_eq!(plan.grouping_performed, reference.grouping_performed);
-        assert_eq!(plan.item_count, reference.item_count);
-        assert_eq!(plan.worker_count, reference.worker_count);
-        assert_eq!(plan.local_deliveries, reference.local_deliveries);
-        let flatten = |plan: &DeliveryPlan<u32>| -> Vec<(u32, Vec<u32>)> {
-            plan.per_worker
-                .iter()
-                .map(|(w, items)| (w.0, items.iter().map(|i| i.data).collect()))
-                .collect()
-        };
-        assert_eq!(flatten(&plan), flatten(&reference));
     }
 
     #[test]
@@ -463,14 +415,17 @@ mod tests {
     #[test]
     fn drain_grouped_matches_process_owned_and_keeps_the_borrowed_vec() {
         let cfg = config(Scheme::WPs);
-        let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
-        agg.insert(Item::new(WorkerId(5), 1u32, 0));
-        agg.insert(Item::new(WorkerId(4), 2, 0));
-        agg.insert(Item::new(WorkerId(5), 3, 0));
-        let msg = agg.flush().remove(0);
+        let make_msg = || {
+            let mut agg = Aggregator::new(cfg, Owner::Worker(net_model::WorkerId(0)));
+            agg.insert(Item::new(WorkerId(5), 1u32, 0));
+            agg.insert(Item::new(WorkerId(4), 2, 0));
+            agg.insert(Item::new(WorkerId(5), 3, 0));
+            agg.flush().remove(0)
+        };
 
-        let reference = Receiver::new(cfg).process(&msg);
+        let reference = PooledReceiver::new(cfg).process_owned(make_msg());
         let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        let msg = make_msg();
         let mut items = msg.items;
         let capacity = items.capacity();
         let mut seen: Vec<(u32, Vec<u32>)> = Vec::new();
@@ -527,14 +482,61 @@ mod tests {
     }
 
     #[test]
+    fn group_ranges_matches_drain_grouped_without_moving_items() {
+        let cfg = config(Scheme::WPs);
+        let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        let mut items = vec![
+            Item::new(WorkerId(5), 1u32, 0),
+            Item::new(WorkerId(4), 2, 0),
+            Item::new(WorkerId(5), 3, 0),
+            Item::new(WorkerId(4), 4, 0),
+        ];
+        let mut reference_items = items.clone();
+        let mut reference: Vec<(u32, Vec<u32>)> = Vec::new();
+        pooled.drain_grouped(&mut reference_items, false, |w, b| {
+            reference.push((w.0, b.iter().map(|i| i.data).collect()));
+            Some(b)
+        });
+
+        let outcome = pooled.group_ranges(&mut items, false);
+        assert!(outcome.grouping_performed);
+        assert_eq!(outcome.item_count, 4);
+        assert_eq!(outcome.worker_count, 2);
+        let ranges = pooled.take_ranges();
+        let flat: Vec<(u32, Vec<u32>)> = ranges
+            .iter()
+            .map(|&(w, start, len)| {
+                let slice = &items[start as usize..(start + len) as usize];
+                (w.0, slice.iter().map(|i| i.data).collect())
+            })
+            .collect();
+        assert_eq!(flat, reference, "in-place ranges must match the vec path");
+        pooled.put_ranges(ranges);
+
+        // Grouped-at-source payloads are only scanned, never permuted.
+        let mut sorted = items.clone();
+        let before = sorted.clone();
+        let outcome = pooled.group_ranges(&mut sorted, true);
+        assert!(!outcome.grouping_performed);
+        assert_eq!(sorted, before, "WsP split must not reorder the slab");
+        assert_eq!(pooled.take_ranges().len(), 2);
+    }
+
+    #[test]
     fn grouping_preserves_all_items() {
-        let items: Vec<Item<u32>> = (0..50)
+        let cfg = config(Scheme::WPs);
+        let mut pooled: PooledReceiver<u32> = PooledReceiver::new(cfg);
+        let mut items: Vec<Item<u32>> = (0..50)
             .map(|i| Item::new(WorkerId(4 + (i % 2)), i, 0))
             .collect();
-        let groups = group_by_worker(&items);
-        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        let mut total = 0usize;
+        let mut workers: Vec<u32> = Vec::new();
+        pooled.drain_grouped(&mut items, false, |w, b| {
+            total += b.len();
+            workers.push(w.0);
+            Some(b)
+        });
         assert_eq!(total, 50);
-        assert_eq!(groups.len(), 2);
-        assert!(groups[0].0 < groups[1].0, "groups sorted by worker id");
+        assert_eq!(workers, vec![4, 5], "groups sorted by worker id");
     }
 }

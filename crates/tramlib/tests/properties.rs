@@ -8,7 +8,7 @@
 
 use net_model::{ProcId, Topology, WorkerId};
 use proptest::prelude::*;
-use tramlib::{analysis, Aggregator, Item, MessageDest, Owner, Receiver, Scheme, TramConfig};
+use tramlib::{analysis, Aggregator, Item, MessageDest, Owner, PooledReceiver, Scheme, TramConfig};
 
 /// A compact description of a randomly generated scenario.
 #[derive(Debug, Clone)]
@@ -64,7 +64,7 @@ fn run_scenario(s: &Scenario) -> (Vec<(u32, u32)>, u64, Vec<u64>) {
     let config = TramConfig::new(scheme, topo)
         .with_buffer_items(s.buffer_items)
         .with_local_bypass(s.local_bypass);
-    let receiver = Receiver::new(config);
+    let mut receiver = PooledReceiver::new(config);
 
     // One aggregator per worker, or per process for PP.
     let mut worker_aggs: Vec<Aggregator<u32>> = if scheme == Scheme::PP {
@@ -85,15 +85,18 @@ fn run_scenario(s: &Scenario) -> (Vec<(u32, u32)>, u64, Vec<u64>) {
     let mut delivered: Vec<(u32, u32)> = Vec::new();
     let mut messages = 0u64;
 
-    let handle_outcome = |outcome: tramlib::InsertOutcome<u32>,
-                          delivered: &mut Vec<(u32, u32)>,
-                          messages: &mut u64| {
+    fn handle_outcome(
+        receiver: &mut PooledReceiver<u32>,
+        outcome: tramlib::InsertOutcome<u32>,
+        delivered: &mut Vec<(u32, u32)>,
+        messages: &mut u64,
+    ) {
         if let Some(item) = outcome.local_delivery {
             delivered.push((item.dest.0, item.data));
         }
         if let Some(msg) = outcome.message {
             *messages += 1;
-            let plan = receiver.process(&msg);
+            let plan = receiver.process_owned(msg);
             for (w, items) in plan.per_worker {
                 for item in items {
                     assert_eq!(item.dest, w, "delivery plan must respect item destinations");
@@ -101,7 +104,7 @@ fn run_scenario(s: &Scenario) -> (Vec<(u32, u32)>, u64, Vec<u64>) {
                 }
             }
         }
-    };
+    }
 
     for &(src_sel, dst_sel, payload) in &s.sends {
         let src = WorkerId(src_sel % topo.total_workers());
@@ -113,7 +116,7 @@ fn run_scenario(s: &Scenario) -> (Vec<(u32, u32)>, u64, Vec<u64>) {
         } else {
             worker_aggs[src.idx()].insert(item)
         };
-        handle_outcome(outcome, &mut delivered, &mut messages);
+        handle_outcome(&mut receiver, outcome, &mut delivered, &mut messages);
     }
 
     // Final flush, as the benchmarks do at the end of their update loops.
@@ -126,7 +129,7 @@ fn run_scenario(s: &Scenario) -> (Vec<(u32, u32)>, u64, Vec<u64>) {
     for agg in all_aggs {
         for msg in agg.flush() {
             messages += 1;
-            let plan = receiver.process(&msg);
+            let plan = receiver.process_owned(msg);
             for (w, items) in plan.per_worker {
                 for item in items {
                     delivered.push((w.0, item.data));
@@ -174,7 +177,7 @@ proptest! {
             .with_local_bypass(s.local_bypass);
 
         // Re-run, tracking per-owner inserted (non-bypassed) item counts.
-        let receiver = Receiver::new(config);
+        let mut receiver = PooledReceiver::new(config);
         let owners: Vec<Owner> = if scheme == Scheme::PP {
             topo.all_procs().map(Owner::Process).collect()
         } else {
@@ -195,7 +198,7 @@ proptest! {
             };
             let out = aggs[idx].insert(Item::new(dst, payload, 0));
             if let Some(msg) = out.message {
-                let _ = receiver.process(&msg);
+                let _ = receiver.process_owned(msg);
             }
         }
         for agg in aggs.iter_mut() {
@@ -299,7 +302,7 @@ proptest! {
 fn pp_interleaved_workers_exactly_once() {
     let topo = Topology::smp(2, 2, 4);
     let config = TramConfig::new(Scheme::PP, topo).with_buffer_items(7);
-    let receiver = Receiver::new(config);
+    let mut receiver = PooledReceiver::new(config);
     let mut agg = Aggregator::new(config, Owner::Process(ProcId(0)));
 
     let mut delivered = 0usize;
@@ -313,11 +316,11 @@ fn pp_interleaved_workers_exactly_once() {
             local += 1;
         }
         if let Some(msg) = out.message {
-            delivered += receiver.process(&msg).item_count;
+            delivered += receiver.process_owned(msg).item_count;
         }
     }
     for msg in agg.flush() {
-        delivered += receiver.process(&msg).item_count;
+        delivered += receiver.process_owned(msg).item_count;
     }
     assert_eq!(delivered + local, total as usize);
 }
