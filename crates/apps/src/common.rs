@@ -1,89 +1,21 @@
 //! Shared helpers for configuring benchmark runs and dispatching them to an
 //! execution backend.
+//!
+//! The front door is [`run_spec`] (and the [`RunSpecExt::run`] method it
+//! backs): a [`RunSpec`] built in `runtime-api` is resolved against the
+//! application's defaults, turned into the matching backend configuration and
+//! executed.  This module is the one place that links both backends, which is
+//! why the terminal `run()` lives here rather than on the builder itself.
+
+use std::time::Duration;
 
 use native_rt::NativeBackendConfig;
-use net_model::{Topology, WorkerId};
-use runtime_api::{Backend, RunReport, WorkerApp};
+use net_model::WorkerId;
+use runtime_api::{Backend, LoadShape, RunReport, RunSpec, WorkerApp};
 use smp_sim::SimConfig;
 use tramlib::{FlushPolicy, Scheme, TramConfig};
 
-/// A cluster shape in the paper's terms: physical nodes, processes per node and
-/// worker PEs per process, or the non-SMP equivalent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ClusterSpec {
-    /// Number of physical nodes.
-    pub nodes: u32,
-    /// Processes per node (ignored in non-SMP mode).
-    pub procs_per_node: u32,
-    /// Worker PEs per process (ignored in non-SMP mode).
-    pub workers_per_proc: u32,
-    /// SMP mode (dedicated comm thread per process) or non-SMP
-    /// ("MPI-everywhere": one single-worker process per core).
-    pub smp: bool,
-}
-
-impl ClusterSpec {
-    /// The paper's default SMP configuration on Delta: 8 processes per node,
-    /// 8 worker PEs per process (64 workers per node).
-    pub fn paper_smp(nodes: u32) -> Self {
-        Self {
-            nodes,
-            procs_per_node: 8,
-            workers_per_proc: 8,
-            smp: true,
-        }
-    }
-
-    /// A scaled-down SMP configuration used by tests and CI-sized benches:
-    /// 2 processes per node, 4 workers per process.
-    pub fn small_smp(nodes: u32) -> Self {
-        Self {
-            nodes,
-            procs_per_node: 2,
-            workers_per_proc: 4,
-            smp: true,
-        }
-    }
-
-    /// SMP with an explicit split of the node's workers into processes.
-    pub fn smp(nodes: u32, procs_per_node: u32, workers_per_proc: u32) -> Self {
-        Self {
-            nodes,
-            procs_per_node,
-            workers_per_proc,
-            smp: true,
-        }
-    }
-
-    /// Non-SMP mode with the given number of worker cores per node.
-    pub fn non_smp(nodes: u32, workers_per_node: u32) -> Self {
-        Self {
-            nodes,
-            procs_per_node: workers_per_node,
-            workers_per_proc: 1,
-            smp: false,
-        }
-    }
-
-    /// Worker PEs per node.
-    pub fn workers_per_node(&self) -> u32 {
-        self.procs_per_node * self.workers_per_proc
-    }
-
-    /// Total worker PEs.
-    pub fn total_workers(&self) -> u32 {
-        self.nodes * self.workers_per_node()
-    }
-
-    /// Build the [`Topology`].
-    pub fn topology(&self) -> Topology {
-        if self.smp {
-            Topology::smp(self.nodes, self.procs_per_node, self.workers_per_proc)
-        } else {
-            Topology::non_smp(self.nodes, self.workers_per_node())
-        }
-    }
-}
+pub use runtime_api::ClusterSpec;
 
 /// Build a [`SimConfig`] for a benchmark run.
 pub fn sim_config(
@@ -106,9 +38,9 @@ pub fn sim_config(
 /// order) on the chosen execution backend.
 ///
 /// The [`SimConfig`] fully describes the run for both backends: the simulator
-/// uses all of it, the native threaded backend uses the TramLib configuration
-/// (which carries the topology) and the seed — its "cost model" is the host
-/// machine itself.
+/// uses all of it, the native threaded backend uses the embedded
+/// [`runtime_api::CommonConfig`] (TramLib setup + seed) — its "cost model" is
+/// the host machine itself.
 pub fn run_app(
     backend: Backend,
     sim: SimConfig,
@@ -129,23 +61,136 @@ pub fn run_app_native(
     tune: impl FnOnce(NativeBackendConfig) -> NativeBackendConfig,
     make_app: impl FnMut(WorkerId) -> Box<dyn WorkerApp>,
 ) -> RunReport {
-    let native = tune(NativeBackendConfig::new(sim.tram).with_seed(sim.seed));
+    let native = tune(NativeBackendConfig::from_common(sim.common));
     native_rt::run_threaded(native, make_app)
 }
 
+/// Execute a fully described [`RunSpec`]: resolve the application's defaults,
+/// build the backend configuration, run, and stamp the SLO verdict (if any)
+/// onto the report's latency summary.
+///
+/// # Panics
+/// Panics if the spec asks for a backend the application cannot run on, or
+/// for an open-loop load on the simulator (which has no timer events to pace
+/// wall-clock arrivals with).
+pub fn run_spec(spec: RunSpec) -> RunReport {
+    let run = spec.resolve();
+    let app = spec.app();
+    match run.backend {
+        Backend::Sim => assert!(
+            app.sim_capable(),
+            "app '{}' does not run on the simulator",
+            app.name()
+        ),
+        Backend::Native => assert!(
+            app.native_capable(),
+            "app '{}' does not run on the native backend",
+            app.name()
+        ),
+    }
+    if matches!(run.load, LoadShape::Open(_)) {
+        assert!(
+            run.backend == Backend::Native,
+            "open-loop load needs the native backend: the simulator has no \
+             timer events to pace wall-clock arrivals with"
+        );
+    }
+
+    let mut make_app = app.factory(&run);
+    let mut report = match run.backend {
+        Backend::Sim => {
+            let mut sim = SimConfig::from_common(run.cluster.topology(), run.common());
+            if let Some(budget) = run.event_budget {
+                sim = sim.with_event_budget(budget);
+            }
+            smp_sim::run_cluster(sim, make_app.as_mut())
+        }
+        Backend::Native => {
+            let mut native = NativeBackendConfig::from_common(run.common())
+                .with_delivery(run.delivery)
+                .with_message_store(run.message_store)
+                .with_pin_workers(run.pin_workers);
+            match run.max_wall {
+                Some(max_wall) => native = native.with_max_wall(max_wall),
+                None => {
+                    if let LoadShape::Open(load) = run.load {
+                        // An open-loop run has a known minimum duration (the
+                        // arrival schedule itself); widen the watchdog well
+                        // past it so slow machines abort, not healthy runs.
+                        let secs = load.requests_per_worker as f64 / load.rate_per_worker;
+                        native = native
+                            .with_max_wall(Duration::from_secs_f64(60.0 + 4.0 * secs.max(0.0)));
+                    }
+                }
+            }
+            native_rt::run_threaded(native, make_app.as_mut())
+        }
+    };
+    if let Some(slo) = run.slo {
+        report.latency = report
+            .latency
+            .map(|summary| summary.with_slo_target(slo.p99_target_ns));
+    }
+    report
+}
+
+/// Execute a [`RunSpec`] on the native backend with extra backend-specific
+/// tuning (ring capacities, batch sizes, arena geometry...) applied on top of
+/// what the spec already resolved.  The throughput suite uses this for its
+/// mesh-vs-star A/B runs; everything expressible on the spec itself should
+/// stay on the spec.
+pub fn run_spec_native_tuned(
+    spec: RunSpec,
+    tune: impl FnOnce(NativeBackendConfig) -> NativeBackendConfig,
+) -> RunReport {
+    let run = spec.resolve();
+    let app = spec.app();
+    assert!(
+        app.native_capable(),
+        "app '{}' does not run on the native backend",
+        app.name()
+    );
+    let native = tune(
+        NativeBackendConfig::from_common(run.common())
+            .with_delivery(run.delivery)
+            .with_message_store(run.message_store)
+            .with_pin_workers(run.pin_workers),
+    );
+    let mut make_app = app.factory(&run);
+    let mut report = native_rt::run_threaded(native, make_app.as_mut());
+    if let Some(slo) = run.slo {
+        report.latency = report
+            .latency
+            .map(|summary| summary.with_slo_target(slo.p99_target_ns));
+    }
+    report
+}
+
+/// The terminal `run()` for [`RunSpec`], provided here because this crate is
+/// the one place that links both backends.
+pub trait RunSpecExt {
+    /// Execute the spec; see [`run_spec`].
+    fn run(self) -> RunReport;
+}
+
+impl RunSpecExt for RunSpec {
+    fn run(self) -> RunReport {
+        run_spec(self)
+    }
+}
+
 /// Parse a `--backend {sim,native}` switch out of the process arguments
-/// (defaulting to the simulator).  Shared by the CLI examples.
+/// (defaulting to the simulator).
 ///
 /// # Panics
 /// Panics with a usage message if the value after `--backend` is not a known
 /// backend name.
+#[deprecated(
+    since = "0.6.0",
+    note = "use runtime_api::CommonArgs::from_env(), which also handles --seed/--buffer/--pin"
+)]
 pub fn parse_backend_arg() -> Backend {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    args.iter()
-        .position(|a| a == "--backend")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--backend takes sim|native"))
-        .unwrap_or(Backend::Sim)
+    runtime_api::CommonArgs::from_env().backend
 }
 
 #[cfg(test)]
@@ -153,28 +198,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_default_is_8x8() {
-        let c = ClusterSpec::paper_smp(4);
-        assert_eq!(c.workers_per_node(), 64);
-        assert_eq!(c.total_workers(), 256);
-        assert!(c.topology().is_smp());
-    }
-
-    #[test]
-    fn non_smp_spec() {
-        let c = ClusterSpec::non_smp(2, 64);
-        assert_eq!(c.total_workers(), 128);
-        assert!(!c.topology().is_smp());
-        assert_eq!(c.topology().workers_per_proc(), 1);
-    }
-
-    #[test]
     fn sim_config_carries_parameters() {
         let c = ClusterSpec::small_smp(2);
         let cfg = sim_config(c, Scheme::WPs, 128, 8, FlushPolicy::ON_IDLE, 7);
-        assert_eq!(cfg.tram.buffer_items, 128);
-        assert_eq!(cfg.tram.item_bytes, 8);
-        assert_eq!(cfg.seed, 7);
-        assert!(cfg.tram.flush_policy.on_idle);
+        assert_eq!(cfg.common.tram.buffer_items, 128);
+        assert_eq!(cfg.common.tram.item_bytes, 8);
+        assert_eq!(cfg.common.seed, 7);
+        assert!(cfg.common.tram.flush_policy.on_idle);
     }
 }

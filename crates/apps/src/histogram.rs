@@ -8,10 +8,13 @@
 //! exactly how the paper uses it.
 
 use net_model::WorkerId;
-use runtime_api::{Backend, Item, Payload, RunCtx, RunReport, WorkerApp};
+use runtime_api::{
+    AppDefaults, AppFactory, AppSpec, Backend, Item, Payload, ResolvedRunSpec, RunCtx, RunReport,
+    RunSpec, WorkerApp,
+};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{run_app, sim_config, ClusterSpec};
+use crate::common::{run_spec, run_spec_native_tuned, ClusterSpec};
 
 /// The histogram app runs on both execution backends.
 pub const NATIVE_CAPABLE: bool = true;
@@ -147,58 +150,69 @@ impl WorkerApp for HistogramApp {
     }
 }
 
+/// [`HistogramConfig`] plugs into the [`RunSpec`] builder directly:
+/// `RunSpec::for_app(config).backend(..).run()`.  The config's cluster,
+/// scheme, buffer and seed become the defaults; builder calls override them.
+impl AppSpec for HistogramConfig {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn defaults(&self) -> AppDefaults {
+        AppDefaults {
+            scheme: self.scheme,
+            buffer_items: self.buffer_items,
+            item_bytes: 16,
+            flush_policy: FlushPolicy::EXPLICIT_ONLY,
+            seed: self.seed,
+            cluster: self.cluster,
+        }
+    }
+
+    fn factory(&self, _run: &ResolvedRunSpec) -> AppFactory {
+        let config = *self;
+        Box::new(move |me: WorkerId| -> Box<dyn WorkerApp> {
+            Box::new(HistogramApp {
+                me,
+                remaining: config.updates_per_worker,
+                chunk: config.chunk,
+                table_size_per_worker: config.table_size_per_worker,
+                local_table: vec![0; config.table_size_per_worker as usize],
+                flushed: false,
+            })
+        })
+    }
+}
+
 /// Run the histogram benchmark on the simulator and return the run report.
 ///
 /// Useful counters in the report: `histo_applied` (updates applied),
 /// `histo_sent_checksum` / `histo_applied_checksum` (conservation check),
 /// `wire_messages`, `wire_bytes`, and the TramLib statistics.
 pub fn run_histogram(config: HistogramConfig) -> RunReport {
-    run_histogram_on(Backend::Sim, config)
+    run_spec(RunSpec::for_app(config))
 }
 
 /// Run the histogram benchmark on the chosen execution backend.
-///
-/// The generated traffic is deterministic per seed, so item totals and
-/// checksums are identical across backends (only times differ: simulated vs
-/// wall-clock).
+#[deprecated(
+    since = "0.6.0",
+    note = "use RunSpec::for_app(config).backend(backend).run()"
+)]
 pub fn run_histogram_on(backend: Backend, config: HistogramConfig) -> RunReport {
-    run_app(backend, histogram_sim_config(&config), |w| {
-        make_histogram_app(&config, w)
-    })
+    run_spec(RunSpec::for_app(config).backend(backend))
 }
 
 /// Run the histogram benchmark on the native backend with extra
-/// backend-specific tuning (delivery topology, ring sizes, watchdog).  The
-/// throughput suite uses this for its mesh-vs-star A/B runs.
+/// backend-specific tuning (ring sizes, watchdog...).
+#[deprecated(
+    since = "0.6.0",
+    note = "use common::run_spec_native_tuned(RunSpec::for_app(config), tune)"
+)]
 pub fn run_histogram_native(
     config: HistogramConfig,
     tune: impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig,
 ) -> RunReport {
-    crate::common::run_app_native(histogram_sim_config(&config), tune, |w| {
-        make_histogram_app(&config, w)
-    })
-}
-
-fn histogram_sim_config(config: &HistogramConfig) -> smp_sim::SimConfig {
-    sim_config(
-        config.cluster,
-        config.scheme,
-        config.buffer_items,
-        16,
-        FlushPolicy::EXPLICIT_ONLY,
-        config.seed,
-    )
-}
-
-fn make_histogram_app(config: &HistogramConfig, me: WorkerId) -> Box<dyn WorkerApp> {
-    Box::new(HistogramApp {
-        me,
-        remaining: config.updates_per_worker,
-        chunk: config.chunk,
-        table_size_per_worker: config.table_size_per_worker,
-        local_table: vec![0; config.table_size_per_worker as usize],
-        flushed: false,
-    })
+    run_spec_native_tuned(RunSpec::for_app(config), tune)
 }
 
 #[cfg(test)]
@@ -251,8 +265,8 @@ mod tests {
             .with_updates(1_000)
             .with_buffer(32)
             .with_seed(3);
-        let sim = run_histogram_on(Backend::Sim, cfg);
-        let native = run_histogram_on(Backend::Native, cfg);
+        let sim = run_spec(RunSpec::for_app(cfg));
+        let native = run_spec(RunSpec::for_app(cfg).backend(Backend::Native));
         assert!(native.clean, "native run must finish cleanly");
         assert_eq!(native.backend, Backend::Native);
         for counter in [

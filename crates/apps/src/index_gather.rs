@@ -8,10 +8,13 @@
 //! aggregation schemes (Fig. 12) alongside the total execution time (Fig. 13).
 
 use net_model::WorkerId;
-use runtime_api::{Backend, Item, Payload, RunCtx, RunReport, WorkerApp};
+use runtime_api::{
+    AppDefaults, AppFactory, AppSpec, Backend, Item, Payload, ResolvedRunSpec, RunCtx, RunReport,
+    RunSpec, WorkerApp,
+};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{run_app, sim_config, ClusterSpec};
+use crate::common::{run_spec, run_spec_native_tuned, ClusterSpec};
 
 /// The index-gather app runs on both execution backends.
 pub const NATIVE_CAPABLE: bool = true;
@@ -101,15 +104,14 @@ impl WorkerApp for IndexGatherApp {
         }
     }
 
-    /// Batched delivery: same responses, same counter totals as the per-item
-    /// path, with the three counters bumped once per batch.  The round-trip
-    /// clock is read once for the whole slice — both backends hold `now_ns`
-    /// constant across a delivered batch anyway.
+    /// Batched delivery: same responses, same counter totals and the same
+    /// latency samples as the per-item path, with the counters bumped once per
+    /// batch.  The round-trip clock is read once for the whole slice — both
+    /// backends hold `now_ns` constant across a delivered batch anyway.
     fn on_item_slice(&mut self, items: &[Item<Payload>], ctx: &mut dyn RunCtx) {
         let now = ctx.now_ns();
         let mut served = 0u64;
         let mut responses = 0u64;
-        let mut latency_total = 0u64;
         for item in items {
             let p = item.data;
             if p.a & KIND_RESPONSE == 0 {
@@ -121,7 +123,7 @@ impl WorkerApp for IndexGatherApp {
             } else {
                 self.responses_received += 1;
                 responses += 1;
-                latency_total += now.saturating_sub(p.b);
+                ctx.record_app_latency(now.saturating_sub(p.b));
             }
         }
         if served > 0 {
@@ -129,8 +131,6 @@ impl WorkerApp for IndexGatherApp {
         }
         if responses > 0 {
             ctx.counter("ig_responses", responses);
-            ctx.counter("app_latency_total_ns", latency_total);
-            ctx.counter("app_latency_samples", responses);
         }
     }
 
@@ -162,57 +162,68 @@ impl WorkerApp for IndexGatherApp {
     }
 }
 
+/// [`IndexGatherConfig`] plugs into the [`RunSpec`] builder directly.
+impl AppSpec for IndexGatherConfig {
+    fn name(&self) -> &'static str {
+        "index_gather"
+    }
+
+    fn defaults(&self) -> AppDefaults {
+        AppDefaults {
+            scheme: self.scheme,
+            buffer_items: self.buffer_items,
+            item_bytes: 16,
+            // Responders only react to arrivals, so buffers must drain on idle.
+            flush_policy: FlushPolicy::ON_IDLE,
+            seed: self.seed,
+            cluster: self.cluster,
+        }
+    }
+
+    fn factory(&self, _run: &ResolvedRunSpec) -> AppFactory {
+        let config = *self;
+        Box::new(move |me: WorkerId| -> Box<dyn WorkerApp> {
+            Box::new(IndexGatherApp {
+                me,
+                remaining: config.requests_per_worker,
+                chunk: config.chunk,
+                table_size_per_worker: config.table_size_per_worker,
+                table: (0..config.table_size_per_worker)
+                    .map(|i| i * 7 + me.0 as u64)
+                    .collect(),
+                responses_received: 0,
+            })
+        })
+    }
+}
+
 /// Run the index-gather benchmark on the simulator.
 ///
 /// The report's `mean_app_latency_ns()` is the request→response round trip the
 /// paper plots in Fig. 12; `total_time_secs()` is Fig. 13.
 pub fn run_index_gather(config: IndexGatherConfig) -> RunReport {
-    run_index_gather_on(Backend::Sim, config)
+    run_spec(RunSpec::for_app(config))
 }
 
-/// Run the index-gather benchmark on the chosen execution backend.  On the
-/// native backend the round-trip latency is a real wall-clock measurement.
+/// Run the index-gather benchmark on the chosen execution backend.
+#[deprecated(
+    since = "0.6.0",
+    note = "use RunSpec::for_app(config).backend(backend).run()"
+)]
 pub fn run_index_gather_on(backend: Backend, config: IndexGatherConfig) -> RunReport {
-    run_app(backend, index_gather_sim_config(&config), |w| {
-        make_index_gather_app(&config, w)
-    })
+    run_spec(RunSpec::for_app(config).backend(backend))
 }
 
-/// Run index-gather on the native backend with extra backend-specific tuning
-/// (delivery topology, ring sizes, watchdog), mirroring
-/// [`crate::histogram::run_histogram_native`].
+/// Run index-gather on the native backend with extra backend-specific tuning.
+#[deprecated(
+    since = "0.6.0",
+    note = "use common::run_spec_native_tuned(RunSpec::for_app(config), tune)"
+)]
 pub fn run_index_gather_native(
     config: IndexGatherConfig,
     tune: impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig,
 ) -> RunReport {
-    crate::common::run_app_native(index_gather_sim_config(&config), tune, |w| {
-        make_index_gather_app(&config, w)
-    })
-}
-
-fn index_gather_sim_config(config: &IndexGatherConfig) -> smp_sim::SimConfig {
-    sim_config(
-        config.cluster,
-        config.scheme,
-        config.buffer_items,
-        16,
-        // Responders only react to arrivals, so buffers must drain on idle.
-        FlushPolicy::ON_IDLE,
-        config.seed,
-    )
-}
-
-fn make_index_gather_app(config: &IndexGatherConfig, me: WorkerId) -> Box<dyn WorkerApp> {
-    Box::new(IndexGatherApp {
-        me,
-        remaining: config.requests_per_worker,
-        chunk: config.chunk,
-        table_size_per_worker: config.table_size_per_worker,
-        table: (0..config.table_size_per_worker)
-            .map(|i| i * 7 + me.0 as u64)
-            .collect(),
-        responses_received: 0,
-    })
+    run_spec_native_tuned(RunSpec::for_app(config), tune)
 }
 
 #[cfg(test)]
@@ -278,12 +289,14 @@ mod tests {
     #[test]
     fn native_backend_serves_every_request() {
         for scheme in [Scheme::WPs, Scheme::PP] {
-            let report = run_index_gather_on(
-                Backend::Native,
-                IndexGatherConfig::new(ClusterSpec::small_smp(1), scheme)
-                    .with_requests(500)
-                    .with_buffer(32)
-                    .with_seed(5),
+            let report = run_spec(
+                RunSpec::for_app(
+                    IndexGatherConfig::new(ClusterSpec::small_smp(1), scheme)
+                        .with_requests(500)
+                        .with_buffer(32)
+                        .with_seed(5),
+                )
+                .backend(Backend::Native),
             );
             let expected = 500 * 8;
             assert!(report.clean, "{scheme}: native run not clean");
@@ -297,7 +310,7 @@ mod tests {
     #[test]
     fn item_latency_also_recorded() {
         let report = quick(Scheme::WPs, 500, 32);
-        assert!(report.latency.count() > 0);
-        assert!(report.latency.mean() > 0.0);
+        assert!(report.item_latency.count() > 0);
+        assert!(report.item_latency.mean() > 0.0);
     }
 }

@@ -10,11 +10,13 @@
 
 use net_model::WorkerId;
 use pdes::{OptimisticLp, PholdConfig, Receive};
-use runtime_api::{Payload, RunCtx, RunReport, WorkerApp};
-use smp_sim::run_cluster;
+use runtime_api::{
+    AppDefaults, AppFactory, AppSpec, Payload, ResolvedRunSpec, RunCtx, RunReport, RunSpec,
+    WorkerApp,
+};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{sim_config, ClusterSpec};
+use crate::common::{run_spec, ClusterSpec};
 
 /// PHOLD is simulator-only for now: its out-of-order metric is a function of
 /// the modelled delivery ordering, which would be scheduler noise on real
@@ -151,34 +153,53 @@ impl WorkerApp for PholdApp {
     }
 }
 
+/// [`PholdBenchConfig`] plugs into the [`RunSpec`] builder directly
+/// (simulator only).  LPs are block-distributed against the *resolved*
+/// cluster, so a `.workers(n)` override redistributes them correctly.
+impl AppSpec for PholdBenchConfig {
+    fn name(&self) -> &'static str {
+        "phold"
+    }
+
+    fn native_capable(&self) -> bool {
+        false
+    }
+
+    fn defaults(&self) -> AppDefaults {
+        AppDefaults {
+            scheme: self.scheme,
+            buffer_items: self.buffer_items,
+            item_bytes: 16,
+            flush_policy: FlushPolicy::ON_IDLE,
+            seed: self.seed,
+            cluster: self.cluster,
+        }
+    }
+
+    fn factory(&self, run: &ResolvedRunSpec) -> AppFactory {
+        let workers = run.cluster.topology().total_workers() as u64;
+        let per_worker = self.phold.total_lps.div_ceil(workers);
+        let phold = self.phold;
+        Box::new(move |w: WorkerId| -> Box<dyn WorkerApp> {
+            let lp_base = w.0 as u64 * per_worker;
+            let count = per_worker.min(phold.total_lps.saturating_sub(lp_base)) as usize;
+            Box::new(PholdApp {
+                me: w,
+                phold,
+                lp_base,
+                lps: (0..count).map(|_| OptimisticLp::new()).collect(),
+                seeded: false,
+            })
+        })
+    }
+}
+
 /// Run the PHOLD benchmark.
 ///
 /// Counters: `phold_ooo_events` (the wasted updates of Fig. 18),
 /// `phold_events_processed`, `phold_events_sent`, `phold_total_lateness`.
 pub fn run_phold(config: PholdBenchConfig) -> RunReport {
-    let topo = config.cluster.topology();
-    let workers = topo.total_workers() as u64;
-    let per_worker = config.phold.total_lps.div_ceil(workers);
-    let sim = sim_config(
-        config.cluster,
-        config.scheme,
-        config.buffer_items,
-        16,
-        FlushPolicy::ON_IDLE,
-        config.seed,
-    );
-    let phold = config.phold;
-    run_cluster(sim, move |w| {
-        let lp_base = w.0 as u64 * per_worker;
-        let count = per_worker.min(phold.total_lps.saturating_sub(lp_base)) as usize;
-        Box::new(PholdApp {
-            me: w,
-            phold,
-            lp_base,
-            lps: (0..count).map(|_| OptimisticLp::new()).collect(),
-            seeded: false,
-        })
-    })
+    run_spec(RunSpec::for_app(config))
 }
 
 #[cfg(test)]

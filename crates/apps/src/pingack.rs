@@ -10,10 +10,13 @@
 //! number of processes per node.
 
 use net_model::WorkerId;
-use runtime_api::{Backend, Payload, RunCtx, RunReport, WorkerApp};
+use runtime_api::{
+    AppDefaults, AppFactory, AppSpec, Backend, Payload, ResolvedRunSpec, RunCtx, RunReport,
+    RunSpec, WorkerApp,
+};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{run_app, sim_config, ClusterSpec};
+use crate::common::{run_spec, ClusterSpec};
 
 /// The PingAck app runs on both execution backends (on the native backend the
 /// comm-thread sweep degenerates to raw inter-thread messaging: there is no
@@ -150,48 +153,67 @@ impl WorkerApp for PingAckApp {
     }
 }
 
+/// [`PingAckConfig`] plugs into the [`RunSpec`] builder directly.  PingAck is
+/// raw messaging, so its defaults pin [`Scheme::NoAgg`] with single-item
+/// buffers; the cluster shape is derived from the config's own
+/// workers-per-node/processes split.
+impl AppSpec for PingAckConfig {
+    fn name(&self) -> &'static str {
+        "pingack"
+    }
+
+    fn defaults(&self) -> AppDefaults {
+        AppDefaults {
+            scheme: Scheme::NoAgg,
+            buffer_items: 1,
+            item_bytes: self.message_bytes,
+            flush_policy: FlushPolicy::EXPLICIT_ONLY,
+            seed: self.seed,
+            cluster: self.cluster(),
+        }
+    }
+
+    fn factory(&self, run: &ResolvedRunSpec) -> AppFactory {
+        let config = *self;
+        let workers_per_node = run.cluster.workers_per_node();
+        Box::new(move |w: WorkerId| -> Box<dyn WorkerApp> {
+            let on_node0 = w.0 < workers_per_node;
+            Box::new(PingAckApp {
+                me: w,
+                workers_per_node,
+                messages_to_send: if on_node0 {
+                    config.messages_per_worker
+                } else {
+                    0
+                },
+                expected_from_peer: if on_node0 {
+                    0
+                } else {
+                    config.messages_per_worker
+                },
+                received: 0,
+                acks_expected: if w.0 == 0 { workers_per_node } else { 0 },
+                acks_received: 0,
+                work_per_message_ns: config.work_per_message_ns,
+                chunk: 64,
+            })
+        })
+    }
+}
+
 /// Run the PingAck benchmark on the simulator; the report's total time is the
 /// Fig. 3 metric.
 pub fn run_pingack(config: PingAckConfig) -> RunReport {
-    run_pingack_on(Backend::Sim, config)
+    run_spec(RunSpec::for_app(config))
 }
 
 /// Run the PingAck benchmark on the chosen execution backend.
+#[deprecated(
+    since = "0.6.0",
+    note = "use RunSpec::for_app(config).backend(backend).run()"
+)]
 pub fn run_pingack_on(backend: Backend, config: PingAckConfig) -> RunReport {
-    let cluster = config.cluster();
-    let workers_per_node = cluster.workers_per_node();
-    // Raw messaging: no aggregation, each item is its own message of the
-    // requested size.
-    let sim = sim_config(
-        cluster,
-        Scheme::NoAgg,
-        1,
-        config.message_bytes,
-        FlushPolicy::EXPLICIT_ONLY,
-        config.seed,
-    );
-    run_app(backend, sim, move |w| {
-        let on_node0 = w.0 < workers_per_node;
-        Box::new(PingAckApp {
-            me: w,
-            workers_per_node,
-            messages_to_send: if on_node0 {
-                config.messages_per_worker
-            } else {
-                0
-            },
-            expected_from_peer: if on_node0 {
-                0
-            } else {
-                config.messages_per_worker
-            },
-            received: 0,
-            acks_expected: if w.0 == 0 { workers_per_node } else { 0 },
-            acks_received: 0,
-            work_per_message_ns: config.work_per_message_ns,
-            chunk: 64,
-        })
-    })
+    run_spec(RunSpec::for_app(config).backend(backend))
 }
 
 #[cfg(test)]
@@ -256,7 +278,7 @@ mod tests {
         let mut cfg = PingAckConfig::new(2, true);
         cfg.workers_per_node = 8;
         cfg.messages_per_worker = 200;
-        let report = run_pingack_on(Backend::Native, cfg);
+        let report = run_spec(RunSpec::for_app(cfg).backend(Backend::Native));
         assert!(report.clean);
         assert_eq!(report.counter("pingack_sent"), 8 * 200);
         assert_eq!(report.counter("pingack_complete_receivers"), 8);

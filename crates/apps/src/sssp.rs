@@ -12,11 +12,13 @@ use std::sync::Arc;
 
 use graph::{CsrGraph, Partition};
 use net_model::WorkerId;
-use runtime_api::{Payload, RunCtx, RunReport, WorkerApp};
-use smp_sim::run_cluster;
+use runtime_api::{
+    AppDefaults, AppFactory, AppSpec, Payload, ResolvedRunSpec, RunCtx, RunReport, RunSpec,
+    WorkerApp,
+};
 use tramlib::{FlushPolicy, Scheme};
 
-use crate::common::{sim_config, ClusterSpec};
+use crate::common::{run_spec, ClusterSpec};
 
 /// SSSP is simulator-only for now: its wasted-update metric depends on the
 /// modelled latency ordering, which real thread scheduling does not reproduce
@@ -142,6 +144,55 @@ impl WorkerApp for SsspApp {
     }
 }
 
+/// [`SsspConfig`] plugs into the [`RunSpec`] builder directly (simulator
+/// only).  The factory builds the vertex partition once per run — against the
+/// *resolved* cluster, so a `.workers(n)` override repartitions correctly —
+/// and every worker's closure shares the same read-only graph `Arc`.
+impl AppSpec for SsspConfig {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn native_capable(&self) -> bool {
+        false
+    }
+
+    fn defaults(&self) -> AppDefaults {
+        AppDefaults {
+            scheme: self.scheme,
+            buffer_items: self.buffer_items,
+            item_bytes: 16,
+            // Relaxations only happen on arrivals, so buffers must drain on
+            // idle or the search deadlocks with updates stuck in
+            // partially-filled buffers.
+            flush_policy: FlushPolicy::ON_IDLE,
+            seed: self.seed,
+            cluster: self.cluster,
+        }
+    }
+
+    fn factory(&self, run: &ResolvedRunSpec) -> AppFactory {
+        let partition = Partition::new(
+            self.graph.num_vertices(),
+            run.cluster.topology().total_workers(),
+        );
+        let graph_ref = self.graph.clone();
+        let source = self.source;
+        let relax_cost_ns = 25;
+        Box::new(move |w: WorkerId| -> Box<dyn WorkerApp> {
+            let owns_source = partition.owner(source) == w.0;
+            Box::new(SsspApp {
+                me: w,
+                graph: graph_ref.clone(),
+                partition,
+                dist: vec![graph::sssp::UNREACHED; partition.part_size(w.0) as usize],
+                seed_pending: if owns_source { Some(source) } else { None },
+                relax_cost_ns,
+            })
+        })
+    }
+}
+
 /// Run the speculative SSSP benchmark.
 ///
 /// Counters in the report: `sssp_wasted_updates` (Fig. 15/17),
@@ -149,32 +200,7 @@ impl WorkerApp for SsspApp {
 /// `sssp_dist_checksum` (compared against the sequential Dijkstra reference by
 /// the tests).
 pub fn run_sssp(config: SsspConfig) -> RunReport {
-    let topo = config.cluster.topology();
-    let partition = Partition::new(config.graph.num_vertices(), topo.total_workers());
-    let sim = sim_config(
-        config.cluster,
-        config.scheme,
-        config.buffer_items,
-        16,
-        // Relaxations only happen on arrivals, so buffers must drain on idle or
-        // the search deadlocks with updates stuck in partially-filled buffers.
-        FlushPolicy::ON_IDLE,
-        config.seed,
-    );
-    let graph_ref = config.graph.clone();
-    let source = config.source;
-    let relax_cost_ns = 25;
-    run_cluster(sim, move |w| {
-        let owns_source = partition.owner(source) == w.0;
-        Box::new(SsspApp {
-            me: w,
-            graph: graph_ref.clone(),
-            partition,
-            dist: vec![graph::sssp::UNREACHED; partition.part_size(w.0) as usize],
-            seed_pending: if owns_source { Some(source) } else { None },
-            relax_cost_ns,
-        })
-    })
+    run_spec(RunSpec::for_app(config))
 }
 
 #[cfg(test)]

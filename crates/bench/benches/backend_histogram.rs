@@ -6,8 +6,8 @@
 //! threads.  Together they track the overhead of each execution backend as the
 //! repo evolves.
 
-use apps::histogram::{run_histogram_on, HistogramConfig};
-use apps::{Backend, ClusterSpec};
+use apps::histogram::HistogramConfig;
+use apps::{run_spec, Backend, ClusterSpec, RunSpec};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tramlib::Scheme;
 
@@ -23,13 +23,11 @@ fn backend_histogram(c: &mut Criterion) {
         for backend in Backend::ALL {
             group.bench_function(format!("{}_{}", scheme.label(), backend.label()), |b| {
                 b.iter(|| {
-                    let report = run_histogram_on(
-                        backend,
-                        HistogramConfig::new(cluster, scheme)
-                            .with_updates(updates)
-                            .with_buffer(256)
-                            .with_seed(7),
-                    );
+                    let config = HistogramConfig::new(cluster, scheme)
+                        .with_updates(updates)
+                        .with_buffer(256)
+                        .with_seed(7);
+                    let report = run_spec(RunSpec::for_app(config).backend(backend));
                     assert!(report.clean);
                     report.items_delivered
                 })

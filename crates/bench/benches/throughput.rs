@@ -2,8 +2,8 @@
 //! path (lock-free vs the historical mutex baseline) and one native-backend
 //! histogram run per scheme, all at smoke sizes so `cargo bench` stays fast.
 
-use apps::histogram::{run_histogram_on, HistogramConfig};
-use apps::ClusterSpec;
+use apps::histogram::HistogramConfig;
+use apps::{run_spec, ClusterSpec, RunSpec};
 use bench::throughput::{lockfree_insert_rate, mutex_insert_rate};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use runtime_api::Backend;
@@ -37,13 +37,11 @@ fn bench_native_histogram(c: &mut Criterion) {
     for scheme in Scheme::ALL {
         group.bench_function(scheme.label(), |b| {
             b.iter(|| {
-                run_histogram_on(
-                    Backend::Native,
-                    HistogramConfig::new(cluster, scheme)
-                        .with_updates(updates)
-                        .with_buffer(64)
-                        .with_seed(41),
-                )
+                let config = HistogramConfig::new(cluster, scheme)
+                    .with_updates(updates)
+                    .with_buffer(64)
+                    .with_seed(41);
+                run_spec(RunSpec::for_app(config).backend(Backend::Native))
             })
         });
     }

@@ -1,0 +1,153 @@
+//! The latency suite: open-loop service latency vs offered load per scheme,
+//! the max-sustained-load-under-SLO scalar, and the adaptive-vs-fixed flush
+//! timeout comparison, emitted as one machine-readable `BENCH_latency.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin latency                # full sweep
+//! cargo run --release -p bench --bin latency -- --fast      # CI smoke sizes
+//! cargo run --release -p bench --bin latency -- --out p     # custom path
+//! cargo run --release -p bench --bin latency -- \
+//!     --fast --check BENCH_latency.json                     # regression gate
+//! ```
+//!
+//! Every run doubles as a conservation check (request/response totals must
+//! agree on every side of the exchange) and the adaptive flush controller is
+//! checked against the best fixed timeout at the SLO point: at paper effort
+//! a controller that sustains materially less load under the SLO than the
+//! best fixed setting fails the run.
+//!
+//! `--check` compares the fresh `slo_max_load` scalars against the
+//! smoke-baseline series embedded in the committed document, normalized
+//! across schemes exactly like the throughput gate (see
+//! `bench::regression`), so the comparison is hardware-independent.
+//! Latency percentiles themselves are *not* gated: they are lower-is-better
+//! and scheduler-noise-bound on shared runners — the SLO scalar is the
+//! stable summary of the same information.
+
+use bench::loadgen::{latency_suite, write_latency_json, LatencySuite};
+use bench::regression::{regression_gate, tolerance_from_env_or, TOLERANCE_ENV};
+use bench::Effort;
+use std::path::PathBuf;
+
+/// Allowed shortfall of the adaptive controller's max-sustained-load-under-
+/// SLO against the best fixed timeout's: the derived scalar moves on a
+/// coarse load grid (25% of capacity per step), so one noisy p99 reading at
+/// the SLO boundary shifts a variant by a whole step — the allowance admits
+/// exactly one such step (worst case 75% -> 50% of capacity, a third of the
+/// load), not a controller that actually loses.
+const ADAPTIVE_ALLOWANCE: f64 = 0.35;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "--fast") {
+        Effort::Smoke
+    } else {
+        Effort::Paper
+    };
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_latency.json"));
+    let check: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check takes a path").into());
+
+    println!("# smp-aggregation latency suite (effort: {effort:?})\n");
+
+    let suite = latency_suite(effort);
+    for series in [
+        &suite.p50,
+        &suite.p99,
+        &suite.p999,
+        &suite.slo_max_load,
+        &suite.adaptive,
+    ] {
+        println!("{}\n", series.to_text());
+    }
+    println!("{}", suite.verdict.render());
+    let adaptive_ok = suite.verdict.meets_best_fixed(ADAPTIVE_ALLOWANCE);
+    println!(
+        "adaptive-vs-fixed: {}\n",
+        if adaptive_ok {
+            "meets or beats the best fixed timeout at the SLO point"
+        } else {
+            "LOST to the best fixed timeout at the SLO point"
+        }
+    );
+
+    let mut series: Vec<(&str, &metrics::Series)> = vec![
+        ("latency_p50", &suite.p50),
+        ("latency_p99", &suite.p99),
+        ("latency_p999", &suite.p999),
+        ("slo_max_load", &suite.slo_max_load),
+        ("adaptive_flush", &suite.adaptive),
+    ];
+
+    // Full runs also embed the smoke-sized baselines the CI regression gate
+    // compares against.
+    let smoke: Option<LatencySuite> = if effort == Effort::Paper {
+        Some(latency_suite(Effort::Smoke))
+    } else {
+        None
+    };
+    if let Some(smoke) = &smoke {
+        series.push(("latency_p99_smoke", &smoke.p99));
+        series.push(("slo_max_load_smoke", &smoke.slo_max_load));
+        series.push(("adaptive_flush_smoke", &smoke.adaptive));
+    }
+
+    write_latency_json(&out, effort, &series).expect("write BENCH_latency.json");
+    println!("request/response conservation held on every run");
+    println!("-> {}", out.display());
+
+    // The committed document must demonstrate the adaptive controller
+    // holding its own; a smoke run on a noisy CI runner only reports.
+    if effort == Effort::Paper {
+        assert!(
+            adaptive_ok,
+            "adaptive flush fell more than {:.0}% short of the best fixed timeout's \
+             sustained load: {}",
+            ADAPTIVE_ALLOWANCE * 100.0,
+            suite.verdict.render()
+        );
+    }
+
+    if let Some(committed_path) = check {
+        let committed = std::fs::read_to_string(&committed_path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", committed_path.display()));
+        // The gated scalar moves in whole offered-load steps (25% of
+        // capacity), so the latency gate's default tolerance is wider than
+        // the throughput gate's; BENCH_REGRESSION_TOLERANCE still overrides.
+        let tolerance = tolerance_from_env_or(0.45);
+        println!(
+            "\n# regression gate vs {} (tolerance {:.0}%, env {TOLERANCE_ENV})",
+            committed_path.display(),
+            tolerance * 100.0
+        );
+        let fresh: Vec<(&str, &metrics::Series)> = vec![("slo_max_load", &suite.slo_max_load)];
+        let outcome = regression_gate(&committed, &fresh, tolerance)
+            .unwrap_or_else(|e| panic!("--check: {e}"));
+        for line in &outcome.details {
+            println!("  {line}");
+        }
+        assert!(
+            outcome.series_checked == fresh.len() && outcome.checks > 0,
+            "regression gate covered {}/{} series ({} comparisons) — the committed \
+             document lacks smoke baselines with matching sweep labels",
+            outcome.series_checked,
+            fresh.len(),
+            outcome.checks,
+        );
+        if !outcome.passed() {
+            println!("\nREGRESSION GATE FAILED:");
+            for failure in &outcome.failures {
+                println!("  {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!("regression gate passed ({} comparisons)", outcome.checks);
+    }
+}

@@ -17,6 +17,7 @@
 //! originals; `docs/DESIGN.md` §4 names the ablations.
 
 pub mod baseline;
+pub mod loadgen;
 pub mod regression;
 pub mod throughput;
 
@@ -47,6 +48,34 @@ impl Effort {
             Effort::Paper => paper,
         }
     }
+
+    /// The name used in emitted JSON documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effort::Smoke => "smoke",
+            Effort::Paper => "paper",
+        }
+    }
+}
+
+/// Assemble a combined benchmark document (`BENCH_*.json`) from named series:
+/// `{"suite": .., "effort": .., "series": {name: series, ..}}`.
+pub fn suite_json(suite: &str, effort: Effort, series: &[(&str, &metrics::Series)]) -> String {
+    let mut out = format!(
+        "{{\"suite\":\"{suite}\",\"effort\":\"{}\",\"series\":{{",
+        effort.name()
+    );
+    for (i, (name, s)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(&s.to_json());
+    }
+    out.push_str("}}");
+    out
 }
 
 /// The SMP node shape used by the figure runs: the paper's 8×8 node scaled to
@@ -446,7 +475,7 @@ pub fn ablation_flush_policy(effort: Effort) -> Series {
         // generic histogram with the chosen policy here.
         let report = run_histogram_with_policy(sim, updates);
         time_col.push(report.total_time_secs());
-        latency_col.push(report.latency.mean() / 1e6);
+        latency_col.push(report.item_latency.mean() / 1e6);
     }
     series.add_column("total_time_s", time_col);
     series.add_column("mean_item_latency_ms", latency_col);

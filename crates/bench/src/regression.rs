@@ -31,6 +31,17 @@ pub const DEFAULT_TOLERANCE: f64 = 0.30;
 /// # Panics
 /// Panics if the variable is set but does not parse as a fraction.
 pub fn tolerance_from_env() -> f64 {
+    tolerance_from_env_or(DEFAULT_TOLERANCE)
+}
+
+/// Like [`tolerance_from_env`] but with a caller-chosen default: suites whose
+/// gated scalar is coarser than a throughput mean (e.g. the latency suite's
+/// `slo_max_load`, which moves in whole offered-load steps) pass a wider
+/// default; an explicit `BENCH_REGRESSION_TOLERANCE` still wins.
+///
+/// # Panics
+/// Panics if the variable is set but does not parse as a fraction.
+pub fn tolerance_from_env_or(default: f64) -> f64 {
     match std::env::var(TOLERANCE_ENV) {
         Ok(raw) => {
             let tol: f64 = raw
@@ -42,7 +53,7 @@ pub fn tolerance_from_env() -> f64 {
             );
             tol
         }
-        Err(_) => DEFAULT_TOLERANCE,
+        Err(_) => default,
     }
 }
 

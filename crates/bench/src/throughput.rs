@@ -16,12 +16,13 @@
 
 use crate::baseline::{MutexClaimBuffer, MutexClaimResult};
 use crate::Effort;
-use apps::histogram::{run_histogram_native, HistogramConfig};
-use apps::index_gather::{run_index_gather_native, IndexGatherConfig};
+use apps::common::run_spec_native_tuned;
+use apps::histogram::HistogramConfig;
+use apps::index_gather::IndexGatherConfig;
 use apps::ClusterSpec;
 use metrics::Series;
 use native_rt::{DeliveryTopology, MessageStore};
-use runtime_api::RunReport;
+use runtime_api::{Backend, RunReport, RunSpec};
 use shmem::{ClaimBuffer, ClaimResult};
 use std::io;
 use std::path::Path;
@@ -86,18 +87,11 @@ fn best_rate(context: &str, reps: u32, mut run: impl FnMut() -> RunReport) -> f6
 /// lazily faulted thread stacks, allocator warm-up) do not land on whichever
 /// scheme happens to run first.
 fn warmup(tune: Tune) {
-    let report = run_histogram_native(
-        HistogramConfig::new(ClusterSpec::smp(1, 2, 2), Scheme::WW)
-            .with_updates(5_000)
-            .with_buffer(64)
-            .with_seed(1),
-        |native| {
-            native
-                .with_delivery(tune.delivery)
-                .with_message_store(tune.store)
-                .with_pin_workers(tune.pin)
-        },
-    );
+    let config = HistogramConfig::new(ClusterSpec::smp(1, 2, 2), Scheme::WW)
+        .with_updates(5_000)
+        .with_buffer(64)
+        .with_seed(1);
+    let report = run_spec_native_tuned(tune.spec(RunSpec::for_app(config)), |native| native);
     assert!(report.clean, "warmup run failed");
 }
 
@@ -144,29 +138,29 @@ impl Tune {
         self.pin = pin;
         self
     }
+
+    /// Apply this tuning to a [`RunSpec`] (native backend implied).
+    pub fn spec(&self, spec: RunSpec) -> RunSpec {
+        spec.backend(Backend::Native)
+            .delivery(self.delivery)
+            .message_store(self.store)
+            .pin_workers(self.pin)
+    }
 }
 
-/// Suite-wide native tuning.  The sweep measures the delivery *pipeline*
+/// Suite-wide measurement spec.  The sweep measures the delivery *pipeline*
 /// (aggregate → route → group → deliver): the local bypass short-circuits
 /// that pipeline entirely, and its share of the traffic varies with the
 /// cluster shape (100% of it at one process, 1/N at N processes), so leaving
 /// it on would make the sweep compare different code-path mixes instead of
 /// the same pipeline at different scales.  Only the measurement disables the
-/// bypass — the backend default (bypass on) is untouched.
-fn pipeline_tune(
-    tune: Tune,
-) -> impl FnOnce(native_rt::NativeBackendConfig) -> native_rt::NativeBackendConfig {
-    move |mut native| {
-        native.tram.local_bypass = false;
-        native
-            .with_delivery(tune.delivery)
-            .with_message_store(tune.store)
-            .with_pin_workers(tune.pin)
-            // Generous: the all-remote workload on the star baseline can
-            // legitimately need minutes; the watchdog is for hangs, not for
-            // slow topologies.
-            .with_max_wall(std::time::Duration::from_secs(240))
-    }
+/// bypass — the backend default (bypass on) is untouched.  The watchdog is
+/// generous because the all-remote workload on the star baseline can
+/// legitimately need minutes: it is for hangs, not for slow topologies.
+fn pipeline_spec(spec: RunSpec, tune: Tune) -> RunSpec {
+    tune.spec(spec)
+        .local_bypass(false)
+        .max_wall(std::time::Duration::from_secs(240))
 }
 
 /// Histogram items/sec on the native backend: all five schemes × the worker
@@ -221,12 +215,13 @@ pub fn throughput_histogram_on(effort: Effort, tune: Tune) -> Series {
                     &format!("histogram/{scheme}/{}", cluster_label(&cluster)),
                     reps,
                     || {
-                        run_histogram_native(
-                            HistogramConfig::new(cluster, scheme)
-                                .with_updates(updates)
-                                .with_buffer(buffer)
-                                .with_seed(31),
-                            pipeline_tune(tune),
+                        let config = HistogramConfig::new(cluster, scheme)
+                            .with_updates(updates)
+                            .with_buffer(buffer)
+                            .with_seed(31);
+                        run_spec_native_tuned(
+                            pipeline_spec(RunSpec::for_app(config), tune),
+                            |native| native,
                         )
                     },
                 )
@@ -264,12 +259,13 @@ pub fn throughput_index_gather(effort: Effort, tune: Tune) -> Series {
                     &format!("index_gather/{scheme}/{}", cluster_label(&cluster)),
                     reps,
                     || {
-                        run_index_gather_native(
-                            IndexGatherConfig::new(cluster, scheme)
-                                .with_requests(requests)
-                                .with_buffer(buffer)
-                                .with_seed(37),
-                            pipeline_tune(tune),
+                        let config = IndexGatherConfig::new(cluster, scheme)
+                            .with_requests(requests)
+                            .with_buffer(buffer)
+                            .with_seed(37);
+                        run_spec_native_tuned(
+                            pipeline_spec(RunSpec::for_app(config), tune),
+                            |native| native,
                         )
                     },
                 )
@@ -406,23 +402,7 @@ pub fn pp_insert_comparison(effort: Effort) -> Series {
 
 /// Assemble the combined `BENCH_throughput.json` document from named series.
 pub fn throughput_json(effort: Effort, series: &[(&str, &Series)]) -> String {
-    let mut out = String::from("{\"suite\":\"throughput\",\"effort\":\"");
-    out.push_str(match effort {
-        Effort::Smoke => "smoke",
-        Effort::Paper => "paper",
-    });
-    out.push_str("\",\"series\":{");
-    for (i, (name, s)) in series.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('"');
-        out.push_str(name);
-        out.push_str("\":");
-        out.push_str(&s.to_json());
-    }
-    out.push_str("}}");
-    out
+    crate::suite_json("throughput", effort, series)
 }
 
 /// Write the combined document to `path`, creating parent directories.
@@ -456,12 +436,14 @@ mod tests {
             for scheme in [Scheme::WW, Scheme::WPs, Scheme::WsP, Scheme::NoAgg] {
                 for (procs, workers) in [(1u32, 4u32), (2, 4), (4, 4)] {
                     for _ in 0..2 {
-                        let report = run_histogram_native(
+                        let config =
                             HistogramConfig::new(ClusterSpec::smp(1, procs, workers), scheme)
                                 .with_updates(150_000)
                                 .with_buffer(512)
-                                .with_seed(31),
-                            pipeline_tune(tune),
+                                .with_seed(31);
+                        let report = run_spec_native_tuned(
+                            pipeline_spec(RunSpec::for_app(config), tune),
+                            |native| native,
                         );
                         let rate = items_per_sec("probe", &report);
                         println!(

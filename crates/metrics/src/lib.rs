@@ -24,7 +24,7 @@ pub mod stats;
 pub mod table;
 
 pub use counters::Counters;
-pub use latency::LatencyRecorder;
+pub use latency::{LatencyRecorder, LatencySummary, SloVerdict};
 pub use quantile::QuantileSketch;
 pub use stats::OnlineStats;
 pub use table::{Series, Table};

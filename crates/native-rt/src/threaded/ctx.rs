@@ -15,8 +15,8 @@ use runtime_api::{Payload, RunCtx, WorkerApp};
 use shmem::{ClaimResult, SlabArena, SlabHandle};
 use sim_core::StreamRng;
 use tramlib::{
-    Aggregator, EmitReason, EmittedMessage, Item, MessageDest, OutboundMessage, Owner, Scheme,
-    SlabSealed, TramStats,
+    AdaptiveTimeout, Aggregator, EmitReason, EmittedMessage, Item, MessageDest, OutboundMessage,
+    Owner, Scheme, SlabSealed, TramStats,
 };
 
 use super::{Batch, Envelope, Plane, Shared, Spent, SPARE_BATCHES};
@@ -32,9 +32,23 @@ pub(crate) struct NativeWorkerCtx<'a> {
     pub(crate) rng: StreamRng,
     pub(crate) counters: Counters,
     pub(crate) latency: LatencyRecorder,
+    /// Application-level latency samples (`RunCtx::record_app_latency`);
+    /// merged across workers into the report's structured latency summary.
+    pub(crate) app_latency: LatencyRecorder,
     /// TramLib statistics for the PP path, which bypasses the `Aggregator`
     /// type (the claim buffers do the buffering).
     pub(crate) pp_stats: TramStats,
+    /// Whether the flush policy has a timeout at all (lets the per-iteration
+    /// timeout poll exit without reading the clock when it does not).
+    pub(crate) has_timeout: bool,
+    /// PP only: wall-clock stamp of the oldest insert this worker has made
+    /// into the shared claim buffers since the last flush it observed.  The
+    /// claim buffers keep no per-item timestamps, so the timeout poll works
+    /// from this sender-side watermark instead.
+    pub(crate) pp_oldest_ns: Option<u64>,
+    /// PP only: this worker's adaptive-timeout controller (worker-owned
+    /// aggregators embed their own inside `tramlib`).
+    pub(crate) pp_adaptive: Option<AdaptiveTimeout>,
     /// Per-destination-worker local-bypass batches (same-process traffic),
     /// indexed by destination worker.  Shipped when a batch reaches
     /// `local_batch_items` or the worker runs out of other work.
@@ -101,7 +115,15 @@ impl<'a> NativeWorkerCtx<'a> {
             rng: StreamRng::new(shared.seed, me.0 as u64),
             counters: Counters::new(),
             latency: LatencyRecorder::new(),
+            app_latency: LatencyRecorder::new(),
             pp_stats: TramStats::new(),
+            has_timeout: shared.tram.flush_policy.timeout_ns.is_some(),
+            pp_oldest_ns: None,
+            pp_adaptive: if shared.tram.scheme == Scheme::PP {
+                shared.tram.flush_policy.adaptive.map(AdaptiveTimeout::new)
+            } else {
+                None
+            },
             local_out: (0..shared.topo.total_workers())
                 .map(|_| Vec::new())
                 .collect(),
@@ -409,6 +431,9 @@ impl<'a> NativeWorkerCtx<'a> {
             return;
         }
         self.pp_stats.record_insert();
+        if self.has_timeout && self.pp_oldest_ns.is_none() {
+            self.pp_oldest_ns = Some(self.now_cache);
+        }
         let buffer = &shared.pp[self.my_proc.idx()][dst_proc.idx()];
         let mut pending = item;
         let mut attempts = 0u32;
@@ -442,6 +467,9 @@ impl<'a> NativeWorkerCtx<'a> {
         }
         let bytes = self.shared.tram.message_bytes(items.len());
         self.pp_stats.record_message(items.len(), bytes, reason);
+        if let Some(adaptive) = &mut self.pp_adaptive {
+            adaptive.observe(reason, items.len(), self.shared.tram.buffer_items);
+        }
         self.emit(OutboundMessage {
             dest: MessageDest::Process(dst_proc),
             items,
@@ -458,11 +486,18 @@ impl<'a> NativeWorkerCtx<'a> {
             let items = shared.pp[self.my_proc.idx()][dst].seal_flush();
             self.emit_pp(ProcId(dst as u32), items, reason);
         }
+        self.pp_oldest_ns = None;
     }
 
-    /// Emit messages whose buffer timeout has expired (worker-owned
-    /// aggregators only; the PP claim buffers keep no per-item timestamps).
+    /// Emit messages whose buffer timeout has expired.  Worker-owned
+    /// aggregators track per-buffer ages themselves; for PP — whose shared
+    /// claim buffers keep no per-item timestamps — the poll works from this
+    /// worker's sender-side watermark: once the oldest of its un-flushed
+    /// inserts exceeds the timeout, it seal-flushes the process's buffers.
     pub(crate) fn poll_timeout(&mut self) {
+        if !self.has_timeout {
+            return;
+        }
         let now = self.shared.now_ns();
         if let Some(mut agg) = self.aggregator.take() {
             match self.arena {
@@ -472,6 +507,18 @@ impl<'a> NativeWorkerCtx<'a> {
                 None => agg.poll_timeout_each(now, |message| self.emit(message)),
             }
             self.aggregator = Some(agg);
+            return;
+        }
+        if let Some(oldest) = self.pp_oldest_ns {
+            let timeout = match &self.pp_adaptive {
+                Some(adaptive) => Some(adaptive.timeout_ns()),
+                None => self.shared.tram.flush_policy.timeout_ns,
+            };
+            if let Some(timeout) = timeout {
+                if now.saturating_sub(oldest) >= timeout {
+                    self.flush_pp(EmitReason::TimeoutFlush);
+                }
+            }
         }
     }
 
@@ -482,6 +529,17 @@ impl<'a> NativeWorkerCtx<'a> {
             let pool = agg.pool_stats();
             self.counters.add("agg_pool_hits", pool.hits);
             self.counters.add("agg_pool_misses", pool.misses);
+            if let Some(timeout) = agg.effective_timeout_ns() {
+                self.counters.max("flush_timeout_final_ns", timeout);
+                self.counters
+                    .add("adaptive_timeout_adjustments", agg.adaptive_adjustments());
+            }
+        }
+        if let Some(adaptive) = &self.pp_adaptive {
+            self.counters
+                .max("flush_timeout_final_ns", adaptive.timeout_ns());
+            self.counters
+                .add("adaptive_timeout_adjustments", adaptive.adjustments());
         }
         if let Some(arena) = self.arena {
             let stats = arena.stats();
@@ -514,6 +572,12 @@ impl RunCtx for NativeWorkerCtx<'_> {
 
     fn counter(&mut self, name: &'static str, delta: u64) {
         self.counters.add(name, delta);
+    }
+
+    /// Record an application-level latency sample into this worker's
+    /// recorder; merged into the report's structured latency summary.
+    fn record_app_latency(&mut self, ns: u64) {
+        self.app_latency.record(ns);
     }
 
     fn send(&mut self, dest: WorkerId, payload: Payload) {

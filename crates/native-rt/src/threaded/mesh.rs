@@ -130,6 +130,10 @@ pub(crate) fn worker_main(
             done_stored = true;
         }
         ctx.publish_delivered();
+        // Poll buffer timeouts on every iteration (cheap no-op without a
+        // timeout policy): a worker kept busy by incoming requests must still
+        // age out its partially-filled response buffers.
+        ctx.poll_timeout();
         if did_work {
             idle_rounds = 0;
             continue;
@@ -172,6 +176,7 @@ pub(crate) fn worker_main(
         app,
         counters: ctx.counters,
         latency: ctx.latency,
+        app_latency: ctx.app_latency,
         tram,
     }
 }

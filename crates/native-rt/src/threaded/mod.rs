@@ -62,9 +62,15 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Sender};
 use crossbeam_utils::CachePadded;
+use metrics::LatencySummary;
 use metrics::{Counters, LatencyRecorder};
 use net_model::{Topology, WorkerId};
-use runtime_api::{Backend, Payload, RunReport, WorkerApp};
+use runtime_api::{Backend, CommonConfig, Payload, RunReport, WorkerApp};
+
+// The native tuning enums live in `runtime-api` so the unified `RunSpec`
+// builder can name them without depending on this crate; re-exported here so
+// `native_rt::{DeliveryTopology, MessageStore}` keeps working.
+pub use runtime_api::{DeliveryTopology, MessageStore};
 use shmem::{ClaimBuffer, SlabArena, SlabHandle, SlabRange, SpscRing};
 use tramlib::{Item, OutboundMessage, Scheme, SlabSealed, TramConfig, TramStats};
 
@@ -108,19 +114,6 @@ pub(crate) enum Spent {
     Slab(SlabHandle),
 }
 
-/// Which message store backs the aggregation hot path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum MessageStore {
-    /// Zero-copy slab arenas (the default): items are written once into
-    /// per-worker shared arenas and borrowed in place by consumers; only
-    /// handles move.  Mesh topology only — the star's central collector
-    /// falls back to pooled vectors.
-    #[default]
-    SlabArena,
-    /// Pooled heap vectors (the PR 3/4 path), kept as the A/B baseline.
-    VecPool,
-}
-
 /// How many spare delivered-batch vectors a worker keeps for its own
 /// local-bypass batches before handing further returns to the aggregator
 /// pool (or dropping them).
@@ -135,27 +128,15 @@ pub(crate) const SPARE_BATCHES: usize = 32;
 /// grow stashes without bound and, on the slab store, dry out the arena).
 pub(crate) const STASH_THROTTLE: usize = 128;
 
-/// Which delivery topology connects the worker threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DeliveryTopology {
-    /// Direct worker↔worker SPSC mesh; the grouping pass runs on the
-    /// receiving worker and no thread touches traffic it does not own.
-    Mesh,
-    /// The historical star: a central collector thread receives every message
-    /// over an MPSC channel, groups, and fans out.  Kept as the A/B baseline
-    /// for `bench::throughput`.
-    Star,
-}
-
 /// Configuration of one native threaded run.
 #[derive(Debug, Clone, Copy)]
 pub struct NativeBackendConfig {
-    /// TramLib configuration; its topology decides the thread layout (one
-    /// thread per worker PE, claim buffers per process pair for PP).
-    pub tram: TramConfig,
-    /// Experiment seed; every worker derives the same deterministic RNG stream
-    /// as it would on the simulator.
-    pub seed: u64,
+    /// The backend-shared configuration: the TramLib setup (whose topology
+    /// decides the thread layout — one thread per worker PE, claim buffers
+    /// per process pair for PP) and the experiment seed every worker derives
+    /// its deterministic RNG stream from.  `SimConfig` embeds the identical
+    /// struct.
+    pub common: CommonConfig,
     /// Capacity (in batches) of each star-topology collector↔worker ring.
     pub ring_capacity: usize,
     /// Capacity (in envelopes) of each mesh ring.  `0` (the default) sizes
@@ -190,9 +171,13 @@ impl NativeBackendConfig {
     /// with auto-sized rings and slab arenas, 4096-batch star rings, 32-item
     /// local-bypass batches and a 60 s watchdog.
     pub fn new(tram: TramConfig) -> Self {
+        Self::from_common(CommonConfig::new(tram))
+    }
+
+    /// Build a configuration from the backend-shared [`CommonConfig`].
+    pub fn from_common(common: CommonConfig) -> Self {
         Self {
-            tram,
-            seed: 0x5eed_1234,
+            common,
             ring_capacity: 4096,
             mesh_ring_capacity: 0,
             local_batch_items: 32,
@@ -206,7 +191,7 @@ impl NativeBackendConfig {
 
     /// Override the experiment seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.common.seed = seed;
         self
     }
 
@@ -262,7 +247,7 @@ impl NativeBackendConfig {
     pub fn uses_arena(&self) -> bool {
         self.message_store == MessageStore::SlabArena
             && self.delivery == DeliveryTopology::Mesh
-            && !matches!(self.tram.scheme, Scheme::PP | Scheme::NoAgg)
+            && !matches!(self.common.tram.scheme, Scheme::PP | Scheme::NoAgg)
     }
 
     /// The per-worker arena size (in slabs) this configuration resolves to.
@@ -284,9 +269,9 @@ impl NativeBackendConfig {
         if self.arena_slabs > 0 {
             return self.arena_slabs;
         }
-        let dests = match self.tram.scheme {
+        let dests = match self.common.tram.scheme {
             Scheme::WW => workers,
-            _ => self.tram.topology.total_procs() as usize,
+            _ => self.common.tram.topology.total_procs() as usize,
         };
         dests
             + workers * self.resolved_mesh_capacity(workers)
@@ -317,7 +302,7 @@ impl NativeBackendConfig {
             return (2048 / workers.max(1)).clamp(8, 128);
         }
         let base = (4096 / workers.max(1)).max(64);
-        if self.tram.scheme == Scheme::NoAgg {
+        if self.common.tram.scheme == Scheme::NoAgg {
             base * 2
         } else {
             base
@@ -456,6 +441,7 @@ pub(crate) struct WorkerOutput {
     pub(crate) app: Box<dyn WorkerApp>,
     pub(crate) counters: Counters,
     pub(crate) latency: LatencyRecorder,
+    pub(crate) app_latency: LatencyRecorder,
     pub(crate) tram: TramStats,
 }
 
@@ -469,7 +455,7 @@ pub fn run_threaded(
     config: NativeBackendConfig,
     mut make_app: impl FnMut(WorkerId) -> Box<dyn WorkerApp>,
 ) -> RunReport {
-    let topo = config.tram.topology;
+    let topo = config.common.tram.topology;
     let workers = topo.total_workers() as usize;
     assert!(workers > 0, "topology must have at least one worker");
     assert!(config.ring_capacity > 0, "ring capacity must be positive");
@@ -508,11 +494,11 @@ pub fn run_threaded(
             })
         }
     };
-    let pp = if config.tram.scheme == Scheme::PP {
+    let pp = if config.common.tram.scheme == Scheme::PP {
         (0..topo.total_procs())
             .map(|_| {
                 (0..topo.total_procs())
-                    .map(|_| ClaimBuffer::new(config.tram.buffer_items))
+                    .map(|_| ClaimBuffer::new(config.common.tram.buffer_items))
                     .collect()
             })
             .collect()
@@ -522,15 +508,15 @@ pub fn run_threaded(
     let arenas = if config.uses_arena() {
         let slabs = config.resolved_arena_slabs(workers);
         (0..workers)
-            .map(|_| SlabArena::new(slabs, config.tram.buffer_items))
+            .map(|_| SlabArena::new(slabs, config.common.tram.buffer_items))
             .collect()
     } else {
         Vec::new()
     };
     let shared = Shared {
-        tram: config.tram,
+        tram: config.common.tram,
         topo,
-        seed: config.seed,
+        seed: config.common.seed,
         local_batch_items: config.local_batch_items,
         epoch: Instant::now(),
         go: AtomicBool::new(false),
@@ -617,11 +603,13 @@ pub fn run_threaded(
 
     let mut counters = collector_counters;
     let mut latency = LatencyRecorder::new();
+    let mut app_latency = LatencyRecorder::new();
     let mut tram = TramStats::new();
     let mut finished_apps = Vec::with_capacity(outputs.len());
     for output in outputs {
         counters.merge(&output.counters);
         latency.merge(&output.latency);
+        app_latency.merge(&output.app_latency);
         tram.merge(&output.tram);
         finished_apps.push(output.app);
     }
@@ -634,7 +622,8 @@ pub fn run_threaded(
     RunReport {
         backend: Backend::Native,
         total_time_ns,
-        latency,
+        latency: LatencySummary::from_recorder(&app_latency),
+        item_latency: latency,
         counters,
         tram,
         events_executed: 0,
@@ -754,7 +743,7 @@ mod tests {
                     "{delivery:?}/{scheme}: checksum mismatch"
                 );
                 assert!(report.total_time_ns > 0);
-                assert!(report.latency.count() > 0);
+                assert!(report.item_latency.count() > 0);
             }
         }
     }

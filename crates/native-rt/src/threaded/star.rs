@@ -107,6 +107,7 @@ pub(crate) fn worker_main(
         app,
         counters: ctx.counters,
         latency: ctx.latency,
+        app_latency: ctx.app_latency,
         tram,
     }
 }

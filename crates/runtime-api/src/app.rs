@@ -121,11 +121,15 @@ pub trait RunCtx {
     fn counter(&mut self, name: &'static str, delta: u64);
 
     /// Record an application-level latency sample (e.g. the index-gather
-    /// request→response round trip), in nanoseconds.
-    fn record_app_latency(&mut self, ns: u64) {
-        self.counter("app_latency_total_ns", ns);
-        self.counter("app_latency_samples", 1);
-    }
+    /// request→response round trip, or the service app's scheduled-arrival →
+    /// response time), in nanoseconds.
+    ///
+    /// Both backends feed these samples into a full `metrics::LatencyRecorder`
+    /// and surface them as the structured `RunReport::latency` summary
+    /// (p50/p99/p999, optional SLO verdict).  The default is a no-op so
+    /// third-party `RunCtx` implementations stay source-compatible; real
+    /// backends must override it.
+    fn record_app_latency(&mut self, _ns: u64) {}
 
     /// Send one item to `dest` through TramLib.
     fn send(&mut self, dest: WorkerId, payload: Payload);

@@ -30,11 +30,17 @@ pub mod app;
 pub mod backend;
 pub mod payload;
 pub mod report;
+pub mod spec;
 
 pub use app::{RunCtx, WorkerApp};
 pub use backend::{Backend, ParseBackendError};
 pub use payload::Payload;
 pub use report::RunReport;
+pub use spec::{
+    open_loop, AppDefaults, AppFactory, AppSpec, ArrivalProcess, ClusterSpec, CommonArgs,
+    CommonConfig, DeliveryTopology, LoadShape, MessageStore, OpenLoad, ResolvedRunSpec, RunSpec,
+    SloPolicy, DEFAULT_SEED,
+};
 // Re-exported so applications can implement `WorkerApp::on_item_slice`
 // without naming `tramlib` directly.
 pub use tramlib::Item;

@@ -1,6 +1,6 @@
 //! The unified run result shared by both backends.
 
-use metrics::{Counters, LatencyRecorder};
+use metrics::{Counters, LatencyRecorder, LatencySummary};
 use tramlib::TramStats;
 
 use crate::backend::Backend;
@@ -19,8 +19,14 @@ pub struct RunReport {
     /// Total time until the run went quiescent, in nanoseconds (simulated or
     /// wall-clock depending on `backend`).
     pub total_time_ns: u64,
-    /// Per-item latency distribution (item creation → handler execution).
-    pub latency: LatencyRecorder,
+    /// Per-item latency distribution (item creation → handler execution) —
+    /// the transport's view of latency.
+    pub item_latency: LatencyRecorder,
+    /// Application-level service latency summary (e.g. request→response round
+    /// trips recorded through `RunCtx::record_app_latency`), with p50/p99/p999
+    /// and an SLO verdict when a target was set.  `None` if the application
+    /// recorded no samples.
+    pub latency: Option<LatencySummary>,
     /// Run-wide counters: wire messages/bytes/items, comm-thread busy time,
     /// grouping passes, local deliveries, plus application counters
     /// (`wasted_updates`, `ooo_events`, ...).
@@ -46,18 +52,13 @@ impl RunReport {
 
     /// Mean item latency in nanoseconds.
     pub fn mean_latency_ns(&self) -> f64 {
-        self.latency.mean()
+        self.item_latency.mean()
     }
 
     /// Mean application-level latency (e.g. the index-gather round trip) if the
     /// application recorded any, in nanoseconds.
     pub fn mean_app_latency_ns(&self) -> f64 {
-        let samples = self.counters.get("app_latency_samples");
-        if samples == 0 {
-            0.0
-        } else {
-            self.counters.get("app_latency_total_ns") as f64 / samples as f64
-        }
+        self.latency.map_or(0.0, |l| l.mean_ns)
     }
 
     /// Value of one named counter (0 if absent).
@@ -67,16 +68,41 @@ impl RunReport {
 
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "backend={} time={} items={} delivered={} wire_msgs={} mean_latency={} clean={}",
             self.backend,
             metrics::format_nanos(self.total_time_ns as f64),
             self.items_sent,
             self.items_delivered,
             self.counters.get("wire_messages"),
-            metrics::format_nanos(self.latency.mean()),
+            metrics::format_nanos(self.item_latency.mean()),
             self.clean
-        )
+        );
+        if let Some(latency) = self.latency {
+            s.push_str(&format!(" app_latency[{}]", latency.render()));
+        }
+        s
+    }
+
+    /// JSON object rendering of the report (hand-rolled; the workspace has no
+    /// serde): headline totals plus the structured latency summary.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"backend\":\"{}\",\"total_time_ns\":{},\"items_sent\":{},\"items_delivered\":{},\"wire_messages\":{},\"mean_item_latency_ns\":{:.1},\"clean\":{}",
+            self.backend,
+            self.total_time_ns,
+            self.items_sent,
+            self.items_delivered,
+            self.counters.get("wire_messages"),
+            self.item_latency.mean(),
+            self.clean
+        );
+        match self.latency {
+            Some(latency) => s.push_str(&format!(",\"latency\":{}", latency.to_json())),
+            None => s.push_str(",\"latency\":null"),
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -85,14 +111,16 @@ mod tests {
     use super::*;
 
     fn report() -> RunReport {
-        let mut counters = Counters::new();
-        counters.add("app_latency_total_ns", 3_000);
-        counters.add("app_latency_samples", 3);
+        let mut app_latency = LatencyRecorder::new();
+        app_latency.record(500);
+        app_latency.record(1_000);
+        app_latency.record(1_500);
         RunReport {
             backend: Backend::Native,
             total_time_ns: 2_000_000_000,
-            latency: LatencyRecorder::new(),
-            counters,
+            item_latency: LatencyRecorder::new(),
+            latency: LatencySummary::from_recorder(&app_latency),
+            counters: Counters::new(),
             tram: TramStats::new(),
             events_executed: 0,
             items_sent: 10,
@@ -106,8 +134,21 @@ mod tests {
         let r = report();
         assert!((r.total_time_secs() - 2.0).abs() < 1e-12);
         assert!((r.mean_app_latency_ns() - 1_000.0).abs() < 1e-9);
-        assert_eq!(r.counter("app_latency_samples"), 3);
+        assert_eq!(r.latency.unwrap().count, 3);
         assert_eq!(r.counter("missing"), 0);
         assert!(r.summary().contains("backend=native"));
+        assert!(r.summary().contains("app_latency[n=3"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let r = report();
+        let json = r.to_json();
+        assert!(json.contains("\"backend\":\"native\""));
+        assert!(json.contains("\"latency\":{\"count\":3"));
+        let mut no_latency = r.clone();
+        no_latency.latency = None;
+        assert!(no_latency.to_json().contains("\"latency\":null"));
+        assert_eq!(no_latency.mean_app_latency_ns(), 0.0);
     }
 }

@@ -38,7 +38,7 @@ impl WorkerCtx<'_, '_> {
         &mut self,
         op: impl Fn(&mut tramlib::Aggregator<Payload>) -> Vec<tramlib::OutboundMessage<Payload>>,
     ) {
-        let scheme = self.cluster.config.tram.scheme;
+        let scheme = self.cluster.config.common.tram.scheme;
         let topo = self.cluster.config.topology;
         let src_proc = topo.proc_of_worker(self.worker);
         let messages = if scheme == Scheme::PP {
@@ -99,6 +99,12 @@ impl RunCtx for WorkerCtx<'_, '_> {
         self.cluster.counters.add(name, delta);
     }
 
+    /// Record an application-level latency sample into the cluster-wide
+    /// recorder; the run report summarises it as `RunReport::latency`.
+    fn record_app_latency(&mut self, ns: u64) {
+        self.cluster.app_latency.record(ns);
+    }
+
     /// Send one item to `dest` through TramLib.  This charges the insertion
     /// cost (including the PP atomic/contention cost), and — when the insertion
     /// fills a buffer — the message-initiation cost and the comm-thread/network
@@ -107,7 +113,7 @@ impl RunCtx for WorkerCtx<'_, '_> {
         let created = self.now_ns();
         self.cluster.items_sent += 1;
         let item = tramlib::Item::new(dest, payload, created);
-        let scheme = self.cluster.config.tram.scheme;
+        let scheme = self.cluster.config.common.tram.scheme;
         let costs = self.cluster.config.costs;
         let topo = self.cluster.config.topology;
         let src_proc = topo.proc_of_worker(self.worker);

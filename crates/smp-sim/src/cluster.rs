@@ -59,6 +59,9 @@ pub struct Cluster {
     pub receiver: PooledReceiver<Payload>,
     /// Per-item latency samples (creation to handler execution).
     pub latency: LatencyRecorder,
+    /// Application-level latency samples recorded through
+    /// `RunCtx::record_app_latency` (e.g. request->response round trips).
+    pub app_latency: LatencyRecorder,
     /// Run-wide counters (wire messages, bytes, items, application counters).
     pub counters: Counters,
     /// Items handed to `WorkerCtx::send` so far (conservation check).
@@ -78,7 +81,7 @@ impl Cluster {
         make_app: &mut dyn FnMut(WorkerId) -> Box<dyn WorkerApp>,
     ) -> Self {
         let topo = config.topology;
-        let scheme = config.tram.scheme;
+        let scheme = config.common.tram.scheme;
         let workers = topo
             .all_workers()
             .map(|w| WorkerState {
@@ -86,19 +89,19 @@ impl Cluster {
                 aggregator: if scheme == Scheme::PP {
                     None
                 } else {
-                    Some(Aggregator::new(config.tram, Owner::Worker(w)))
+                    Some(Aggregator::new(config.common.tram, Owner::Worker(w)))
                 },
                 inbox: std::collections::VecDeque::new(),
                 busy_until_ns: 0,
                 wake_scheduled: false,
-                rng: StreamRng::new(config.seed, w.0 as u64),
+                rng: StreamRng::new(config.common.seed, w.0 as u64),
             })
             .collect();
         let procs = topo
             .all_procs()
             .map(|p| ProcState {
                 shared_aggregator: if scheme == Scheme::PP {
-                    Some(Aggregator::new(config.tram, Owner::Process(p)))
+                    Some(Aggregator::new(config.common.tram, Owner::Process(p)))
                 } else {
                     None
                 },
@@ -110,8 +113,9 @@ impl Cluster {
             config,
             workers,
             procs,
-            receiver: PooledReceiver::new(config.tram),
+            receiver: PooledReceiver::new(config.common.tram),
             latency: LatencyRecorder::new(),
+            app_latency: LatencyRecorder::new(),
             counters: Counters::new(),
             items_sent: 0,
             items_delivered: 0,

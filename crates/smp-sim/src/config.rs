@@ -1,20 +1,22 @@
 //! Simulation configuration.
 
 use net_model::{CostModel, Topology};
+use runtime_api::CommonConfig;
 use tramlib::TramConfig;
 
-/// Full configuration of one simulated run: topology, costs and TramLib setup.
+/// Full configuration of one simulated run: topology, costs and the
+/// backend-shared [`CommonConfig`] (TramLib setup + seed).
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     /// Cluster shape (SMP or non-SMP).
     pub topology: Topology,
     /// Communication and CPU cost model.
     pub costs: CostModel,
-    /// TramLib configuration (scheme, buffer size, flush policy, ...).
-    pub tram: TramConfig,
-    /// Experiment seed; every worker derives its own deterministic RNG stream
-    /// from it.
-    pub seed: u64,
+    /// The backend-shared configuration: TramLib setup (scheme, buffer size,
+    /// flush policy, ...) and the experiment seed.  `NativeBackendConfig`
+    /// embeds the identical struct, so a workload described once cannot
+    /// drift between backends.
+    pub common: CommonConfig,
     /// Safety cap on the number of simulation events (0 = default cap).
     pub event_budget: u64,
 }
@@ -23,15 +25,19 @@ impl SimConfig {
     /// Build a configuration from a topology and a TramLib config, with the
     /// Delta-like cost preset.
     pub fn new(topology: Topology, tram: TramConfig) -> Self {
+        Self::from_common(topology, CommonConfig::new(tram))
+    }
+
+    /// Build a configuration from the backend-shared [`CommonConfig`].
+    pub fn from_common(topology: Topology, common: CommonConfig) -> Self {
         assert_eq!(
-            topology, tram.topology,
+            topology, common.tram.topology,
             "TramConfig topology must match the simulated topology"
         );
         Self {
             topology,
             costs: net_model::presets::delta_like(),
-            tram,
-            seed: 0x5eed_1234,
+            common,
             event_budget: 0,
         }
     }
@@ -44,7 +50,7 @@ impl SimConfig {
 
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.common.seed = seed;
         self
     }
 
@@ -78,7 +84,7 @@ mod tests {
             .with_seed(99)
             .with_event_budget(1000)
             .with_costs(net_model::presets::fast_network());
-        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.common.seed, 99);
         assert_eq!(cfg.effective_event_budget(), 1000);
         assert!(cfg.costs.network.alpha_ns < 2_000.0);
         let default_budget = SimConfig::new(topo, tram).effective_event_budget();

@@ -4,6 +4,7 @@
 //! backend produces the same shape; this module only knows how to fill it from
 //! a drained [`Cluster`].
 
+use metrics::LatencySummary;
 use runtime_api::{Backend, RunReport};
 
 use crate::cluster::Cluster;
@@ -20,7 +21,8 @@ pub(crate) fn from_cluster(
     RunReport {
         backend: Backend::Sim,
         total_time_ns,
-        latency: cluster.latency,
+        latency: LatencySummary::from_recorder(&cluster.app_latency),
+        item_latency: cluster.latency,
         counters: cluster.counters,
         tram,
         events_executed,

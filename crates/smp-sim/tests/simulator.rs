@@ -88,7 +88,7 @@ fn all_items_delivered_every_scheme() {
         );
         assert_eq!(report.counter("app_received"), expected);
         assert!(report.total_time_ns > 0);
-        assert!(report.latency.count() > 0);
+        assert!(report.item_latency.count() > 0);
     }
 }
 
@@ -100,8 +100,8 @@ fn runs_are_deterministic() {
     assert_eq!(a.total_time_ns, b.total_time_ns);
     assert_eq!(a.counter("wire_messages"), b.counter("wire_messages"));
     assert_eq!(a.events_executed, b.events_executed);
-    assert_eq!(a.latency.count(), b.latency.count());
-    assert!((a.latency.mean() - b.latency.mean()).abs() < 1e-9);
+    assert_eq!(a.item_latency.count(), b.item_latency.count());
+    assert!((a.item_latency.mean() - b.item_latency.mean()).abs() < 1e-9);
 
     let c = run(Scheme::WPs, topo, 300, 16, 43);
     assert_ne!(
@@ -153,7 +153,11 @@ fn pp_latency_below_wps_below_ww() {
     let ww = run(Scheme::WW, topo, 2_000, 64, 5);
     let wps = run(Scheme::WPs, topo, 2_000, 64, 5);
     let pp = run(Scheme::PP, topo, 2_000, 64, 5);
-    let (lw, lp, lpp) = (ww.latency.mean(), wps.latency.mean(), pp.latency.mean());
+    let (lw, lp, lpp) = (
+        ww.item_latency.mean(),
+        wps.item_latency.mean(),
+        pp.item_latency.mean(),
+    );
     assert!(
         lpp < lp && lp < lw,
         "expected PP < WPs < WW item latency, got PP={lpp} WPs={lp} WW={lw}"
@@ -202,7 +206,7 @@ fn bigger_buffers_fewer_messages() {
     assert!(large.counter("wire_messages") < small.counter("wire_messages"));
     // Larger buffers increase item latency (items wait longer for the buffer
     // to fill).
-    assert!(large.latency.mean() > small.latency.mean());
+    assert!(large.item_latency.mean() > small.item_latency.mean());
 }
 
 #[test]

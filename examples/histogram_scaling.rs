@@ -17,7 +17,8 @@ use metrics::Table;
 use smp_aggregation::prelude::*;
 
 fn main() {
-    let backend = parse_backend_arg();
+    let args = CommonArgs::from_env();
+    let backend = args.backend;
     let updates = 8_000;
     let buffer = 64;
     let node_counts: &[u32] = match backend {
@@ -31,12 +32,10 @@ fn main() {
     for &nodes in node_counts {
         let mut row = vec![format!("{nodes}")];
         for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
-            let report = run_histogram_on(
-                backend,
-                HistogramConfig::new(ClusterSpec::smp(nodes, 4, 4), scheme)
-                    .with_updates(updates)
-                    .with_buffer(buffer),
-            );
+            let config = HistogramConfig::new(ClusterSpec::smp(nodes, 4, 4), scheme)
+                .with_updates(updates)
+                .with_buffer(buffer);
+            let report = RunSpec::for_app(config).backend(backend).run();
             row.push(format!("{:.3}", report.total_time_ns as f64 / 1e6));
         }
         if backend == Backend::Sim {
@@ -81,7 +80,7 @@ fn main() {
                     .with_buffer(buf),
             );
             if scheme == Scheme::WPs {
-                wps_latency = report.latency.mean() / 1e3;
+                wps_latency = report.item_latency.mean() / 1e3;
             }
             row.push(format!("{:.3}", report.total_time_ns as f64 / 1e6));
         }

@@ -4,19 +4,23 @@
 //! ```text
 //! cargo run --release --example quickstart                      # simulator
 //! cargo run --release --example quickstart -- --backend native  # real threads
+//! cargo run --release --example quickstart -- --backend native --seed 9 --buffer 64
 //! ```
 //!
+//! Every run goes through the [`RunSpec`] builder — the one front door for
+//! both backends — with the common CLI switches (`--backend`, `--seed`,
+//! `--buffer`, `--pin`) parsed by [`CommonArgs`] and applied to the spec.
 //! With `--backend native` the same application runs on one OS thread per
-//! worker PE (real TramLib aggregators, shared claim buffers for PP, a
-//! collector thread for the grouping pass) and the times are wall-clock.
+//! worker PE (real TramLib aggregators, shared claim buffers for PP) and the
+//! times are wall-clock.
 
 use smp_aggregation::prelude::*;
 
 fn main() {
-    let backend = parse_backend_arg();
+    let args = CommonArgs::from_env();
+    let backend = args.backend;
     let cluster = ClusterSpec::smp(2, 4, 4); // 2 nodes x 4 processes x 4 workers
     let updates = 20_000;
-    let buffer = 128;
 
     println!(
         "Histogram: {updates} updates/PE on {} worker PEs, backend: {backend}",
@@ -26,19 +30,12 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>14} {:>14}",
         "scheme", "time (ms)", "wire msgs", "mean fill", "item lat (us)"
     );
-    for scheme in [
-        Scheme::NoAgg,
-        Scheme::WW,
-        Scheme::WPs,
-        Scheme::WsP,
-        Scheme::PP,
-    ] {
-        let report = run_histogram_on(
-            backend,
-            HistogramConfig::new(cluster, scheme)
-                .with_updates(updates)
-                .with_buffer(buffer),
-        );
+    for scheme in Scheme::ALL {
+        let config = HistogramConfig::new(cluster, scheme).with_updates(updates);
+        let spec = args
+            .apply(RunSpec::for_app(config).backend(backend).buffer(128))
+            .scheme(scheme);
+        let report = spec.run();
         assert!(report.clean, "run must finish cleanly");
         println!(
             "{:<8} {:>12.3} {:>12} {:>14.1} {:>14.2}",
@@ -46,7 +43,7 @@ fn main() {
             report.total_time_ns as f64 / 1e6,
             report.counter("wire_messages"),
             report.tram.mean_fill(),
-            report.latency.mean() / 1e3,
+            report.item_latency.mean() / 1e3,
         );
     }
     println!();

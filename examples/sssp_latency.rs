@@ -37,7 +37,7 @@ fn main() {
             scheme.label(),
             report.total_time_ns as f64 / 1e6,
             report.counter("sssp_wasted_updates"),
-            report.latency.mean() / 1e3,
+            report.item_latency.mean() / 1e3,
             if correct { "yes" } else { "NO" },
         );
         assert!(correct, "distances must match the sequential reference");

@@ -6,7 +6,10 @@
 //! discrete-event simulator and on the native threaded backend for every
 //! aggregation scheme; item totals, checksums and conservation counts must be
 //! bit-identical.  This is the acceptance gate for the shared `runtime-api`
-//! contract: one app, one scheme enum, two interchangeable backends.
+//! contract: one app, one scheme enum, two interchangeable backends — and,
+//! since the [`RunSpec`] redesign, one entry point: every run here goes
+//! through `RunSpec::for_app(..).backend(..).run()`, so the suite also pins
+//! the spec → backend-config resolution itself.
 //!
 //! Both backends run with vector pooling enabled (it is always on: the
 //! simulator's `PooledReceiver` + aggregator recycling, the native backend's
@@ -29,14 +32,16 @@ struct HistogramResult {
     items_delivered: u64,
 }
 
-fn run(backend: Backend, scheme: Scheme, seed: u64) -> HistogramResult {
-    let report = run_histogram_on(
-        backend,
+fn histogram_spec(scheme: Scheme, seed: u64) -> RunSpec {
+    RunSpec::for_app(
         HistogramConfig::new(ClusterSpec::small_smp(1), scheme)
             .with_updates(1_000)
             .with_buffer(32)
             .with_seed(seed),
-    );
+    )
+}
+
+fn collect(backend: Backend, report: RunReport, scheme: Scheme) -> HistogramResult {
     assert_eq!(report.backend, backend);
     assert!(
         report.clean,
@@ -55,6 +60,11 @@ fn run(backend: Backend, scheme: Scheme, seed: u64) -> HistogramResult {
         items_sent: report.items_sent,
         items_delivered: report.items_delivered,
     }
+}
+
+fn run(backend: Backend, scheme: Scheme, seed: u64) -> HistogramResult {
+    let report = histogram_spec(scheme, seed).backend(backend).run();
+    collect(backend, report, scheme)
 }
 
 #[test]
@@ -90,9 +100,60 @@ fn native_results_are_deterministic_per_seed_and_differ_across_seeds() {
 }
 
 #[test]
+#[allow(deprecated)]
+fn deprecated_run_histogram_on_shim_matches_the_spec_path() {
+    // The pre-RunSpec entry points survive as deprecated shims; until they
+    // are removed they must produce bit-identical results to the spec path.
+    for backend in [Backend::Sim, Backend::Native] {
+        let via_spec = run(backend, Scheme::WPs, 42);
+        let config = HistogramConfig::new(ClusterSpec::small_smp(1), Scheme::WPs)
+            .with_updates(1_000)
+            .with_buffer(32)
+            .with_seed(42);
+        let via_shim = collect(backend, run_histogram_on(backend, config), Scheme::WPs);
+        assert_eq!(via_shim, via_spec, "{backend}: shim diverged from RunSpec");
+    }
+}
+
+#[test]
+fn open_loop_service_conserves_and_is_deterministic_per_seed() {
+    // The open-loop load layer on the native backend: wall-clock timings
+    // vary run to run, but the seeded arrival schedule (keys and gaps) — and
+    // with it every conservation total — must not.
+    let spec = |seed: u64| {
+        RunSpec::for_app(ServiceConfig::new(ClusterSpec::smp(1, 2, 2), Scheme::WPs).with_seed(seed))
+            .backend(Backend::Native)
+            .load(open_loop(150_000.0).requests(1_500))
+            .slo(SloPolicy::p99_ms(250))
+    };
+    let expected = 1_500 * 4;
+    let totals = |report: &RunReport| {
+        assert!(report.clean, "open-loop run did not finish cleanly");
+        for counter in ["svc_requests_served", "svc_responses", "svc_table_total"] {
+            assert_eq!(report.counter(counter), expected, "{counter}");
+        }
+        (
+            report.counter("svc_requests_sent"),
+            report.counter("svc_table_total"),
+            report.items_sent,
+        )
+    };
+    let a = spec(5).run();
+    let b = spec(5).run();
+    assert_eq!(totals(&a), totals(&b), "same seed, same traffic");
+
+    let latency = a.latency.expect("service latency is always recorded");
+    assert_eq!(latency.count, expected);
+    let slo = latency
+        .slo
+        .expect("spec SLO must be stamped on the summary");
+    assert_eq!(slo.p99_target_ns, 250_000_000);
+}
+
+#[test]
 fn run_app_dispatches_both_backends() {
-    // The generic dispatch entry point used by the `--backend` switches: a
-    // minimal inline app must conserve items on both backends.
+    // The generic dispatch entry point used by inline (non-AppSpec) apps: a
+    // minimal echo app must conserve items on both backends.
     use std::str::FromStr;
 
     struct Echo {
