@@ -1,0 +1,170 @@
+//! Adaptive flush-timeout control (size-or-timeout trigger).
+//!
+//! A fixed flush timeout forces one value to serve two regimes: under load,
+//! buffers fill and emit by size, and a *short* timeout only fragments
+//! messages that were about to fill anyway; when traffic is light, buffers
+//! never fill and the timeout *is* the latency floor, so it should be short.
+//! [`AdaptiveTimeout`] observes which trigger is actually emitting messages
+//! and walks the timeout between a configured `[min, max]` range (AIMD-style
+//! doubling/halving over a fixed observation window):
+//!
+//! * mostly **size-triggered** emits (buffers filling on their own) — the
+//!   system is busy; raise the timeout toward `max` so the timer stops
+//!   cutting buffers short and throughput is protected;
+//! * mostly **low-fill timeout** emits (timer draining half-empty buffers) —
+//!   traffic is light; lower the timeout toward `min` to cut the latency
+//!   floor, because the extra per-message overhead is affordable off-peak.
+
+use crate::message::EmitReason;
+
+/// The `[min, max]` bounds an adaptive flush timeout may move between, in
+/// nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveRange {
+    /// Lower bound of the timeout (latency floor at light load).
+    pub min_ns: u64,
+    /// Upper bound of the timeout (batching ceiling under load).  A service
+    /// runner with a p99 SLO typically sets this to a fraction of the SLO so
+    /// the timer alone can never blow the objective.
+    pub max_ns: u64,
+}
+
+impl AdaptiveRange {
+    /// Build a range, normalising an inverted pair.
+    pub fn new(min_ns: u64, max_ns: u64) -> Self {
+        assert!(min_ns > 0, "adaptive timeout needs a non-zero floor");
+        Self {
+            min_ns: min_ns.min(max_ns),
+            max_ns: max_ns.max(min_ns),
+        }
+    }
+}
+
+/// Number of emitted messages observed before each adjustment decision.
+const WINDOW: u32 = 32;
+
+/// The controller: owns the current timeout value and adjusts it once per
+/// observation window based on the emit-trigger mix.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeout {
+    range: AdaptiveRange,
+    current_ns: u64,
+    window_emits: u32,
+    window_low_fill_timeouts: u32,
+    window_size_triggered: u32,
+    adjustments: u64,
+}
+
+impl AdaptiveTimeout {
+    /// Start at the top of the range (the safe, batching-friendly end; the
+    /// first windows walk it down if traffic turns out to be light).
+    pub fn new(range: AdaptiveRange) -> Self {
+        Self {
+            range,
+            current_ns: range.max_ns,
+            window_emits: 0,
+            window_low_fill_timeouts: 0,
+            window_size_triggered: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The timeout to use right now, in nanoseconds.
+    pub fn timeout_ns(&self) -> u64 {
+        self.current_ns
+    }
+
+    /// Number of times the controller changed the timeout.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Feed one emitted message: its trigger and its fill (`items` of
+    /// `capacity`).  Explicit and idle flushes are application-driven and
+    /// carry no load signal, so they only advance the window.
+    pub fn observe(&mut self, reason: EmitReason, items: usize, capacity: usize) {
+        match reason {
+            EmitReason::TimeoutFlush if items * 2 <= capacity => {
+                self.window_low_fill_timeouts += 1;
+            }
+            EmitReason::BufferFull => self.window_size_triggered += 1,
+            _ => {}
+        }
+        self.window_emits += 1;
+        if self.window_emits >= WINDOW {
+            self.decide();
+            self.window_emits = 0;
+            self.window_low_fill_timeouts = 0;
+            self.window_size_triggered = 0;
+        }
+    }
+
+    fn decide(&mut self) {
+        let next = if self.window_size_triggered * 2 >= WINDOW {
+            self.current_ns.saturating_mul(2).min(self.range.max_ns)
+        } else if self.window_low_fill_timeouts * 2 >= WINDOW {
+            (self.current_ns / 2).max(self.range.min_ns)
+        } else {
+            self.current_ns
+        };
+        if next != self.current_ns {
+            self.current_ns = next;
+            self.adjustments += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range() -> AdaptiveRange {
+        AdaptiveRange::new(10_000, 640_000)
+    }
+
+    #[test]
+    fn starts_at_max_and_walks_down_under_light_load() {
+        let mut a = AdaptiveTimeout::new(range());
+        assert_eq!(a.timeout_ns(), 640_000);
+        // A steady diet of half-empty timeout flushes halves it each window,
+        // down to the floor.
+        for _ in 0..20 * WINDOW {
+            a.observe(EmitReason::TimeoutFlush, 1, 1024);
+        }
+        assert_eq!(a.timeout_ns(), 10_000);
+        assert!(a.adjustments() >= 6);
+    }
+
+    #[test]
+    fn size_triggered_traffic_raises_it_back() {
+        let mut a = AdaptiveTimeout::new(range());
+        for _ in 0..10 * WINDOW {
+            a.observe(EmitReason::TimeoutFlush, 1, 1024);
+        }
+        assert_eq!(a.timeout_ns(), 10_000);
+        for _ in 0..20 * WINDOW {
+            a.observe(EmitReason::BufferFull, 1024, 1024);
+        }
+        assert_eq!(a.timeout_ns(), 640_000);
+    }
+
+    #[test]
+    fn mixed_or_full_timeout_flushes_hold_steady() {
+        let mut a = AdaptiveTimeout::new(range());
+        for _ in 0..10 * WINDOW {
+            // Timeout flushes of nearly-full buffers are not a "light load"
+            // signal, and explicit flushes carry no signal at all.
+            a.observe(EmitReason::TimeoutFlush, 900, 1024);
+            a.observe(EmitReason::ExplicitFlush, 3, 1024);
+        }
+        assert_eq!(a.timeout_ns(), 640_000);
+        assert_eq!(a.adjustments(), 0);
+    }
+
+    #[test]
+    fn inverted_range_is_normalised() {
+        let r = AdaptiveRange::new(500, 100);
+        assert_eq!(r.min_ns, 100);
+        assert_eq!(r.max_ns, 500);
+    }
+}
