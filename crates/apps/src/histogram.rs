@@ -38,6 +38,31 @@ pub struct HistogramConfig {
     pub chunk: u64,
 }
 
+/// A histogram configuration that violates the kernel bucket-range
+/// invariant (see [`HistogramConfig::try_with_table_size`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramConfigError {
+    /// `table_size_per_worker` is zero: no bucket could ever be in range.
+    EmptyTable,
+    /// `table_size_per_worker` exceeds `u32::MAX` buckets, past the point
+    /// where per-worker tables are meaningful (and where a `u64` bucket id
+    /// would survive narrowing on every supported target).
+    TableTooLarge,
+}
+
+impl std::fmt::Display for HistogramConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyTable => write!(f, "table_size_per_worker must be at least 1"),
+            Self::TableTooLarge => {
+                write!(f, "table_size_per_worker must be at most {}", u32::MAX)
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramConfigError {}
+
 impl HistogramConfig {
     /// Paper-like defaults for a given cluster and scheme: 1M updates per PE,
     /// buffer of 1024 items, 4K buckets per PE.
@@ -51,6 +76,31 @@ impl HistogramConfig {
             seed: HISTOGRAM_SEED,
             chunk: 256,
         }
+    }
+
+    /// Set the buckets owned by each worker, validating the bucket-range
+    /// invariant at configuration time: every update is sent to bucket
+    /// `global % table_size`, and the per-worker table is allocated with
+    /// exactly `table_size` slots — so a table size in `1..=u32::MAX`
+    /// guarantees every delivered bucket indexes in range.  That invariant
+    /// is what lets the slice kernels use unchecked indexing in the apply
+    /// hot loop.
+    pub fn try_with_table_size(mut self, table_size: u64) -> Result<Self, HistogramConfigError> {
+        Self::check_table_size(table_size)?;
+        self.table_size_per_worker = table_size;
+        Ok(self)
+    }
+
+    /// The config-time half of the kernel bucket-range contract; re-checked
+    /// by the factory because `table_size_per_worker` is a public field.
+    fn check_table_size(table_size: u64) -> Result<(), HistogramConfigError> {
+        if table_size == 0 {
+            return Err(HistogramConfigError::EmptyTable);
+        }
+        if table_size > u32::MAX as u64 {
+            return Err(HistogramConfigError::TableTooLarge);
+        }
+        Ok(())
     }
 
     /// Set the updates issued per worker.
@@ -82,6 +132,9 @@ struct HistogramApp {
     table_size_per_worker: u64,
     local_table: Vec<u64>,
     flushed: bool,
+    /// Slice kernel tier, resolved once per run from the spec's
+    /// [`runtime_api::KernelMode`].
+    kernel: &'static kernels::Kernels,
 }
 
 impl WorkerApp for HistogramApp {
@@ -94,16 +147,16 @@ impl WorkerApp for HistogramApp {
     }
 
     /// Batched delivery: identical counter totals to the per-item path, but
-    /// the table updates run in a tight loop over the borrowed slice and the
-    /// two counters are bumped once per batch instead of once per item.
+    /// the table updates run through the resolved slice kernel (SIMD or
+    /// scalar, pinned bit-identical) and the two counters are bumped once
+    /// per batch instead of once per item.
     fn on_item_slice(&mut self, items: &[Item<Payload>], ctx: &mut dyn RunCtx) {
-        let mut checksum = 0u64;
-        for item in items {
-            let bucket = item.data.a as usize;
-            debug_assert!(bucket < self.local_table.len());
-            self.local_table[bucket] += 1;
-            checksum += item.data.a;
-        }
+        // SAFETY: every bucket in flight is `global % table_size_per_worker`
+        // (see `on_idle`) and `local_table` is allocated with exactly
+        // `table_size_per_worker` slots, validated in `1..=u32::MAX` by
+        // `check_table_size` at factory time — so every `item.data.a`
+        // indexes in range.
+        let checksum = unsafe { self.kernel.histogram_apply(items, &mut self.local_table) };
         ctx.counter("histo_applied", items.len() as u64);
         ctx.counter("histo_applied_checksum", checksum);
     }
@@ -169,8 +222,14 @@ impl AppSpec for HistogramConfig {
         }
     }
 
-    fn factory(&self, _run: &ResolvedRunSpec) -> AppFactory {
+    fn factory(&self, run: &ResolvedRunSpec) -> AppFactory {
         let config = *self;
+        // `table_size_per_worker` is a public field, so the invariant the
+        // unchecked kernel indexing relies on is re-validated here, where
+        // the table is actually allocated.
+        Self::check_table_size(config.table_size_per_worker)
+            .expect("invalid histogram config: bucket-range invariant violated");
+        let kernel = kernels::resolve(run.kernel);
         Box::new(move |me: WorkerId| -> Box<dyn WorkerApp> {
             Box::new(HistogramApp {
                 me,
@@ -179,6 +238,7 @@ impl AppSpec for HistogramConfig {
                 table_size_per_worker: config.table_size_per_worker,
                 local_table: vec![0; config.table_size_per_worker as usize],
                 flushed: false,
+                kernel,
             })
         })
     }
@@ -283,6 +343,48 @@ mod tests {
         }
         assert_eq!(native.items_sent, sim.items_sent);
         assert_eq!(native.items_delivered, sim.items_delivered);
+    }
+
+    #[test]
+    fn table_size_validation() {
+        let cfg = HistogramConfig::new(ClusterSpec::small_smp(1), Scheme::WPs);
+        assert_eq!(
+            cfg.try_with_table_size(0).unwrap_err(),
+            HistogramConfigError::EmptyTable
+        );
+        assert_eq!(
+            cfg.try_with_table_size(1 << 33).unwrap_err(),
+            HistogramConfigError::TableTooLarge
+        );
+        let ok = cfg.try_with_table_size(128).expect("valid size");
+        assert_eq!(ok.table_size_per_worker, 128);
+        assert!(HistogramConfigError::EmptyTable
+            .to_string()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn forced_kernel_modes_match() {
+        // The same seeded run under every forced kernel mode must produce
+        // identical totals — the app-level view of the bit-identity pin.
+        let cfg = HistogramConfig::new(ClusterSpec::small_smp(1), Scheme::WPs)
+            .with_updates(500)
+            .with_buffer(32)
+            .with_seed(11);
+        let totals = |mode: runtime_api::KernelMode| {
+            let report = run_spec(RunSpec::for_app(cfg).kernel(mode));
+            assert!(report.clean);
+            (
+                report.counter("histo_applied"),
+                report.counter("histo_applied_checksum"),
+                report.counter("histo_table_total"),
+                report.counter("histo_table_max_bucket"),
+            )
+        };
+        use runtime_api::KernelMode;
+        let auto = totals(KernelMode::Auto);
+        assert_eq!(totals(KernelMode::Scalar), auto);
+        assert_eq!(totals(KernelMode::Simd), auto);
     }
 
     #[test]

@@ -82,6 +82,12 @@ struct IndexGatherApp {
     table_size_per_worker: u64,
     table: Vec<u64>,
     responses_received: u64,
+    /// Slice kernel tier, resolved once per run from the spec's
+    /// [`runtime_api::KernelMode`].
+    kernel: &'static kernels::Kernels,
+    /// Reusable per-slice scratch for the gathered table values; lives on
+    /// the app so the hot path never allocates after warm-up.
+    scratch: Vec<u64>,
 }
 
 impl WorkerApp for IndexGatherApp {
@@ -110,14 +116,19 @@ impl WorkerApp for IndexGatherApp {
     /// backends hold `now_ns` constant across a delivered batch anyway.
     fn on_item_slice(&mut self, items: &[Item<Payload>], ctx: &mut dyn RunCtx) {
         let now = ctx.now_ns();
+        // Phase 1 — the vectorizable part: gather the table value for every
+        // item (responses included; their masked index is in range and the
+        // value is simply unused), into the reusable scratch buffer.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.kernel.gather_values(items, &self.table, &mut scratch);
+        // Phase 2 — scalar walk preserving the original item order for the
+        // sends, so results stay bit-identical to the per-item path.
         let mut served = 0u64;
         let mut responses = 0u64;
-        for item in items {
+        for (item, &value) in items.iter().zip(scratch.iter()) {
             let p = item.data;
             if p.a & KIND_RESPONSE == 0 {
                 let requester = WorkerId((p.a & 0xFFFF_FFFF) as u32);
-                let index = (p.a >> 32) & 0x7FFF_FFFF;
-                let value = self.table[(index % self.table_size_per_worker) as usize];
                 served += 1;
                 ctx.send(requester, Payload::new(KIND_RESPONSE | value, p.b));
             } else {
@@ -126,6 +137,7 @@ impl WorkerApp for IndexGatherApp {
                 ctx.record_app_latency(now.saturating_sub(p.b));
             }
         }
+        self.scratch = scratch;
         if served > 0 {
             ctx.counter("ig_requests_served", served);
         }
@@ -180,8 +192,13 @@ impl AppSpec for IndexGatherConfig {
         }
     }
 
-    fn factory(&self, _run: &ResolvedRunSpec) -> AppFactory {
+    fn factory(&self, run: &ResolvedRunSpec) -> AppFactory {
         let config = *self;
+        assert!(
+            config.table_size_per_worker > 0,
+            "index-gather needs a non-empty table"
+        );
+        let kernel = kernels::resolve(run.kernel);
         Box::new(move |me: WorkerId| -> Box<dyn WorkerApp> {
             Box::new(IndexGatherApp {
                 me,
@@ -192,6 +209,8 @@ impl AppSpec for IndexGatherConfig {
                     .map(|i| i * 7 + me.0 as u64)
                     .collect(),
                 responses_received: 0,
+                kernel,
+                scratch: Vec::new(),
             })
         })
     }

@@ -9,6 +9,8 @@
 //! cargo run --release -p bench --bin throughput -- --pin     # pin worker threads
 //! cargo run --release -p bench --bin throughput -- --out p   # custom path
 //! cargo run --release -p bench --bin throughput -- \
+//!     --kernel scalar                                        # force a kernel tier
+//! cargo run --release -p bench --bin throughput -- \
 //!     --fast --check BENCH_throughput.json                   # regression gate
 //! ```
 //!
@@ -32,10 +34,11 @@
 
 use bench::regression::{regression_gate, tolerance_from_env, TOLERANCE_ENV};
 use bench::throughput::{
-    pp_insert_comparison, throughput_histogram_on, throughput_index_gather, write_throughput_json,
-    Tune,
+    cross_socket_penalty, kernel_apply_comparison, pp_insert_comparison, throughput_histogram_on,
+    throughput_index_gather, write_throughput_json, Tune,
 };
 use bench::Effort;
+use runtime_api::KernelMode;
 use std::path::PathBuf;
 
 fn main() {
@@ -56,22 +59,42 @@ fn main() {
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check takes a path").into());
     let pin = args.iter().any(|a| a == "--pin");
+    let kernel: KernelMode = args
+        .iter()
+        .position(|a| a == "--kernel")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--kernel takes auto|simd|scalar")
+                .parse()
+                .unwrap_or_else(|e| panic!("--kernel: {e}"))
+        })
+        .unwrap_or(KernelMode::Auto);
 
-    println!("# smp-aggregation throughput suite (effort: {effort:?}, pin: {pin})\n");
+    println!(
+        "# smp-aggregation throughput suite (effort: {effort:?}, pin: {pin}, kernel: {kernel})\n"
+    );
 
     // Both message stores on the mesh (the zero-copy arena-vs-pool A/B) and
     // the star-collector topology, at every effort level: the CI smoke gate
     // must cover every delivery configuration a regression could hide in.
-    let histogram = throughput_histogram_on(effort, Tune::mesh_arena().with_pin(pin));
+    let tune = |t: Tune| t.with_pin(pin).with_kernel(kernel);
+    let histogram = throughput_histogram_on(effort, tune(Tune::mesh_arena()));
     println!("{}\n", histogram.to_text());
-    let histogram_vecpool = throughput_histogram_on(effort, Tune::mesh_vecpool().with_pin(pin));
+    let histogram_vecpool = throughput_histogram_on(effort, tune(Tune::mesh_vecpool()));
     println!("{}\n", histogram_vecpool.to_text());
-    let star = throughput_histogram_on(effort, Tune::star().with_pin(pin));
+    let star = throughput_histogram_on(effort, tune(Tune::star()));
     println!("{}\n", star.to_text());
-    let index_gather = throughput_index_gather(effort, Tune::mesh_arena().with_pin(pin));
+    let index_gather = throughput_index_gather(effort, tune(Tune::mesh_arena()));
     println!("{}\n", index_gather.to_text());
     let pp_insert = pp_insert_comparison(effort);
     println!("{}\n", pp_insert.to_text());
+    // The kernel A/B is a direct microbench over every tier, so `--kernel`
+    // does not narrow it; each timed repetition re-checks its tier against
+    // the scalar reference and panics on any total mismatch.
+    let kernel_apply = kernel_apply_comparison(effort);
+    println!("{}\n", kernel_apply.to_text());
+    let cross_socket = cross_socket_penalty(effort);
+    println!("{}\n", cross_socket.to_text());
 
     let mut series: Vec<(&str, &metrics::Series)> = vec![
         ("histogram_native", &histogram),
@@ -79,6 +102,8 @@ fn main() {
         ("histogram_native_star", &star),
         ("index_gather_native", &index_gather),
         ("pp_insert", &pp_insert),
+        ("kernel_apply", &kernel_apply),
+        ("cross_socket_penalty", &cross_socket),
     ];
 
     // Full runs also record the smoke-sized baselines the CI regression gate
@@ -87,20 +112,21 @@ fn main() {
     if effort == Effort::Paper {
         extra.push((
             "histogram_native_smoke",
-            throughput_histogram_on(Effort::Smoke, Tune::mesh_arena().with_pin(pin)),
+            throughput_histogram_on(Effort::Smoke, tune(Tune::mesh_arena())),
         ));
         extra.push((
             "histogram_native_vecpool_smoke",
-            throughput_histogram_on(Effort::Smoke, Tune::mesh_vecpool().with_pin(pin)),
+            throughput_histogram_on(Effort::Smoke, tune(Tune::mesh_vecpool())),
         ));
         extra.push((
             "histogram_native_star_smoke",
-            throughput_histogram_on(Effort::Smoke, Tune::star().with_pin(pin)),
+            throughput_histogram_on(Effort::Smoke, tune(Tune::star())),
         ));
         extra.push((
             "index_gather_native_smoke",
-            throughput_index_gather(Effort::Smoke, Tune::mesh_arena().with_pin(pin)),
+            throughput_index_gather(Effort::Smoke, tune(Tune::mesh_arena())),
         ));
+        extra.push(("kernel_apply_smoke", kernel_apply_comparison(Effort::Smoke)));
     }
     for (name, s) in &extra {
         series.push((name, s));
@@ -119,6 +145,12 @@ fn main() {
             committed_path.display(),
             tolerance * 100.0
         );
+        // kernel_apply is deliberately NOT gated: the scalar/SIMD ratio swings
+        // 2-3x run-to-run on shared hosts (the scalar reference is the most
+        // frequency-sensitive column), so a normalized-ratio gate on it would
+        // be pure flake.  Its correctness teeth are the in-loop asserts — every
+        // rep re-checks table totals and checksum against the scalar reference
+        // and panics on any mismatch.
         let fresh: Vec<(&str, &metrics::Series)> = vec![
             ("histogram_native", &histogram),
             ("histogram_native_vecpool", &histogram_vecpool),

@@ -22,7 +22,8 @@ use apps::index_gather::IndexGatherConfig;
 use apps::ClusterSpec;
 use metrics::Series;
 use native_rt::{DeliveryTopology, MessageStore};
-use runtime_api::{Backend, RunReport, RunSpec};
+use net_model::WorkerId;
+use runtime_api::{Backend, Item, KernelMode, Payload, RunReport, RunSpec};
 use shmem::{ClaimBuffer, ClaimResult};
 use std::io;
 use std::path::Path;
@@ -96,7 +97,7 @@ fn warmup(tune: Tune) {
 }
 
 /// Backend tuning of one measured series: delivery topology, message store,
-/// and core pinning (`--pin`).
+/// core pinning (`--pin`) and slice-kernel tier (`--kernel`).
 #[derive(Debug, Clone, Copy)]
 pub struct Tune {
     /// Delivery topology.
@@ -105,15 +106,19 @@ pub struct Tune {
     pub store: MessageStore,
     /// Pin worker threads to cores.
     pub pin: bool,
+    /// Slice-kernel tier the apps consume items with.
+    pub kernel: KernelMode,
 }
 
 impl Tune {
-    /// The default measured configuration: mesh + slab arenas, no pinning.
+    /// The default measured configuration: mesh + slab arenas, no pinning,
+    /// auto-detected kernels.
     pub fn mesh_arena() -> Self {
         Tune {
             delivery: DeliveryTopology::Mesh,
             store: MessageStore::SlabArena,
             pin: false,
+            kernel: KernelMode::Auto,
         }
     }
 
@@ -139,12 +144,20 @@ impl Tune {
         self
     }
 
+    /// Force a slice-kernel tier (`--kernel scalar` is the A/B baseline for
+    /// the SIMD speedup record).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Apply this tuning to a [`RunSpec`] (native backend implied).
     pub fn spec(&self, spec: RunSpec) -> RunSpec {
         spec.backend(Backend::Native)
             .delivery(self.delivery)
             .message_store(self.store)
             .pin_workers(self.pin)
+            .kernel(self.kernel)
     }
 }
 
@@ -273,6 +286,149 @@ pub fn throughput_index_gather(effort: Effort, tune: Tune) -> Series {
             .collect();
         series.add_column(scheme.label(), column);
     }
+    series
+}
+
+/// Synthetic delivered slice for the kernel microbench: `len` items whose
+/// buckets stride over `table_len` pseudo-randomly (a fixed multiplicative
+/// hash, so the series is reproducible).  This is exactly the shape the
+/// histogram app consumes after delivery — a borrowed `&[Item<Payload>]`
+/// with every bucket in range, the safety contract of the SIMD tiers.
+fn kernel_slice(len: usize, table_len: usize) -> Vec<Item<Payload>> {
+    (0..len as u64)
+        .map(|i| {
+            let bucket = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % table_len as u64;
+            Item::new(WorkerId(0), Payload::new(bucket, i), i)
+        })
+        .collect()
+}
+
+/// Kernel A/B: `histogram_apply` items/sec for every kernel tier on this
+/// machine (scalar first), over a delivered-slice-length sweep.  This is the
+/// scalar-vs-SIMD speedup record for the vectorized app kernels, and it
+/// carries its own teeth: each timed repetition folds thousands of kernel
+/// applications into one table and one checksum, which must match the scalar
+/// reference exactly — a tier whose totals drift fails the bench run itself,
+/// not just the proptest equivalence suite.  CI runs this at smoke effort
+/// under both `--kernel scalar` and `--kernel auto`, and the normalized
+/// regression gate watches the scalar-to-SIMD ratio for collapses.
+pub fn kernel_apply_comparison(effort: Effort) -> Series {
+    // An 8KB table stays L1-resident next to the slice, so the sweep
+    // measures the kernels (bounds checks, dependency chains, unrolling)
+    // rather than cache misses the tiers share equally.
+    let table_len = 1024usize;
+    // Slice lengths span the buffer sizes delivery actually hands the apps
+    // (the suite's buffers are 64 at smoke and 512 at paper effort).  A
+    // 4096-item slice would spill L1 and measure L2 streaming instead of
+    // the kernels; the apps never see one — grouped deliveries arrive as
+    // per-worker sub-slices of one sealed buffer.
+    let lens = [64usize, 128, 256, 512];
+    // Long measurements and many repetitions: at gigaitems/sec a short
+    // timed loop is at the mercy of frequency scaling and scheduler noise,
+    // and this sweep backs a normalized regression gate.
+    let items_per_measurement = effort.pick(4_000_000u64, 32_000_000);
+    let reps = effort.pick(5, 7);
+    let mut series = Series::new(
+        "Kernel A/B: histogram apply per tier, slice-length sweep (items/sec)",
+        "slice_items",
+    );
+    series.set_x_values(lens.iter().map(|l| format!("{l}items")));
+    let scalar = kernels::resolve(KernelMode::Scalar);
+    for tier in kernels::tiers() {
+        let column = lens
+            .iter()
+            .map(|&len| {
+                let slice = kernel_slice(len, table_len);
+                let mut want_table = vec![0u64; table_len];
+                // SAFETY: `kernel_slice` draws buckets modulo `table_len`.
+                let want_sum = unsafe { scalar.histogram_apply(&slice, &mut want_table) };
+                let iters = (items_per_measurement / len as u64).max(1);
+                let mut best = 0.0f64;
+                for _ in 0..reps {
+                    let mut table = vec![0u64; table_len];
+                    let mut sum = 0u64;
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let slice = std::hint::black_box(&slice[..]);
+                        // SAFETY: same slice, same modulo-`table_len` buckets.
+                        sum = sum.wrapping_add(unsafe { tier.histogram_apply(slice, &mut table) });
+                    }
+                    let elapsed = start.elapsed().as_secs_f64();
+                    assert_eq!(
+                        sum,
+                        want_sum.wrapping_mul(iters),
+                        "{}: checksum diverged from the scalar reference",
+                        tier.label
+                    );
+                    assert!(
+                        table
+                            .iter()
+                            .zip(&want_table)
+                            .all(|(got, want)| *got == want * iters),
+                        "{}: table totals diverged from the scalar reference",
+                        tier.label
+                    );
+                    best = best.max((iters * len as u64) as f64 / elapsed.max(1e-9));
+                }
+                best
+            })
+            .collect();
+        series.add_column(tier.label, column);
+    }
+    series
+}
+
+/// The cross-socket penalty sweep: pinned WPs histogram runs with
+/// socket-local arena placement (`numa_aware`, the backend default) against
+/// the same runs with placement deliberately disabled — the A/B knob the
+/// NUMA layer exists for.  The `cross_socket_msg_share` column records what
+/// fraction of mesh messages crossed sockets on the numa-aware runs.  On a
+/// single-node host every worker predicts node 0, placement is a no-op and
+/// the two rate columns coincide (a flat line is the expected CI shape); the
+/// sweep only separates on multi-socket hardware.
+pub fn cross_socket_penalty(effort: Effort) -> Series {
+    let tune = Tune::mesh_arena().with_pin(true);
+    let updates = effort.pick(10_000, 60_000);
+    let buffer = effort.pick(64, 512);
+    let clusters = cluster_sweep(effort);
+    let mut series = Series::new(
+        "NUMA: pinned WPs histogram - socket-local vs numa-blind placement (items/sec)",
+        "cluster",
+    );
+    series.set_x_values(clusters.iter().map(cluster_label));
+    warmup(tune);
+    let reps = effort.pick(3, 2);
+    let mut cross_share = Vec::new();
+    for (label, numa_aware) in [("numa-local", true), ("numa-blind", false)] {
+        let mut rates = Vec::new();
+        for &cluster in &clusters {
+            let context = format!("cross_socket/{label}/{}", cluster_label(&cluster));
+            let mut best = 0.0f64;
+            let mut share = 0.0f64;
+            for _ in 0..reps.max(1) {
+                let config = HistogramConfig::new(cluster, Scheme::WPs)
+                    .with_updates(updates)
+                    .with_buffer(buffer)
+                    .with_seed(41);
+                let report = run_spec_native_tuned(
+                    pipeline_spec(RunSpec::for_app(config), tune),
+                    |native| native.with_numa_aware(numa_aware),
+                );
+                let rate = items_per_sec(&context, &report);
+                if rate > best {
+                    best = rate;
+                    share = report.counter("cross_socket_msgs") as f64
+                        / report.counter("wire_messages").max(1) as f64;
+                }
+            }
+            rates.push(best);
+            if numa_aware {
+                cross_share.push(share);
+            }
+        }
+        series.add_column(label, rates);
+    }
+    series.add_column("cross_socket_msg_share", cross_share);
     series
 }
 
@@ -478,6 +634,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn kernel_comparison_covers_every_tier_with_positive_rates() {
+        let s = kernel_apply_comparison(Effort::Smoke);
+        println!("{}", s.to_text());
+        for tier in kernels::tiers() {
+            let col = s
+                .column(tier.label)
+                .unwrap_or_else(|| panic!("missing {} column", tier.label));
+            assert!(
+                col.iter().all(|&v| v > 0.0),
+                "{}: non-positive rate",
+                tier.label
+            );
+        }
+    }
+
+    #[test]
+    fn cross_socket_sweep_conserves_and_reports_a_share() {
+        let s = cross_socket_penalty(Effort::Smoke);
+        for column in ["numa-local", "numa-blind"] {
+            let col = s
+                .column(column)
+                .unwrap_or_else(|| panic!("missing {column}"));
+            assert!(col.iter().all(|&v| v > 0.0), "{column}: non-positive rate");
+        }
+        let share = s.column("cross_socket_msg_share").expect("share column");
+        assert!(
+            share.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "share must be a fraction of mesh messages"
+        );
     }
 
     #[test]

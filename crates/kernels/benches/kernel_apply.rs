@@ -1,0 +1,71 @@
+//! Per-tier Criterion benches for the slice kernels: every tier available on
+//! this machine (scalar, then each SIMD tier) over the same synthetic slice,
+//! so `scalar` vs `avx2`/`sse2`/`neon` is a direct A/B read-off.
+//!
+//! The slice geometry mirrors the histogram hot path: batches of
+//! buffer-sized item runs with uniformly random buckets into a 4K-entry
+//! per-worker table (32 KiB — L1-resident, like the real app).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use net_model::WorkerId;
+use runtime_api::{Item, Payload};
+
+const TABLE_SIZE: u64 = 4096;
+const ITEMS: usize = 8192;
+
+/// Deterministic pseudo-random buckets (splitmix64), no RNG dependency.
+fn synth_items(seed: u64) -> Vec<Item<Payload>> {
+    let mut state = seed;
+    (0..ITEMS)
+        .map(|i| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let bucket = (z ^ (z >> 31)) % TABLE_SIZE;
+            Item::new(WorkerId(0), Payload::new(bucket, i as u64), i as u64)
+        })
+        .collect()
+}
+
+fn histogram_apply(c: &mut Criterion) {
+    let items = synth_items(0x4b45_524e);
+    let mut group = c.benchmark_group("kernel_histogram_apply");
+    group.throughput(Throughput::Elements(ITEMS as u64));
+    for tier in kernels::tiers() {
+        let mut table = vec![0u64; TABLE_SIZE as usize];
+        group.bench_function(tier.label, |b| {
+            b.iter(|| {
+                // SAFETY: every bucket is `z % TABLE_SIZE` and the table has
+                // exactly TABLE_SIZE slots.
+                unsafe { tier.histogram_apply(&items, &mut table) }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gather_values(c: &mut Criterion) {
+    // Index-gather request words: index in bits 62..32, requester in the low
+    // word — the same encoding `apps::index_gather` uses.
+    let items: Vec<Item<Payload>> = synth_items(0x4741_5448)
+        .into_iter()
+        .map(|it| it.map(|p| Payload::new(p.a << 32, p.b)))
+        .collect();
+    let table: Vec<u64> = (0..TABLE_SIZE).map(|i| i * 7 + 1).collect();
+    let mut group = c.benchmark_group("kernel_gather_values");
+    group.throughput(Throughput::Elements(ITEMS as u64));
+    for tier in kernels::tiers() {
+        let mut out = Vec::new();
+        group.bench_function(tier.label, |b| {
+            b.iter(|| {
+                tier.gather_values(&items, &table, &mut out);
+                out.last().copied()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, histogram_apply, gather_values);
+criterion_main!(benches);

@@ -1,0 +1,489 @@
+//! # kernels — vectorized slice consumers with runtime CPU-feature dispatch
+//!
+//! The aggregation schemes exist to make message delivery cheap enough that
+//! the *application* becomes the bottleneck, and since the zero-copy slab
+//! path landed, it is: apps consume delivered items as borrowed
+//! `&[Item<Payload>]` slices.  This crate supplies the hot inner loops for
+//! those slices in two flavors per architecture:
+//!
+//! * a **scalar reference** implementation — safe, bounds-checked, the
+//!   executable specification every other tier is pinned against;
+//! * **SIMD** tiers via `std::arch` — AVX2 and SSE2 on x86-64, NEON on
+//!   aarch64 — using unchecked indexing under a caller-stated invariant.
+//!
+//! Dispatch is resolved **once per run** (never per slice) from a
+//! [`runtime_api::KernelMode`]: `Auto` picks the widest tier the CPU reports
+//! at startup, `Simd`/`Scalar` force a path for A/B benches and the
+//! equivalence suites.  Every tier must be *bit-identical* to the scalar
+//! reference — the table totals and checksums these kernels produce feed the
+//! cross-backend equivalence gate, so a kernel that reorders wrapping sums is
+//! fine, one that changes any result is a bug.  The pinning lives in this
+//! crate's proptest suite (`tests/simd_equivalence.rs`) and in the forced
+//! `--kernel simd` run of `tests/backend_equivalence.rs` at the workspace
+//! root.
+//!
+//! ## The unsafe-SIMD safety contract
+//!
+//! [`Kernels::histogram_apply`] is `unsafe fn`: the caller promises every
+//! `item.data.a` indexes inside the table.  The apps uphold this invariant by
+//! construction — histogram buckets are generated as `global %
+//! table_size` and the table is allocated with exactly `table_size` slots,
+//! validated non-empty at config time — which is what lets the SIMD tiers
+//! drop the per-item bounds check.  The scalar reference deliberately keeps
+//! checked indexing, so `--kernel scalar` is also the paranoid mode.
+//! [`Kernels::gather_values`] is safe: it sizes the output itself and the
+//! index is reduced modulo the table length either way.
+
+use std::sync::OnceLock;
+
+use runtime_api::{Item, Payload};
+// Re-exported so kernel users can name the dispatch knob without depending
+// on `runtime-api` directly.
+pub use runtime_api::KernelMode;
+
+/// Mask applied to `a >> 32` when extracting an index-gather table index
+/// (bit 63 of `a` is the request/response discriminator, so after the shift
+/// the top bit must be dropped).
+const INDEX_MASK: u64 = 0x7FFF_FFFF;
+
+/// The gather-table index encoded in an index-gather payload word `a`.
+pub fn gather_index(a: u64) -> u64 {
+    (a >> 32) & INDEX_MASK
+}
+
+/// One resolved kernel tier: a label plus the function pointers the apps
+/// call.  Obtained from [`resolve`] once per run and stored by reference —
+/// every tier is a `static`.
+pub struct Kernels {
+    /// Stable tier label (`"avx2"`, `"sse2"`, `"neon"`, `"scalar"`), used in
+    /// bench series columns and diagnostics.
+    pub label: &'static str,
+    histogram_fn: unsafe fn(&[Item<Payload>], &mut [u64]) -> u64,
+    gather_fn: unsafe fn(&[Item<Payload>], &[u64], &mut [u64]),
+}
+
+impl Kernels {
+    /// Count each item's bucket (`item.data.a`) into `table` and return the
+    /// wrapping sum of all bucket ids (the `histo_applied_checksum`
+    /// contribution of this slice).
+    ///
+    /// # Safety
+    /// Every `item.data.a`, converted to `usize`, must be `< table.len()`.
+    /// The SIMD tiers index the table unchecked under this invariant; the
+    /// scalar tier double-checks and panics on violation.
+    pub unsafe fn histogram_apply(&self, items: &[Item<Payload>], table: &mut [u64]) -> u64 {
+        debug_assert!(
+            items.iter().all(|it| (it.data.a as usize) < table.len()),
+            "histogram kernel contract violated: bucket out of range"
+        );
+        (self.histogram_fn)(items, table)
+    }
+
+    /// For each item, look up `table[gather_index(item.data.a) % table.len()]`
+    /// and write it to the matching slot of `out` (cleared and resized to
+    /// `items.len()` first).
+    ///
+    /// # Panics
+    /// Panics if `table` is empty.
+    pub fn gather_values(&self, items: &[Item<Payload>], table: &[u64], out: &mut Vec<u64>) {
+        assert!(!table.is_empty(), "gather kernel needs a non-empty table");
+        out.clear();
+        out.resize(items.len(), 0);
+        // SAFETY: `out` was just resized to `items.len()` and `table` is
+        // non-empty, which is all the tier implementations require.
+        unsafe { (self.gather_fn)(items, table, out) }
+    }
+}
+
+/// The scalar reference tier: safe, bounds-checked, the executable
+/// specification every SIMD tier is pinned bit-identical against.
+mod scalar {
+    use super::{gather_index, Item, Payload};
+
+    pub(crate) fn histogram_apply(items: &[Item<Payload>], table: &mut [u64]) -> u64 {
+        let mut checksum = 0u64;
+        for item in items {
+            table[item.data.a as usize] += 1;
+            checksum = checksum.wrapping_add(item.data.a);
+        }
+        checksum
+    }
+
+    pub(crate) fn gather_values(items: &[Item<Payload>], table: &[u64], out: &mut [u64]) {
+        for (item, slot) in items.iter().zip(out.iter_mut()) {
+            *slot = table[(gather_index(item.data.a) as usize) % table.len()];
+        }
+    }
+}
+
+/// Byte layout of `Item<Payload>` as (offset of `data.a`, stride), both in
+/// qwords.  `Item` is not `repr(C)`, so the offset is measured from a probe
+/// value instead of assumed; both are multiples of 8 because the struct
+/// contains `u64` fields.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn layout_qwords() -> (i64, i64) {
+    let probe = Item::new(net_model::WorkerId(0), Payload::new(0, 0), 0);
+    let base = &probe as *const Item<Payload> as usize;
+    let field = &probe.data.a as *const u64 as usize;
+    let offset = field - base;
+    let stride = std::mem::size_of::<Item<Payload>>();
+    debug_assert!(offset % 8 == 0 && stride % 8 == 0);
+    ((offset / 8) as i64, (stride / 8) as i64)
+}
+
+/// x86-64 tiers.  The AVX2 histogram kernel runs four independent
+/// accumulator chains with unchecked increments (see its comment for why a
+/// `vpgatherqq` formulation loses); the AVX2 gather kernel does use
+/// `vpgatherqq`, where a vectorized table lookup genuinely pays.  SSE2
+/// (baseline on x86-64, so `Simd` can never fail to resolve here) processes
+/// item pairs with two checksum lanes.  Table increments stay scalar on both
+/// — there is no conflict-safe scatter below AVX-512 — but run unchecked
+/// under the histogram contract.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    use super::{gather_index, layout_qwords, scalar, Item, Payload, INDEX_MASK};
+
+    /// Four independent lanes, unchecked table increments.  A `vpgatherqq`
+    /// variant of this loop measured *slower* than scalar (the gather costs
+    /// more than four strided loads, and extracting lanes for the increments
+    /// re-serializes everything), so the vector win here is structural
+    /// instead: the scalar reference is limited by its serial checksum
+    /// dependency chain (one `wrapping_add` per item) and the per-item
+    /// bounds check; this tier runs four accumulator chains in parallel —
+    /// bit-identical because addition mod 2^64 is associative and
+    /// commutative — and indexes unchecked under the histogram contract.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn histogram_apply_avx2(items: &[Item<Payload>], table: &mut [u64]) -> u64 {
+        let n = items.len();
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let a0 = items.get_unchecked(i).data.a;
+            let a1 = items.get_unchecked(i + 1).data.a;
+            let a2 = items.get_unchecked(i + 2).data.a;
+            let a3 = items.get_unchecked(i + 3).data.a;
+            let a4 = items.get_unchecked(i + 4).data.a;
+            let a5 = items.get_unchecked(i + 5).data.a;
+            let a6 = items.get_unchecked(i + 6).data.a;
+            let a7 = items.get_unchecked(i + 7).data.a;
+            c0 = c0.wrapping_add(a0).wrapping_add(a4);
+            c1 = c1.wrapping_add(a1).wrapping_add(a5);
+            c2 = c2.wrapping_add(a2).wrapping_add(a6);
+            c3 = c3.wrapping_add(a3).wrapping_add(a7);
+            *table.get_unchecked_mut(a0 as usize) += 1;
+            *table.get_unchecked_mut(a1 as usize) += 1;
+            *table.get_unchecked_mut(a2 as usize) += 1;
+            *table.get_unchecked_mut(a3 as usize) += 1;
+            *table.get_unchecked_mut(a4 as usize) += 1;
+            *table.get_unchecked_mut(a5 as usize) += 1;
+            *table.get_unchecked_mut(a6 as usize) += 1;
+            *table.get_unchecked_mut(a7 as usize) += 1;
+            i += 8;
+        }
+        let mut checksum = c0.wrapping_add(c1).wrapping_add(c2).wrapping_add(c3);
+        while i < n {
+            let a = items.get_unchecked(i).data.a;
+            *table.get_unchecked_mut(a as usize) += 1;
+            checksum = checksum.wrapping_add(a);
+            i += 1;
+        }
+        checksum
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn gather_values_avx2(
+        items: &[Item<Payload>],
+        table: &[u64],
+        out: &mut [u64],
+    ) {
+        let len = table.len();
+        if !len.is_power_of_two() || (len as u64 - 1) > INDEX_MASK {
+            // `index % len` is no longer a vectorizable AND; the scalar
+            // reference handles the general case.
+            scalar::gather_values(items, table, out);
+            return;
+        }
+        let (off_q, stride_q) = layout_qwords();
+        let n = items.len();
+        let base = items.as_ptr() as *const i64;
+        let table_base = table.as_ptr() as *const i64;
+        let mask = _mm256_set1_epi64x((len - 1) as i64);
+        let mut idx = _mm256_set_epi64x(
+            3 * stride_q + off_q,
+            2 * stride_q + off_q,
+            stride_q + off_q,
+            off_q,
+        );
+        let step = _mm256_set1_epi64x(4 * stride_q);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let a = _mm256_i64gather_epi64::<8>(base, idx);
+            // (a >> 32) & (len - 1): the power-of-two mask subsumes
+            // INDEX_MASK because len - 1 <= INDEX_MASK was checked above.
+            let lanes = _mm256_and_si256(_mm256_srli_epi64::<32>(a), mask);
+            let values = _mm256_i64gather_epi64::<8>(table_base, lanes);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, values);
+            idx = _mm256_add_epi64(idx, step);
+            i += 4;
+        }
+        while i < n {
+            let a = items.get_unchecked(i).data.a;
+            *out.get_unchecked_mut(i) =
+                *table.get_unchecked((gather_index(a) as usize) & (len - 1));
+            i += 1;
+        }
+    }
+
+    /// The baseline tier: two independent accumulator chains over item
+    /// pairs, unchecked increments — the same structural trick as the AVX2
+    /// tier at the width an older core retires.  (A `_mm_set_epi64x`-based
+    /// vector checksum measured slower than scalar: building vectors from
+    /// strided scalar loads costs more than the add it saves.)
+    pub(crate) unsafe fn histogram_apply_sse2(items: &[Item<Payload>], table: &mut [u64]) -> u64 {
+        let n = items.len();
+        let (mut c0, mut c1) = (0u64, 0u64);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let a0 = items.get_unchecked(i).data.a;
+            let a1 = items.get_unchecked(i + 1).data.a;
+            c0 = c0.wrapping_add(a0);
+            c1 = c1.wrapping_add(a1);
+            *table.get_unchecked_mut(a0 as usize) += 1;
+            *table.get_unchecked_mut(a1 as usize) += 1;
+            i += 2;
+        }
+        let mut checksum = c0.wrapping_add(c1);
+        if i < n {
+            let a = items.get_unchecked(i).data.a;
+            *table.get_unchecked_mut(a as usize) += 1;
+            checksum = checksum.wrapping_add(a);
+        }
+        checksum
+    }
+
+    pub(crate) unsafe fn gather_values_sse2(
+        items: &[Item<Payload>],
+        table: &[u64],
+        out: &mut [u64],
+    ) {
+        let len = table.len();
+        if !len.is_power_of_two() || (len as u64 - 1) > INDEX_MASK {
+            scalar::gather_values(items, table, out);
+            return;
+        }
+        // SSE2 has no gather; the win over scalar is unchecked indexing and
+        // the strength-reduced `& (len - 1)`.
+        for i in 0..items.len() {
+            let a = items.get_unchecked(i).data.a;
+            *out.get_unchecked_mut(i) =
+                *table.get_unchecked((gather_index(a) as usize) & (len - 1));
+        }
+    }
+}
+
+/// aarch64 NEON tier.  NEON is baseline on aarch64, so `Simd` always
+/// resolves; there is no 64-bit gather, so the vector work is the two-lane
+/// checksum while table accesses run unchecked.
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use std::arch::aarch64::*;
+
+    use super::{gather_index, scalar, Item, Payload, INDEX_MASK};
+
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn histogram_apply_neon(items: &[Item<Payload>], table: &mut [u64]) -> u64 {
+        let n = items.len();
+        let mut acc = vdupq_n_u64(0);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let pair = [
+                items.get_unchecked(i).data.a,
+                items.get_unchecked(i + 1).data.a,
+            ];
+            acc = vaddq_u64(acc, vld1q_u64(pair.as_ptr()));
+            *table.get_unchecked_mut(pair[0] as usize) += 1;
+            *table.get_unchecked_mut(pair[1] as usize) += 1;
+            i += 2;
+        }
+        let mut checksum = vgetq_lane_u64::<0>(acc).wrapping_add(vgetq_lane_u64::<1>(acc));
+        if i < n {
+            let a = items.get_unchecked(i).data.a;
+            *table.get_unchecked_mut(a as usize) += 1;
+            checksum = checksum.wrapping_add(a);
+        }
+        checksum
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn gather_values_neon(
+        items: &[Item<Payload>],
+        table: &[u64],
+        out: &mut [u64],
+    ) {
+        let len = table.len();
+        if !len.is_power_of_two() || (len as u64 - 1) > INDEX_MASK {
+            scalar::gather_values(items, table, out);
+            return;
+        }
+        for i in 0..items.len() {
+            let a = items.get_unchecked(i).data.a;
+            *out.get_unchecked_mut(i) =
+                *table.get_unchecked((gather_index(a) as usize) & (len - 1));
+        }
+    }
+}
+
+static SCALAR: Kernels = Kernels {
+    label: "scalar",
+    histogram_fn: scalar::histogram_apply,
+    gather_fn: scalar::gather_values,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    label: "avx2",
+    histogram_fn: x86::histogram_apply_avx2,
+    gather_fn: x86::gather_values_avx2,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSE2: Kernels = Kernels {
+    label: "sse2",
+    histogram_fn: x86::histogram_apply_sse2,
+    gather_fn: x86::gather_values_sse2,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: Kernels = Kernels {
+    label: "neon",
+    histogram_fn: arm::histogram_apply_neon,
+    gather_fn: arm::gather_values_neon,
+};
+
+/// The widest SIMD tier this CPU supports, or `None` on architectures with
+/// no SIMD tier in this crate.
+fn best_simd() -> Option<&'static Kernels> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SSE2 is part of the x86-64 baseline, so there is always a tier.
+        Some(if std::arch::is_x86_feature_detected!("avx2") {
+            &AVX2
+        } else {
+            &SSE2
+        })
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        Some(&NEON)
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        None
+    }
+}
+
+/// Resolve a [`KernelMode`] to a kernel tier.  `Auto` detects CPU features
+/// exactly once per process (the result is cached); `Scalar` and `Simd`
+/// force their path.
+///
+/// # Panics
+/// `KernelMode::Simd` panics on architectures with no SIMD tier (never on
+/// x86-64 or aarch64, where a baseline tier always exists).
+pub fn resolve(mode: KernelMode) -> &'static Kernels {
+    static AUTO: OnceLock<&'static Kernels> = OnceLock::new();
+    match mode {
+        KernelMode::Scalar => &SCALAR,
+        KernelMode::Simd => {
+            best_simd().expect("no SIMD kernel tier on this architecture; use --kernel scalar")
+        }
+        KernelMode::Auto => AUTO.get_or_init(|| best_simd().unwrap_or(&SCALAR)),
+    }
+}
+
+/// Every tier available on this machine, scalar first.  The equivalence
+/// suite and the Criterion benches iterate this so new tiers are covered
+/// automatically.
+pub fn tiers() -> Vec<&'static Kernels> {
+    #[allow(unused_mut, reason = "architectures without SIMD tiers push nothing")]
+    let mut tiers: Vec<&'static Kernels> = vec![&SCALAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        tiers.push(&SSE2);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push(&AVX2);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    tiers.push(&NEON);
+    tiers
+}
+
+#[cfg(test)]
+mod tests {
+    use net_model::WorkerId;
+
+    use super::*;
+
+    fn items(buckets: &[u64]) -> Vec<Item<Payload>> {
+        buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Item::new(WorkerId(0), Payload::new(a, i as u64), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn resolve_modes() {
+        assert_eq!(resolve(KernelMode::Scalar).label, "scalar");
+        let auto = resolve(KernelMode::Auto);
+        assert_eq!(
+            auto.label,
+            resolve(KernelMode::Auto).label,
+            "auto detection is cached"
+        );
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        assert_ne!(
+            resolve(KernelMode::Simd).label,
+            "scalar",
+            "simd must resolve to a real SIMD tier here"
+        );
+    }
+
+    #[test]
+    fn every_tier_matches_scalar_on_a_smoke_slice() {
+        let buckets: Vec<u64> = (0..133).map(|i| (i * 37) % 64).collect();
+        let slice = items(&buckets);
+        let mut want_table = vec![0u64; 64];
+        // SAFETY: every bucket is < 64 by construction.
+        let want_sum = unsafe { SCALAR.histogram_apply(&slice, &mut want_table) };
+        for tier in tiers() {
+            let mut table = vec![0u64; 64];
+            // SAFETY: every bucket is < 64 by construction.
+            let sum = unsafe { tier.histogram_apply(&slice, &mut table) };
+            assert_eq!(sum, want_sum, "{}: checksum diverged", tier.label);
+            assert_eq!(table, want_table, "{}: table diverged", tier.label);
+        }
+    }
+
+    #[test]
+    fn gather_matches_scalar_on_pow2_and_odd_tables() {
+        let words: Vec<u64> = (0..97u64).map(|i| (i << 32) | ((i % 2) << 63)).collect();
+        let slice = items(&words);
+        for table_len in [1usize, 7, 64, 4096] {
+            let table: Vec<u64> = (0..table_len as u64).map(|i| i * 3 + 1).collect();
+            let mut want = Vec::new();
+            SCALAR.gather_values(&slice, &table, &mut want);
+            for tier in tiers() {
+                let mut out = Vec::new();
+                tier.gather_values(&slice, &table, &mut out);
+                assert_eq!(
+                    out, want,
+                    "{}: gather diverged (len {table_len})",
+                    tier.label
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests pinning every SIMD tier bit-identical to the scalar
+//! reference, across arbitrary slice lengths — deliberately including
+//! sub-lane-width slices (0..4 items) and every remainder-lane case — and
+//! arbitrary payload values.
+//!
+//! This is the contract that lets `--kernel auto` be the default: whichever
+//! tier dispatch picks, the observable results (table contents, wrapping
+//! checksums, gathered values) must be exactly what the scalar reference
+//! produces, because those feed the cross-backend equivalence totals.
+
+use kernels::KernelMode;
+use net_model::WorkerId;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use runtime_api::{Item, Payload};
+
+fn items_from(words: &[(u64, u64)]) -> Vec<Item<Payload>> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| Item::new(WorkerId(0), Payload::new(a, b), i as u64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram apply: identical table and checksum for every tier, with
+    /// buckets drawn over the whole table (contract: bucket < table len).
+    #[test]
+    fn histogram_tiers_match_scalar(
+        table_len in 1usize..512,
+        raw in vec((any::<u64>(), any::<u64>()), 0..200),
+    ) {
+        let words: Vec<(u64, u64)> = raw
+            .iter()
+            .map(|&(a, b)| (a % table_len as u64, b))
+            .collect();
+        let slice = items_from(&words);
+        let mut want_table = vec![0u64; table_len];
+        // SAFETY: buckets were reduced mod table_len above.
+        let want_sum = unsafe {
+            kernels::resolve(KernelMode::Scalar).histogram_apply(&slice, &mut want_table)
+        };
+        for tier in kernels::tiers() {
+            let mut table = vec![0u64; table_len];
+            // SAFETY: same invariant as the reference run.
+            let sum = unsafe { tier.histogram_apply(&slice, &mut table) };
+            prop_assert_eq!(sum, want_sum, "{}: checksum diverged", tier.label);
+            prop_assert_eq!(&table, &want_table, "{}: table diverged", tier.label);
+        }
+    }
+
+    /// Gather values: identical output for every tier over arbitrary payload
+    /// words (request and response encodings alike) and both power-of-two
+    /// and odd table lengths.
+    #[test]
+    fn gather_tiers_match_scalar(
+        table_len in 1usize..600,
+        raw in vec((any::<u64>(), any::<u64>()), 0..200),
+    ) {
+        let slice = items_from(&raw);
+        let table: Vec<u64> = (0..table_len as u64).map(|i| i.wrapping_mul(0x9e37) ^ 0xABCD).collect();
+        let mut want = Vec::new();
+        kernels::resolve(KernelMode::Scalar).gather_values(&slice, &table, &mut want);
+        prop_assert_eq!(want.len(), slice.len());
+        for tier in kernels::tiers() {
+            let mut out = Vec::new();
+            tier.gather_values(&slice, &table, &mut out);
+            prop_assert_eq!(&out, &want, "{}: gather diverged", tier.label);
+        }
+    }
+
+    /// Remainder lanes: every length in 0..=9 hits the sub-lane-width and
+    /// tail paths of the 2- and 4-lane kernels.
+    #[test]
+    fn short_slices_hit_every_remainder_case(
+        len in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let words: Vec<(u64, u64)> = (0..len as u64)
+            .map(|i| ((seed.wrapping_add(i)) % 16, i))
+            .collect();
+        let slice = items_from(&words);
+        let mut want_table = vec![0u64; 16];
+        // SAFETY: buckets are < 16, the table length.
+        let want_sum = unsafe {
+            kernels::resolve(KernelMode::Scalar).histogram_apply(&slice, &mut want_table)
+        };
+        for tier in kernels::tiers() {
+            let mut table = vec![0u64; 16];
+            // SAFETY: same invariant as the reference run.
+            let sum = unsafe { tier.histogram_apply(&slice, &mut table) };
+            prop_assert_eq!(sum, want_sum, "{} len {}: checksum", tier.label, len);
+            prop_assert_eq!(&table, &want_table, "{} len {}: table", tier.label, len);
+        }
+    }
+}

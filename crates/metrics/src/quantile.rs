@@ -75,16 +75,26 @@ impl QuantileSketch {
 
     /// Record one non-negative sample. Negative samples are clamped to zero.
     pub fn record(&mut self, x: f64) {
+        self.record_n(x, 1);
+    }
+
+    /// Record `n` identical samples in one bucket update — for callers that
+    /// count repeats cheaply and fold them in at the end (e.g. per-item
+    /// deliveries recorded as 1-item batches).
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let x = if x.is_finite() && x > 0.0 { x } else { 0.0 };
-        self.count += 1;
+        self.count += n;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
         if x == 0.0 {
-            self.zero_count += 1;
+            self.zero_count += n;
             return;
         }
         let key = (x.ln() / self.log_gamma).ceil() as i32;
-        *self.bucket_mut(key) += 1;
+        *self.bucket_mut(key) += n;
     }
 
     /// Merge another sketch (must have been built with the same relative error).
@@ -237,6 +247,27 @@ mod tests {
         let mut a = QuantileSketch::new(0.01);
         let b = QuantileSketch::new(0.02);
         a.merge(&b);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut folded = QuantileSketch::default();
+        let mut looped = QuantileSketch::default();
+        folded.record_n(7.0, 100);
+        folded.record_n(0.0, 3);
+        folded.record_n(42.0, 0); // no-op
+        for _ in 0..100 {
+            looped.record(7.0);
+        }
+        for _ in 0..3 {
+            looped.record(0.0);
+        }
+        assert_eq!(folded.count(), looped.count());
+        assert_eq!(folded.min(), looped.min());
+        assert_eq!(folded.max(), looped.max());
+        for &q in &[0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(folded.quantile(q), looped.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub fn pin_current_thread(cpu: usize) -> bool {
     imp::pin_current_thread(cpu)
 }
 
+/// The CPU ids this thread is allowed to run on, in ascending order
+/// (respects cpusets/taskset, like [`pin_current_thread`]).  Empty on
+/// unsupported platforms or if the syscall failed.  The pinning layout is
+/// `worker w → allowed[w % allowed.len()]`, which is what lets the NUMA
+/// placement code predict which node a pinned worker lands on.
+pub fn allowed_cpus() -> Vec<usize> {
+    imp::allowed_cpus()
+}
+
 /// The host's available parallelism (1 if unknown).
 pub fn available_cpus() -> usize {
     std::thread::available_parallelism()
@@ -34,11 +43,10 @@ mod imp {
     /// CPU mask of 1024 bits, the kernel's conventional upper bound.
     const MASK_WORDS: usize = 16;
 
-    pub(super) fn pin_current_thread(cpu: usize) -> bool {
-        // Discover the CPUs this thread is actually *allowed* to run on
-        // (respects cpusets/taskset — in a container restricted to CPUs
-        // 8..16, bits 0..8 would be -EINVAL) and pick the `cpu % allowed`-th
-        // of them.
+    /// The thread's allowed CPUs, read back from the kernel (respects
+    /// cpusets/taskset — in a container restricted to CPUs 8..16, bits 0..8
+    /// would be -EINVAL on a set).  Empty if the syscall failed.
+    pub(super) fn allowed_cpus() -> Vec<usize> {
         let mut current = [0u64; MASK_WORDS];
         // sched_getaffinity(pid = 0 (self), len, mask); returns the mask
         // size written (positive) on success.
@@ -51,27 +59,27 @@ mod imp {
             )
         };
         if got <= 0 {
-            return false;
+            return Vec::new();
         }
-        let allowed: usize = current.iter().map(|w| w.count_ones() as usize).sum();
-        if allowed == 0 {
-            return false;
-        }
-        // Walk to the (cpu % allowed)-th set bit.
-        let mut skip = cpu % allowed;
-        let mut target = 0usize;
-        'scan: for (word_index, word) in current.iter().enumerate() {
+        let mut cpus = Vec::new();
+        for (word_index, word) in current.iter().enumerate() {
             let mut bits = *word;
             while bits != 0 {
                 let bit = bits.trailing_zeros() as usize;
-                if skip == 0 {
-                    target = word_index * 64 + bit;
-                    break 'scan;
-                }
-                skip -= 1;
+                cpus.push(word_index * 64 + bit);
                 bits &= bits - 1;
             }
         }
+        cpus
+    }
+
+    pub(super) fn pin_current_thread(cpu: usize) -> bool {
+        // Pick the `cpu % allowed`-th of the CPUs this thread may run on.
+        let allowed = allowed_cpus();
+        if allowed.is_empty() {
+            return false;
+        }
+        let target = allowed[cpu % allowed.len()];
         let mut mask = [0u64; MASK_WORDS];
         mask[target / 64] |= 1u64 << (target % 64);
         // sched_setaffinity(pid = 0 (self), len, mask)
@@ -151,6 +159,10 @@ mod imp {
     pub(super) fn pin_current_thread(_cpu: usize) -> bool {
         false
     }
+
+    pub(super) fn allowed_cpus() -> Vec<usize> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +181,17 @@ mod tests {
         assert_eq!(pin_current_thread(0), supported);
         assert_eq!(pin_current_thread(available_cpus() * 7 + 1), supported);
         assert!(available_cpus() >= 1);
+    }
+
+    #[test]
+    fn allowed_cpus_matches_platform_support() {
+        let allowed = allowed_cpus();
+        let supported = cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ));
+        assert_eq!(!allowed.is_empty(), supported);
+        // Ascending order is what makes the worker→CPU layout predictable.
+        assert!(allowed.windows(2).all(|w| w[0] < w[1]));
     }
 }

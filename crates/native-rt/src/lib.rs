@@ -35,8 +35,10 @@
 
 pub mod affinity;
 pub mod micro;
+pub mod numa;
 pub mod threaded;
 
-pub use affinity::{available_cpus, pin_current_thread};
+pub use affinity::{allowed_cpus, available_cpus, pin_current_thread};
 pub use micro::{run_native, NativeConfig, NativeReport, NativeScheme};
+pub use numa::NumaTopology;
 pub use threaded::{run_threaded, DeliveryTopology, MessageStore, NativeBackendConfig};

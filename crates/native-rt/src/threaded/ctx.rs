@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 
-use metrics::{Counters, LatencyRecorder};
+use metrics::{Counters, LatencyRecorder, QuantileSketch};
 use net_model::{ProcId, WorkerId};
 use runtime_api::{Payload, RunCtx, WorkerApp};
 use shmem::{ClaimResult, SlabArena, SlabHandle};
@@ -95,6 +95,24 @@ pub(crate) struct NativeWorkerCtx<'a> {
     /// every loop iteration (a handle must never be dropped — the owner's
     /// arena would leak the slab for the rest of the run).
     pub(crate) pending_returns: Vec<(u32, SlabHandle)>,
+    /// This worker's predicted NUMA node (0 on unpinned/single-node runs).
+    pub(crate) my_node: u16,
+    /// Mesh envelopes pushed towards a worker on a different NUMA node.
+    /// Exported as the `cross_socket_msgs` counter; 0 by construction when
+    /// placement is unknown or single-node.
+    pub(crate) cross_socket_msgs: u64,
+    /// Stash drain order: destination worker indices, same-node ones first
+    /// (identity order on non-NUMA runs).  Draining own-socket rings first
+    /// keeps the cheap traffic moving while cross-socket consumers lag.
+    pub(crate) drain_order: Vec<u32>,
+    /// Distribution of delivered-batch sizes (items per handler call) — the
+    /// per-scheme evidence for throughput ceilings (NoAgg delivers single
+    /// items; aggregated schemes deliver whole buffers).
+    pub(crate) batch_len: QuantileSketch,
+    /// Inline single-item deliveries (NoAgg), folded into `batch_len` as
+    /// 1-item batches at export time: a sketch update per item would cost
+    /// more than the delivery itself.
+    pub(crate) singles_delivered: u64,
 }
 
 impl<'a> NativeWorkerCtx<'a> {
@@ -137,6 +155,20 @@ impl<'a> NativeWorkerCtx<'a> {
             defer_pushes: stash_lanes > 0 && shared.tram.scheme == Scheme::NoAgg,
             arena: shared.arenas.get(me.idx()),
             pending_returns: Vec::new(),
+            my_node: shared.worker_node.get(me.idx()).copied().unwrap_or(0),
+            cross_socket_msgs: 0,
+            drain_order: {
+                let my_node = shared.worker_node.get(me.idx()).copied().unwrap_or(0);
+                let mut order: Vec<u32> = (0..stash_lanes as u32).collect();
+                if shared.numa_aware {
+                    // Stable sort: same-node destinations first, index order
+                    // preserved within each group.
+                    order.sort_by_key(|&d| shared.worker_node[d as usize] != my_node);
+                }
+                order
+            },
+            batch_len: QuantileSketch::default(),
+            singles_delivered: 0,
         }
     }
 
@@ -240,6 +272,9 @@ impl<'a> NativeWorkerCtx<'a> {
     /// stashed — per-pair FIFO order is preserved).
     pub(crate) fn push_mesh(&mut self, dst: WorkerId, envelope: Envelope) {
         let d = dst.idx();
+        if self.shared.worker_node[d] != self.my_node {
+            self.cross_socket_msgs += 1;
+        }
         if !self.defer_pushes && self.stash[d].is_empty() {
             let mesh = self.shared.plane.mesh();
             if let Err(rejected) = mesh.ring(self.me.idx(), d).push(envelope) {
@@ -264,7 +299,12 @@ impl<'a> NativeWorkerCtx<'a> {
         let mesh = self.shared.plane.mesh();
         let me = self.me.idx();
         let mut moved = 0;
-        for dst in 0..self.stash.len() {
+        // Same-node destinations first (identity order on non-NUMA runs):
+        // own-socket consumers drain their rings fastest, so retrying them
+        // first frees stash space at local-interconnect latency instead of
+        // waiting behind cross-socket laggards.
+        for i in 0..self.drain_order.len() {
+            let dst = self.drain_order[i] as usize;
             if self.stash[dst].is_empty() {
                 continue;
             }
@@ -548,6 +588,18 @@ impl<'a> NativeWorkerCtx<'a> {
             // to heap vectors; asserted by the throughput suite.
             self.counters.add("arena_claim_misses", stats.misses);
         }
+        // 0 whenever placement is unknown (unpinned) or single-node — the
+        // counter is the numerator of the cross-socket penalty sweep.
+        self.counters
+            .add("cross_socket_msgs", self.cross_socket_msgs);
+    }
+
+    /// Fold the inline single-item deliveries into the batch-length sketch
+    /// (as 1-item batches) and hand the sketch over for the run report.
+    pub(crate) fn take_batch_len(&mut self) -> QuantileSketch {
+        self.batch_len.record_n(1.0, self.singles_delivered);
+        self.singles_delivered = 0;
+        std::mem::take(&mut self.batch_len)
     }
 }
 
@@ -677,6 +729,11 @@ pub(crate) fn deliver_slice(
     }
     if let Some(first) = items.first() {
         ctx.latency.record_span(first.created_at_ns, ctx.now_cache);
+    }
+    if count > 0 {
+        // One sketch update per slice, not per item: the batch-size
+        // distribution is what explains per-scheme throughput ceilings.
+        ctx.batch_len.record(count as f64);
     }
     debug_assert!(
         items.iter().all(|i| i.dest == ctx.me),

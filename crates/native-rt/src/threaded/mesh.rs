@@ -58,6 +58,18 @@ pub(crate) fn worker_main(
         // Pin before the barrier so placement never counts as run time.
         crate::affinity::pin_current_thread(me.idx());
     }
+    if shared.numa_aware {
+        // Bind this worker's arena backing store to its own node before the
+        // run starts: the arenas were allocated on the main thread, so
+        // without the move every slab read/write from the other socket pays
+        // a remote-memory hop.  `MPOL_MF_MOVE` migrates the already-touched
+        // pages, so this is first-touch-equivalent regardless of what the
+        // allocator did.  Failure is harmless (placement stays as-is).
+        if let Some(arena) = shared.arenas.get(me.idx()) {
+            let (ptr, bytes) = arena.backing_region();
+            crate::numa::bind_region_to_node(ptr, bytes, shared.worker_node[me.idx()]);
+        }
+    }
     // Wait out the start barrier: setup cost must not skew the measured run.
     while !shared.go.load(Ordering::Acquire) {
         std::thread::yield_now();
@@ -168,6 +180,7 @@ pub(crate) fn worker_main(
     let pool = receiver.pool_stats();
     ctx.counters.add("batch_pool_hits", pool.hits);
     ctx.counters.add("batch_pool_misses", pool.misses);
+    let batch_len = ctx.take_batch_len();
     let mut tram = ctx.pp_stats;
     if let Some(agg) = &ctx.aggregator {
         tram.merge(agg.stats());
@@ -178,6 +191,7 @@ pub(crate) fn worker_main(
         latency: ctx.latency,
         app_latency: ctx.app_latency,
         tram,
+        batch_len,
     }
 }
 
@@ -229,6 +243,9 @@ fn handle_envelope(
             ctx.latency.record_span(item.created_at_ns, ctx.now_cache);
             app.on_item(item.data, item.created_at_ns, ctx);
             ctx.pending_delivered += 1;
+            // Counted, not sketched: folded into `batch_len` as 1-item
+            // batches at export time (see `take_batch_len`).
+            ctx.singles_delivered += 1;
         }
         Envelope::Message(message) => handle_vec_message(app, ctx, receiver, src, message),
     }

@@ -164,6 +164,11 @@ pub struct NativeBackendConfig {
     /// helps steady benchmark sweeps, but a general run should leave
     /// placement to the scheduler.
     pub pin_workers: bool,
+    /// NUMA-aware placement (on by default; only takes effect on pinned runs
+    /// on multi-node hosts): bind each worker's slab arena to the node its
+    /// thread is pinned on, and drain the mesh stash same-node first.
+    /// Turning it off is the A/B knob of the cross-socket penalty sweep.
+    pub numa_aware: bool,
 }
 
 impl NativeBackendConfig {
@@ -186,6 +191,7 @@ impl NativeBackendConfig {
             message_store: MessageStore::default(),
             arena_slabs: 0,
             pin_workers: false,
+            numa_aware: true,
         }
     }
 
@@ -236,6 +242,13 @@ impl NativeBackendConfig {
     /// Enable or disable worker-thread core pinning.
     pub fn with_pin_workers(mut self, pin: bool) -> Self {
         self.pin_workers = pin;
+        self
+    }
+
+    /// Enable or disable NUMA-aware placement (arena binding + same-node
+    /// stash draining).  No effect on unpinned runs or single-node hosts.
+    pub fn with_numa_aware(mut self, numa_aware: bool) -> Self {
+        self.numa_aware = numa_aware;
         self
     }
 
@@ -410,6 +423,14 @@ pub(crate) struct Shared {
     pub(crate) arenas: Vec<SlabArena<Item<Payload>>>,
     /// Pin worker threads to cores (`--pin`).
     pub(crate) pin_workers: bool,
+    /// NUMA node each worker's thread is expected to land on, derived from
+    /// the pinning layout (`worker w → allowed_cpus[w % allowed]`).  All
+    /// zeros when pinning is off, the host has a single node, or NUMA
+    /// awareness was disabled — cross-socket accounting then reads 0.
+    pub(crate) worker_node: Vec<u16>,
+    /// Whether workers should mbind their arenas and prefer same-node stash
+    /// drains (false whenever `worker_node` is uniformly zero).
+    pub(crate) numa_aware: bool,
     /// The delivery topology's data plane.
     pub(crate) plane: Plane,
 }
@@ -443,6 +464,8 @@ pub(crate) struct WorkerOutput {
     pub(crate) latency: LatencyRecorder,
     pub(crate) app_latency: LatencyRecorder,
     pub(crate) tram: TramStats,
+    /// Distribution of delivered-batch sizes (items per handler call).
+    pub(crate) batch_len: metrics::QuantileSketch,
 }
 
 /// Run `make_app` (one application instance per worker PE, in worker-id order)
@@ -513,6 +536,25 @@ pub fn run_threaded(
     } else {
         Vec::new()
     };
+    // Predict each pinned worker's NUMA node from the pinning layout (the
+    // same `allowed[w % allowed.len()]` rule `pin_current_thread` applies).
+    // Unpinned runs get no prediction: the scheduler may move threads
+    // between nodes mid-run, so claiming a placement would be a lie.
+    let worker_node: Vec<u16> = if config.numa_aware && config.pin_workers {
+        let numa = crate::numa::NumaTopology::detect();
+        let allowed = crate::affinity::allowed_cpus();
+        if numa.nodes() > 1 && !allowed.is_empty() {
+            (0..workers)
+                .map(|w| numa.node_of_cpu(allowed[w % allowed.len()]))
+                .collect()
+        } else {
+            vec![0; workers]
+        }
+    } else {
+        vec![0; workers]
+    };
+    // Single-node placement needs no binding and no drain-order bias.
+    let numa_aware = worker_node.iter().any(|&n| n != 0);
     let shared = Shared {
         tram: config.common.tram,
         topo,
@@ -531,6 +573,8 @@ pub fn run_threaded(
         pp,
         arenas,
         pin_workers: config.pin_workers,
+        worker_node,
+        numa_aware,
         plane,
     };
     let apps: Vec<Box<dyn WorkerApp>> = topo.all_workers().map(&mut make_app).collect();
@@ -605,12 +649,14 @@ pub fn run_threaded(
     let mut latency = LatencyRecorder::new();
     let mut app_latency = LatencyRecorder::new();
     let mut tram = TramStats::new();
+    let mut delivery_batch_len = metrics::QuantileSketch::default();
     let mut finished_apps = Vec::with_capacity(outputs.len());
     for output in outputs {
         counters.merge(&output.counters);
         latency.merge(&output.latency);
         app_latency.merge(&output.app_latency);
         tram.merge(&output.tram);
+        delivery_batch_len.merge(&output.batch_len);
         finished_apps.push(output.app);
     }
     for mut app in finished_apps {
@@ -626,6 +672,7 @@ pub fn run_threaded(
         item_latency: latency,
         counters,
         tram,
+        delivery_batch_len,
         events_executed: 0,
         items_sent,
         items_delivered,

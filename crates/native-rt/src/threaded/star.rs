@@ -99,6 +99,7 @@ pub(crate) fn worker_main(
     ctx.publish_sent();
     ctx.publish_delivered();
     ctx.export_pool_counters();
+    let batch_len = ctx.take_batch_len();
     let mut tram = ctx.pp_stats;
     if let Some(agg) = &ctx.aggregator {
         tram.merge(agg.stats());
@@ -109,6 +110,7 @@ pub(crate) fn worker_main(
         latency: ctx.latency,
         app_latency: ctx.app_latency,
         tram,
+        batch_len,
     }
 }
 

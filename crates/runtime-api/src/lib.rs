@@ -38,8 +38,8 @@ pub use payload::Payload;
 pub use report::RunReport;
 pub use spec::{
     open_loop, AppDefaults, AppFactory, AppSpec, ArrivalProcess, ClusterSpec, CommonArgs,
-    CommonConfig, DeliveryTopology, LoadShape, MessageStore, OpenLoad, ResolvedRunSpec, RunSpec,
-    SloPolicy, DEFAULT_SEED,
+    CommonConfig, DeliveryTopology, KernelMode, LoadShape, MessageStore, OpenLoad, ResolvedRunSpec,
+    RunSpec, SloPolicy, DEFAULT_SEED,
 };
 // Re-exported so applications can implement `WorkerApp::on_item_slice`
 // without naming `tramlib` directly.

@@ -33,6 +33,11 @@ pub struct RunReport {
     pub counters: Counters,
     /// Merged TramLib statistics from every aggregator.
     pub tram: TramStats,
+    /// Distribution of delivered-batch sizes — items per application handler
+    /// invocation.  Filled by the native backend (it explains per-scheme
+    /// throughput ceilings: NoAgg delivers one item per envelope, aggregated
+    /// schemes deliver whole buffers); empty on simulator runs.
+    pub delivery_batch_len: metrics::QuantileSketch,
     /// Number of simulation events executed (0 on the native backend).
     pub events_executed: u64,
     /// Items handed to `send` during the run.
@@ -81,6 +86,13 @@ impl RunReport {
         if let Some(latency) = self.latency {
             s.push_str(&format!(" app_latency[{}]", latency.render()));
         }
+        if self.delivery_batch_len.count() > 0 {
+            s.push_str(&format!(
+                " batch_len[p50={:.0} max={:.0}]",
+                self.delivery_batch_len.median(),
+                self.delivery_batch_len.max()
+            ));
+        }
         s
     }
 
@@ -100,6 +112,17 @@ impl RunReport {
         match self.latency {
             Some(latency) => s.push_str(&format!(",\"latency\":{}", latency.to_json())),
             None => s.push_str(",\"latency\":null"),
+        }
+        if self.delivery_batch_len.count() > 0 {
+            s.push_str(&format!(
+                ",\"delivery_batch_len\":{{\"count\":{},\"p50\":{:.1},\"p99\":{:.1},\"max\":{:.1}}}",
+                self.delivery_batch_len.count(),
+                self.delivery_batch_len.median(),
+                self.delivery_batch_len.quantile(0.99),
+                self.delivery_batch_len.max()
+            ));
+        } else {
+            s.push_str(",\"delivery_batch_len\":null");
         }
         s.push('}');
         s
@@ -122,6 +145,7 @@ mod tests {
             latency: LatencySummary::from_recorder(&app_latency),
             counters: Counters::new(),
             tram: TramStats::new(),
+            delivery_batch_len: metrics::QuantileSketch::default(),
             events_executed: 0,
             items_sent: 10,
             items_delivered: 10,
@@ -150,5 +174,17 @@ mod tests {
         no_latency.latency = None;
         assert!(no_latency.to_json().contains("\"latency\":null"));
         assert_eq!(no_latency.mean_app_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn batch_len_rendering() {
+        let mut r = report();
+        assert!(r.to_json().contains("\"delivery_batch_len\":null"));
+        assert!(!r.summary().contains("batch_len["));
+        for _ in 0..10 {
+            r.delivery_batch_len.record(32.0);
+        }
+        assert!(r.to_json().contains("\"delivery_batch_len\":{\"count\":10"));
+        assert!(r.summary().contains("batch_len[p50=32 max=32]"));
     }
 }

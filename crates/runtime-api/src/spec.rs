@@ -167,6 +167,56 @@ pub enum DeliveryTopology {
     Star,
 }
 
+/// Which implementation of the app-side slice kernels consumes delivered
+/// items.
+///
+/// The `kernels` crate ships vectorized (`std::arch`) and scalar versions of
+/// every slice consumer, pinned bit-identical to each other; this knob picks
+/// between them.  Dispatch is resolved once per run, never per slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Pick the widest SIMD tier the CPU supports at startup, falling back
+    /// to scalar (the default).
+    #[default]
+    Auto,
+    /// Force the SIMD path; panics at startup if the CPU has no supported
+    /// SIMD tier.  Used by the equivalence suite to pin SIMD == scalar.
+    Simd,
+    /// Force the scalar reference path.  The A/B baseline for the kernel
+    /// speedup bench series.
+    Scalar,
+}
+
+impl KernelMode {
+    /// Stable label used in bench series columns and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelMode::Auto => "auto",
+            KernelMode::Simd => "simd",
+            KernelMode::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(KernelMode::Auto),
+            "simd" => Ok(KernelMode::Simd),
+            "scalar" => Ok(KernelMode::Scalar),
+            other => Err(format!("unknown kernel mode '{other}' (auto|simd|scalar)")),
+        }
+    }
+}
+
 /// Which message store backs the native backend's aggregation hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MessageStore {
@@ -376,6 +426,8 @@ pub struct ResolvedRunSpec {
     pub message_store: MessageStore,
     /// Native backend: pin worker threads to cores.
     pub pin_workers: bool,
+    /// Which slice-kernel implementation the apps consume items with.
+    pub kernel: KernelMode,
     /// Native backend: watchdog override (`None` = the backend default,
     /// widened automatically for open-loop runs whose duration is known).
     pub max_wall: Option<Duration>,
@@ -423,6 +475,7 @@ pub struct RunSpec {
     delivery: DeliveryTopology,
     message_store: MessageStore,
     pin_workers: bool,
+    kernel: KernelMode,
     max_wall: Option<Duration>,
     event_budget: Option<u64>,
 }
@@ -445,6 +498,7 @@ impl RunSpec {
             delivery: DeliveryTopology::default(),
             message_store: MessageStore::default(),
             pin_workers: false,
+            kernel: KernelMode::default(),
             max_wall: None,
             event_budget: None,
         }
@@ -542,6 +596,13 @@ impl RunSpec {
         self
     }
 
+    /// Slice-kernel implementation (default: auto-detect the widest SIMD
+    /// tier at startup).
+    pub fn kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Native backend: watchdog override.
     pub fn max_wall(mut self, max_wall: Duration) -> Self {
         self.max_wall = Some(max_wall);
@@ -576,6 +637,7 @@ impl RunSpec {
             delivery: self.delivery,
             message_store: self.message_store,
             pin_workers: self.pin_workers,
+            kernel: self.kernel,
             max_wall: self.max_wall,
             event_budget: self.event_budget,
         }
@@ -584,8 +646,8 @@ impl RunSpec {
 
 /// The one CLI parser shared by the examples and the bench binaries, so both
 /// backends' flag handling cannot drift: `--backend sim|native`, `--seed N`,
-/// `--buffer N`, `--pin`, plus generic `flag`/`value_of` accessors for
-/// binary-specific switches.
+/// `--buffer N`, `--pin`, `--kernel auto|simd|scalar`, plus generic
+/// `flag`/`value_of` accessors for binary-specific switches.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
     /// `--backend sim|native` (default: the simulator).
@@ -596,6 +658,8 @@ pub struct CommonArgs {
     pub buffer_items: Option<usize>,
     /// `--pin`: pin native worker threads to cores.
     pub pin: bool,
+    /// `--kernel auto|simd|scalar`, if given.
+    pub kernel: Option<KernelMode>,
     args: Vec<String>,
 }
 
@@ -624,11 +688,14 @@ impl CommonArgs {
         let buffer_items =
             value_after("--buffer").map(|v| v.parse().expect("--buffer takes an item count"));
         let pin = args.iter().any(|a| a == "--pin");
+        let kernel =
+            value_after("--kernel").map(|v| v.parse().expect("--kernel takes auto|simd|scalar"));
         Self {
             backend,
             seed,
             buffer_items,
             pin,
+            kernel,
             args,
         }
     }
@@ -655,6 +722,9 @@ impl CommonArgs {
         }
         if let Some(buffer) = self.buffer_items {
             spec = spec.buffer(buffer);
+        }
+        if let Some(kernel) = self.kernel {
+            spec = spec.kernel(kernel);
         }
         spec
     }
@@ -747,6 +817,8 @@ mod tests {
                 "--buffer",
                 "64",
                 "--pin",
+                "--kernel",
+                "scalar",
                 "--fast",
             ]
             .iter()
@@ -758,15 +830,32 @@ mod tests {
         assert_eq!(args.buffer_items, Some(64));
         assert!(args.pin && args.flag("--fast"));
         assert_eq!(args.value_of("--seed"), Some("9"));
+        assert_eq!(args.kernel, Some(KernelMode::Scalar));
 
         let run = args.apply(RunSpec::for_app(Dummy)).resolve();
         assert_eq!(run.backend, Backend::Native);
         assert_eq!(run.seed, 9);
         assert_eq!(run.buffer_items, 64);
         assert!(run.pin_workers);
+        assert_eq!(run.kernel, KernelMode::Scalar);
 
         let defaults = CommonArgs::from_args(Vec::new());
         assert_eq!(defaults.backend, Backend::Sim);
         assert!(!defaults.pin);
+        assert_eq!(defaults.kernel, None);
+        assert_eq!(
+            defaults.apply(RunSpec::for_app(Dummy)).resolve().kernel,
+            KernelMode::Auto
+        );
+    }
+
+    #[test]
+    fn kernel_mode_round_trips_through_labels() {
+        for mode in [KernelMode::Auto, KernelMode::Simd, KernelMode::Scalar] {
+            assert_eq!(mode.label().parse::<KernelMode>(), Ok(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert!("avx9000".parse::<KernelMode>().is_err());
+        assert_eq!(KernelMode::default(), KernelMode::Auto);
     }
 }

@@ -184,6 +184,18 @@ impl<T: Copy> SlabArena<T> {
         self.slab_capacity
     }
 
+    /// The arena's contiguous backing store as a raw byte range, for NUMA
+    /// placement of the whole allocation (the slabs are a layout *inside*
+    /// one allocation, so one `mbind` covers every slab).  The pointer is
+    /// only meant for page-granular memory-policy syscalls — reading or
+    /// writing through it outside the claim/seal protocol is not allowed.
+    pub fn backing_region(&self) -> (*const u8, usize) {
+        (
+            self.slots.as_ptr().cast::<u8>(),
+            std::mem::size_of_val::<[UnsafeCell<MaybeUninit<T>>]>(&self.slots),
+        )
+    }
+
     /// Claim/miss/release statistics so far.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
@@ -474,6 +486,14 @@ mod tests {
             arena.release(h.slab);
         }
         assert_eq!(arena.free_slabs(), 5);
+    }
+
+    #[test]
+    fn backing_region_covers_every_slot() {
+        let arena: SlabArena<u64> = SlabArena::new(3, 4);
+        let (ptr, bytes) = arena.backing_region();
+        assert!(!ptr.is_null());
+        assert_eq!(bytes, 3 * 4 * std::mem::size_of::<u64>());
     }
 
     #[test]

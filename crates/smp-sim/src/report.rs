@@ -25,6 +25,9 @@ pub(crate) fn from_cluster(
         item_latency: cluster.latency,
         counters: cluster.counters,
         tram,
+        // The simulator models delivery at message granularity; the
+        // batch-size distribution is a native-backend observable.
+        delivery_batch_len: metrics::QuantileSketch::default(),
         events_executed,
         items_sent: cluster.items_sent,
         items_delivered: cluster.items_delivered,

@@ -61,6 +61,7 @@
 
 pub use apps;
 pub use graph;
+pub use kernels;
 pub use metrics;
 pub use native_rt;
 pub use net_model;
@@ -93,8 +94,8 @@ pub mod prelude {
     pub use native_rt::{run_threaded, NativeBackendConfig};
     pub use net_model::{NodeId, ProcId, Topology, WorkerId};
     pub use runtime_api::{
-        open_loop, AppSpec, Backend, CommonArgs, CommonConfig, Payload, RunCtx, RunReport, RunSpec,
-        SloPolicy, WorkerApp,
+        open_loop, AppSpec, Backend, CommonArgs, CommonConfig, KernelMode, Payload, RunCtx,
+        RunReport, RunSpec, SloPolicy, WorkerApp,
     };
     pub use smp_sim::{run_cluster, SimConfig, WorkerCtx};
     pub use tramlib::{Aggregator, FlushPolicy, Item, Owner, Scheme, TramConfig};

@@ -85,6 +85,34 @@ fn native_backend_matches_simulator_for_every_scheme() {
 }
 
 #[test]
+fn forced_simd_kernel_matches_scalar_and_simulator() {
+    // The kernel tier is a pure implementation detail of the slice handlers:
+    // forcing `--kernel simd` (or scalar) must leave every cross-backend
+    // total bit-identical.  `KernelMode::Simd` always resolves on the suite's
+    // supported targets — x86-64 has the SSE2 baseline, aarch64 has NEON.
+    let run_kernel = |backend: Backend, kernel: KernelMode| {
+        let report = histogram_spec(Scheme::WPs, 42)
+            .kernel(kernel)
+            .backend(backend)
+            .run();
+        collect(backend, report, Scheme::WPs)
+    };
+    let sim_scalar = run_kernel(Backend::Sim, KernelMode::Scalar);
+    let sim_simd = run_kernel(Backend::Sim, KernelMode::Simd);
+    let native_scalar = run_kernel(Backend::Native, KernelMode::Scalar);
+    let native_simd = run_kernel(Backend::Native, KernelMode::Simd);
+    assert_eq!(sim_simd, sim_scalar, "sim: SIMD tier changed the results");
+    assert_eq!(
+        native_simd, native_scalar,
+        "native: SIMD tier changed the results"
+    );
+    assert_eq!(
+        native_simd, sim_scalar,
+        "forced-SIMD native run diverged from the scalar simulator run"
+    );
+}
+
+#[test]
 fn native_results_are_deterministic_per_seed_and_differ_across_seeds() {
     let a = run(Backend::Native, Scheme::WPs, 7);
     let b = run(Backend::Native, Scheme::WPs, 7);
