@@ -95,6 +95,13 @@ pub fn run_spec(spec: RunSpec) -> RunReport {
              timer events to pace wall-clock arrivals with"
         );
     }
+    if run.faults.is_some() {
+        assert!(
+            run.backend == Backend::Native,
+            "fault injection needs the native backend: the simulator has no \
+             worker threads to crash, stall, or quarantine"
+        );
+    }
 
     let mut make_app = app.factory(&run);
     let mut report = match run.backend {
@@ -109,7 +116,8 @@ pub fn run_spec(spec: RunSpec) -> RunReport {
             let mut native = NativeBackendConfig::from_common(run.common())
                 .with_delivery(run.delivery)
                 .with_message_store(run.message_store)
-                .with_pin_workers(run.pin_workers);
+                .with_pin_workers(run.pin_workers)
+                .with_faults(run.faults);
             match run.max_wall {
                 Some(max_wall) => native = native.with_max_wall(max_wall),
                 None => {
@@ -154,7 +162,8 @@ pub fn run_spec_native_tuned(
         NativeBackendConfig::from_common(run.common())
             .with_delivery(run.delivery)
             .with_message_store(run.message_store)
-            .with_pin_workers(run.pin_workers),
+            .with_pin_workers(run.pin_workers)
+            .with_faults(run.faults),
     );
     let mut make_app = app.factory(&run);
     let mut report = native_rt::run_threaded(native, make_app.as_mut());

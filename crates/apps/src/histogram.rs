@@ -292,7 +292,7 @@ mod tests {
         for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP, Scheme::WsP] {
             let report = quick(scheme);
             let expected = 2_000 * 16; // updates * workers
-            assert!(report.clean, "{scheme}: not clean");
+            assert!(report.clean(), "{scheme}: not clean");
             assert_eq!(report.counter("histo_applied"), expected, "{scheme}");
             assert_eq!(report.counter("histo_table_total"), expected, "{scheme}");
             assert_eq!(
@@ -327,7 +327,7 @@ mod tests {
             .with_seed(3);
         let sim = run_spec(RunSpec::for_app(cfg));
         let native = run_spec(RunSpec::for_app(cfg).backend(Backend::Native));
-        assert!(native.clean, "native run must finish cleanly");
+        assert!(native.clean(), "native run must finish cleanly");
         assert_eq!(native.backend, Backend::Native);
         for counter in [
             "histo_applied",
@@ -373,7 +373,7 @@ mod tests {
             .with_seed(11);
         let totals = |mode: runtime_api::KernelMode| {
             let report = run_spec(RunSpec::for_app(cfg).kernel(mode));
-            assert!(report.clean);
+            assert!(report.clean());
             (
                 report.counter("histo_applied"),
                 report.counter("histo_applied_checksum"),

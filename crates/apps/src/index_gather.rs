@@ -263,7 +263,7 @@ mod tests {
         for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
             let report = quick(scheme, 1_000, 64);
             let expected = 1_000 * 16;
-            assert!(report.clean, "{scheme}");
+            assert!(report.clean(), "{scheme}");
             assert_eq!(report.counter("ig_requests_sent"), expected, "{scheme}");
             assert_eq!(report.counter("ig_requests_served"), expected, "{scheme}");
             assert_eq!(report.counter("ig_responses"), expected, "{scheme}");
@@ -318,7 +318,7 @@ mod tests {
                 .backend(Backend::Native),
             );
             let expected = 500 * 8;
-            assert!(report.clean, "{scheme}: native run not clean");
+            assert!(report.clean(), "{scheme}: native run not clean");
             assert_eq!(report.counter("ig_requests_sent"), expected, "{scheme}");
             assert_eq!(report.counter("ig_requests_served"), expected, "{scheme}");
             assert_eq!(report.counter("ig_responses"), expected, "{scheme}");

@@ -214,7 +214,7 @@ mod tests {
     fn event_population_is_conserved() {
         for scheme in [Scheme::WW, Scheme::WPs, Scheme::PP] {
             let report = quick(scheme, 64);
-            assert!(report.clean, "{scheme}");
+            assert!(report.clean(), "{scheme}");
             assert_eq!(
                 report.counter("phold_events_sent"),
                 report.counter("phold_events_processed"),

@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn every_receiver_acks_pe0() {
         let report = quick(2, true);
-        assert!(report.clean);
+        assert!(report.clean());
         assert_eq!(report.counter("pingack_sent"), 16 * 200);
         assert_eq!(report.counter("pingack_complete_receivers"), 16);
         assert_eq!(report.counter("pingack_acks"), 16);
@@ -279,7 +279,7 @@ mod tests {
         cfg.workers_per_node = 8;
         cfg.messages_per_worker = 200;
         let report = run_spec(RunSpec::for_app(cfg).backend(Backend::Native));
-        assert!(report.clean);
+        assert!(report.clean());
         assert_eq!(report.counter("pingack_sent"), 8 * 200);
         assert_eq!(report.counter("pingack_complete_receivers"), 8);
         assert_eq!(report.counter("pingack_acks_received_pe0"), 8);

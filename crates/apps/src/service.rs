@@ -268,7 +268,7 @@ mod tests {
     }
 
     fn assert_conserved(report: &RunReport, expected: u64) {
-        assert!(report.clean, "run did not finish cleanly");
+        assert!(report.clean(), "run did not finish cleanly");
         assert_eq!(report.counter("svc_requests_sent"), expected);
         assert_eq!(report.counter("svc_requests_served"), expected);
         assert_eq!(report.counter("svc_responses"), expected);

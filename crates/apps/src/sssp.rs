@@ -230,7 +230,7 @@ mod tests {
             let report = run_sssp(
                 SsspConfig::new(ClusterSpec::small_smp(2), scheme, g.clone()).with_buffer(64),
             );
-            assert!(report.clean, "{scheme}");
+            assert!(report.clean(), "{scheme}");
             assert_eq!(report.counter("sssp_reached"), reached, "{scheme}: reached");
             assert_eq!(
                 report.counter("sssp_dist_checksum"),

@@ -28,7 +28,7 @@ fn backend_histogram(c: &mut Criterion) {
                         .with_buffer(256)
                         .with_seed(7);
                     let report = run_spec(RunSpec::for_app(config).backend(backend));
-                    assert!(report.clean);
+                    assert!(report.clean());
                     report.items_delivered
                 })
             });

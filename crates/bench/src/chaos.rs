@@ -1,0 +1,291 @@
+//! Deterministic chaos suite: the fault-injection matrix over the native
+//! backend's containment machinery.
+//!
+//! Every cell is {fault class} × {scheme}: a deterministic churn workload
+//! with one injected fault, run **twice with the same seed**.  The suite
+//! asserts the failure-model contract rather than any timing property:
+//!
+//! - **Determinism** — both runs of a seed produce the same
+//!   [`RunOutcome::signature`] (outcome class + abort reason).
+//! - **Conservation** — soft faults (stall, arena-dry, ring-burst) delay but
+//!   never lose items: the run ends `Degraded` with the closed-form totals.
+//!   A worker panic ends `Aborted` with the full ledger balanced:
+//!   `sent == delivered + dropped`.
+//! - **Reclamation** — `leaked_slabs == 0` on every quiescent run, and on
+//!   panic runs too: quarantine must hand every slab slot back.
+//!
+//! The `chaos` binary runs the matrix (`--fast` for the CI smoke size) and
+//! prints one line per cell.
+
+use std::time::Duration;
+
+use native_rt::{run_threaded, NativeBackendConfig};
+use net_model::{Topology, WorkerId};
+use runtime_api::{
+    FaultKind, FaultPlan, FaultSpec, FaultTrigger, Payload, RunCtx, RunOutcome, RunReport,
+    WorkerApp,
+};
+use tramlib::{Scheme, TramConfig};
+
+/// The fault classes the matrix covers — one per [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A worker panics mid-run and must be quarantined.
+    Panic,
+    /// A worker freezes for a fixed window, then resumes.
+    Stall,
+    /// A worker's slab arena is drained dry for a fixed window.
+    ArenaDry,
+    /// A worker stops draining its delivery rings for a burst of quanta.
+    RingBurst,
+}
+
+impl FaultClass {
+    /// Every class, in matrix order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::Panic,
+        FaultClass::Stall,
+        FaultClass::ArenaDry,
+        FaultClass::RingBurst,
+    ];
+
+    /// Stable name used in CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Panic => "panic",
+            FaultClass::Stall => "stall",
+            FaultClass::ArenaDry => "arena-dry",
+            FaultClass::RingBurst => "ring-burst",
+        }
+    }
+
+    /// The concrete fault spec this class injects: each class targets a
+    /// different worker so cross-class interference patterns stay distinct.
+    fn spec(self, updates: u64) -> FaultSpec {
+        match self {
+            FaultClass::Panic => FaultSpec {
+                worker: 2,
+                kind: FaultKind::Panic,
+                trigger: FaultTrigger::Items(updates / 2),
+            },
+            FaultClass::Stall => FaultSpec {
+                worker: 1,
+                kind: FaultKind::Stall { micros: 20_000 },
+                trigger: FaultTrigger::Items(updates / 2),
+            },
+            FaultClass::ArenaDry => FaultSpec {
+                worker: 0,
+                kind: FaultKind::ArenaDry { micros: 20_000 },
+                trigger: FaultTrigger::Items(updates / 4),
+            },
+            FaultClass::RingBurst => FaultSpec {
+                worker: 3,
+                kind: FaultKind::RingBurst { quanta: 1_000 },
+                trigger: FaultTrigger::Items(updates / 2),
+            },
+        }
+    }
+}
+
+/// Matrix sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Items each of the 8 workers sends.
+    pub updates: u64,
+    /// Base experiment seed (each cell derives its own from it).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// CI smoke size (`--fast`): the full matrix in a few seconds.
+    pub fn fast() -> Self {
+        Self {
+            updates: 400,
+            seed: 0xC4A0_5000,
+        }
+    }
+
+    /// Full size: enough churn that every fault lands mid-traffic.
+    pub fn full() -> Self {
+        Self {
+            updates: 5_000,
+            seed: 0xC4A0_5000,
+        }
+    }
+}
+
+/// The deterministic churn workload: every worker sends `updates` items to
+/// pseudo-random destinations, then flushes (the same shape as the backend's
+/// own delivery tests, so the totals are closed-form: `8 × updates`).
+struct Churn {
+    me: WorkerId,
+    remaining: u64,
+    flushed: bool,
+}
+
+impl WorkerApp for Churn {
+    fn on_item(&mut self, item: Payload, _created: u64, ctx: &mut dyn RunCtx) {
+        ctx.counter("churn_received", 1);
+        ctx.counter("churn_checksum", item.a);
+    }
+
+    fn on_idle(&mut self, ctx: &mut dyn RunCtx) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        let n = self.remaining.min(64);
+        let total = ctx.total_workers() as u64;
+        for _ in 0..n {
+            let value = ctx.rng().below(1_000);
+            let dest = WorkerId(ctx.rng().below(total) as u32);
+            ctx.send(dest, Payload::new(value, self.me.0 as u64));
+        }
+        self.remaining -= n;
+        if self.remaining == 0 && !self.flushed {
+            ctx.flush();
+            self.flushed = true;
+        }
+        true
+    }
+
+    fn local_done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// The verdict of one matrix cell (two same-seed runs, invariants checked).
+#[derive(Debug)]
+pub struct CellResult {
+    pub scheme: Scheme,
+    pub fault: FaultClass,
+    /// The (reproduced) outcome signature of the cell's seed.
+    pub signature: String,
+    pub items_sent: u64,
+    pub items_delivered: u64,
+    pub items_dropped: u64,
+    pub leaked_slabs: u64,
+}
+
+fn run_once(scheme: Scheme, fault: FaultClass, cfg: &ChaosConfig, seed: u64) -> RunReport {
+    let topo = Topology::smp(1, 2, 4); // 8 workers, 2 procs
+    let tram = TramConfig::new(scheme, topo)
+        .with_buffer_items(32)
+        .with_item_bytes(16);
+    let plan = FaultPlan::from_specs(seed, [fault.spec(cfg.updates)]);
+    run_threaded(
+        NativeBackendConfig::new(tram)
+            .with_seed(seed)
+            .with_max_wall(Duration::from_secs(30))
+            .with_faults(Some(plan)),
+        |w| {
+            Box::new(Churn {
+                me: w,
+                remaining: cfg.updates,
+                flushed: false,
+            })
+        },
+    )
+}
+
+/// Run one cell: two same-seed runs, then assert the failure-model contract.
+///
+/// # Panics
+/// Panics (failing the suite) on any contract violation: a non-reproducible
+/// outcome, a broken conservation ledger, or a leaked slab slot.
+pub fn run_cell(scheme: Scheme, fault: FaultClass, cfg: &ChaosConfig) -> CellResult {
+    let seed = cfg
+        .seed
+        .wrapping_add(fault as u64 * 101)
+        .wrapping_add(scheme as u64 * 7);
+    let first = run_once(scheme, fault, cfg, seed);
+    let second = run_once(scheme, fault, cfg, seed);
+    let cell = format!("{}/{}", scheme, fault.name());
+    assert_eq!(
+        first.outcome.signature(),
+        second.outcome.signature(),
+        "{cell}: one seed must reproduce one outcome"
+    );
+
+    let expected = 8 * cfg.updates;
+    let dropped = first.counter("items_dropped");
+    match fault {
+        FaultClass::Panic => {
+            let RunOutcome::Aborted {
+                reason,
+                diagnostics,
+            } = &first.outcome
+            else {
+                panic!("{cell}: a worker panic must abort, got {:?}", first.outcome);
+            };
+            assert!(reason.contains("panicked"), "{cell}: {reason}");
+            assert_eq!(
+                diagnostics.items_delivered + diagnostics.items_dropped,
+                diagnostics.items_sent,
+                "{cell}: conservation ledger broken: {}",
+                diagnostics.render()
+            );
+            assert_eq!(
+                diagnostics.leaked_slabs(),
+                0,
+                "{cell}: quarantine leaked slab slots: {}",
+                diagnostics.render()
+            );
+            assert_eq!(diagnostics.unaccounted_slabs(), 0, "{cell}");
+        }
+        FaultClass::Stall | FaultClass::ArenaDry | FaultClass::RingBurst => {
+            assert_eq!(
+                first.outcome,
+                RunOutcome::Degraded { faults_injected: 1 },
+                "{cell}: a soft fault must degrade, not abort"
+            );
+            assert_eq!(
+                first.items_delivered, expected,
+                "{cell}: soft faults must not lose items"
+            );
+            assert_eq!(dropped, 0, "{cell}: soft faults must not drop items");
+            // Quiescent runs must always reclaim every slab slot.
+            assert_eq!(
+                first.counter("leaked_slabs"),
+                0,
+                "{cell}: clean run leaked slab slots"
+            );
+        }
+    }
+    CellResult {
+        scheme,
+        fault,
+        signature: first.outcome.signature(),
+        items_sent: first.items_sent,
+        items_delivered: first.items_delivered,
+        items_dropped: dropped,
+        leaked_slabs: first.counter("leaked_slabs"),
+    }
+}
+
+/// Run the full matrix: every fault class × {WW, PP}.
+pub fn run_matrix(cfg: &ChaosConfig) -> Vec<CellResult> {
+    let mut results = Vec::new();
+    for scheme in [Scheme::WW, Scheme::PP] {
+        for fault in FaultClass::ALL {
+            results.push(run_cell(scheme, fault, cfg));
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_fast_cell_passes_its_contract() {
+        let cfg = ChaosConfig {
+            updates: 200,
+            ..ChaosConfig::fast()
+        };
+        let cell = run_cell(Scheme::WW, FaultClass::Stall, &cfg);
+        assert_eq!(cell.signature, "degraded(1)");
+        assert_eq!(cell.items_delivered, 8 * 200);
+        assert_eq!(cell.leaked_slabs, 0);
+    }
+}

@@ -17,6 +17,7 @@
 //! originals; `docs/DESIGN.md` §4 names the ablations.
 
 pub mod baseline;
+pub mod chaos;
 pub mod loadgen;
 pub mod regression;
 pub mod throughput;

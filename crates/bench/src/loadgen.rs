@@ -88,7 +88,7 @@ fn duration_secs(effort: Effort) -> f64 {
 /// latency summary.  Request/response totals must agree on every side of the
 /// exchange — the latency numbers of a run that lost items are meaningless.
 fn service_summary(context: &str, report: &RunReport) -> LatencySummary {
-    assert!(report.clean, "{context}: run did not finish cleanly");
+    assert!(report.clean(), "{context}: run did not finish cleanly");
     let sent = report.counter("svc_requests_sent");
     for counter in ["svc_requests_served", "svc_responses", "svc_table_total"] {
         assert_eq!(
@@ -313,7 +313,7 @@ pub fn latency_suite(effort: Effort) -> LatencySuite {
     // stacks, allocator, page cache) do not land on the first scheme.
     let warm = ServiceConfig::new(cluster(effort), Scheme::WW).with_requests(2_000);
     let report = run_spec(RunSpec::for_app(warm).backend(Backend::Native));
-    assert!(report.clean, "warmup run failed");
+    assert!(report.clean(), "warmup run failed");
 
     let mut wps_capacity = 0.0;
     for scheme in Scheme::ALL {

@@ -57,7 +57,7 @@ fn cluster_label(cluster: &ClusterSpec) -> String {
 /// slabs must never have missed (a miss means some message fell back to a
 /// heap vector, i.e. the steady state was not allocation-free).
 fn items_per_sec(context: &str, report: &RunReport) -> f64 {
-    assert!(report.clean, "{context}: run did not finish cleanly");
+    assert!(report.clean(), "{context}: run did not finish cleanly");
     assert_eq!(
         report.items_sent, report.items_delivered,
         "{context}: item conservation violated"
@@ -93,7 +93,7 @@ fn warmup(tune: Tune) {
         .with_buffer(64)
         .with_seed(1);
     let report = run_spec_native_tuned(tune.spec(RunSpec::for_app(config)), |native| native);
-    assert!(report.clean, "warmup run failed");
+    assert!(report.clean(), "warmup run failed");
 }
 
 /// Backend tuning of one measured series: delivery topology, message store,

@@ -135,7 +135,12 @@ pub fn run_native(config: NativeConfig) -> NativeReport {
 
     stop.store(true, Ordering::Release);
     drop(msg_tx);
-    let (received, fill) = collector.join().expect("collector thread");
+    // Propagate a collector panic with its original payload instead of
+    // wrapping it in a second, less informative one.
+    let (received, fill) = match collector.join() {
+        Ok(result) => result,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
 
     let items = config.workers as u64 * config.items_per_worker;
     assert_eq!(received, items, "native runtime lost or duplicated items");
@@ -178,14 +183,21 @@ fn run_per_worker(
                             Vec::with_capacity(config.buffer_items),
                         );
                         messages.incr();
-                        msg_tx.send((dest, full)).expect("collector alive");
+                        // A closed channel means the collector died; stop
+                        // producing instead of panicking a second thread
+                        // (the item-count assertion reports the loss).
+                        if msg_tx.send((dest, full)).is_err() {
+                            return;
+                        }
                     }
                     let _ = i;
                 }
                 for (dest, buffer) in buffers.into_iter().enumerate() {
                     if !buffer.is_empty() {
                         messages.incr();
-                        msg_tx.send((dest, buffer)).expect("collector alive");
+                        if msg_tx.send((dest, buffer)).is_err() {
+                            return;
+                        }
                     }
                 }
             });
@@ -222,7 +234,9 @@ fn run_shared(
                             ClaimResult::Stored => break,
                             ClaimResult::Sealed(items) => {
                                 messages.incr();
-                                msg_tx.send((dest, items)).expect("collector alive");
+                                if msg_tx.send((dest, items)).is_err() {
+                                    return;
+                                }
                                 break;
                             }
                             ClaimResult::Retry(v) => {
@@ -240,7 +254,9 @@ fn run_shared(
         let leftover = buffer.flush();
         if !leftover.is_empty() {
             messages.incr();
-            msg_tx.send((dest, leftover)).expect("collector alive");
+            if msg_tx.send((dest, leftover)).is_err() {
+                return;
+            }
         }
     }
 }

@@ -21,6 +21,16 @@ use tramlib::{
 
 use super::{Batch, Envelope, Plane, Shared, Spent, SPARE_BATCHES};
 
+/// Upper bound, in consecutive *idle* loop iterations, of the stash retry
+/// backoff (see [`NativeWorkerCtx::flush_stash_backoff`]).  The mesh loop
+/// resets the skip on every iteration that did other work — a busy
+/// iteration spans a whole inbox quantum, so skipping across them would
+/// starve consumers of stashed envelopes — which leaves the backoff
+/// spanning only idle yield/nap spins.  Those are microseconds even at the
+/// nap cap, so 32 keeps worst-case retry latency well under a scheduling
+/// quantum while cutting an idle spinner's failed ring probes ~30×.
+pub(crate) const STASH_BACKOFF_MAX: u32 = 32;
+
 /// The native backend's [`RunCtx`] implementation, one per worker thread.
 pub(crate) struct NativeWorkerCtx<'a> {
     pub(crate) shared: &'a Shared,
@@ -77,12 +87,29 @@ pub(crate) struct NativeWorkerCtx<'a> {
     /// always counted first (sent sum ≥ delivered sum at every observable
     /// instant).
     pub(crate) pending_delivered: u64,
+    /// Items this worker dropped in quarantine (it panicked, or envelopes
+    /// addressed to it arrived after it panicked); published to the shared
+    /// per-worker dropped counter so the monitor's conservation check —
+    /// `sent == delivered + dropped` — can settle on an aborted run.
+    pub(crate) pending_dropped: u64,
     /// Mesh only: per-destination overflow stash for envelopes whose ring was
     /// full.  Retried every loop iteration; a sender therefore never blocks,
     /// which is what makes the all-pairs mesh deadlock-free.
     pub(crate) stash: Vec<VecDeque<Envelope>>,
     /// Total envelopes currently stashed (cheap emptiness check).
     pub(crate) stash_len: usize,
+    /// Current stash-retry backoff interval, in consecutive idle loop
+    /// iterations (0 = retry every iteration).  Doubles on each fully
+    /// failed retry up to [`STASH_BACKOFF_MAX`]; resets to 0 the moment any
+    /// envelope moves, and the mesh loop clears the pending skip whenever
+    /// an iteration did other work.
+    pub(crate) stash_backoff: u32,
+    /// Iterations left before the next stash retry.
+    pub(crate) stash_skip: u32,
+    /// Flush-triggered messages this worker has emitted (explicit, idle and
+    /// timeout flushes — not buffer-full seals).  The `flush=<n>` fault
+    /// trigger reads this.
+    pub(crate) flush_emits: u64,
     /// Mesh + NoAgg only: route every envelope through the stash and publish
     /// rings once per loop via the batched [`shmem::SpscRing::push_from`].
     /// NoAgg ships one envelope per item; pushing each individually would pay
@@ -150,8 +177,12 @@ impl<'a> NativeWorkerCtx<'a> {
             now_cache: 0,
             pending_sent: 0,
             pending_delivered: 0,
+            pending_dropped: 0,
             stash: (0..stash_lanes).map(|_| VecDeque::new()).collect(),
             stash_len: 0,
+            stash_backoff: 0,
+            stash_skip: 0,
+            flush_emits: 0,
             defer_pushes: stash_lanes > 0 && shared.tram.scheme == Scheme::NoAgg,
             arena: shared.arenas.get(me.idx()),
             pending_returns: Vec::new(),
@@ -193,6 +224,18 @@ impl<'a> NativeWorkerCtx<'a> {
         }
     }
 
+    /// Publish accumulated quarantine drops.  Like
+    /// [`NativeWorkerCtx::publish_delivered`], strictly after the work they
+    /// account for: a dropped item's sent increment was published before its
+    /// envelope shipped, so dropped (like delivered) never overtakes sent.
+    pub(crate) fn publish_dropped(&mut self) {
+        if self.pending_dropped > 0 {
+            self.shared.items_dropped[self.me.idx()]
+                .fetch_add(self.pending_dropped, Ordering::AcqRel);
+            self.pending_dropped = 0;
+        }
+    }
+
     /// Re-read the wall clock into the per-item timestamp cache.
     pub(crate) fn refresh_now(&mut self) {
         self.now_cache = self.shared.now_ns();
@@ -207,6 +250,7 @@ impl<'a> NativeWorkerCtx<'a> {
         self.counters.add("wire_items", message.items.len() as u64);
         if message.reason.is_flush() {
             self.counters.incr("wire_messages_flush");
+            self.flush_emits += 1;
         }
         match &self.shared.plane {
             // Send fails only after an aborted (watchdog) run tears the
@@ -247,6 +291,7 @@ impl<'a> NativeWorkerCtx<'a> {
         self.counters.add("wire_items", sealed.handle.len as u64);
         if sealed.reason.is_flush() {
             self.counters.incr("wire_messages_flush");
+            self.flush_emits += 1;
         }
         let target = match sealed.dest {
             MessageDest::Worker(w) => w,
@@ -312,6 +357,37 @@ impl<'a> NativeWorkerCtx<'a> {
         }
         self.stash_len -= moved;
         moved > 0
+    }
+
+    /// [`NativeWorkerCtx::flush_stash`] under bounded exponential backoff:
+    /// when a retry moves nothing (every target ring still full), the next
+    /// retries are skipped for a doubling number of iterations — 1, 2, 4, …
+    /// up to [`STASH_BACKOFF_MAX`] — so an idle worker spinning against a
+    /// saturated mesh (e.g. a ring-burst window) is not hammered with N
+    /// failed ring probes per spin.  Any successful move resets the
+    /// backoff, and the mesh loop clears the pending skip after any
+    /// iteration that did other work, so the skip never spans busy
+    /// quanta; correctness never depends on retry timing (stashed items
+    /// keep the sent sum ahead of the delivered sum, so the monitor waits
+    /// for them regardless).
+    pub(crate) fn flush_stash_backoff(&mut self) -> bool {
+        if self.stash_len == 0 {
+            self.stash_backoff = 0;
+            self.stash_skip = 0;
+            return false;
+        }
+        if self.stash_skip > 0 {
+            self.stash_skip -= 1;
+            return false;
+        }
+        if self.flush_stash() {
+            self.stash_backoff = 0;
+            true
+        } else {
+            self.stash_backoff = (self.stash_backoff * 2).clamp(1, STASH_BACKOFF_MAX);
+            self.stash_skip = self.stash_backoff;
+            false
+        }
     }
 
     /// Queue one same-process item for its destination worker.  Items ride in
@@ -457,6 +533,91 @@ impl<'a> NativeWorkerCtx<'a> {
                 self.shared.arenas[self.me.idx()].release(handle.slab);
             }
         }
+    }
+
+    /// Teardown-only: hand every parked slab handle straight back to its
+    /// owner's arena.  A handle reaches `pending_returns` only after this
+    /// worker's `finish_consumer` was the last (outstanding already 0), and
+    /// `release` is a lock-free free-list push that is safe from any thread —
+    /// so once the worker loop has ended (quiescent or aborted), releasing
+    /// directly beats leaving the slab to read as in-flight in the audit.
+    pub(crate) fn drain_pending_returns_direct(&mut self) {
+        for (owner, handle) in self.pending_returns.drain(..) {
+            self.shared.arenas[owner as usize].release(handle.slab);
+        }
+    }
+
+    /// Quarantine path: account one undeliverable envelope and recycle its
+    /// storage.  The slab refcount dance and the return rings keep flowing
+    /// exactly as on delivery — only the handler call is skipped — so a
+    /// panicked consumer never strands a peer's slab or vector.  Returns the
+    /// number of items dropped.
+    pub(crate) fn drop_envelope(&mut self, src: usize, envelope: Envelope) -> u64 {
+        match envelope {
+            Envelope::Batch(batch) => {
+                let n = batch.len() as u64;
+                let mut batch = batch;
+                batch.clear();
+                self.return_spent(src, batch);
+                n
+            }
+            Envelope::Single(_) => 1,
+            Envelope::Message(message) => {
+                let n = message.items.len() as u64;
+                let mut items = message.items;
+                items.clear();
+                self.return_spent(src, items);
+                n
+            }
+            // Slab envelopes always ride their owner's ring, so `src` is the
+            // owning arena; a stash-drained slab is this worker's own.
+            Envelope::Slab(sealed) => {
+                let handle = sealed.handle;
+                if self.shared.arenas[src].finish_consumer(handle.slab) {
+                    self.return_slab(src, handle);
+                }
+                handle.len as u64
+            }
+            Envelope::SlabSlice { owner, range } => {
+                if self.shared.arenas[owner as usize].finish_consumer(range.slab) {
+                    self.return_slab(
+                        owner as usize,
+                        SlabHandle {
+                            slab: range.slab,
+                            len: range.len,
+                            generation: range.generation,
+                        },
+                    );
+                }
+                range.len as u64
+            }
+        }
+    }
+
+    /// Quarantine entry: drop everything this worker produced but had not
+    /// shipped — aggregator buffers and mid-fill slabs, local-bypass
+    /// batches, stashed envelopes.  Every dropped item was already counted
+    /// sent (publish-before-ship), so counting it dropped keeps the
+    /// conservation ledger exact.  Returns the number of items dropped.
+    pub(crate) fn abandon_production(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        if let Some(mut agg) = self.aggregator.take() {
+            dropped += agg.abandon(self.arena);
+            self.aggregator = Some(agg);
+        }
+        for dest in 0..self.local_out.len() {
+            let batch = std::mem::take(&mut self.local_out[dest]);
+            dropped += batch.len() as u64;
+            self.retain_spare(batch);
+        }
+        let me = self.me.idx();
+        for lane in 0..self.stash.len() {
+            while let Some(envelope) = self.stash[lane].pop_front() {
+                self.stash_len -= 1;
+                dropped += self.drop_envelope(me, envelope);
+            }
+        }
+        dropped
     }
 
     /// PP insertion: claim a slot in the shared buffer towards the item's

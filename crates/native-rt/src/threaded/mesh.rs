@@ -16,6 +16,7 @@
 //! Items parked in a stash keep the sent sum ahead of the delivered sum, so
 //! the quiescence monitor cannot declare the run finished around them.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
@@ -25,6 +26,7 @@ use shmem::SlabRange;
 use tramlib::{MessageDest, PooledReceiver, SlabSealed};
 
 use super::ctx::{deliver_batch, deliver_slice};
+use super::faults::ActiveFaults;
 use super::{Envelope, NativeWorkerCtx, Shared, WorkerOutput};
 
 /// Max envelopes drained from one source ring per loop iteration, so a
@@ -46,6 +48,13 @@ const IDLE_NAP_MAX_DOUBLINGS: u32 = 3;
 
 /// One worker PE on the mesh: retry stashed pushes, reclaim returned
 /// vectors, drain inbox rings, generate work, idle-flush, back off.
+///
+/// The scheduling loop (and the application code it calls) runs inside a
+/// `catch_unwind` boundary: a panic — injected by a `FaultPlan` or genuine —
+/// quarantines this worker instead of poisoning the whole run.  The
+/// quarantined worker's application state is gone, but its side of the data
+/// plane keeps moving (see [`quarantine`]) so the survivors can drain and
+/// the monitor can settle the conservation ledger.
 pub(crate) fn worker_main(
     shared: &Shared,
     me: WorkerId,
@@ -75,12 +84,78 @@ pub(crate) fn worker_main(
         std::thread::yield_now();
     }
     ctx.refresh_now();
-    app.on_start(&mut ctx);
+    let mut faults = shared
+        .faults
+        .as_ref()
+        .and_then(|plan| ActiveFaults::compile(plan, me.0));
 
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        app.on_start(&mut ctx);
+        mesh_loop(
+            shared,
+            me,
+            app.as_mut(),
+            &mut ctx,
+            &mut receiver,
+            &mut faults,
+        );
+    }));
+    let panicked = match outcome {
+        Ok(()) => false,
+        Err(payload) => {
+            shared.record_panic(me.0, super::panic_message(payload.as_ref()));
+            quarantine(shared, me, &mut ctx);
+            true
+        }
+    };
+    if let Some(faults) = faults.as_mut() {
+        faults.disarm(ctx.arena);
+    }
+
+    // The final (possibly abort-interrupted) iteration may hold unpublished
+    // counts; the run report reads the sums after every thread joins.
+    ctx.publish_sent();
+    ctx.publish_delivered();
+    ctx.publish_dropped();
+    ctx.drain_pending_returns_direct();
+    ctx.export_pool_counters();
+    let pool = receiver.pool_stats();
+    ctx.counters.add("batch_pool_hits", pool.hits);
+    ctx.counters.add("batch_pool_misses", pool.misses);
+    let batch_len = ctx.take_batch_len();
+    let mut tram = ctx.pp_stats;
+    if let Some(agg) = &ctx.aggregator {
+        tram.merge(agg.stats());
+    }
+    WorkerOutput {
+        // A quarantined worker's application state is untrustworthy:
+        // `on_finalize` is skipped for it (the monitor reports the panic).
+        app: (!panicked).then_some(app),
+        counters: ctx.counters,
+        latency: ctx.latency,
+        app_latency: ctx.app_latency,
+        tram,
+        batch_len,
+    }
+}
+
+/// The healthy scheduling loop of one mesh worker.  Runs inside the
+/// `catch_unwind` boundary of [`worker_main`]; an unwind from anywhere in
+/// here (application handlers included) lands in [`quarantine`].
+fn mesh_loop(
+    shared: &Shared,
+    me: WorkerId,
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    receiver: &mut PooledReceiver<Payload>,
+    faults: &mut Option<ActiveFaults>,
+) {
+    let workers = shared.topo.total_workers() as usize;
     let mesh = shared.plane.mesh();
     let me_i = me.idx();
     let mut idle_rounds = 0u32;
     let mut iteration = 0u32;
+    let mut beats = 0u64;
     let mut done_stored = false;
     // Reused drain buffer: one batched head publication per source ring.
     let mut inbox: Vec<Envelope> = Vec::with_capacity(INBOX_BUDGET);
@@ -91,8 +166,18 @@ pub(crate) fn worker_main(
             break;
         }
         iteration = iteration.wrapping_add(1);
+        // Progress heartbeat + stash gauge: one relaxed store each, read by
+        // the monitor's soft-stall scan at its 200µs poll granularity.
+        beats += 1;
+        shared.heartbeats[me_i].store(beats, Ordering::Relaxed);
+        shared.stash_depth[me_i].store(ctx.stash_len as u64, Ordering::Relaxed);
         ctx.refresh_now();
-        let mut did_work = ctx.flush_stash();
+        // One `Option` branch on a fault-free run; on a faulted one this is
+        // where panics, stalls, arena holds and ring bursts begin.
+        if let Some(faults) = faults.as_mut() {
+            faults.poll(ctx);
+        }
+        let mut did_work = ctx.flush_stash_backoff();
         // A slab handle parked on a full return ring must be retried until
         // it lands (dropping one would leak the owner's slab for the run).
         did_work |= ctx.flush_pending_returns();
@@ -111,15 +196,19 @@ pub(crate) fn worker_main(
                 }
             }
         }
-        for src in 0..workers {
-            // One budgeted drain per source per iteration — a hot source gets
-            // the next helping only after every other ring (and the stash
-            // retry at the loop top) has had its turn.
-            if mesh.ring(src, me_i).pop_into(&mut inbox, INBOX_BUDGET) > 0 {
-                for envelope in inbox.drain(..) {
-                    handle_envelope(&mut *app, &mut ctx, &mut receiver, src, envelope);
+        // A ring-burst fault closes the inbox for its window: senders back up
+        // into their stashes, exercising the backpressure path end to end.
+        if !faults.as_ref().is_some_and(ActiveFaults::skip_inbox) {
+            for src in 0..workers {
+                // One budgeted drain per source per iteration — a hot source
+                // gets the next helping only after every other ring (and the
+                // stash retry at the loop top) has had its turn.
+                if mesh.ring(src, me_i).pop_into(&mut inbox, INBOX_BUDGET) > 0 {
+                    for envelope in inbox.drain(..) {
+                        handle_envelope(app, ctx, receiver, src, envelope);
+                    }
+                    did_work = true;
                 }
-                did_work = true;
             }
         }
         // Generate new work only while the outbound stash is under the
@@ -129,7 +218,7 @@ pub(crate) fn worker_main(
         // backpressure that keeps in-flight storage bounded.
         let throttled = ctx.stash_len >= super::STASH_THROTTLE;
         if !did_work && !app.local_done() && !throttled {
-            did_work = app.on_idle(&mut ctx);
+            did_work = app.on_idle(ctx);
         }
         // Publish batched sends before reporting done (the monitor must see
         // every send that precedes a true done flag), and batched deliveries
@@ -147,6 +236,12 @@ pub(crate) fn worker_main(
         // age out its partially-filled response buffers.
         ctx.poll_timeout();
         if did_work {
+            // A busy iteration spans a whole inbox quantum, so a stash-retry
+            // skip counted across busy iterations would starve consumers of
+            // stashed envelopes for milliseconds.  Reset it: probes on a busy
+            // iteration are amortized by the quantum's work, and the backoff
+            // only needs to throttle the microsecond-scale idle spins below.
+            ctx.stash_skip = 0;
             idle_rounds = 0;
             continue;
         }
@@ -171,27 +266,61 @@ pub(crate) fn worker_main(
             std::thread::sleep(IDLE_NAP * (1 << doublings));
         }
     }
+}
 
-    // The final (possibly abort-interrupted) iteration may hold unpublished
-    // counts; the run report reads the sums after every thread joins.
+/// Failure containment for a panicked mesh worker.
+///
+/// The application state is gone, but simply exiting the thread would wedge
+/// the run: peers' slabs would never get their refcount decrements, spent
+/// storage would stop coming home, full rings towards this worker would back
+/// senders' stashes up forever.  So the quarantined worker stays on the data
+/// plane — draining rings, maintaining slab refcounts, returning spent
+/// storage — and merely skips delivery, counting every undeliverable item
+/// into the shared dropped ledger.  Once `sent == delivered + dropped` and
+/// all survivors are done, the monitor ends the run `Aborted`.
+fn quarantine(shared: &Shared, me: WorkerId, ctx: &mut NativeWorkerCtx<'_>) {
+    let workers = shared.topo.total_workers() as usize;
+    let mesh = shared.plane.mesh();
+    let me_i = me.idx();
+    // Drop unshipped production (all of it already counted sent), then push
+    // out the process-shared PP buffers: items this worker inserted there
+    // must reach their group receiver, and no sibling is guaranteed to
+    // flush again after our last insert.  For worker-private schemes the
+    // flush is a no-op (the aggregator was just abandoned).
+    ctx.pending_dropped += ctx.abandon_production();
+    ctx.flush();
     ctx.publish_sent();
-    ctx.publish_delivered();
-    ctx.export_pool_counters();
-    let pool = receiver.pool_stats();
-    ctx.counters.add("batch_pool_hits", pool.hits);
-    ctx.counters.add("batch_pool_misses", pool.misses);
-    let batch_len = ctx.take_batch_len();
-    let mut tram = ctx.pp_stats;
-    if let Some(agg) = &ctx.aggregator {
-        tram.merge(agg.stats());
-    }
-    WorkerOutput {
-        app,
-        counters: ctx.counters,
-        latency: ctx.latency,
-        app_latency: ctx.app_latency,
-        tram,
-        batch_len,
+    ctx.publish_dropped();
+    let mut beats = shared.heartbeats[me_i].load(Ordering::Relaxed);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Keep the heartbeat alive: quarantined is contained, not stalled.
+        beats += 1;
+        shared.heartbeats[me_i].store(beats, Ordering::Relaxed);
+        shared.stash_depth[me_i].store(ctx.stash_len as u64, Ordering::Relaxed);
+        ctx.refresh_now();
+        let mut did_work = ctx.flush_stash();
+        did_work |= ctx.flush_pending_returns();
+        for dst in 0..workers {
+            while let Some(spent) = mesh.return_ring(me_i, dst).pop() {
+                ctx.reclaim_spent(spent);
+                did_work = true;
+            }
+        }
+        for src in 0..workers {
+            while let Some(envelope) = mesh.ring(src, me_i).pop() {
+                ctx.pending_dropped += ctx.drop_envelope(src, envelope);
+                did_work = true;
+            }
+        }
+        // Publish strictly after the drops they account for (the monitor's
+        // conservation check reads dropped like delivered).
+        ctx.publish_dropped();
+        if !did_work {
+            std::thread::sleep(Duration::from_micros(50));
+        }
     }
 }
 

@@ -50,14 +50,29 @@
 //! release/acquire hand-off, so an item counted in the delivered sum is
 //! always visible in the following sent read.)  A watchdog wall-clock limit
 //! turns an application that strands items in unflushed buffers into an
-//! unclean report instead of a hang, mirroring the simulator's
-//! `clean = false` runs.
+//! [`runtime_api::RunOutcome::Aborted`] report instead of a hang, mirroring
+//! the simulator's aborted runs.
+//!
+//! **Failure containment.**  Each worker loop runs inside a `catch_unwind`
+//! boundary.  A panicking worker is *quarantined*, not propagated: it records
+//! its panic, abandons its unshipped production (counted into a per-worker
+//! `items_dropped` ledger), and keeps draining its rings — honouring slab
+//! refcounts and return-ring protocol without delivering — so its peers never
+//! wedge behind a dead consumer.  The monitor treats panicked workers as done
+//! and closes the run once `sent == delivered + dropped` holds across a
+//! double-read, ending it `Aborted` with structured diagnostics (per-worker
+//! heartbeat stalls, ring/stash occupancy, and a slab-arena reclamation
+//! audit).  Deterministic fault injection ([`runtime_api::FaultPlan`])
+//! exercises exactly these paths; see the `faults` module.
 
 mod ctx;
+mod faults;
 mod mesh;
 mod star;
 
+use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Sender};
@@ -65,7 +80,10 @@ use crossbeam_utils::CachePadded;
 use metrics::LatencySummary;
 use metrics::{Counters, LatencyRecorder};
 use net_model::{Topology, WorkerId};
-use runtime_api::{Backend, CommonConfig, Payload, RunReport, WorkerApp};
+use runtime_api::{
+    ArenaAudit, Backend, CommonConfig, FaultPlan, Payload, RunDiagnostics, RunOutcome, RunReport,
+    WorkerApp,
+};
 
 // The native tuning enums live in `runtime-api` so the unified `RunSpec`
 // builder can name them without depending on this crate; re-exported here so
@@ -169,6 +187,9 @@ pub struct NativeBackendConfig {
     /// thread is pinned on, and drain the mesh stash same-node first.
     /// Turning it off is the A/B knob of the cross-socket penalty sweep.
     pub numa_aware: bool,
+    /// Deterministic fault plan (`None` = no injection, zero hot-path cost
+    /// beyond one `Option` branch per scheduling quantum).
+    pub faults: Option<FaultPlan>,
 }
 
 impl NativeBackendConfig {
@@ -192,6 +213,7 @@ impl NativeBackendConfig {
             arena_slabs: 0,
             pin_workers: false,
             numa_aware: true,
+            faults: None,
         }
     }
 
@@ -249,6 +271,13 @@ impl NativeBackendConfig {
     /// stash draining).  No effect on unpinned runs or single-node hosts.
     pub fn with_numa_aware(mut self, numa_aware: bool) -> Self {
         self.numa_aware = numa_aware;
+        self
+    }
+
+    /// Install a deterministic fault plan (an empty plan is normalized to
+    /// `None` so the hot path keeps its zero-cost branch).
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults.filter(|plan| !plan.is_empty());
         self
     }
 
@@ -395,6 +424,15 @@ impl Plane {
             Plane::Star(_) => unreachable!("mesh plane requested on a star run"),
         }
     }
+
+    /// Envelopes/batches currently sitting in delivery rings — a racy gauge,
+    /// read only for abort diagnostics (never for termination decisions).
+    fn inflight_envelopes(&self) -> u64 {
+        match self {
+            Plane::Star(star) => star.rings.iter().map(|r| r.len() as u64).sum(),
+            Plane::Mesh(mesh) => mesh.inbox.iter().map(|r| r.len() as u64).sum(),
+        }
+    }
 }
 
 /// State shared by every thread of one run.
@@ -415,6 +453,27 @@ pub(crate) struct Shared {
     pub(crate) items_delivered: Vec<CachePadded<AtomicU64>>,
     /// Latest `local_done` observation per worker (monotonic by contract).
     pub(crate) workers_done: Vec<AtomicBool>,
+    /// Per-worker dropped-item counters (padded, owner-written): items a
+    /// quarantined worker abandoned or discarded.  Published with the same
+    /// strictly-after-the-work discipline as `items_delivered`, so the
+    /// monitor's conservation check `sent == delivered + dropped` inherits
+    /// the double-read argument.
+    pub(crate) items_dropped: Vec<CachePadded<AtomicU64>>,
+    /// Per-worker progress heartbeats (padded, owner-written): bumped once
+    /// per scheduling quantum.  A frozen heartbeat on a not-done worker past
+    /// the grace period marks a soft stall in the diagnostics.
+    pub(crate) heartbeats: Vec<CachePadded<AtomicU64>>,
+    /// Per-worker stash-occupancy gauge (envelopes parked in the mesh
+    /// overflow stash), read only for abort diagnostics.
+    pub(crate) stash_depth: Vec<CachePadded<AtomicU64>>,
+    /// Set when the corresponding worker's loop panicked and was quarantined.
+    pub(crate) panicked: Vec<AtomicBool>,
+    /// Panic messages by worker id, recorded under quarantine entry.
+    pub(crate) panic_notes: Mutex<Vec<(u32, String)>>,
+    /// Injected faults that have fired so far (all workers).
+    pub(crate) faults_fired: AtomicU64,
+    /// The run's fault plan (`None` on healthy runs).
+    pub(crate) faults: Option<FaultPlan>,
     /// PP only: `pp[src_proc][dst_proc]` shared claim buffers.
     pub(crate) pp: Vec<Vec<ClaimBuffer<Item<Payload>>>>,
     /// Slab-arena store only: one arena per worker, indexed by worker id.
@@ -455,11 +514,47 @@ impl Shared {
             .map(|c| c.load(Ordering::Acquire))
             .sum()
     }
+
+    /// Sum of the per-worker dropped counters (Acquire loads).
+    fn dropped_sum(&self) -> u64 {
+        self.items_dropped
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Record a worker panic: the flag unblocks the monitor's done scan, the
+    /// note becomes the abort reason.  Called from the worker's unwind path,
+    /// so it must not panic itself (a poisoned mutex is recovered, not
+    /// propagated).
+    pub(crate) fn record_panic(&self, worker: u32, message: String) {
+        let mut notes = match self.panic_notes.lock() {
+            Ok(notes) => notes,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        notes.push((worker, message));
+        drop(notes);
+        self.panicked[worker as usize].store(true, Ordering::Release);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the `&str`/`String`
+/// payloads `panic!` produces; anything else renders as a placeholder).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Everything a worker thread hands back when it exits.
 pub(crate) struct WorkerOutput {
-    pub(crate) app: Box<dyn WorkerApp>,
+    /// The application instance — `None` when this worker panicked (a
+    /// quarantined app's state is untrusted, so it is never finalized).
+    pub(crate) app: Option<Box<dyn WorkerApp>>,
     pub(crate) counters: Counters,
     pub(crate) latency: LatencyRecorder,
     pub(crate) app_latency: LatencyRecorder,
@@ -570,6 +665,19 @@ pub fn run_threaded(
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
         workers_done: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        items_dropped: (0..workers)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        heartbeats: (0..workers)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        stash_depth: (0..workers)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        panicked: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        panic_notes: Mutex::new(Vec::new()),
+        faults_fired: AtomicU64::new(0),
+        faults: config.faults.filter(|plan| !plan.is_empty()),
         pp,
         arenas,
         pin_workers: config.pin_workers,
@@ -579,9 +687,21 @@ pub fn run_threaded(
     };
     let apps: Vec<Box<dyn WorkerApp>> = topo.all_workers().map(&mut make_app).collect();
 
+    /// How the monitor's wait for quiescence ended.
+    enum Verdict {
+        /// Every worker done, conservation holds, nobody panicked.
+        Quiescent,
+        /// Conservation settled, but at least one worker was quarantined.
+        Panicked,
+        /// The wall-clock watchdog expired first.
+        Watchdog,
+    }
+
     let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(workers);
     let mut collector_counters = Counters::new();
-    let mut finished = false;
+    let mut verdict = Verdict::Watchdog;
+    let mut stalled_ever = vec![false; workers];
+    let mut join_failures: Vec<String> = Vec::new();
     let mut total_time_ns = 0;
     std::thread::scope(|scope| {
         let shared = &shared;
@@ -614,22 +734,52 @@ pub fn run_threaded(
         // flags and the sent/delivered counter sums (see the module docs for
         // why the double-read of the sent sum around the delivered sum is
         // sufficient), enforce the watchdog, and signal stop.
+        //
+        // Escalation ladder: (1) per-worker heartbeat scan marks soft stalls
+        // (frozen beat past the grace period) for the diagnostics; (2) a
+        // quarantined worker counts as done and its drops enter the
+        // conservation ledger, so a panicked run still ends in bounded time
+        // once the survivors drain; (3) the wall-clock watchdog is the hard
+        // backstop that turns anything else into an `Aborted` report.
         let deadline = start + config.max_wall;
-        finished = loop {
-            let all_done = shared
-                .workers_done
+        let grace = (config.max_wall / 8).clamp(Duration::from_millis(50), Duration::from_secs(2));
+        let mut last_beats = vec![0u64; workers];
+        let mut last_progress = vec![start; workers];
+        verdict = loop {
+            let any_panicked = shared
+                .panicked
                 .iter()
-                .all(|flag| flag.load(Ordering::Acquire));
+                .any(|flag| flag.load(Ordering::Acquire));
+            let all_done = shared.workers_done.iter().enumerate().all(|(w, flag)| {
+                flag.load(Ordering::Acquire) || shared.panicked[w].load(Ordering::Acquire)
+            });
             if all_done {
                 let sent_before = shared.sent_sum();
                 let delivered = shared.delivered_sum();
+                let dropped = shared.dropped_sum();
                 let sent_after = shared.sent_sum();
-                if sent_before == sent_after && delivered == sent_before {
-                    break true;
+                if sent_before == sent_after && delivered + dropped == sent_before {
+                    break if any_panicked {
+                        Verdict::Panicked
+                    } else {
+                        Verdict::Quiescent
+                    };
                 }
             }
-            if Instant::now() > deadline {
-                break false;
+            let now = Instant::now();
+            if now > deadline {
+                break Verdict::Watchdog;
+            }
+            for w in 0..workers {
+                let beats = shared.heartbeats[w].load(Ordering::Relaxed);
+                if beats != last_beats[w] {
+                    last_beats[w] = beats;
+                    last_progress[w] = now;
+                } else if !shared.workers_done[w].load(Ordering::Acquire)
+                    && now.duration_since(last_progress[w]) > grace
+                {
+                    stalled_ever[w] = true;
+                }
             }
             std::thread::sleep(Duration::from_micros(200));
         };
@@ -637,11 +787,27 @@ pub fn run_threaded(
         // notice `stop` within one idle nap) is not part of the run.
         total_time_ns = start.elapsed().as_nanos() as u64;
         shared.stop.store(true, Ordering::Release);
-        for handle in handles {
-            outputs.push(handle.join().expect("worker thread panicked"));
+        // Joins must not unwind: the containment boundary already converts
+        // worker panics into quarantines, so a join failure here means a
+        // panic *outside* that boundary (setup/teardown) — fold it into the
+        // abort reason instead of poisoning the caller.
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(output) => outputs.push(output),
+                Err(payload) => join_failures.push(format!(
+                    "worker {w} thread died outside containment: {}",
+                    panic_message(payload.as_ref())
+                )),
+            }
         }
         if let Some(collector) = collector {
-            collector_counters = collector.join().expect("collector thread panicked");
+            match collector.join() {
+                Ok(counters) => collector_counters = counters,
+                Err(payload) => join_failures.push(format!(
+                    "collector thread died: {}",
+                    panic_message(payload.as_ref())
+                )),
+            }
         }
     });
 
@@ -657,14 +823,120 @@ pub fn run_threaded(
         app_latency.merge(&output.app_latency);
         tram.merge(&output.tram);
         delivery_batch_len.merge(&output.batch_len);
-        finished_apps.push(output.app);
+        if let Some(app) = output.app {
+            finished_apps.push(app);
+        }
     }
     for mut app in finished_apps {
         app.on_finalize(&mut counters);
     }
 
+    // Post-join reclamation sweep: spent slab handles still riding the
+    // return rings when `stop` landed go home to their arenas before the
+    // audit charges them as leaks.  Safe — every worker has joined, so this
+    // thread is the rings' only remaining accessor.
+    if let Plane::Mesh(mesh) = &shared.plane {
+        if !shared.arenas.is_empty() {
+            for src in 0..workers {
+                for dst in 0..workers {
+                    while let Some(spent) = mesh.return_ring(src, dst).pop() {
+                        if let Spent::Slab(handle) = spent {
+                            shared.arenas[src].release(handle.slab);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Reclamation audit: with every thread joined the arenas are externally
+    // quiescent, so the books must balance — every slab free, in flight
+    // (impossible after a full drain on a clean run), or leaked.  Always
+    // computed: a clean run asserting `leaked_slabs == 0` is the audit's
+    // regression test, and a dirty run needs the tally for its diagnostics.
+    let arena_audits: Vec<ArenaAudit> = shared
+        .arenas
+        .iter()
+        .enumerate()
+        .map(|(w, arena)| {
+            let audit = arena.audit();
+            ArenaAudit {
+                worker: w as u32,
+                slabs: audit.slabs,
+                free: audit.free,
+                in_flight: audit.in_flight,
+                leaked: audit.leaked,
+                double_released: audit.double_released,
+            }
+        })
+        .collect();
+    let leaked_slabs: u32 = arena_audits.iter().map(|a| a.leaked).sum();
+    let faults_injected = shared.faults_fired.load(Ordering::Relaxed);
+    let items_dropped = shared.dropped_sum();
+    counters.add("leaked_slabs", leaked_slabs as u64);
+    counters.add("faults_injected", faults_injected);
+    counters.add("items_dropped", items_dropped);
+
     let items_sent = shared.sent_sum();
     let items_delivered = shared.delivered_sum();
+    let outcome = match verdict {
+        Verdict::Quiescent if join_failures.is_empty() => {
+            if faults_injected == 0 {
+                RunOutcome::Clean
+            } else {
+                RunOutcome::Degraded {
+                    faults_injected: faults_injected as u32,
+                }
+            }
+        }
+        _ => {
+            let mut panic_notes = match shared.panic_notes.lock() {
+                Ok(notes) => notes.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            panic_notes.sort();
+            let diagnostics = RunDiagnostics {
+                panicked_workers: panic_notes.iter().map(|(w, _)| *w).collect(),
+                stalled_workers: stalled_ever
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(w, &stalled)| stalled.then_some(w as u32))
+                    .collect(),
+                workers_done: shared
+                    .workers_done
+                    .iter()
+                    .filter(|flag| flag.load(Ordering::Acquire))
+                    .count() as u32,
+                total_workers: workers as u32,
+                items_sent,
+                items_delivered,
+                items_dropped,
+                stashed_envelopes: shared
+                    .stash_depth
+                    .iter()
+                    .map(|g| g.load(Ordering::Relaxed))
+                    .sum(),
+                inflight_ring_envelopes: shared.plane.inflight_envelopes(),
+                arena_audits: arena_audits.clone(),
+            };
+            // Reason selection is deterministic per seed: the first panic in
+            // worker order beats join failures beats the watchdog.
+            let reason = if let Some((w, msg)) = panic_notes.first() {
+                format!("worker {w} panicked: {msg}")
+            } else if let Some(failure) = join_failures.first() {
+                failure.clone()
+            } else {
+                format!(
+                    "watchdog: not quiescent within {:.3}s",
+                    config.max_wall.as_secs_f64()
+                )
+            };
+            RunOutcome::Aborted {
+                reason,
+                diagnostics,
+            }
+        }
+    };
     RunReport {
         backend: Backend::Native,
         total_time_ns,
@@ -676,7 +948,7 @@ pub fn run_threaded(
         events_executed: 0,
         items_sent,
         items_delivered,
-        clean: finished && items_sent == items_delivered,
+        outcome,
     }
 }
 
@@ -767,7 +1039,7 @@ mod tests {
                 let report = run_on(delivery, scheme, 500, 7);
                 let expected = 500 * 8;
                 assert!(
-                    report.clean,
+                    report.clean(),
                     "{delivery:?}/{scheme}: run did not finish cleanly"
                 );
                 assert_eq!(report.backend, Backend::Native);
@@ -834,7 +1106,7 @@ mod tests {
                 400,
                 29,
             );
-            assert!(arena.clean && pool.clean, "{scheme}");
+            assert!(arena.clean() && pool.clean(), "{scheme}");
             // PP's message *boundaries* depend on how the racing inserters
             // interleave (same either store, but not across two runs), so
             // message/byte counts are only comparable for the worker-private
@@ -901,7 +1173,7 @@ mod tests {
     #[test]
     fn local_bypass_ships_batches_not_items() {
         let report = run(Scheme::WPs, 500, 21);
-        assert!(report.clean);
+        assert!(report.clean());
         let items = report.counter("local_deliveries");
         let batches = report.counter("local_batches");
         assert!(batches > 0, "local traffic must ride in batches");
@@ -920,7 +1192,7 @@ mod tests {
         // consumed slabs come home over the return rings).
         for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
             let report = run_with(delivery, MessageStore::VecPool, Scheme::WPs, 2_000, 5);
-            assert!(report.clean);
+            assert!(report.clean());
             let hits = report.counter("batch_pool_hits");
             let misses = report.counter("batch_pool_misses");
             assert!(
@@ -929,7 +1201,7 @@ mod tests {
             );
         }
         let report = run_on(DeliveryTopology::Mesh, Scheme::WPs, 2_000, 5);
-        assert!(report.clean);
+        assert!(report.clean());
         let claims = report.counter("arena_claims");
         assert!(claims > 0, "arena store must claim slabs");
         assert_eq!(
@@ -949,7 +1221,7 @@ mod tests {
         // WW workload must show aggregator pool hits (vectors coming home),
         // not just receiver-side reuse.
         let report = run(Scheme::WW, 3_000, 15);
-        assert!(report.clean);
+        assert!(report.clean());
         assert!(
             report.counter("agg_pool_hits") > 0,
             "sealed-buffer vectors must come back over the return rings"
@@ -960,7 +1232,7 @@ mod tests {
     fn pp_uses_shared_claim_buffers() {
         for delivery in [DeliveryTopology::Mesh, DeliveryTopology::Star] {
             let report = run_on(delivery, Scheme::PP, 500, 11);
-            assert!(report.clean, "{delivery:?}");
+            assert!(report.clean(), "{delivery:?}");
             // The PP path records its stats manually; inserts must show up.
             assert!(report.tram.items_inserted() > 0, "{delivery:?}");
             assert!(
@@ -998,16 +1270,205 @@ mod tests {
             let tram = TramConfig::new(Scheme::WW, topo).with_buffer_items(1024);
             let report = run_threaded(
                 NativeBackendConfig::new(tram)
-                    .with_max_wall(Duration::from_millis(300))
+                    .with_max_wall(Duration::from_millis(150))
                     .with_delivery(delivery),
                 |_| Box::new(Strander { sent: false }),
             );
             assert!(
-                !report.clean,
+                !report.clean(),
                 "{delivery:?}: stranded items must be reported, not hidden"
+            );
+            let RunOutcome::Aborted {
+                reason,
+                diagnostics,
+            } = &report.outcome
+            else {
+                panic!(
+                    "{delivery:?}: stranding must abort, got {:?}",
+                    report.outcome
+                );
+            };
+            assert!(reason.contains("watchdog"), "{delivery:?}: {reason}");
+            assert_eq!(diagnostics.total_workers, 8, "{delivery:?}");
+            assert!(
+                diagnostics.panicked_workers.is_empty(),
+                "{delivery:?}: nobody panicked"
             );
             assert!(report.items_delivered < report.items_sent, "{delivery:?}");
         }
+    }
+
+    #[test]
+    fn injected_panic_quarantines_and_aborts() {
+        // A worker panicking mid-run must be contained: the other seven
+        // drain, the run ends `Aborted` in bounded time with exact item
+        // conservation (sent == delivered + dropped), zero leaked slab
+        // slots, and the same outcome signature on every run of the seed.
+        let run_once = || {
+            let topo = Topology::smp(1, 2, 4);
+            let tram = TramConfig::new(Scheme::WW, topo)
+                .with_buffer_items(32)
+                .with_item_bytes(16);
+            run_threaded(
+                NativeBackendConfig::new(tram)
+                    .with_seed(7)
+                    .with_max_wall(Duration::from_secs(20))
+                    .with_faults(Some(FaultPlan::seeded(7).panic_at_items(2, 1_000))),
+                |w| {
+                    Box::new(RandomUpdates {
+                        me: w,
+                        remaining: 2_000,
+                        chunk: 64,
+                        flushed: false,
+                    })
+                },
+            )
+        };
+        let a = run_once();
+        let RunOutcome::Aborted {
+            reason,
+            diagnostics,
+        } = &a.outcome
+        else {
+            panic!("expected an aborted outcome, got {:?}", a.outcome);
+        };
+        assert!(reason.contains("worker 2 panicked"), "{reason}");
+        assert_eq!(diagnostics.panicked_workers, vec![2]);
+        assert_eq!(
+            diagnostics.items_delivered + diagnostics.items_dropped,
+            diagnostics.items_sent,
+            "conservation must hold on aborted runs: {}",
+            diagnostics.render()
+        );
+        assert_eq!(
+            diagnostics.leaked_slabs(),
+            0,
+            "quarantine must not leak slab slots: {}",
+            diagnostics.render()
+        );
+        assert_eq!(diagnostics.unaccounted_slabs(), 0);
+        assert_eq!(a.counter("fault_panic"), 1);
+        let b = run_once();
+        assert_eq!(
+            a.outcome.signature(),
+            b.outcome.signature(),
+            "one seed must reproduce one outcome"
+        );
+    }
+
+    #[test]
+    fn injected_stall_and_ring_burst_degrade_deterministically() {
+        // Stalls and ring bursts delay but never lose items: the run still
+        // reaches quiescence with exact totals, reported `Degraded`.
+        let run_once = || {
+            let topo = Topology::smp(1, 2, 4);
+            let tram = TramConfig::new(Scheme::WW, topo)
+                .with_buffer_items(32)
+                .with_item_bytes(16);
+            let plan = FaultPlan::from_specs(
+                11,
+                [
+                    runtime_api::FaultSpec {
+                        worker: 1,
+                        kind: runtime_api::FaultKind::Stall { micros: 20_000 },
+                        trigger: runtime_api::FaultTrigger::Items(500),
+                    },
+                    runtime_api::FaultSpec {
+                        worker: 3,
+                        kind: runtime_api::FaultKind::RingBurst { quanta: 500 },
+                        trigger: runtime_api::FaultTrigger::Items(500),
+                    },
+                ],
+            );
+            run_threaded(
+                NativeBackendConfig::new(tram)
+                    .with_seed(11)
+                    .with_max_wall(Duration::from_secs(20))
+                    .with_faults(Some(plan)),
+                |w| {
+                    Box::new(RandomUpdates {
+                        me: w,
+                        remaining: 1_000,
+                        chunk: 64,
+                        flushed: false,
+                    })
+                },
+            )
+        };
+        let a = run_once();
+        assert_eq!(
+            a.outcome,
+            RunOutcome::Degraded { faults_injected: 2 },
+            "got {:?}",
+            a.outcome
+        );
+        assert!(a.clean(), "degraded runs still conserve items");
+        assert_eq!(a.items_sent, 1_000 * 8);
+        assert_eq!(a.items_delivered, 1_000 * 8);
+        assert_eq!(a.counter("fault_stall"), 1);
+        assert_eq!(a.counter("fault_ring_burst"), 1);
+        assert_eq!(a.counter("items_dropped"), 0);
+        let b = run_once();
+        assert_eq!(a.outcome.signature(), b.outcome.signature());
+        assert_eq!(
+            a.counter("app_sent_checksum"),
+            b.counter("app_sent_checksum")
+        );
+    }
+
+    #[test]
+    fn arena_dry_fault_forces_vec_fallback_without_leaks() {
+        // Exhausting the slab arena must degrade to pooled heap vectors
+        // (visible as claim misses), never stall, lose items, or leak the
+        // slabs the fault held.
+        let topo = Topology::smp(1, 2, 4);
+        let tram = TramConfig::new(Scheme::WW, topo)
+            .with_buffer_items(32)
+            .with_item_bytes(16);
+        let plan = FaultPlan::from_specs(
+            13,
+            [runtime_api::FaultSpec {
+                worker: 0,
+                kind: runtime_api::FaultKind::ArenaDry { micros: 20_000 },
+                trigger: runtime_api::FaultTrigger::Items(200),
+            }],
+        );
+        let report = run_threaded(
+            NativeBackendConfig::new(tram)
+                .with_seed(13)
+                .with_max_wall(Duration::from_secs(20))
+                .with_faults(Some(plan)),
+            |w| {
+                Box::new(RandomUpdates {
+                    me: w,
+                    remaining: 2_000,
+                    chunk: 64,
+                    flushed: false,
+                })
+            },
+        );
+        assert_eq!(report.outcome, RunOutcome::Degraded { faults_injected: 1 });
+        assert_eq!(report.items_delivered, 2_000 * 8);
+        assert_eq!(report.counter("fault_arena_dry"), 1);
+        assert!(
+            report.counter("arena_claim_misses") > 0,
+            "a dry arena must fall back to heap vectors"
+        );
+        assert_eq!(
+            report.counter("leaked_slabs"),
+            0,
+            "held slabs must be released when the fault expires"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plans_normalize_to_none() {
+        let topo = Topology::smp(1, 2, 4);
+        let cfg = NativeBackendConfig::new(TramConfig::new(Scheme::WW, topo))
+            .with_faults(Some(FaultPlan::seeded(1)));
+        assert!(cfg.faults.is_none(), "an empty plan must cost nothing");
+        let armed = cfg.with_faults(Some(FaultPlan::seeded(1).panic_at_items(0, 10)));
+        assert_eq!(armed.faults.map(|p| p.len()), Some(1));
     }
 
     #[test]
@@ -1031,7 +1492,7 @@ mod tests {
                 })
             },
         );
-        assert!(report.clean, "stash path must drain under backpressure");
+        assert!(report.clean(), "stash path must drain under backpressure");
         assert_eq!(report.items_sent, 2_000 * 4);
         assert_eq!(report.items_delivered, 2_000 * 4);
     }

@@ -8,6 +8,7 @@
 //! the collector serializes all aggregation traffic — the scaling ceiling the
 //! mesh topology removes.  `bench::throughput` measures both.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
@@ -18,9 +19,14 @@ use runtime_api::{Payload, RunCtx, WorkerApp};
 use tramlib::{OutboundMessage, PooledReceiver};
 
 use super::ctx::deliver_batch;
+use super::faults::ActiveFaults;
 use super::{Batch, NativeWorkerCtx, Shared, WorkerOutput};
 
 /// One worker PE: drain deliveries, generate work, idle-flush, back off.
+///
+/// As on the mesh, the loop runs inside a `catch_unwind` boundary: a panic
+/// quarantines this worker (it keeps draining its rings without delivering,
+/// counting drops) instead of poisoning the run.
 pub(crate) fn worker_main(
     shared: &Shared,
     me: WorkerId,
@@ -33,36 +39,95 @@ pub(crate) fn worker_main(
         std::thread::yield_now();
     }
     ctx.refresh_now();
-    app.on_start(&mut ctx);
+    let mut faults = shared
+        .faults
+        .as_ref()
+        .and_then(|plan| ActiveFaults::compile(plan, me.0));
 
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        app.on_start(&mut ctx);
+        star_loop(shared, me, app.as_mut(), &mut ctx, &local_rx, &mut faults);
+    }));
+    let panicked = match outcome {
+        Ok(()) => false,
+        Err(payload) => {
+            shared.record_panic(me.0, super::panic_message(payload.as_ref()));
+            quarantine(shared, me, &mut ctx, &local_rx);
+            true
+        }
+    };
+    if let Some(faults) = faults.as_mut() {
+        faults.disarm(ctx.arena);
+    }
+
+    // The final (possibly abort-interrupted) iteration may hold unpublished
+    // counts; the run report reads the sums after every thread joins.
+    ctx.publish_sent();
+    ctx.publish_delivered();
+    ctx.publish_dropped();
+    ctx.export_pool_counters();
+    let batch_len = ctx.take_batch_len();
+    let mut tram = ctx.pp_stats;
+    if let Some(agg) = &ctx.aggregator {
+        tram.merge(agg.stats());
+    }
+    WorkerOutput {
+        app: (!panicked).then_some(app),
+        counters: ctx.counters,
+        latency: ctx.latency,
+        app_latency: ctx.app_latency,
+        tram,
+        batch_len,
+    }
+}
+
+/// The healthy scheduling loop of one star worker.
+fn star_loop(
+    shared: &Shared,
+    me: WorkerId,
+    app: &mut dyn WorkerApp,
+    ctx: &mut NativeWorkerCtx<'_>,
+    local_rx: &ChannelReceiver<Batch>,
+    faults: &mut Option<ActiveFaults>,
+) {
     let star = shared.plane.star();
     let ring = &star.rings[me.idx()];
     let returns = &star.returns[me.idx()];
     let mut idle_rounds = 0u32;
+    let mut beats = 0u64;
     loop {
         // Checked every iteration (not just on the idle path) so the watchdog
         // can abort even a worker whose on_idle never stops returning true.
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
+        beats += 1;
+        shared.heartbeats[me.idx()].store(beats, Ordering::Relaxed);
         ctx.refresh_now();
-        let mut did_work = false;
-        while let Some(mut batch) = ring.pop() {
-            deliver_batch(&mut *app, &mut ctx, &mut batch);
-            // Send the spent vector back to the collector's grouping pool
-            // (keep it as a local spare if the return ring is full).
-            if let Err(batch) = returns.push(batch) {
-                ctx.retain_spare(batch);
-            }
-            did_work = true;
+        if let Some(faults) = faults.as_mut() {
+            faults.poll(ctx);
         }
-        while let Ok(mut batch) = local_rx.try_recv() {
-            deliver_batch(&mut *app, &mut ctx, &mut batch);
-            ctx.retain_spare(batch);
-            did_work = true;
+        let mut did_work = false;
+        // A ring-burst fault closes this worker's delivery ring for its
+        // window; the collector's fan-out backs up behind it.
+        if !faults.as_ref().is_some_and(ActiveFaults::skip_inbox) {
+            while let Some(mut batch) = ring.pop() {
+                deliver_batch(app, ctx, &mut batch);
+                // Send the spent vector back to the collector's grouping pool
+                // (keep it as a local spare if the return ring is full).
+                if let Err(batch) = returns.push(batch) {
+                    ctx.retain_spare(batch);
+                }
+                did_work = true;
+            }
+            while let Ok(mut batch) = local_rx.try_recv() {
+                deliver_batch(app, ctx, &mut batch);
+                ctx.retain_spare(batch);
+                did_work = true;
+            }
         }
         if !did_work && !app.local_done() {
-            did_work = app.on_idle(&mut ctx);
+            did_work = app.on_idle(ctx);
         }
         // Publish batched sends before reporting done (the monitor must see
         // every send that precedes a true done flag), and batched deliveries
@@ -93,24 +158,53 @@ pub(crate) fn worker_main(
             std::thread::sleep(Duration::from_micros(50));
         }
     }
+}
 
-    // The final (possibly abort-interrupted) iteration may hold unpublished
-    // counts; the run report reads the sums after every thread joins.
+/// Failure containment for a panicked star worker: keep the delivery ring
+/// and local-bypass channel draining (the collector keeps its pool fed over
+/// the return ring) while counting every undelivered item dropped, so the
+/// monitor's conservation check can settle and end the run `Aborted`.
+fn quarantine(
+    shared: &Shared,
+    me: WorkerId,
+    ctx: &mut NativeWorkerCtx<'_>,
+    local_rx: &ChannelReceiver<Batch>,
+) {
+    // Drop unshipped production, then push out the process-shared PP
+    // buffers (see the mesh quarantine for why the dying worker flushes).
+    ctx.pending_dropped += ctx.abandon_production();
+    ctx.flush();
     ctx.publish_sent();
-    ctx.publish_delivered();
-    ctx.export_pool_counters();
-    let batch_len = ctx.take_batch_len();
-    let mut tram = ctx.pp_stats;
-    if let Some(agg) = &ctx.aggregator {
-        tram.merge(agg.stats());
-    }
-    WorkerOutput {
-        app,
-        counters: ctx.counters,
-        latency: ctx.latency,
-        app_latency: ctx.app_latency,
-        tram,
-        batch_len,
+    ctx.publish_dropped();
+    let star = shared.plane.star();
+    let ring = &star.rings[me.idx()];
+    let returns = &star.returns[me.idx()];
+    let mut beats = shared.heartbeats[me.idx()].load(Ordering::Relaxed);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        beats += 1;
+        shared.heartbeats[me.idx()].store(beats, Ordering::Relaxed);
+        let mut did_work = false;
+        while let Some(mut batch) = ring.pop() {
+            ctx.pending_dropped += batch.len() as u64;
+            batch.clear();
+            if let Err(batch) = returns.push(batch) {
+                ctx.retain_spare(batch);
+            }
+            did_work = true;
+        }
+        while let Ok(mut batch) = local_rx.try_recv() {
+            ctx.pending_dropped += batch.len() as u64;
+            batch.clear();
+            ctx.retain_spare(batch);
+            did_work = true;
+        }
+        ctx.publish_dropped();
+        if !did_work {
+            std::thread::sleep(Duration::from_micros(50));
+        }
     }
 }
 

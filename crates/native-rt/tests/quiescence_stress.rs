@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use native_rt::{run_threaded, DeliveryTopology, NativeBackendConfig};
 use net_model::{Topology, WorkerId};
-use runtime_api::{Payload, RunCtx, RunReport, WorkerApp};
+use runtime_api::{FaultPlan, Payload, RunCtx, RunOutcome, RunReport, WorkerApp};
 use tramlib::{FlushPolicy, Scheme, TramConfig};
 
 /// Each worker seeds `seeds` relay chains of `hops` forwards each.  A
@@ -92,7 +92,7 @@ fn assert_exact_conservation(scheme: Scheme, seed: u64, report: &RunReport) {
     // totals are closed-form — any loss or duplication breaks the equality.
     let expected = workers * seeds * (1 + hops);
     assert!(
-        report.clean,
+        report.clean(),
         "{scheme}/seed {seed}: run did not terminate cleanly"
     );
     assert_eq!(
@@ -158,5 +158,98 @@ fn relay_chains_survive_constant_backpressure() {
             },
         );
         assert_exact_conservation(Scheme::WPs, round, &report);
+    }
+}
+
+/// The relay with an injected mid-run stall: one worker freezes for 30 ms
+/// while chains route through it, then resumes.  A stall delays but never
+/// loses items, so the closed-form totals must still be reached exactly —
+/// the run ends `Degraded`, not `Aborted`.
+#[test]
+fn relay_chains_survive_an_injected_stall() {
+    for scheme in [Scheme::WW, Scheme::PP] {
+        for round in 0..5u64 {
+            let seed = 0x57A1_1000 + round * 17 + scheme as u64;
+            let topo = Topology::smp(1, 2, 4);
+            let tram = TramConfig::new(scheme, topo)
+                .with_buffer_items(64)
+                .with_item_bytes(16)
+                .with_flush_policy(FlushPolicy::ON_IDLE);
+            let report = run_threaded(
+                NativeBackendConfig::new(tram)
+                    .with_seed(seed)
+                    .with_delivery(DeliveryTopology::Mesh)
+                    .with_max_wall(Duration::from_secs(30))
+                    .with_faults(Some(FaultPlan::seeded(seed).stall_at_items(3, 2, 30_000))),
+                |_| {
+                    Box::new(Relay {
+                        seeds: 2,
+                        hops: 12,
+                        seeded: false,
+                    })
+                },
+            );
+            assert_eq!(
+                report.outcome,
+                RunOutcome::Degraded { faults_injected: 1 },
+                "{scheme}/seed {seed}: a stall must degrade, not abort"
+            );
+            assert_exact_conservation(scheme, seed, &report);
+        }
+    }
+}
+
+/// The relay with an injected worker panic: the victim is quarantined, the
+/// other seven workers drain every chain that does not route through the
+/// corpse, and the run ends `Aborted` with exact conservation
+/// (`sent == delivered + dropped`) and zero leaked slab slots.
+#[test]
+fn relay_chains_quarantine_a_panicked_worker() {
+    for round in 0..5u64 {
+        let seed = 0xDEAD_2000 + round * 23;
+        let topo = Topology::smp(1, 2, 4);
+        let tram = TramConfig::new(Scheme::WW, topo)
+            .with_buffer_items(64)
+            .with_item_bytes(16)
+            .with_flush_policy(FlushPolicy::ON_IDLE);
+        let report = run_threaded(
+            NativeBackendConfig::new(tram)
+                .with_seed(seed)
+                .with_delivery(DeliveryTopology::Mesh)
+                .with_max_wall(Duration::from_secs(30))
+                .with_faults(Some(FaultPlan::seeded(seed).panic_at_items(5, 2))),
+            |_| {
+                Box::new(Relay {
+                    seeds: 2,
+                    hops: 12,
+                    seeded: false,
+                })
+            },
+        );
+        let RunOutcome::Aborted {
+            reason,
+            diagnostics,
+        } = &report.outcome
+        else {
+            panic!("seed {seed}: a panic must abort, got {:?}", report.outcome);
+        };
+        assert!(
+            reason.contains("worker 5 panicked"),
+            "seed {seed}: {reason}"
+        );
+        assert_eq!(diagnostics.panicked_workers, vec![5], "seed {seed}");
+        assert_eq!(
+            diagnostics.items_delivered + diagnostics.items_dropped,
+            diagnostics.items_sent,
+            "seed {seed}: conservation must hold under quarantine: {}",
+            diagnostics.render()
+        );
+        assert_eq!(
+            diagnostics.leaked_slabs(),
+            0,
+            "seed {seed}: quarantine leaked slab slots: {}",
+            diagnostics.render()
+        );
+        assert_eq!(diagnostics.unaccounted_slabs(), 0, "seed {seed}");
     }
 }

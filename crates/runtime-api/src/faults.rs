@@ -1,0 +1,357 @@
+//! Deterministic fault injection: the `FaultPlan` carried by a [`RunSpec`].
+//!
+//! The paper's schemes are evaluated on healthy PEs; the roadmap's
+//! multi-process shared memory needs the opposite — proven recovery paths
+//! when a PE dies mid-run.  This module is the *description* half of that
+//! failure model: a small, `Copy`, seeded plan of worker-scoped faults that
+//! the native backend injects at deterministic trigger points (item counts or
+//! flush counts, both monotone per-worker quantities).  The *containment*
+//! half — `catch_unwind` quarantine, watchdog escalation, the slab
+//! reclamation audit — lives in `native-rt` and `shmem`.
+//!
+//! Faults are checked once per scheduling quantum (one worker-loop
+//! iteration), never per item: an un-faulted run pays one branch on an
+//! `Option` per quantum and nothing else.
+//!
+//! [`RunSpec`]: crate::RunSpec
+
+/// Upper bound on faults per plan, kept small so [`FaultPlan`] stays `Copy`
+/// (and therefore `ResolvedRunSpec` does too).
+pub const MAX_FAULTS: usize = 4;
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics — the in-thread proxy for a PE process dying.  The
+    /// runtime must quarantine it, keep the survivors draining, and end the
+    /// run `Aborted` with a reconciled slab audit.
+    Panic,
+    /// The worker sleeps for the given duration, freezing its progress
+    /// heartbeat — the proxy for a descheduled or wedged PE.  The watchdog's
+    /// soft-stall detection must notice; the run must still complete once the
+    /// worker resumes.
+    Stall {
+        /// Stall duration in microseconds.
+        micros: u32,
+    },
+    /// The worker claims every free slab in its arena and holds them for the
+    /// given duration, forcing arena-miss fallbacks onto the heap-vector
+    /// path.  The run must complete `Degraded` with exact item conservation.
+    ArenaDry {
+        /// Hold duration in microseconds.
+        micros: u32,
+    },
+    /// The worker stops draining its inbox rings for the given number of
+    /// scheduling quanta, backing senders up into their stashes — a
+    /// saturation burst exercising the backpressure path.
+    RingBurst {
+        /// Number of scheduling quanta to skip draining for.
+        quanta: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable label used in CLI parsing, counters and outcome signatures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall { .. } => "stall",
+            FaultKind::ArenaDry { .. } => "arena-dry",
+            FaultKind::RingBurst { .. } => "ring-burst",
+        }
+    }
+}
+
+/// When a fault fires: the first scheduling quantum at which the worker's
+/// monotone progress counter has reached the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire once the worker has sent at least this many items.
+    Items(u64),
+    /// Fire once the worker has emitted at least this many flush messages
+    /// (explicit / idle / timeout flushes, not buffer-full seals).
+    Flushes(u64),
+}
+
+/// One worker-scoped fault: which worker, what happens, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The worker PE (global worker id) this fault targets.
+    pub worker: u32,
+    /// What happens.
+    pub kind: FaultKind,
+    /// When it fires.
+    pub trigger: FaultTrigger,
+}
+
+impl FaultSpec {
+    /// Parse the CLI grammar used by `--fault`:
+    ///
+    /// ```text
+    /// worker=<w>,<kind>@item=<n>        kind in {panic, stall, arena-dry, ring-burst}
+    /// worker=<w>,<kind>@flush=<n>
+    /// worker=<w>,stall:<micros>@item=<n>
+    /// worker=<w>,arena-dry:<micros>@item=<n>
+    /// worker=<w>,ring-burst:<quanta>@item=<n>
+    /// ```
+    ///
+    /// e.g. `worker=2,panic@item=10000` or `worker=0,stall:5000@flush=3`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let err = |msg: &str| format!("bad fault spec '{s}': {msg}");
+        let (worker_part, rest) = s
+            .split_once(',')
+            .ok_or_else(|| err("expected 'worker=<w>,<kind>@<trigger>'"))?;
+        let worker = worker_part
+            .strip_prefix("worker=")
+            .ok_or_else(|| err("expected 'worker=<w>' before the comma"))?
+            .parse::<u32>()
+            .map_err(|_| err("worker id is not an integer"))?;
+        let (kind_part, trigger_part) = rest
+            .split_once('@')
+            .ok_or_else(|| err("expected '<kind>@<trigger>'"))?;
+        let (kind_name, param) = match kind_part.split_once(':') {
+            Some((name, p)) => (name, Some(p)),
+            None => (kind_part, None),
+        };
+        let parse_param = |default: u32| -> Result<u32, String> {
+            match param {
+                Some(p) => p
+                    .parse::<u32>()
+                    .map_err(|_| err("fault parameter is not an integer")),
+                None => Ok(default),
+            }
+        };
+        let kind = match kind_name {
+            "panic" => {
+                if param.is_some() {
+                    return Err(err("panic takes no parameter"));
+                }
+                FaultKind::Panic
+            }
+            "stall" => FaultKind::Stall {
+                micros: parse_param(DEFAULT_STALL_MICROS)?,
+            },
+            "arena-dry" => FaultKind::ArenaDry {
+                micros: parse_param(DEFAULT_ARENA_DRY_MICROS)?,
+            },
+            "ring-burst" => FaultKind::RingBurst {
+                quanta: parse_param(DEFAULT_RING_BURST_QUANTA)?,
+            },
+            other => {
+                return Err(err(&format!(
+                    "unknown fault kind '{other}' (panic|stall|arena-dry|ring-burst)"
+                )))
+            }
+        };
+        let trigger = if let Some(n) = trigger_part.strip_prefix("item=") {
+            FaultTrigger::Items(
+                n.parse::<u64>()
+                    .map_err(|_| err("item trigger is not an integer"))?,
+            )
+        } else if let Some(n) = trigger_part.strip_prefix("flush=") {
+            FaultTrigger::Flushes(
+                n.parse::<u64>()
+                    .map_err(|_| err("flush trigger is not an integer"))?,
+            )
+        } else {
+            return Err(err("expected 'item=<n>' or 'flush=<n>' after '@'"));
+        };
+        Ok(Self {
+            worker,
+            kind,
+            trigger,
+        })
+    }
+}
+
+/// Default stall duration when `--fault ...,stall@...` gives no parameter.
+pub const DEFAULT_STALL_MICROS: u32 = 50_000;
+/// Default arena-dry hold when `--fault ...,arena-dry@...` gives no parameter.
+pub const DEFAULT_ARENA_DRY_MICROS: u32 = 20_000;
+/// Default ring-burst length when `--fault ...,ring-burst@...` gives no
+/// parameter.
+pub const DEFAULT_RING_BURST_QUANTA: u32 = 2_000;
+
+/// A seeded, deterministic plan of up to [`MAX_FAULTS`] worker-scoped faults.
+///
+/// The plan is pure data and `Copy`; the native backend compiles the subset
+/// targeting each worker into that worker's loop state.  The seed is recorded
+/// so a chaos harness can tie an observed outcome back to the exact plan that
+/// produced it; triggers are deterministic per worker regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed recorded for reproducibility bookkeeping (outcome signatures).
+    pub seed: u64,
+    faults: [Option<FaultSpec>; MAX_FAULTS],
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: [None; MAX_FAULTS],
+        }
+    }
+
+    /// Add one fault.
+    ///
+    /// # Panics
+    /// Panics if the plan already holds [`MAX_FAULTS`] faults.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        let slot = self
+            .faults
+            .iter_mut()
+            .find(|f| f.is_none())
+            .unwrap_or_else(|| panic!("a FaultPlan holds at most {MAX_FAULTS} faults"));
+        *slot = Some(fault);
+        self
+    }
+
+    /// Convenience: panic `worker` once it has sent `items` items.
+    pub fn panic_at_items(self, worker: u32, items: u64) -> Self {
+        self.with_fault(FaultSpec {
+            worker,
+            kind: FaultKind::Panic,
+            trigger: FaultTrigger::Items(items),
+        })
+    }
+
+    /// Convenience: stall `worker` for `micros` once it has sent `items`.
+    pub fn stall_at_items(self, worker: u32, items: u64, micros: u32) -> Self {
+        self.with_fault(FaultSpec {
+            worker,
+            kind: FaultKind::Stall { micros },
+            trigger: FaultTrigger::Items(items),
+        })
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the faults in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultSpec> {
+        self.faults.iter().flatten()
+    }
+
+    /// The faults targeting one worker, in insertion order.
+    pub fn for_worker(&self, worker: u32) -> impl Iterator<Item = &FaultSpec> {
+        self.iter().filter(move |f| f.worker == worker)
+    }
+
+    /// Build a plan from parsed CLI `--fault` specs.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_FAULTS`] specs are given.
+    pub fn from_specs(seed: u64, specs: impl IntoIterator<Item = FaultSpec>) -> Self {
+        specs.into_iter().fold(Self::seeded(seed), Self::with_fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_panic_at_item() {
+        let f = FaultSpec::parse("worker=2,panic@item=10000").unwrap();
+        assert_eq!(f.worker, 2);
+        assert_eq!(f.kind, FaultKind::Panic);
+        assert_eq!(f.trigger, FaultTrigger::Items(10_000));
+    }
+
+    #[test]
+    fn parse_stall_with_param_at_flush() {
+        let f = FaultSpec::parse("worker=0,stall:5000@flush=3").unwrap();
+        assert_eq!(f.worker, 0);
+        assert_eq!(f.kind, FaultKind::Stall { micros: 5_000 });
+        assert_eq!(f.trigger, FaultTrigger::Flushes(3));
+    }
+
+    #[test]
+    fn parse_defaults_and_remaining_kinds() {
+        assert_eq!(
+            FaultSpec::parse("worker=1,stall@item=5").unwrap().kind,
+            FaultKind::Stall {
+                micros: DEFAULT_STALL_MICROS
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("worker=1,arena-dry@item=5").unwrap().kind,
+            FaultKind::ArenaDry {
+                micros: DEFAULT_ARENA_DRY_MICROS
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("worker=1,ring-burst:64@item=5")
+                .unwrap()
+                .kind,
+            FaultKind::RingBurst { quanta: 64 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "panic@item=1",              // missing worker=
+            "worker=x,panic@item=1",     // non-integer worker
+            "worker=1,panic",            // missing trigger
+            "worker=1,panic:9@item=1",   // panic takes no param
+            "worker=1,explode@item=1",   // unknown kind
+            "worker=1,panic@after=1",    // unknown trigger
+            "worker=1,stall:abc@item=1", // non-integer param
+            "worker=1,panic@item=lots",  // non-integer trigger
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn plan_builder_and_iteration() {
+        let plan = FaultPlan::seeded(42)
+            .panic_at_items(2, 100)
+            .stall_at_items(0, 50, 1_000);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.for_worker(2).count(), 1);
+        assert_eq!(plan.for_worker(1).count(), 0);
+        let kinds: Vec<_> = plan.iter().map(|f| f.kind.label()).collect();
+        assert_eq!(kinds, ["panic", "stall"]);
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn plan_overflow_panics() {
+        let mut plan = FaultPlan::seeded(0);
+        for i in 0..=MAX_FAULTS as u64 {
+            plan = plan.panic_at_items(0, i);
+        }
+    }
+
+    #[test]
+    fn from_specs_collects() {
+        let specs = ["worker=0,panic@item=1", "worker=1,stall@item=2"]
+            .iter()
+            .map(|s| FaultSpec::parse(s).unwrap());
+        let plan = FaultPlan::from_specs(7, specs);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.seed, 7);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultKind::Panic.label(), "panic");
+        assert_eq!(FaultKind::Stall { micros: 1 }.label(), "stall");
+        assert_eq!(FaultKind::ArenaDry { micros: 1 }.label(), "arena-dry");
+        assert_eq!(FaultKind::RingBurst { quanta: 1 }.label(), "ring-burst");
+    }
+}

@@ -28,14 +28,16 @@
 
 pub mod app;
 pub mod backend;
+pub mod faults;
 pub mod payload;
 pub mod report;
 pub mod spec;
 
 pub use app::{RunCtx, WorkerApp};
 pub use backend::{Backend, ParseBackendError};
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultTrigger, MAX_FAULTS};
 pub use payload::Payload;
-pub use report::RunReport;
+pub use report::{ArenaAudit, RunDiagnostics, RunOutcome, RunReport};
 pub use spec::{
     open_loop, AppDefaults, AppFactory, AppSpec, ArrivalProcess, ClusterSpec, CommonArgs,
     CommonConfig, DeliveryTopology, KernelMode, LoadShape, MessageStore, OpenLoad, ResolvedRunSpec,

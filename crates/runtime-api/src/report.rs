@@ -5,6 +5,161 @@ use tramlib::TramStats;
 
 use crate::backend::Backend;
 
+/// Reclamation audit of one worker's slab arena, taken at teardown.
+///
+/// Every slab must land in exactly one bucket: on the free list, in flight
+/// (positive `outstanding` refcount — a consumer still holds it), or leaked
+/// (not free, refcount zero, owner gone).  `double_released` counts free-list
+/// corruption (a slab encountered twice on the walk) and is always zero
+/// unless the release protocol itself is broken.  This is the invariant
+/// multi-process cleanup will enforce on segment detach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaAudit {
+    /// Owning worker PE.
+    pub worker: u32,
+    /// Total slabs in the arena.
+    pub slabs: u32,
+    /// Slabs on the free list.
+    pub free: u32,
+    /// Slabs with a positive `outstanding` refcount (a consumer holds them).
+    pub in_flight: u32,
+    /// Slabs neither free nor referenced: lost to the arena.
+    pub leaked: u32,
+    /// Slabs seen more than once on the free-list walk (corruption).
+    pub double_released: u32,
+}
+
+impl ArenaAudit {
+    /// Slots the audit could not classify; zero when the books balance.
+    pub fn unaccounted(&self) -> u32 {
+        self.slabs
+            .saturating_sub(self.free + self.in_flight + self.leaked)
+            + self.double_released
+    }
+}
+
+/// Structured diagnostics captured when a run ends `Aborted`: the occupancy
+/// snapshot the watchdog's escalation ladder dumps before giving up, plus the
+/// slab reclamation audit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunDiagnostics {
+    /// Workers whose loop panicked and were quarantined.
+    pub panicked_workers: Vec<u32>,
+    /// Workers whose progress heartbeat ever went silent past the soft-stall
+    /// grace period (they may have resumed since).
+    pub stalled_workers: Vec<u32>,
+    /// Workers that reported completion before the run ended.
+    pub workers_done: u32,
+    /// Total worker PEs in the run.
+    pub total_workers: u32,
+    /// Items handed to `send` when the snapshot was taken.
+    pub items_sent: u64,
+    /// Items delivered to application handlers.
+    pub items_delivered: u64,
+    /// Items dropped by quarantined workers (addressed to a dead PE, or
+    /// stranded in its buffers when it died).
+    pub items_dropped: u64,
+    /// Envelopes parked in worker stashes (mesh backpressure overflow).
+    pub stashed_envelopes: u64,
+    /// Envelopes sitting in delivery rings.
+    pub inflight_ring_envelopes: u64,
+    /// Per-arena reclamation audits (empty when the run used no arenas).
+    pub arena_audits: Vec<ArenaAudit>,
+}
+
+impl RunDiagnostics {
+    /// Total leaked slabs across every audited arena.
+    pub fn leaked_slabs(&self) -> u32 {
+        self.arena_audits.iter().map(|a| a.leaked).sum()
+    }
+
+    /// Total unaccounted slab slots across every audited arena.
+    pub fn unaccounted_slabs(&self) -> u32 {
+        self.arena_audits.iter().map(|a| a.unaccounted()).sum()
+    }
+
+    /// One-line rendering used in abort reasons and CLI output.
+    pub fn render(&self) -> String {
+        format!(
+            "done={}/{} sent={} delivered={} dropped={} stashed={} inflight={} leaked_slabs={} panicked={:?} stalled={:?}",
+            self.workers_done,
+            self.total_workers,
+            self.items_sent,
+            self.items_delivered,
+            self.items_dropped,
+            self.stashed_envelopes,
+            self.inflight_ring_envelopes,
+            self.leaked_slabs(),
+            self.panicked_workers,
+            self.stalled_workers,
+        )
+    }
+}
+
+/// How a run ended.
+///
+/// Replaces the old `clean: bool`: a run is either fully healthy, quiescent
+/// despite injected faults (every *delivered* item still accounted for), or
+/// aborted with a reason and a diagnostics snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RunOutcome {
+    /// Quiescent, every sent item delivered, no faults fired.
+    #[default]
+    Clean,
+    /// Quiescent with exact item conservation, but injected faults fired
+    /// along the way (stalls, arena exhaustion, ring bursts).
+    Degraded {
+        /// Number of injected faults that fired.
+        faults_injected: u32,
+    },
+    /// The run did not reach quiescence (worker panic, watchdog expiry, or a
+    /// teardown failure): `reason` says why, `diagnostics` says what the
+    /// runtime looked like.
+    Aborted {
+        /// Human-readable cause, stable across runs of the same seed.
+        reason: String,
+        /// Occupancy + reclamation snapshot at abort time.
+        diagnostics: RunDiagnostics,
+    },
+}
+
+impl RunOutcome {
+    /// Did the run reach quiescence with exact item conservation?  `true`
+    /// for [`RunOutcome::Clean`] and [`RunOutcome::Degraded`] — the old
+    /// `clean` boolean's meaning.
+    pub fn is_quiescent(&self) -> bool {
+        !matches!(self, RunOutcome::Aborted { .. })
+    }
+
+    /// Stable label: `clean`, `degraded`, or `aborted`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Clean => "clean",
+            RunOutcome::Degraded { .. } => "degraded",
+            RunOutcome::Aborted { .. } => "aborted",
+        }
+    }
+
+    /// The abort diagnostics, if the run aborted.
+    pub fn diagnostics(&self) -> Option<&RunDiagnostics> {
+        match self {
+            RunOutcome::Aborted { diagnostics, .. } => Some(diagnostics),
+            _ => None,
+        }
+    }
+
+    /// A short deterministic signature (label + abort reason) used by the
+    /// chaos suite to assert that one seed reproduces one outcome.  Excludes
+    /// the diagnostics snapshot, whose occupancy numbers are timing-noisy.
+    pub fn signature(&self) -> String {
+        match self {
+            RunOutcome::Clean => "clean".into(),
+            RunOutcome::Degraded { faults_injected } => format!("degraded({faults_injected})"),
+            RunOutcome::Aborted { reason, .. } => format!("aborted: {reason}"),
+        }
+    }
+}
+
 /// Everything a figure (or a cross-backend comparison) needs from one run.
 ///
 /// Produced by `smp_sim::run_cluster` with [`Backend::Sim`] semantics (times
@@ -44,9 +199,9 @@ pub struct RunReport {
     pub items_sent: u64,
     /// Items delivered to application handlers.
     pub items_delivered: u64,
-    /// `true` if the run finished with every sent item delivered and nothing
-    /// left buffered or undelivered.
-    pub clean: bool,
+    /// How the run ended: clean, degraded by injected faults, or aborted
+    /// with a reason and diagnostics.
+    pub outcome: RunOutcome,
 }
 
 impl RunReport {
@@ -71,17 +226,24 @@ impl RunReport {
         self.counters.get(name)
     }
 
+    /// Did the run reach quiescence with every sent item delivered?  The old
+    /// `clean` boolean: `true` for [`RunOutcome::Clean`] and
+    /// [`RunOutcome::Degraded`], `false` for [`RunOutcome::Aborted`].
+    pub fn clean(&self) -> bool {
+        self.outcome.is_quiescent()
+    }
+
     /// A one-line human readable summary.
     pub fn summary(&self) -> String {
         let mut s = format!(
-            "backend={} time={} items={} delivered={} wire_msgs={} mean_latency={} clean={}",
+            "backend={} time={} items={} delivered={} wire_msgs={} mean_latency={} outcome={}",
             self.backend,
             metrics::format_nanos(self.total_time_ns as f64),
             self.items_sent,
             self.items_delivered,
             self.counters.get("wire_messages"),
             metrics::format_nanos(self.item_latency.mean()),
-            self.clean
+            self.outcome.signature()
         );
         if let Some(latency) = self.latency {
             s.push_str(&format!(" app_latency[{}]", latency.render()));
@@ -100,15 +262,27 @@ impl RunReport {
     /// serde): headline totals plus the structured latency summary.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"backend\":\"{}\",\"total_time_ns\":{},\"items_sent\":{},\"items_delivered\":{},\"wire_messages\":{},\"mean_item_latency_ns\":{:.1},\"clean\":{}",
+            "{{\"backend\":\"{}\",\"total_time_ns\":{},\"items_sent\":{},\"items_delivered\":{},\"wire_messages\":{},\"mean_item_latency_ns\":{:.1},\"clean\":{},\"outcome\":\"{}\"",
             self.backend,
             self.total_time_ns,
             self.items_sent,
             self.items_delivered,
             self.counters.get("wire_messages"),
             self.item_latency.mean(),
-            self.clean
+            self.clean(),
+            self.outcome.label()
         );
+        if let RunOutcome::Aborted {
+            reason,
+            diagnostics,
+        } = &self.outcome
+        {
+            s.push_str(&format!(
+                ",\"abort_reason\":\"{}\",\"leaked_slabs\":{}",
+                reason.replace('\\', "\\\\").replace('"', "\\\""),
+                diagnostics.leaked_slabs()
+            ));
+        }
         match self.latency {
             Some(latency) => s.push_str(&format!(",\"latency\":{}", latency.to_json())),
             None => s.push_str(",\"latency\":null"),
@@ -149,7 +323,7 @@ mod tests {
             events_executed: 0,
             items_sent: 10,
             items_delivered: 10,
-            clean: true,
+            outcome: RunOutcome::Clean,
         }
     }
 
@@ -162,6 +336,7 @@ mod tests {
         assert_eq!(r.counter("missing"), 0);
         assert!(r.summary().contains("backend=native"));
         assert!(r.summary().contains("app_latency[n=3"));
+        assert!(r.summary().contains("outcome=clean"));
     }
 
     #[test]
@@ -170,6 +345,8 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"backend\":\"native\""));
         assert!(json.contains("\"latency\":{\"count\":3"));
+        assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"outcome\":\"clean\""));
         let mut no_latency = r.clone();
         no_latency.latency = None;
         assert!(no_latency.to_json().contains("\"latency\":null"));
@@ -186,5 +363,84 @@ mod tests {
         }
         assert!(r.to_json().contains("\"delivery_batch_len\":{\"count\":10"));
         assert!(r.summary().contains("batch_len[p50=32 max=32]"));
+    }
+
+    #[test]
+    fn outcome_semantics() {
+        assert!(RunOutcome::Clean.is_quiescent());
+        assert!(RunOutcome::Degraded { faults_injected: 2 }.is_quiescent());
+        let aborted = RunOutcome::Aborted {
+            reason: "worker 2 panicked".into(),
+            diagnostics: RunDiagnostics::default(),
+        };
+        assert!(!aborted.is_quiescent());
+        assert_eq!(aborted.label(), "aborted");
+        assert_eq!(aborted.signature(), "aborted: worker 2 panicked");
+        assert!(aborted.diagnostics().is_some());
+        assert_eq!(RunOutcome::Clean.signature(), "clean");
+        assert_eq!(
+            RunOutcome::Degraded { faults_injected: 2 }.signature(),
+            "degraded(2)"
+        );
+        assert_eq!(RunOutcome::default(), RunOutcome::Clean);
+    }
+
+    #[test]
+    fn aborted_report_rendering() {
+        let mut r = report();
+        let diagnostics = RunDiagnostics {
+            panicked_workers: vec![2],
+            workers_done: 7,
+            total_workers: 8,
+            items_sent: 10,
+            items_delivered: 8,
+            items_dropped: 2,
+            arena_audits: vec![ArenaAudit {
+                worker: 2,
+                slabs: 16,
+                free: 15,
+                in_flight: 0,
+                leaked: 1,
+                double_released: 0,
+            }],
+            ..RunDiagnostics::default()
+        };
+        assert_eq!(diagnostics.leaked_slabs(), 1);
+        assert_eq!(diagnostics.unaccounted_slabs(), 0);
+        assert!(diagnostics.render().contains("leaked_slabs=1"));
+        r.outcome = RunOutcome::Aborted {
+            reason: "worker 2 panicked: \"boom\"".into(),
+            diagnostics,
+        };
+        assert!(!r.clean());
+        let json = r.to_json();
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("\"outcome\":\"aborted\""));
+        assert!(json.contains("\"abort_reason\":\"worker 2 panicked: \\\"boom\\\"\""));
+        assert!(json.contains("\"leaked_slabs\":1"));
+        assert!(r.summary().contains("outcome=aborted: worker 2 panicked"));
+    }
+
+    #[test]
+    fn arena_audit_accounting() {
+        let balanced = ArenaAudit {
+            worker: 0,
+            slabs: 8,
+            free: 5,
+            in_flight: 2,
+            leaked: 1,
+            double_released: 0,
+        };
+        assert_eq!(balanced.unaccounted(), 0);
+        let corrupt = ArenaAudit {
+            double_released: 1,
+            ..balanced
+        };
+        assert_eq!(corrupt.unaccounted(), 1);
+        let missing = ArenaAudit {
+            slabs: 9,
+            ..balanced
+        };
+        assert_eq!(missing.unaccounted(), 1);
     }
 }

@@ -40,6 +40,7 @@ use tramlib::{FlushPolicy, Scheme, TramConfig};
 
 use crate::app::WorkerApp;
 use crate::backend::Backend;
+use crate::faults::{FaultPlan, FaultSpec};
 
 /// The default experiment seed shared by both backends.
 pub const DEFAULT_SEED: u64 = 0x5eed_1234;
@@ -431,6 +432,10 @@ pub struct ResolvedRunSpec {
     /// Native backend: watchdog override (`None` = the backend default,
     /// widened automatically for open-loop runs whose duration is known).
     pub max_wall: Option<Duration>,
+    /// Native backend: deterministic fault-injection plan (`None` = healthy
+    /// run, the fault machinery compiles down to one skipped branch per
+    /// scheduling quantum).
+    pub faults: Option<FaultPlan>,
     /// Simulator: event-budget override.
     pub event_budget: Option<u64>,
 }
@@ -477,6 +482,7 @@ pub struct RunSpec {
     pin_workers: bool,
     kernel: KernelMode,
     max_wall: Option<Duration>,
+    faults: Option<FaultPlan>,
     event_budget: Option<u64>,
 }
 
@@ -500,6 +506,7 @@ impl RunSpec {
             pin_workers: false,
             kernel: KernelMode::default(),
             max_wall: None,
+            faults: None,
             event_budget: None,
         }
     }
@@ -609,6 +616,13 @@ impl RunSpec {
         self
     }
 
+    /// Native backend: inject a deterministic [`FaultPlan`].  Empty plans are
+    /// treated as no plan, so `--fault`-less CLIs stay on the healthy path.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
     /// Simulator: event-budget override.
     pub fn event_budget(mut self, budget: u64) -> Self {
         self.event_budget = Some(budget);
@@ -639,6 +653,7 @@ impl RunSpec {
             pin_workers: self.pin_workers,
             kernel: self.kernel,
             max_wall: self.max_wall,
+            faults: self.faults,
             event_budget: self.event_budget,
         }
     }
@@ -646,7 +661,8 @@ impl RunSpec {
 
 /// The one CLI parser shared by the examples and the bench binaries, so both
 /// backends' flag handling cannot drift: `--backend sim|native`, `--seed N`,
-/// `--buffer N`, `--pin`, `--kernel auto|simd|scalar`, plus generic
+/// `--buffer N`, `--pin`, `--kernel auto|simd|scalar`, `--watchdog-secs S`,
+/// repeatable `--fault worker=<w>,<kind>@item=<n>`, plus generic
 /// `flag`/`value_of` accessors for binary-specific switches.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
@@ -660,6 +676,11 @@ pub struct CommonArgs {
     pub pin: bool,
     /// `--kernel auto|simd|scalar`, if given.
     pub kernel: Option<KernelMode>,
+    /// `--watchdog-secs S` (fractional seconds), if given: native watchdog
+    /// limit.
+    pub watchdog_secs: Option<f64>,
+    /// Every `--fault <spec>` occurrence, in order (see [`FaultSpec::parse`]).
+    pub faults: Vec<FaultSpec>,
     args: Vec<String>,
 }
 
@@ -690,12 +711,38 @@ impl CommonArgs {
         let pin = args.iter().any(|a| a == "--pin");
         let kernel =
             value_after("--kernel").map(|v| v.parse().expect("--kernel takes auto|simd|scalar"));
+        let watchdog_secs = value_after("--watchdog-secs").map(|v| {
+            let secs: f64 = v.parse().expect("--watchdog-secs takes seconds");
+            assert!(
+                secs > 0.0 && secs.is_finite(),
+                "--watchdog-secs takes a positive duration"
+            );
+            secs
+        });
+        let faults: Vec<FaultSpec> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == "--fault")
+            .map(|(i, _)| {
+                let spec = args
+                    .get(i + 1)
+                    .expect("--fault takes 'worker=<w>,<kind>@item=<n>'");
+                FaultSpec::parse(spec).unwrap_or_else(|e| panic!("{e}"))
+            })
+            .collect();
+        assert!(
+            faults.len() <= crate::faults::MAX_FAULTS,
+            "at most {} --fault specs per run",
+            crate::faults::MAX_FAULTS
+        );
         Self {
             backend,
             seed,
             buffer_items,
             pin,
             kernel,
+            watchdog_secs,
+            faults,
             args,
         }
     }
@@ -725,6 +772,13 @@ impl CommonArgs {
         }
         if let Some(kernel) = self.kernel {
             spec = spec.kernel(kernel);
+        }
+        if let Some(secs) = self.watchdog_secs {
+            spec = spec.max_wall(Duration::from_secs_f64(secs));
+        }
+        if !self.faults.is_empty() {
+            let seed = self.seed.unwrap_or(DEFAULT_SEED);
+            spec = spec.faults(FaultPlan::from_specs(seed, self.faults.iter().copied()));
         }
         spec
     }
@@ -843,10 +897,53 @@ mod tests {
         assert_eq!(defaults.backend, Backend::Sim);
         assert!(!defaults.pin);
         assert_eq!(defaults.kernel, None);
-        assert_eq!(
-            defaults.apply(RunSpec::for_app(Dummy)).resolve().kernel,
-            KernelMode::Auto
+        assert_eq!(defaults.watchdog_secs, None);
+        assert!(defaults.faults.is_empty());
+        let resolved = defaults.apply(RunSpec::for_app(Dummy)).resolve();
+        assert_eq!(resolved.kernel, KernelMode::Auto);
+        assert_eq!(resolved.max_wall, None);
+        assert_eq!(resolved.faults, None);
+    }
+
+    #[test]
+    fn common_args_faults_and_watchdog() {
+        let args = CommonArgs::from_args(
+            [
+                "--backend",
+                "native",
+                "--watchdog-secs",
+                "0.25",
+                "--fault",
+                "worker=2,panic@item=100",
+                "--fault",
+                "worker=0,stall:500@flush=1",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         );
+        assert_eq!(args.watchdog_secs, Some(0.25));
+        assert_eq!(args.faults.len(), 2);
+        assert_eq!(args.faults[0].worker, 2);
+
+        let run = args.apply(RunSpec::for_app(Dummy)).resolve();
+        assert_eq!(run.max_wall, Some(Duration::from_millis(250)));
+        let plan = run.faults.expect("fault plan applied");
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.seed, DEFAULT_SEED, "plan seed follows the run seed");
+        assert_eq!(plan.for_worker(0).count(), 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_no_plan() {
+        let run = RunSpec::for_app(Dummy)
+            .faults(FaultPlan::seeded(3))
+            .resolve();
+        assert_eq!(run.faults, None);
+        let run = RunSpec::for_app(Dummy)
+            .faults(FaultPlan::seeded(3).panic_at_items(1, 10))
+            .resolve();
+        assert_eq!(run.faults.map(|p| p.len()), Some(1));
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod slab;
 pub use claim::{ClaimBuffer, ClaimResult};
 pub use counter::PaddedCounter;
 pub use ring::SpscRing;
-pub use slab::{ArenaStats, SlabArena, SlabHandle, SlabRange};
+pub use slab::{ArenaStats, SlabArena, SlabAudit, SlabHandle, SlabRange};

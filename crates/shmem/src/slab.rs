@@ -407,6 +407,78 @@ impl<T: Copy> SlabArena<T> {
         }
         n
     }
+
+    /// Reclamation audit: classify every slab as free, in flight, or leaked,
+    /// and flag free-list corruption.
+    ///
+    /// Walks the free list (marking each slab, counting repeats as
+    /// `double_released`), then classifies every off-list slab by its
+    /// `outstanding` refcount: positive means a consumer still holds it
+    /// (in flight), zero means the owner lost it without releasing (leaked).
+    /// `free + in_flight + leaked == slabs` whenever the books balance — the
+    /// invariant a non-clean teardown (and, later, multi-process segment
+    /// detach) must reconcile.
+    ///
+    /// The walk is O(n) and unsynchronized; call it only on a quiescent
+    /// arena (after every worker thread has stopped).
+    pub fn audit(&self) -> SlabAudit {
+        let n = self.meta.len();
+        let mut on_free = vec![false; n];
+        let mut audit = SlabAudit {
+            slabs: n as u32,
+            ..SlabAudit::default()
+        };
+        let mut cur = (self.free_head.load(Ordering::Acquire) & 0xFFFF_FFFF) as u32;
+        let mut hops = 0;
+        while cur != FREE_NIL && hops <= n {
+            if on_free[cur as usize] {
+                // A cycle: some slab was pushed twice.  Counted once; the
+                // walk must stop or it would spin forever.
+                audit.double_released += 1;
+                break;
+            }
+            on_free[cur as usize] = true;
+            audit.free += 1;
+            cur = self.meta[cur as usize].next_free.load(Ordering::Relaxed);
+            hops += 1;
+        }
+        for (s, free) in on_free.iter().enumerate() {
+            if *free {
+                continue;
+            }
+            if self.meta[s].outstanding.load(Ordering::Relaxed) > 0 {
+                audit.in_flight += 1;
+            } else {
+                audit.leaked += 1;
+            }
+        }
+        audit
+    }
+}
+
+/// Result of [`SlabArena::audit`]: every slab classified into exactly one of
+/// free / in-flight / leaked, plus a corruption flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabAudit {
+    /// Total slabs in the arena.
+    pub slabs: u32,
+    /// Slabs on the free list.
+    pub free: u32,
+    /// Slabs with a positive `outstanding` refcount.
+    pub in_flight: u32,
+    /// Slabs neither free nor referenced.
+    pub leaked: u32,
+    /// Free-list corruption: slabs encountered twice on the walk.
+    pub double_released: u32,
+}
+
+impl SlabAudit {
+    /// Slots the audit could not classify; zero when the books balance.
+    pub fn unaccounted(&self) -> u32 {
+        self.slabs
+            .saturating_sub(self.free + self.in_flight + self.leaked)
+            + self.double_released
+    }
 }
 
 impl<T: Copy> std::fmt::Debug for SlabArena<T> {
@@ -486,6 +558,51 @@ mod tests {
             arena.release(h.slab);
         }
         assert_eq!(arena.free_slabs(), 5);
+    }
+
+    #[test]
+    fn audit_classifies_free_in_flight_and_leaked() {
+        let arena: SlabArena<u32> = SlabArena::new(4, 2);
+        assert_eq!(
+            arena.audit(),
+            SlabAudit {
+                slabs: 4,
+                free: 4,
+                ..SlabAudit::default()
+            }
+        );
+
+        // One slab sealed and shipped (outstanding = 1): in flight.
+        let shipped = arena.try_claim().unwrap();
+        arena.seal(shipped, 0);
+        // One slab claimed but never sealed and its owner gone: leaked.
+        let _lost = arena.try_claim().unwrap();
+
+        let audit = arena.audit();
+        assert_eq!(audit.free, 2);
+        assert_eq!(audit.in_flight, 1);
+        assert_eq!(audit.leaked, 1);
+        assert_eq!(audit.unaccounted(), 0, "books balance");
+        assert_eq!(audit.double_released, 0);
+
+        // The consumer finishes and the slab comes home: in flight → free.
+        assert!(arena.finish_consumer(shipped));
+        arena.release(shipped);
+        let audit = arena.audit();
+        assert_eq!((audit.free, audit.in_flight, audit.leaked), (3, 0, 1));
+    }
+
+    #[test]
+    fn audit_flags_double_release_cycle() {
+        let arena: SlabArena<u32> = SlabArena::new(2, 1);
+        let slab = arena.try_claim().unwrap();
+        // Protocol violation on purpose: push the same slab twice.  The
+        // free list now contains a cycle through `slab`.
+        arena.release(slab);
+        arena.release(slab);
+        let audit = arena.audit();
+        assert!(audit.double_released > 0, "corruption detected: {audit:?}");
+        assert!(audit.unaccounted() > 0);
     }
 
     #[test]

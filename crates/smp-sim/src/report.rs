@@ -5,7 +5,7 @@
 //! a drained [`Cluster`].
 
 use metrics::LatencySummary;
-use runtime_api::{Backend, RunReport};
+use runtime_api::{Backend, RunDiagnostics, RunOutcome, RunReport};
 
 use crate::cluster::Cluster;
 
@@ -18,6 +18,23 @@ pub(crate) fn from_cluster(
 ) -> RunReport {
     let leftover = cluster.buffered_items() + cluster.pending_batches();
     let tram = cluster.merged_tram_stats();
+    let outcome = if queue_drained && leftover == 0 {
+        RunOutcome::Clean
+    } else {
+        let reason = if queue_drained {
+            format!("simulator: {leftover} items left buffered after the event queue drained")
+        } else {
+            "simulator: event budget exhausted before the queue drained".to_string()
+        };
+        RunOutcome::Aborted {
+            reason,
+            diagnostics: RunDiagnostics {
+                items_sent: cluster.items_sent,
+                items_delivered: cluster.items_delivered,
+                ..RunDiagnostics::default()
+            },
+        }
+    };
     RunReport {
         backend: Backend::Sim,
         total_time_ns,
@@ -31,6 +48,6 @@ pub(crate) fn from_cluster(
         events_executed,
         items_sent: cluster.items_sent,
         items_delivered: cluster.items_delivered,
-        clean: queue_drained && leftover == 0,
+        outcome,
     }
 }

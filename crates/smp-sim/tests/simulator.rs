@@ -77,7 +77,7 @@ fn all_items_delivered_every_scheme() {
     for scheme in Scheme::ALL {
         let report = run(scheme, topo, updates, 32, 7);
         let expected = updates * topo.total_workers() as u64;
-        assert!(report.clean, "{scheme}: run did not finish cleanly");
+        assert!(report.clean(), "{scheme}: run did not finish cleanly");
         assert_eq!(
             report.items_sent, expected,
             "{scheme}: wrong number of items sent"

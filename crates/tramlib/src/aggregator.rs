@@ -745,6 +745,37 @@ impl<T: Copy> Aggregator<T> {
             )));
         }
     }
+
+    /// Quarantine teardown: abandon every buffered item instead of emitting
+    /// it, releasing active slabs straight back to `arena`.
+    ///
+    /// This is the aggregator half of worker-panic containment: the owner's
+    /// application is gone, so its partially-filled buffers can never be
+    /// sealed or delivered — but the slabs they sit in belong to the arena
+    /// and must come home or they count as leaked in the reclamation audit.
+    /// Active slabs are claimed-unsealed (`outstanding == 0`), so releasing
+    /// them directly is rule-4-legal: the owner is the sole referent.
+    ///
+    /// Returns the number of items abandoned (the caller accounts them as
+    /// dropped — they were already counted sent).
+    pub fn abandon(&mut self, arena: Option<&SlabArena<Item<T>>>) -> u64 {
+        let mut dropped = 0u64;
+        for slot in 0..self.buffers.len() {
+            if let Some(buffer) = self.buffers[slot].as_mut() {
+                dropped += buffer.len() as u64;
+                let items = buffer.drain_with(Vec::new());
+                self.pool.put(items);
+            }
+        }
+        for slot in 0..self.slabs.len() {
+            if let Some((slab, len)) = self.slabs[slot].take() {
+                dropped += len as u64;
+                let arena = arena.expect("an aggregator with active slabs needs its arena");
+                arena.release(slab);
+            }
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -1189,6 +1220,33 @@ mod tests {
             "steady state must never fall back: {stats:?}"
         );
         assert!(stats.claims >= 66);
+    }
+
+    #[test]
+    fn abandon_releases_active_slabs_and_drops_buffered_items() {
+        let arena = slab_arena(4);
+        let mut agg = Aggregator::new(config(Scheme::WW), Owner::Worker(WorkerId(0)));
+        // Two items into worker 4's active slab, one into worker 5's.
+        assert!(agg.insert_slab_at(&arena, item(4, 1), 0).message.is_none());
+        assert!(agg.insert_slab_at(&arena, item(4, 2), 0).message.is_none());
+        assert!(agg.insert_slab_at(&arena, item(5, 3), 0).message.is_none());
+        assert_eq!(agg.buffered_items(), 3);
+        assert_eq!(arena.free_slabs(), 6);
+
+        let dropped = agg.abandon(Some(&arena));
+        assert_eq!(dropped, 3);
+        assert_eq!(agg.buffered_items(), 0);
+        assert_eq!(arena.free_slabs(), 8, "active slabs came home");
+        let audit = arena.audit();
+        assert_eq!((audit.leaked, audit.in_flight), (0, 0));
+
+        // Vector path: no arena involved.
+        let mut agg = Aggregator::new(config(Scheme::WPs), Owner::Worker(WorkerId(0)));
+        agg.insert(item(4, 1));
+        agg.insert(item(6, 2));
+        assert_eq!(agg.abandon(None), 2);
+        assert_eq!(agg.buffered_items(), 0);
+        assert_eq!(agg.abandon(None), 0, "idempotent once empty");
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //!     .backend(Backend::Sim)
 //!     .buffer(64)
 //!     .run();
-//! assert!(report.clean);
+//! assert!(report.clean());
 //! println!("histogram took {:.3} ms of simulated time", report.total_time_ns as f64 / 1e6);
 //! ```
 //!
@@ -119,6 +119,6 @@ mod tests {
     fn prelude_spec_path_runs() {
         let config = HistogramConfig::new(ClusterSpec::smp(1, 1, 2), Scheme::WW).with_updates(50);
         let report = RunSpec::for_app(config).backend(Backend::Sim).run();
-        assert!(report.clean);
+        assert!(report.clean());
     }
 }

@@ -44,7 +44,7 @@ fn histogram_spec(scheme: Scheme, seed: u64) -> RunSpec {
 fn collect(backend: Backend, report: RunReport, scheme: Scheme) -> HistogramResult {
     assert_eq!(report.backend, backend);
     assert!(
-        report.clean,
+        report.clean(),
         "{backend}/{scheme}: run did not finish cleanly"
     );
     assert_eq!(
@@ -156,7 +156,7 @@ fn open_loop_service_conserves_and_is_deterministic_per_seed() {
     };
     let expected = 1_500 * 4;
     let totals = |report: &RunReport| {
-        assert!(report.clean, "open-loop run did not finish cleanly");
+        assert!(report.clean(), "open-loop run did not finish cleanly");
         for counter in ["svc_requests_served", "svc_responses", "svc_table_total"] {
             assert_eq!(report.counter(counter), expected, "{counter}");
         }
@@ -218,7 +218,7 @@ fn run_app_dispatches_both_backends() {
             3,
         );
         let report = run_app(backend, sim, |_| Box::new(Echo { sent: false }));
-        assert!(report.clean, "{backend}: not clean");
+        assert!(report.clean(), "{backend}: not clean");
         assert_eq!(report.items_sent, 8, "{backend}");
         assert_eq!(report.counter("echo_received"), 8, "{backend}");
     }

@@ -27,7 +27,7 @@ fn histogram_conserves_updates_across_all_schemes_and_buffer_sizes() {
                     .with_seed(2),
             );
             let expected = 1_500 * cluster().total_workers() as u64;
-            assert!(report.clean, "{scheme}/{buffer}");
+            assert!(report.clean(), "{scheme}/{buffer}");
             assert_eq!(
                 report.counter("histo_applied"),
                 expected,
@@ -128,7 +128,7 @@ fn sssp_matches_dijkstra_for_small_and_large_buffers() {
     let large_buffer =
         run_sssp(SsspConfig::new(cluster(), Scheme::WPs, graph.clone()).with_buffer(512));
     for (name, report) in [("small", &small_buffer), ("large", &large_buffer)] {
-        assert!(report.clean, "{name}");
+        assert!(report.clean(), "{name}");
         assert_eq!(
             report.counter("sssp_dist_checksum"),
             expected_checksum,
@@ -151,7 +151,7 @@ fn sssp_matches_dijkstra_for_small_and_large_buffers() {
 fn phold_conserves_events_and_counts_stragglers() {
     for scheme in [Scheme::WW, Scheme::PP] {
         let report = run_phold(PholdBenchConfig::new(cluster(), scheme).with_buffer(128));
-        assert!(report.clean, "{scheme}");
+        assert!(report.clean(), "{scheme}");
         assert_eq!(
             report.counter("phold_events_sent"),
             report.counter("phold_events_processed"),

@@ -25,7 +25,7 @@ fn run(scheme: Scheme, seed: u64) -> HistogramResult {
             .with_buffer(32)
             .with_seed(seed),
     );
-    assert!(report.clean, "{scheme}: run did not finish cleanly");
+    assert!(report.clean(), "{scheme}: run did not finish cleanly");
     assert_eq!(
         report.items_sent, report.items_delivered,
         "{scheme}: item conservation violated"
