@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use native_rt::NativeBackendConfig;
+use native_rt::{NativeBackendConfig, ProcessBackendConfig};
 use net_model::WorkerId;
 use runtime_api::{Backend, LoadShape, RunReport, RunSpec, WorkerApp};
 use smp_sim::SimConfig;
@@ -49,6 +49,9 @@ pub fn run_app(
     match backend {
         Backend::Sim => smp_sim::run_cluster(sim, make_app),
         Backend::Native => run_app_native(sim, |native| native, make_app),
+        Backend::Process => {
+            native_rt::run_process(ProcessBackendConfig::from_common(sim.common), make_app)
+        }
     }
 }
 
@@ -82,24 +85,26 @@ pub fn run_spec(spec: RunSpec) -> RunReport {
             "app '{}' does not run on the simulator",
             app.name()
         ),
-        Backend::Native => assert!(
+        // Process mode runs the same `WorkerApp` implementations the
+        // threaded backend does, so native capability covers both.
+        Backend::Native | Backend::Process => assert!(
             app.native_capable(),
-            "app '{}' does not run on the native backend",
+            "app '{}' does not run on the native backends",
             app.name()
         ),
     }
     if matches!(run.load, LoadShape::Open(_)) {
         assert!(
             run.backend == Backend::Native,
-            "open-loop load needs the native backend: the simulator has no \
-             timer events to pace wall-clock arrivals with"
+            "open-loop load needs the native threaded backend: it is the only \
+             one with wall-clock arrival pacing"
         );
     }
     if run.faults.is_some() {
         assert!(
-            run.backend == Backend::Native,
-            "fault injection needs the native backend: the simulator has no \
-             worker threads to crash, stall, or quarantine"
+            matches!(run.backend, Backend::Native | Backend::Process),
+            "fault injection needs a native backend: the simulator has no \
+             workers to crash, stall, or quarantine"
         );
     }
 
@@ -132,6 +137,14 @@ pub fn run_spec(spec: RunSpec) -> RunReport {
                 }
             }
             native_rt::run_threaded(native, make_app.as_mut())
+        }
+        Backend::Process => {
+            let mut process =
+                ProcessBackendConfig::from_common(run.common()).with_faults(run.faults);
+            if let Some(max_wall) = run.max_wall {
+                process = process.with_max_wall(max_wall);
+            }
+            native_rt::run_process(process, make_app.as_mut())
         }
     };
     if let Some(slo) = run.slo {

@@ -9,8 +9,12 @@
 //! Any contract violation (non-reproducible outcome, broken conservation
 //! ledger, leaked slab slot) panics, so a non-zero exit is the failure
 //! signal CI keys on.
+//!
+//! The process matrix runs first: `Backend::Process` forks without exec'ing,
+//! which requires this process to still be single-threaded, and the threaded
+//! matrix spawns (and joins, but why chance it) a thread per worker.
 
-use bench::chaos::{run_matrix, ChaosConfig};
+use bench::chaos::{run_matrix, run_process_matrix, ChaosConfig};
 
 fn main() {
     // Injected panics are the suite's whole point; keep their default-hook
@@ -49,11 +53,27 @@ fn main() {
     }
 
     println!(
-        "chaos matrix: 4 fault classes x {{WW, PP}}, {} updates/worker, seed {:#x}",
+        "chaos process matrix: {{kill, panic, stall}} x {{WW, PP}} on forked workers, {} updates/worker, seed {:#x}",
+        cfg.updates, cfg.seed
+    );
+    let process_results = run_process_matrix(&cfg);
+    print_cells(&process_results);
+
+    println!(
+        "chaos matrix: 5 fault classes x {{WW, PP}} on the threaded backend, {} updates/worker, seed {:#x}",
         cfg.updates, cfg.seed
     );
     let results = run_matrix(&cfg);
-    for cell in &results {
+    print_cells(&results);
+
+    println!(
+        "chaos: {} cells passed (deterministic outcomes, conservation held, zero leaks)",
+        process_results.len() + results.len()
+    );
+}
+
+fn print_cells(cells: &[bench::chaos::CellResult]) {
+    for cell in cells {
         println!(
             "  {:>3}/{:<10} outcome={:<40} sent={} delivered={} dropped={} leaked_slabs={}",
             cell.scheme.to_string(),
@@ -65,8 +85,4 @@ fn main() {
             cell.leaked_slabs,
         );
     }
-    println!(
-        "chaos: {} cells passed (deterministic outcomes, conservation held, zero leaks)",
-        results.len()
-    );
 }

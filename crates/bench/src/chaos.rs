@@ -14,12 +14,20 @@
 //! - **Reclamation** — `leaked_slabs == 0` on every quiescent run, and on
 //!   panic runs too: quarantine must hand every slab slot back.
 //!
-//! The `chaos` binary runs the matrix (`--fast` for the CI smoke size) and
-//! prints one line per cell.
+//! The threaded matrix is mirrored by a **process matrix**
+//! ([`run_process_matrix`]): the same churn workload on the multi-process
+//! backend, where a `kill` fault is a real `SIGKILL` delivered by the
+//! supervisor and cleanup must survive genuine process death (inboxes
+//! adopted, slabs force-released, books settled).  Abort reasons there
+//! carry the victim's real pid, so determinism is asserted on the
+//! pid-masked signature.
+//!
+//! The `chaos` binary runs both matrices (`--fast` for the CI smoke size)
+//! and prints one line per cell.
 
 use std::time::Duration;
 
-use native_rt::{run_threaded, NativeBackendConfig};
+use native_rt::{run_process, run_threaded, NativeBackendConfig, ProcessBackendConfig};
 use net_model::{Topology, WorkerId};
 use runtime_api::{
     FaultKind, FaultPlan, FaultSpec, FaultTrigger, Payload, RunCtx, RunOutcome, RunReport,
@@ -38,16 +46,25 @@ pub enum FaultClass {
     ArenaDry,
     /// A worker stops draining its delivery rings for a burst of quanta.
     RingBurst,
+    /// The worker is killed outright: a real `SIGKILL` on the process
+    /// backend, the closest thread-level mapping (a quarantine unwind) on
+    /// the threaded one.
+    Kill,
 }
 
 impl FaultClass {
     /// Every class, in matrix order.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
         FaultClass::Panic,
         FaultClass::Stall,
         FaultClass::ArenaDry,
         FaultClass::RingBurst,
+        FaultClass::Kill,
     ];
+
+    /// The classes the multi-process backend injects (soft in-child faults
+    /// that need arena/ring handles don't cross the process boundary).
+    pub const PROCESS: [FaultClass; 3] = [FaultClass::Kill, FaultClass::Panic, FaultClass::Stall];
 
     /// Stable name used in CLI output.
     pub fn name(self) -> &'static str {
@@ -56,6 +73,7 @@ impl FaultClass {
             FaultClass::Stall => "stall",
             FaultClass::ArenaDry => "arena-dry",
             FaultClass::RingBurst => "ring-burst",
+            FaultClass::Kill => "kill",
         }
     }
 
@@ -81,6 +99,11 @@ impl FaultClass {
             FaultClass::RingBurst => FaultSpec {
                 worker: 3,
                 kind: FaultKind::RingBurst { quanta: 1_000 },
+                trigger: FaultTrigger::Items(updates / 2),
+            },
+            FaultClass::Kill => FaultSpec {
+                worker: 4,
+                kind: FaultKind::Kill,
                 trigger: FaultTrigger::Items(updates / 2),
             },
         }
@@ -209,15 +232,20 @@ pub fn run_cell(scheme: Scheme, fault: FaultClass, cfg: &ChaosConfig) -> CellRes
     let expected = 8 * cfg.updates;
     let dropped = first.counter("items_dropped");
     match fault {
-        FaultClass::Panic => {
+        FaultClass::Panic | FaultClass::Kill => {
             let RunOutcome::Aborted {
                 reason,
                 diagnostics,
             } = &first.outcome
             else {
-                panic!("{cell}: a worker panic must abort, got {:?}", first.outcome);
+                panic!("{cell}: a dead worker must abort, got {:?}", first.outcome);
             };
-            assert!(reason.contains("panicked"), "{cell}: {reason}");
+            let verb = if fault == FaultClass::Panic {
+                "panicked"
+            } else {
+                "killed"
+            };
+            assert!(reason.contains(verb), "{cell}: {reason}");
             assert_eq!(
                 diagnostics.items_delivered + diagnostics.items_dropped,
                 diagnostics.items_sent,
@@ -268,6 +296,121 @@ pub fn run_matrix(cfg: &ChaosConfig) -> Vec<CellResult> {
     for scheme in [Scheme::WW, Scheme::PP] {
         for fault in FaultClass::ALL {
             results.push(run_cell(scheme, fault, cfg));
+        }
+    }
+    results
+}
+
+/// `signature()` with every `pid NNN` masked: process-mode abort reasons
+/// carry the victim's real pid, which must not break same-seed
+/// reproducibility checks.
+fn masked_signature(outcome: &RunOutcome) -> String {
+    let sig = outcome.signature();
+    let mut out = String::with_capacity(sig.len());
+    let mut rest = sig.as_str();
+    while let Some(at) = rest.find("pid ") {
+        let (head, tail) = rest.split_at(at + 4);
+        out.push_str(head);
+        out.push('N');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+fn run_once_process(scheme: Scheme, fault: FaultClass, cfg: &ChaosConfig, seed: u64) -> RunReport {
+    let topo = Topology::smp(1, 2, 4); // 8 worker processes, 2 "procs"
+    let tram = TramConfig::new(scheme, topo)
+        .with_buffer_items(32)
+        .with_item_bytes(16);
+    let plan = FaultPlan::from_specs(seed, [fault.spec(cfg.updates)]);
+    run_process(
+        ProcessBackendConfig::new(tram)
+            .with_seed(seed)
+            .with_max_wall(Duration::from_secs(30))
+            .with_faults(Some(plan)),
+        |w| {
+            Box::new(Churn {
+                me: w,
+                remaining: cfg.updates,
+                flushed: false,
+            })
+        },
+    )
+}
+
+/// Run one process-mode cell and assert its contract: both same-seed runs
+/// end the same way (pid-masked), the victim's death is named, conservation
+/// holds after settlement, and every slab comes back.
+///
+/// # Panics
+/// Panics (failing the suite) on any contract violation.  The caller must
+/// be single-threaded (the backend forks).
+pub fn run_process_cell(scheme: Scheme, fault: FaultClass, cfg: &ChaosConfig) -> CellResult {
+    let seed = cfg
+        .seed
+        .wrapping_add(0x9000)
+        .wrapping_add(fault as u64 * 101)
+        .wrapping_add(scheme as u64 * 7);
+    let first = run_once_process(scheme, fault, cfg, seed);
+    let second = run_once_process(scheme, fault, cfg, seed);
+    let cell = format!("process/{}/{}", scheme, fault.name());
+    assert_eq!(
+        masked_signature(&first.outcome),
+        masked_signature(&second.outcome),
+        "{cell}: one seed must reproduce one outcome (pids masked)"
+    );
+    match fault {
+        FaultClass::Kill | FaultClass::Panic => {
+            let RunOutcome::Aborted { reason, .. } = &first.outcome else {
+                panic!("{cell}: a dead process must abort, got {:?}", first.outcome);
+            };
+            let mark = if fault == FaultClass::Kill {
+                "killed by signal 9 (SIGKILL)"
+            } else {
+                "exited with code 101"
+            };
+            assert!(
+                reason.contains(mark),
+                "{cell}: abort reason must name the death, got: {reason}"
+            );
+        }
+        _ => {
+            assert_eq!(
+                first.outcome,
+                RunOutcome::Degraded { faults_injected: 1 },
+                "{cell}: a soft fault must degrade, not abort"
+            );
+        }
+    }
+    assert_eq!(
+        first.items_delivered + first.counter("items_dropped"),
+        first.items_sent,
+        "{cell}: conservation ledger broken after settlement"
+    );
+    assert_eq!(
+        first.counter("leaked_slabs"),
+        0,
+        "{cell}: process death leaked slab slots"
+    );
+    CellResult {
+        scheme,
+        fault,
+        signature: masked_signature(&first.outcome),
+        items_sent: first.items_sent,
+        items_delivered: first.items_delivered,
+        items_dropped: first.counter("items_dropped"),
+        leaked_slabs: first.counter("leaked_slabs"),
+    }
+}
+
+/// Run the process-mode matrix: {kill, panic, stall} × {WW, PP} on real
+/// forked worker processes.  The caller must be single-threaded.
+pub fn run_process_matrix(cfg: &ChaosConfig) -> Vec<CellResult> {
+    let mut results = Vec::new();
+    for scheme in [Scheme::WW, Scheme::PP] {
+        for fault in FaultClass::PROCESS {
+            results.push(run_process_cell(scheme, fault, cfg));
         }
     }
     results

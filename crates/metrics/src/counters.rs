@@ -18,6 +18,12 @@
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
     entries: Vec<(&'static str, u64)>,
+    /// Names recorded through [`Counters::max`].  [`Counters::merge`] combines
+    /// these with `max` instead of `+` so that merging per-PE registries gives
+    /// the same result as every PE writing into one shared registry — the
+    /// multi-process backend merges per-child snapshots and must stay
+    /// bit-identical to the threaded backend's sequential finalize.
+    max_keys: Vec<&'static str>,
 }
 
 impl Counters {
@@ -74,18 +80,35 @@ impl Counters {
         self.find(name).map_or(0, |i| self.entries[i].1)
     }
 
-    /// Record the maximum of the current value and `value`.
+    /// Record the maximum of the current value and `value`.  Marks `name` as
+    /// a max-combined counter for [`Counters::merge`].
     pub fn max(&mut self, name: &'static str, value: u64) {
+        if !self.is_max_key(name) {
+            self.max_keys.push(name);
+        }
         let slot = self.slot(name);
         if value > *slot {
             *slot = value;
         }
     }
 
-    /// Merge another registry by summing matching counters.
+    /// True if `name` was recorded through [`Counters::max`] and merges by
+    /// maximum rather than by sum.
+    pub fn is_max_key(&self, name: &str) -> bool {
+        self.max_keys
+            .iter()
+            .any(|n| std::ptr::eq(*n as *const str, name as *const str) || *n == name)
+    }
+
+    /// Merge another registry: counters sum, except names either side recorded
+    /// through [`Counters::max`], which combine by maximum.
     pub fn merge(&mut self, other: &Counters) {
         for (name, value) in &other.entries {
-            self.add(name, *value);
+            if other.is_max_key(name) || self.is_max_key(name) {
+                self.max(name, *value);
+            } else {
+                self.add(name, *value);
+            }
         }
     }
 
@@ -174,6 +197,29 @@ mod tests {
         assert_eq!(a.get("items"), 15);
         assert_eq!(a.get("msgs"), 2);
         assert_eq!(a.get("bytes"), 100);
+    }
+
+    #[test]
+    fn merge_takes_max_for_max_recorded_keys() {
+        // Two PEs record a peak of 7 and 9; the merged registry must report 9
+        // (what a shared registry would hold), not 16.
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        a.max("peak", 7);
+        a.add("items", 3);
+        b.max("peak", 9);
+        b.add("items", 4);
+        a.merge(&b);
+        assert_eq!(a.get("peak"), 9);
+        assert_eq!(a.get("items"), 7);
+        assert!(a.is_max_key("peak"));
+        assert!(!a.is_max_key("items"));
+
+        // Merging into a registry that never saw the key still max-combines.
+        let mut fresh = Counters::new();
+        fresh.merge(&a);
+        fresh.merge(&b);
+        assert_eq!(fresh.get("peak"), 9);
     }
 
     #[test]

@@ -36,9 +36,18 @@
 pub mod affinity;
 pub mod micro;
 pub mod numa;
+pub mod process;
+pub mod signals;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod sys;
 pub mod threaded;
 
 pub use affinity::{allowed_cpus, available_cpus, pin_current_thread};
 pub use micro::{run_native, NativeConfig, NativeReport, NativeScheme};
 pub use numa::NumaTopology;
+pub use process::{run_process, ProcessBackendConfig};
+pub use signals::SignalGuard;
 pub use threaded::{run_threaded, DeliveryTopology, MessageStore, NativeBackendConfig};

@@ -1,0 +1,367 @@
+//! Raw Linux syscalls for process management and signal plumbing (no libc).
+//!
+//! The multi-process backend forks real worker processes, watches them die,
+//! and reaps them — all through the handful of syscalls below, issued
+//! directly (the same no-dependency style as `affinity`/`numa` and the
+//! `shmem::segment` mapping layer).  Everything here is `pub(crate)`: the
+//! `process` and `signals` modules are the only consumers.
+//!
+//! Gated to Linux on x86-64/AArch64 from `lib.rs`; the process backend's
+//! public entry point reports unsupported platforms itself.
+
+use std::io;
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub(super) const READ: usize = 0;
+    pub(super) const CLOSE: usize = 3;
+    pub(super) const RT_SIGPROCMASK: usize = 14;
+    #[cfg(test)]
+    pub(super) const GETPID: usize = 39;
+    pub(super) const CLONE: usize = 56;
+    pub(super) const WAIT4: usize = 61;
+    pub(super) const KILL: usize = 62;
+    #[cfg(test)]
+    pub(super) const GETTID: usize = 186;
+    pub(super) const EXIT_GROUP: usize = 231;
+    #[cfg(test)]
+    pub(super) const TGKILL: usize = 234;
+    pub(super) const SIGNALFD4: usize = 289;
+    pub(super) const PIDFD_OPEN: usize = 434;
+}
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub(super) const READ: usize = 63;
+    pub(super) const CLOSE: usize = 57;
+    pub(super) const RT_SIGPROCMASK: usize = 135;
+    #[cfg(test)]
+    pub(super) const GETPID: usize = 172;
+    pub(super) const CLONE: usize = 220;
+    pub(super) const WAIT4: usize = 260;
+    pub(super) const KILL: usize = 129;
+    #[cfg(test)]
+    pub(super) const GETTID: usize = 178;
+    pub(super) const EXIT_GROUP: usize = 94;
+    #[cfg(test)]
+    pub(super) const TGKILL: usize = 131;
+    pub(super) const SIGNALFD4: usize = 74;
+    pub(super) const PIDFD_OPEN: usize = 434;
+}
+
+pub(crate) const SIGINT: i32 = 2;
+pub(crate) const SIGKILL: i32 = 9;
+pub(crate) const SIGTERM: i32 = 15;
+/// `clone` termination signal: deliver SIGCHLD to the parent on exit, the
+/// plain-`fork` contract `wait4` expects.
+const SIGCHLD: usize = 17;
+
+/// `wait4` option: return immediately when no child has changed state.
+pub(crate) const WNOHANG: i32 = 1;
+
+fn check(ret: isize) -> io::Result<isize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `fork()` via `clone(SIGCHLD, 0, 0, 0, 0)`: duplicate this process.
+/// Returns `0` in the child, the child's pid in the parent.
+///
+/// All pointer arguments are zero, so the x86-64/AArch64 argument-order
+/// difference (`CLONE_BACKWARDS`) is moot.  The caller must be
+/// single-threaded: the child inherits only the calling thread, and any lock
+/// another thread held at the fork instant stays locked forever in the child.
+pub(crate) fn fork() -> io::Result<i32> {
+    // SAFETY: all-zero auxiliary arguments request plain fork semantics.
+    let ret = unsafe { syscall6(nr::CLONE, SIGCHLD, 0, 0, 0, 0, 0) };
+    check(ret).map(|pid| pid as i32)
+}
+
+/// `wait4(pid, &status, options, NULL)`.  Returns `Ok(None)` when `WNOHANG`
+/// found no reapable child, `Ok(Some((pid, status)))` otherwise.
+pub(crate) fn wait4(pid: i32, options: i32) -> io::Result<Option<(i32, i32)>> {
+    let mut status: i32 = 0;
+    // SAFETY: status is a live, writable i32 for the duration of the call.
+    let ret = unsafe {
+        syscall6(
+            nr::WAIT4,
+            pid as usize,
+            &mut status as *mut i32 as usize,
+            options as usize,
+            0,
+            0,
+            0,
+        )
+    };
+    match check(ret)? {
+        0 => Ok(None),
+        child => Ok(Some((child as i32, status))),
+    }
+}
+
+/// Was the `wait4` status a normal exit?  Returns the exit code.
+pub(crate) fn exit_code(status: i32) -> Option<i32> {
+    ((status & 0x7f) == 0).then_some((status >> 8) & 0xff)
+}
+
+/// Was the `wait4` status a signal death?  Returns the signal number.
+pub(crate) fn term_signal(status: i32) -> Option<i32> {
+    let sig = status & 0x7f;
+    (sig != 0 && sig != 0x7f).then_some(sig)
+}
+
+/// Human-readable name for the signals the supervisor reports on.
+pub(crate) fn signal_name(sig: i32) -> &'static str {
+    match sig {
+        2 => "SIGINT",
+        6 => "SIGABRT",
+        9 => "SIGKILL",
+        11 => "SIGSEGV",
+        15 => "SIGTERM",
+        _ => "signal",
+    }
+}
+
+/// `kill(pid, sig)`.
+pub(crate) fn kill(pid: i32, sig: i32) -> io::Result<()> {
+    // SAFETY: scalar arguments only.
+    let ret = unsafe { syscall6(nr::KILL, pid as usize, sig as usize, 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// `pidfd_open(pid, 0)`: a poll-able handle on a live child.  The supervisor
+/// holds one per worker process so death notification does not depend on
+/// signal delivery; it is closed at reap time.
+pub(crate) fn pidfd_open(pid: i32) -> io::Result<i32> {
+    // SAFETY: scalar arguments only.
+    let ret = unsafe { syscall6(nr::PIDFD_OPEN, pid as usize, 0, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// `exit_group(code)`: terminate the calling process without running any
+/// Rust teardown — the only safe way out of a forked worker (unwinding into
+/// the parent's inherited `main` would run its teardown twice).
+pub(crate) fn exit_group(code: i32) -> ! {
+    loop {
+        // SAFETY: scalar argument; does not return.
+        unsafe { syscall6(nr::EXIT_GROUP, code as usize, 0, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn getpid() -> i32 {
+    // SAFETY: no arguments; always succeeds.
+    unsafe { syscall6(nr::GETPID, 0, 0, 0, 0, 0, 0) as i32 }
+}
+
+#[cfg(test)]
+pub(crate) fn gettid() -> i32 {
+    // SAFETY: no arguments; always succeeds.
+    unsafe { syscall6(nr::GETTID, 0, 0, 0, 0, 0, 0) as i32 }
+}
+
+/// `tgkill(tgid, tid, sig)` — used by the signal-plumbing self-test to
+/// deliver a signal to the exact thread whose mask blocks it.
+#[cfg(test)]
+pub(crate) fn tgkill(tgid: i32, tid: i32, sig: i32) -> io::Result<()> {
+    // SAFETY: scalar arguments only.
+    let ret = unsafe {
+        syscall6(
+            nr::TGKILL,
+            tgid as usize,
+            tid as usize,
+            sig as usize,
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+pub(crate) const SIG_BLOCK: i32 = 0;
+pub(crate) const SIG_SETMASK: i32 = 2;
+
+/// `rt_sigprocmask(how, &set, oldset, 8)` on the kernel's 64-bit sigset.
+/// Bit `n-1` of the mask is signal `n`.
+pub(crate) fn rt_sigprocmask(how: i32, set: u64, oldset: Option<&mut u64>) -> io::Result<()> {
+    let old_ptr = oldset.map_or(0, |old| old as *mut u64 as usize);
+    // SAFETY: set/oldset are live 8-byte buffers matching the passed size.
+    let ret = unsafe {
+        syscall6(
+            nr::RT_SIGPROCMASK,
+            how as usize,
+            &set as *const u64 as usize,
+            old_ptr,
+            8,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+pub(crate) const SFD_NONBLOCK: usize = 0o4000;
+pub(crate) const SFD_CLOEXEC: usize = 0o2000000;
+
+/// `signalfd4(-1, &mask, 8, flags)`: an fd that reads the blocked signals in
+/// `mask` as data instead of delivering them asynchronously.
+pub(crate) fn signalfd(mask: u64, flags: usize) -> io::Result<i32> {
+    // SAFETY: mask is a live 8-byte buffer matching the passed size.
+    let ret = unsafe {
+        syscall6(
+            nr::SIGNALFD4,
+            usize::MAX, // -1: create a new fd
+            &mask as *const u64 as usize,
+            8,
+            flags,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// `read(fd, buf)`; `Ok(0)` on EOF, `EAGAIN` surfaces as an error.
+pub(crate) fn read(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: buf is a live writable buffer of the passed length.
+    let ret = unsafe {
+        syscall6(
+            nr::READ,
+            fd as usize,
+            buf.as_mut_ptr() as usize,
+            buf.len(),
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret).map(|n| n as usize)
+}
+
+pub(crate) fn close(fd: i32) {
+    // SAFETY: closing an fd this crate owns.
+    let _ = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+}
+
+/// Raw 6-argument syscall.
+///
+/// # Safety
+/// The caller must pass a valid syscall number and arguments per the kernel
+/// ABI.
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(
+    nr: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: see the function contract; rcx/r11 are clobbered by the
+    // `syscall` instruction per the ABI; args 4-6 ride r10/r8/r9.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Raw 6-argument syscall (AArch64: number in `x8`, `svc #0`).
+///
+/// # Safety
+/// As for the x86-64 variant.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(
+    nr: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: see the function contract.
+    unsafe {
+        core::arch::asm!(
+            "svc #0",
+            in("x8") nr,
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pids_are_positive() {
+        assert!(getpid() > 0);
+        assert!(gettid() > 0);
+    }
+
+    #[test]
+    fn wait_status_decoding() {
+        // Synthetic statuses per the classic wait(2) encoding.
+        assert_eq!(exit_code(0x1700), Some(0x17));
+        assert_eq!(term_signal(0x1700), None);
+        assert_eq!(exit_code(9), None);
+        assert_eq!(term_signal(9), Some(9));
+        assert_eq!(term_signal(0x7f), None, "stopped is not terminated");
+        assert_eq!(signal_name(9), "SIGKILL");
+    }
+
+    #[test]
+    fn fork_exit_and_reap_round_trip() {
+        match fork().expect("fork") {
+            0 => exit_group(42),
+            child => {
+                // Blocking reap of exactly this child.
+                let (pid, status) = wait4(child, 0).expect("wait4").expect("blocking wait");
+                assert_eq!(pid, child);
+                assert_eq!(exit_code(status), Some(42));
+            }
+        }
+    }
+
+    #[test]
+    fn pidfd_tracks_a_live_child() {
+        match fork().expect("fork") {
+            0 => exit_group(0),
+            child => {
+                // The child is either still alive or a zombie until reaped —
+                // pidfd_open works in both states.
+                let fd = pidfd_open(child).expect("pidfd_open");
+                assert!(fd >= 0);
+                close(fd);
+                let (pid, status) = wait4(child, 0).expect("wait4").expect("blocking wait");
+                assert_eq!(pid, child);
+                assert_eq!(exit_code(status), Some(0));
+            }
+        }
+    }
+}

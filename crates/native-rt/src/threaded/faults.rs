@@ -112,6 +112,18 @@ impl ActiveFaults {
                     ctx.counters.incr("fault_panic");
                     panic!("injected fault: worker {} panic", ctx.me.0);
                 }
+                FaultKind::Kill => {
+                    // On threads there is no SIGKILL to deliver without taking
+                    // the whole process down, so the kill maps to the closest
+                    // thread-level event: an unwind into quarantine.  The
+                    // process backend delivers the real signal instead.
+                    ctx.counters.incr("fault_kill");
+                    panic!(
+                        "injected fault: worker {} killed \
+                         (SIGKILL maps to a quarantine panic on the threaded backend)",
+                        ctx.me.0
+                    );
+                }
                 FaultKind::Stall { micros } => {
                     ctx.counters.incr("fault_stall");
                     // The heartbeat freezes for the whole sleep — exactly the

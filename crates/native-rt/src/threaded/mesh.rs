@@ -157,6 +157,7 @@ fn mesh_loop(
     let mut iteration = 0u32;
     let mut beats = 0u64;
     let mut done_stored = false;
+    let mut quiesced = false;
     // Reused drain buffer: one batched head publication per source ring.
     let mut inbox: Vec<Envelope> = Vec::with_capacity(INBOX_BUDGET);
     loop {
@@ -211,13 +212,25 @@ fn mesh_loop(
                 }
             }
         }
+        // A graceful-shutdown request (delivered SIGINT/SIGTERM): stop
+        // generating, push everything buffered out exactly once — the same
+        // final flush a finished worker performs — and count as done below,
+        // so the monitor settles the drained run instead of waiting on load
+        // that will never finish.  Delivery, stash retries and returns keep
+        // running untouched.
+        let quiescing = shared.quiesce.load(Ordering::Acquire);
+        if quiescing && !quiesced {
+            ctx.flush();
+            quiesced = true;
+            did_work = true;
+        }
         // Generate new work only while the outbound stash is under the
         // throttle: a producer that keeps generating against full rings
         // grows its stash without bound (and dries its slab arena); pausing
         // generation — while still draining, flushing and retrying — is the
         // backpressure that keeps in-flight storage bounded.
         let throttled = ctx.stash_len >= super::STASH_THROTTLE;
-        if !did_work && !app.local_done() && !throttled {
+        if !did_work && !quiescing && !app.local_done() && !throttled {
             did_work = app.on_idle(ctx);
         }
         // Publish batched sends before reporting done (the monitor must see
@@ -226,7 +239,7 @@ fn mesh_loop(
         // sends must always be counted first).  The done flag is monotonic,
         // so one store suffices.
         ctx.publish_sent();
-        if !done_stored && app.local_done() {
+        if !done_stored && (app.local_done() || quiesced) {
             shared.workers_done[me_i].store(true, Ordering::Release);
             done_stored = true;
         }

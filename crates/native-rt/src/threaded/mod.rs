@@ -190,6 +190,13 @@ pub struct NativeBackendConfig {
     /// Deterministic fault plan (`None` = no injection, zero hot-path cost
     /// beyond one `Option` branch per scheduling quantum).
     pub faults: Option<FaultPlan>,
+    /// Graceful shutdown on SIGINT/SIGTERM: block the signals for the run and
+    /// poll them from the monitor; a delivered signal quiesces the run (stop
+    /// generating, final flush, drain, report `Degraded`) instead of killing
+    /// the process mid-flight.  **Off by default** — the signal mask is
+    /// process-global state, so embedding runs (and parallel test harnesses)
+    /// must opt in explicitly.
+    pub graceful_signals: bool,
 }
 
 impl NativeBackendConfig {
@@ -214,6 +221,7 @@ impl NativeBackendConfig {
             pin_workers: false,
             numa_aware: true,
             faults: None,
+            graceful_signals: false,
         }
     }
 
@@ -278,6 +286,13 @@ impl NativeBackendConfig {
     /// `None` so the hot path keeps its zero-cost branch).
     pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
         self.faults = faults.filter(|plan| !plan.is_empty());
+        self
+    }
+
+    /// Opt in to graceful SIGINT/SIGTERM shutdown (see
+    /// [`NativeBackendConfig::graceful_signals`]).
+    pub fn with_graceful_signals(mut self, graceful: bool) -> Self {
+        self.graceful_signals = graceful;
         self
     }
 
@@ -447,6 +462,10 @@ pub(crate) struct Shared {
     /// window excludes OS thread creation (which scales with worker count).
     pub(crate) go: AtomicBool,
     pub(crate) stop: AtomicBool,
+    /// Graceful-shutdown request (a delivered SIGINT/SIGTERM): workers stop
+    /// generating new work, flush everything buffered once, and report done;
+    /// delivery keeps running until the drained run reaches quiescence.
+    pub(crate) quiesce: AtomicBool,
     /// Per-worker sent counters (padded: each worker writes only its own).
     pub(crate) items_sent: Vec<CachePadded<AtomicU64>>,
     /// Per-worker delivered counters (padded, owner-written).
@@ -658,6 +677,7 @@ pub fn run_threaded(
         epoch: Instant::now(),
         go: AtomicBool::new(false),
         stop: AtomicBool::new(false),
+        quiesce: AtomicBool::new(false),
         items_sent: (0..workers)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
@@ -703,6 +723,15 @@ pub fn run_threaded(
     let mut stalled_ever = vec![false; workers];
     let mut join_failures: Vec<String> = Vec::new();
     let mut total_time_ns = 0;
+    // Installed before the workers spawn so every thread inherits the
+    // blocked mask — a SIGINT must reach the signalfd, not kill a worker.
+    // The guard restores the previous mask when `run_threaded` returns.
+    let mut signals = if config.graceful_signals {
+        crate::signals::SignalGuard::install()
+    } else {
+        None
+    };
+    let mut interrupted_by: Option<i32> = None;
     std::thread::scope(|scope| {
         let shared = &shared;
         let mut collector = None;
@@ -769,6 +798,16 @@ pub fn run_threaded(
             let now = Instant::now();
             if now > deadline {
                 break Verdict::Watchdog;
+            }
+            // A delivered SIGINT/SIGTERM turns into a quiesce request: every
+            // worker stops generating, flushes once and reports done, so the
+            // run drains to a conservation-exact `Degraded` report instead of
+            // dying mid-flight.
+            if interrupted_by.is_none() {
+                if let Some(signo) = signals.as_mut().and_then(|g| g.pending()) {
+                    interrupted_by = Some(signo);
+                    shared.quiesce.store(true, Ordering::Release);
+                }
             }
             for w in 0..workers {
                 let beats = shared.heartbeats[w].load(Ordering::Relaxed);
@@ -876,12 +915,17 @@ pub fn run_threaded(
     counters.add("leaked_slabs", leaked_slabs as u64);
     counters.add("faults_injected", faults_injected);
     counters.add("items_dropped", items_dropped);
+    if let Some(signo) = interrupted_by {
+        counters.add("interrupted", 1);
+        counters.add("interrupted_signal", signo as u64);
+    }
+    drop(signals);
 
     let items_sent = shared.sent_sum();
     let items_delivered = shared.delivered_sum();
     let outcome = match verdict {
         Verdict::Quiescent if join_failures.is_empty() => {
-            if faults_injected == 0 {
+            if faults_injected == 0 && interrupted_by.is_none() {
                 RunOutcome::Clean
             } else {
                 RunOutcome::Degraded {
@@ -896,6 +940,7 @@ pub fn run_threaded(
             };
             panic_notes.sort();
             let diagnostics = RunDiagnostics {
+                process_exits: Vec::new(),
                 panicked_workers: panic_notes.iter().map(|(w, _)| *w).collect(),
                 stalled_workers: stalled_ever
                     .iter()

@@ -95,6 +95,7 @@ fn star_loop(
     let returns = &star.returns[me.idx()];
     let mut idle_rounds = 0u32;
     let mut beats = 0u64;
+    let mut quiesced = false;
     loop {
         // Checked every iteration (not just on the idle path) so the watchdog
         // can abort even a worker whose on_idle never stops returning true.
@@ -126,7 +127,15 @@ fn star_loop(
                 did_work = true;
             }
         }
-        if !did_work && !app.local_done() {
+        // A graceful-shutdown request: stop generating, one final flush, and
+        // count as done (same protocol as the mesh loop).
+        let quiescing = shared.quiesce.load(Ordering::Acquire);
+        if quiescing && !quiesced {
+            ctx.flush();
+            quiesced = true;
+            did_work = true;
+        }
+        if !did_work && !quiescing && !app.local_done() {
             did_work = app.on_idle(ctx);
         }
         // Publish batched sends before reporting done (the monitor must see
@@ -134,7 +143,7 @@ fn star_loop(
         // strictly after the sends (a delivered item's handler-generated
         // sends must always be counted first).
         ctx.publish_sent();
-        shared.workers_done[me.idx()].store(app.local_done(), Ordering::Release);
+        shared.workers_done[me.idx()].store(app.local_done() || quiesced, Ordering::Release);
         ctx.publish_delivered();
         if did_work {
             idle_rounds = 0;

@@ -12,17 +12,23 @@ pub enum Backend {
     /// The native threaded runtime (`native-rt`): one OS thread per worker PE
     /// on the host machine, real aggregators and shared-memory buffers.
     Native,
+    /// The native multi-process runtime (`native-rt`): one forked OS
+    /// *process* per worker PE, communicating through `memfd` shared-memory
+    /// segments, with supervisor-side cleanup on real process death.
+    /// Linux-only.
+    Process,
 }
 
 impl Backend {
-    /// Both backends, simulator first.
-    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Native];
+    /// Every backend, simulator first.
+    pub const ALL: [Backend; 3] = [Backend::Sim, Backend::Native, Backend::Process];
 
     /// Short label for reports and CLI flags.
     pub fn label(self) -> &'static str {
         match self {
             Backend::Sim => "sim",
             Backend::Native => "native",
+            Backend::Process => "process",
         }
     }
 }
@@ -41,7 +47,7 @@ impl fmt::Display for ParseBackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown backend: {:?} (expected \"sim\" or \"native\")",
+            "unknown backend: {:?} (expected \"sim\", \"native\" or \"process\")",
             self.0
         )
     }
@@ -56,6 +62,7 @@ impl FromStr for Backend {
         match s.to_ascii_lowercase().as_str() {
             "sim" | "simulator" | "simulated" => Ok(Backend::Sim),
             "native" | "threads" | "threaded" => Ok(Backend::Native),
+            "process" | "procs" | "multiprocess" => Ok(Backend::Process),
             other => Err(ParseBackendError(other.to_string())),
         }
     }
@@ -73,6 +80,7 @@ mod tests {
         }
         assert!("bogus".parse::<Backend>().is_err());
         assert_eq!("threaded".parse::<Backend>().unwrap(), Backend::Native);
+        assert_eq!("multiprocess".parse::<Backend>().unwrap(), Backend::Process);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub enum FaultKind {
     /// runtime must quarantine it, keep the survivors draining, and end the
     /// run `Aborted` with a reconciled slab audit.
     Panic,
+    /// The worker is killed outright — `SIGKILL` in process mode (the real
+    /// failure the whole recovery model exists for: no unwinding, no
+    /// destructors, death possibly mid-protocol), mapped to a
+    /// quarantine-equivalent panic in threaded mode where a true `SIGKILL`
+    /// would take the whole run down.
+    Kill,
     /// The worker sleeps for the given duration, freezing its progress
     /// heartbeat — the proxy for a descheduled or wedged PE.  The watchdog's
     /// soft-stall detection must notice; the run must still complete once the
@@ -55,6 +61,7 @@ impl FaultKind {
     pub fn label(&self) -> &'static str {
         match self {
             FaultKind::Panic => "panic",
+            FaultKind::Kill => "kill",
             FaultKind::Stall { .. } => "stall",
             FaultKind::ArenaDry { .. } => "arena-dry",
             FaultKind::RingBurst { .. } => "ring-burst",
@@ -88,7 +95,7 @@ impl FaultSpec {
     /// Parse the CLI grammar used by `--fault`:
     ///
     /// ```text
-    /// worker=<w>,<kind>@item=<n>        kind in {panic, stall, arena-dry, ring-burst}
+    /// worker=<w>,<kind>@item=<n>        kind in {panic, kill, stall, arena-dry, ring-burst}
     /// worker=<w>,<kind>@flush=<n>
     /// worker=<w>,stall:<micros>@item=<n>
     /// worker=<w>,arena-dry:<micros>@item=<n>
@@ -128,6 +135,12 @@ impl FaultSpec {
                 }
                 FaultKind::Panic
             }
+            "kill" => {
+                if param.is_some() {
+                    return Err(err("kill takes no parameter"));
+                }
+                FaultKind::Kill
+            }
             "stall" => FaultKind::Stall {
                 micros: parse_param(DEFAULT_STALL_MICROS)?,
             },
@@ -139,7 +152,7 @@ impl FaultSpec {
             },
             other => {
                 return Err(err(&format!(
-                    "unknown fault kind '{other}' (panic|stall|arena-dry|ring-burst)"
+                    "unknown fault kind '{other}' (panic|kill|stall|arena-dry|ring-burst)"
                 )))
             }
         };
@@ -217,6 +230,16 @@ impl FaultPlan {
         })
     }
 
+    /// Convenience: kill `worker` once it has sent `items` items (`SIGKILL`
+    /// in process mode, quarantine panic in threaded mode).
+    pub fn kill_at_items(self, worker: u32, items: u64) -> Self {
+        self.with_fault(FaultSpec {
+            worker,
+            kind: FaultKind::Kill,
+            trigger: FaultTrigger::Items(items),
+        })
+    }
+
     /// Convenience: stall `worker` for `micros` once it has sent `items`.
     pub fn stall_at_items(self, worker: u32, items: u64, micros: u32) -> Self {
         self.with_fault(FaultSpec {
@@ -268,6 +291,14 @@ mod tests {
     }
 
     #[test]
+    fn parse_kill_at_item() {
+        let f = FaultSpec::parse("worker=2,kill@item=10000").unwrap();
+        assert_eq!(f.worker, 2);
+        assert_eq!(f.kind, FaultKind::Kill);
+        assert_eq!(f.trigger, FaultTrigger::Items(10_000));
+    }
+
+    #[test]
     fn parse_stall_with_param_at_flush() {
         let f = FaultSpec::parse("worker=0,stall:5000@flush=3").unwrap();
         assert_eq!(f.worker, 0);
@@ -304,6 +335,7 @@ mod tests {
             "worker=x,panic@item=1",     // non-integer worker
             "worker=1,panic",            // missing trigger
             "worker=1,panic:9@item=1",   // panic takes no param
+            "worker=1,kill:9@item=1",    // kill takes no param
             "worker=1,explode@item=1",   // unknown kind
             "worker=1,panic@after=1",    // unknown trigger
             "worker=1,stall:abc@item=1", // non-integer param
@@ -350,6 +382,7 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(FaultKind::Panic.label(), "panic");
+        assert_eq!(FaultKind::Kill.label(), "kill");
         assert_eq!(FaultKind::Stall { micros: 1 }.label(), "stall");
         assert_eq!(FaultKind::ArenaDry { micros: 1 }.label(), "arena-dry");
         assert_eq!(FaultKind::RingBurst { quanta: 1 }.label(), "ring-burst");

@@ -37,7 +37,7 @@ pub use app::{RunCtx, WorkerApp};
 pub use backend::{Backend, ParseBackendError};
 pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultTrigger, MAX_FAULTS};
 pub use payload::Payload;
-pub use report::{ArenaAudit, RunDiagnostics, RunOutcome, RunReport};
+pub use report::{ArenaAudit, ProcessExit, RunDiagnostics, RunOutcome, RunReport};
 pub use spec::{
     open_loop, AppDefaults, AppFactory, AppSpec, ArrivalProcess, ClusterSpec, CommonArgs,
     CommonConfig, DeliveryTopology, KernelMode, LoadShape, MessageStore, OpenLoad, ResolvedRunSpec,

@@ -38,6 +38,30 @@ impl ArenaAudit {
     }
 }
 
+/// How one worker *process* of the multi-process backend ended.  Recorded in
+/// [`RunDiagnostics::process_exits`] for every worker that did not exit
+/// cleanly (killed by a signal, non-zero exit code, or lost entirely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessExit {
+    /// Global worker id of the process.
+    pub worker: u32,
+    /// Its pid.
+    pub pid: u32,
+    /// Exit status: e.g. `killed by signal 9 (SIGKILL)` or
+    /// `exited with code 101: <panic message>`.
+    pub description: String,
+}
+
+impl std::fmt::Display for ProcessExit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} (pid {}) {}",
+            self.worker, self.pid, self.description
+        )
+    }
+}
+
 /// Structured diagnostics captured when a run ends `Aborted`: the occupancy
 /// snapshot the watchdog's escalation ladder dumps before giving up, plus the
 /// slab reclamation audit.
@@ -65,6 +89,9 @@ pub struct RunDiagnostics {
     pub inflight_ring_envelopes: u64,
     /// Per-arena reclamation audits (empty when the run used no arenas).
     pub arena_audits: Vec<ArenaAudit>,
+    /// Abnormal per-process exit statuses (multi-process backend only;
+    /// empty on the simulator and the threaded backend).
+    pub process_exits: Vec<ProcessExit>,
 }
 
 impl RunDiagnostics {
@@ -80,7 +107,7 @@ impl RunDiagnostics {
 
     /// One-line rendering used in abort reasons and CLI output.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "done={}/{} sent={} delivered={} dropped={} stashed={} inflight={} leaked_slabs={} panicked={:?} stalled={:?}",
             self.workers_done,
             self.total_workers,
@@ -92,7 +119,18 @@ impl RunDiagnostics {
             self.leaked_slabs(),
             self.panicked_workers,
             self.stalled_workers,
-        )
+        );
+        if !self.process_exits.is_empty() {
+            s.push_str(" exits=[");
+            for (i, exit) in self.process_exits.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&exit.to_string());
+            }
+            s.push(']');
+        }
+        s
     }
 }
 
@@ -408,6 +446,21 @@ mod tests {
         assert_eq!(diagnostics.leaked_slabs(), 1);
         assert_eq!(diagnostics.unaccounted_slabs(), 0);
         assert!(diagnostics.render().contains("leaked_slabs=1"));
+        assert!(
+            !diagnostics.render().contains("exits="),
+            "no process-exit clause without process exits"
+        );
+        let with_exits = RunDiagnostics {
+            process_exits: vec![ProcessExit {
+                worker: 2,
+                pid: 4242,
+                description: "killed by signal 9 (SIGKILL)".into(),
+            }],
+            ..diagnostics.clone()
+        };
+        assert!(with_exits
+            .render()
+            .contains("exits=[worker 2 (pid 4242) killed by signal 9 (SIGKILL)]"));
         r.outcome = RunOutcome::Aborted {
             reason: "worker 2 panicked: \"boom\"".into(),
             diagnostics,

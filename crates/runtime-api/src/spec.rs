@@ -660,13 +660,14 @@ impl RunSpec {
 }
 
 /// The one CLI parser shared by the examples and the bench binaries, so both
-/// backends' flag handling cannot drift: `--backend sim|native`, `--seed N`,
+/// backends' flag handling cannot drift: `--backend sim|native|process`,
+/// `--seed N`,
 /// `--buffer N`, `--pin`, `--kernel auto|simd|scalar`, `--watchdog-secs S`,
 /// repeatable `--fault worker=<w>,<kind>@item=<n>`, plus generic
 /// `flag`/`value_of` accessors for binary-specific switches.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
-    /// `--backend sim|native` (default: the simulator).
+    /// `--backend sim|native|process` (default: the simulator).
     pub backend: Backend,
     /// `--seed N`, if given.
     pub seed: Option<u64>,
@@ -703,7 +704,7 @@ impl CommonArgs {
                 .map(String::as_str)
         };
         let backend = value_after("--backend")
-            .map(|v| v.parse().expect("--backend takes sim|native"))
+            .map(|v| v.parse().expect("--backend takes sim|native|process"))
             .unwrap_or(Backend::Sim);
         let seed = value_after("--seed").map(|v| v.parse().expect("--seed takes an integer"));
         let buffer_items =

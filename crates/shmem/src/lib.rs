@@ -19,6 +19,15 @@
 //! * [`PaddedCounter`] — a cache-line padded relaxed counter for statistics
 //!   that must not introduce false sharing.
 //!
+//! The `segment` module and the `Seg*` twins of the three data-path
+//! primitives extend all of this across **process** boundaries: a
+//! [`Segment`] is one `memfd_create` + `mmap(MAP_SHARED)` mapping forked
+//! workers inherit, and [`SegRing`], [`SegArena`] and [`SegClaim`] are
+//! offset-based views with `#[repr(C)]` in-segment control blocks, hardened
+//! against writers that die mid-protocol (per-slot sequence stamps, MPMC
+//! release, supervisor-side forced reclamation).  `native-rt`'s process
+//! backend is built out of them.
+//!
 //! All types are `Send + Sync` where appropriate and are stress-tested with
 //! real threads in this crate's test-suite; the `native-rt` crate builds its
 //! threaded execution backend out of them, and `bench` measures the WW vs PP
@@ -29,9 +38,19 @@
 pub mod claim;
 pub mod counter;
 pub mod ring;
+pub mod seg_claim;
+pub mod seg_ring;
+pub mod seg_slab;
+pub mod segment;
 pub mod slab;
 
 pub use claim::{ClaimBuffer, ClaimResult};
 pub use counter::PaddedCounter;
 pub use ring::SpscRing;
+pub use seg_claim::{SegClaim, SegClaimInsert};
+pub use seg_ring::SegRing;
+pub use seg_slab::SegArena;
+pub use segment::{
+    marker_dir, scan_orphans, MarkerGuard, OrphanSweep, SegHeader, Segment, SegmentLayout,
+};
 pub use slab::{ArenaStats, SlabArena, SlabAudit, SlabHandle, SlabRange};

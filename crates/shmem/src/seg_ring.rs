@@ -1,0 +1,289 @@
+//! [`SpscRing`]'s cross-process twin: an SPSC ring whose storage lives at an
+//! offset inside a shared [`Segment`](crate::segment::Segment).
+//!
+//! Same head/tail protocol as [`SpscRing`] (producer: relaxed own tail +
+//! acquire head, slot write, release tail; consumer mirrored), but the control
+//! block is a `#[repr(C)]` struct with **explicit padding** placed in the
+//! segment, and a [`SegRing`] is a cheap `Copy` *view* (base pointer +
+//! capacity) that any process attached to the segment can construct from the
+//! same offset.  `T` must be `Copy` plain-old-data: values are memcpy'd
+//! through the segment and must mean the same bytes in every process — no
+//! pointers, no drop glue.
+//!
+//! Crash-safety: a producer killed between its slot write and its tail store
+//! simply never publishes the item — the consumer cannot observe a torn entry.
+//! A dead *consumer*'s ring stays valid; the supervisor (which shares the
+//! mapping) drains it on the victim's behalf under the same protocol.
+//!
+//! [`SpscRing`]: crate::ring::SpscRing
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// In-segment control block.  Head and tail sit on their own cache lines via
+/// explicit padding (layout must be identical in every attaching process, so
+/// no `CachePadded`).
+#[repr(C, align(64))]
+struct SegRingCtl {
+    head: AtomicU64,
+    _pad0: [u8; 56],
+    tail: AtomicU64,
+    _pad1: [u8; 56],
+    /// Capacity stamped at init; attach() cross-checks it.
+    capacity: u64,
+    _pad2: [u8; 56],
+}
+
+/// View over an SPSC ring stored in a shared segment.  `Copy`: pass it by
+/// value to the (single) producer and the (single) consumer.
+pub struct SegRing<T> {
+    ctl: *mut SegRingCtl,
+    slots: *mut T,
+    capacity: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for SegRing<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SegRing<T> {}
+
+// SAFETY: same argument as `SpscRing` — single producer / single consumer by
+// convention, acquire/release head/tail counters for the hand-off.  `T: Copy`
+// keeps slots free of drop obligations.
+unsafe impl<T: Copy + Send> Send for SegRing<T> {}
+unsafe impl<T: Copy + Send> Sync for SegRing<T> {}
+
+impl<T: Copy> SegRing<T> {
+    /// Bytes this ring needs inside a segment (reserve with [`SegRing::ALIGN`]).
+    pub fn bytes_for(capacity: usize) -> usize {
+        assert!(capacity > 0, "capacity must be positive");
+        std::mem::size_of::<SegRingCtl>() + capacity * std::mem::size_of::<T>()
+    }
+
+    /// Required alignment of the reserved region.
+    pub const ALIGN: usize = 64;
+
+    fn view(base: *mut u8, capacity: usize) -> Self {
+        assert!(std::mem::align_of::<T>() <= Self::ALIGN);
+        assert_eq!(base as usize % Self::ALIGN, 0, "region misaligned");
+        Self {
+            ctl: base.cast::<SegRingCtl>(),
+            // SAFETY (of the add): within the region sized by `bytes_for`.
+            slots: unsafe { base.add(std::mem::size_of::<SegRingCtl>()) }.cast::<T>(),
+            capacity,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Initialise a ring in zeroed segment memory.  Creator-side, once.
+    ///
+    /// # Safety
+    /// `base` must point at `bytes_for(capacity)` writable bytes reserved for
+    /// this ring, and no other process may touch the region before this
+    /// returns.
+    pub unsafe fn init(base: *mut u8, capacity: usize) -> Self {
+        let ring = Self::view(base, capacity);
+        // SAFETY: exclusive access during init per the function contract.
+        unsafe {
+            (*ring.ctl).head = AtomicU64::new(0);
+            (*ring.ctl).tail = AtomicU64::new(0);
+            (*ring.ctl).capacity = capacity as u64;
+        }
+        ring
+    }
+
+    /// Attach to a ring another process initialised at the same offset.
+    ///
+    /// # Safety
+    /// `base` must point at a region a cooperating process passed to
+    /// [`SegRing::init`] with the same `capacity` and element type `T`.
+    pub unsafe fn attach(base: *mut u8, capacity: usize) -> Self {
+        let ring = Self::view(base, capacity);
+        // SAFETY: init ran before any attach per the function contract.
+        let stamped = unsafe { (*ring.ctl).capacity };
+        assert_eq!(stamped, capacity as u64, "ring capacity mismatch");
+        ring
+    }
+
+    fn ctl(&self) -> &SegRingCtl {
+        // SAFETY: the view was constructed over a live, initialised region;
+        // the segment outlives every view by the run protocol.
+        unsafe { &*self.ctl }
+    }
+
+    /// Capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        let tail = self.ctl().tail.load(Ordering::Acquire);
+        let head = self.ctl().head.load(Ordering::Acquire);
+        (tail - head) as usize
+    }
+
+    /// True if the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push one item.  Returns `Err(item)` if the ring is full.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let ctl = self.ctl();
+        let tail = ctl.tail.load(Ordering::Relaxed);
+        let head = ctl.head.load(Ordering::Acquire);
+        if (tail - head) as usize >= self.capacity {
+            return Err(item);
+        }
+        // SAFETY: only the single producer writes this slot, and the consumer
+        // will not read it until the tail is published below (rule inherited
+        // from `SpscRing`; slot index is `tail % capacity`, in bounds).
+        unsafe {
+            self.slots.add((tail as usize) % self.capacity).write(item);
+        }
+        ctl.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pop one item, or `None` if the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let ctl = self.ctl();
+        let head = ctl.head.load(Ordering::Relaxed);
+        let tail = ctl.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: the producer published this slot before advancing the tail,
+        // and only the single consumer reads it before advancing the head.
+        let item = unsafe { self.slots.add((head as usize) % self.capacity).read() };
+        ctl.head.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Batched pop: move up to `max` queued items into `out`, publishing the
+    /// head once.  Returns how many items were moved.
+    pub fn pop_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let ctl = self.ctl();
+        let head = ctl.head.load(Ordering::Relaxed);
+        let tail = ctl.tail.load(Ordering::Acquire);
+        let count = ((tail - head) as usize).min(max);
+        out.reserve(count);
+        for i in 0..count {
+            // SAFETY: slots `head..tail` were published by the producer's
+            // tail store; they become reusable only after the single head
+            // store below.
+            out.push(unsafe {
+                self.slots
+                    .add(((head + i as u64) as usize) % self.capacity)
+                    .read()
+            });
+        }
+        if count > 0 {
+            ctl.head.store(head + count as u64, Ordering::Release);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{SegHeader, Segment, SegmentLayout};
+    use std::sync::Arc;
+
+    fn ring_segment(capacity: usize) -> (Arc<Segment>, usize) {
+        let mut layout = SegmentLayout::new();
+        let off = layout.reserve(SegRing::<u64>::bytes_for(capacity), SegRing::<u64>::ALIGN);
+        let seg = Segment::create(layout.total(), SegHeader::new(1, std::process::id()))
+            .expect("create segment");
+        (Arc::new(seg), off)
+    }
+
+    #[test]
+    fn push_pop_fifo_in_segment() {
+        let (seg, off) = ring_segment(4);
+        // SAFETY: fresh region reserved for this ring.
+        let ring: SegRing<u64> = unsafe { SegRing::init(seg.at(off), 4) };
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.push(99), Err(99));
+        assert_eq!(ring.len(), 4);
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn attach_sees_initialised_state_and_checks_capacity() {
+        let (seg, off) = ring_segment(8);
+        // SAFETY: fresh region.
+        let producer: SegRing<u64> = unsafe { SegRing::init(seg.at(off), 8) };
+        producer.push(7).unwrap();
+        // SAFETY: attaching to the region init'd above, same capacity/type.
+        let consumer: SegRing<u64> = unsafe { SegRing::attach(seg.at(off), 8) };
+        assert_eq!(consumer.pop(), Some(7));
+        assert_eq!(consumer.pop(), None);
+    }
+
+    #[test]
+    fn producer_consumer_threads_preserve_order_and_count() {
+        let (seg, off) = ring_segment(64);
+        // SAFETY: fresh region.
+        let ring: SegRing<u64> = unsafe { SegRing::init(seg.at(off), 64) };
+        let total = 200_000u64;
+        let seg2 = seg.clone();
+        let producer = std::thread::spawn(move || {
+            let _hold = seg2; // keep the mapping alive from this thread
+            for i in 0..total {
+                let mut v = i;
+                loop {
+                    match ring.push(v) {
+                        Ok(()) => break,
+                        Err(rejected) => {
+                            v = rejected;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let _hold = seg;
+            let mut expected = 0u64;
+            let mut batch = Vec::new();
+            while expected < total {
+                batch.clear();
+                if ring.pop_into(&mut batch, 32) == 0 {
+                    std::hint::spin_loop();
+                }
+                for v in &batch {
+                    assert_eq!(*v, expected, "items must arrive in order");
+                    expected += 1;
+                }
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn wraps_around() {
+        let (seg, off) = ring_segment(3);
+        // SAFETY: fresh region.
+        let ring: SegRing<u32> = unsafe { SegRing::init(seg.at(off), 3) };
+        for round in 0..50u32 {
+            ring.push(round * 2).unwrap();
+            ring.push(round * 2 + 1).unwrap();
+            assert_eq!(ring.pop(), Some(round * 2));
+            assert_eq!(ring.pop(), Some(round * 2 + 1));
+        }
+        assert!(ring.is_empty());
+    }
+}

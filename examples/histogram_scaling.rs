@@ -23,7 +23,8 @@ fn main() {
     let buffer = 64;
     let node_counts: &[u32] = match backend {
         Backend::Sim => &[2, 4, 8],
-        Backend::Native => &[1, 2], // 16 or 32 worker threads
+        // 16 or 32 worker threads (or forked worker processes)
+        Backend::Native | Backend::Process => &[1, 2],
     };
 
     // 1. Scheme comparison across node counts (weak scaling: work per PE fixed).

@@ -2,8 +2,9 @@
 //! small SMP cluster and compare total time, message counts and item latency.
 //!
 //! ```text
-//! cargo run --release --example quickstart                      # simulator
-//! cargo run --release --example quickstart -- --backend native  # real threads
+//! cargo run --release --example quickstart                       # simulator
+//! cargo run --release --example quickstart -- --backend native   # real threads
+//! cargo run --release --example quickstart -- --backend process  # forked processes
 //! cargo run --release --example quickstart -- --backend native --seed 9 --buffer 64
 //! ```
 //!
@@ -73,6 +74,15 @@ fn main() {
             println!("Message counts and fill levels mirror the simulator; rerun with no flag");
             println!("to compare against the modelled cluster (tests/backend_equivalence.rs");
             println!("checks the item totals match exactly).");
+        }
+        Backend::Process => {
+            println!(
+                "Times above are wall-clock across {} forked worker processes",
+                cluster.total_workers()
+            );
+            println!("sharing one memfd segment. Latency/fill columns are threaded-backend");
+            println!("instruments; compare app counters and totals across backends instead");
+            println!("(tests/backend_equivalence.rs does exactly that).");
         }
     }
 }

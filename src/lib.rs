@@ -91,11 +91,11 @@ pub mod prelude {
     pub use apps::sssp::{run_sssp, SsspConfig};
     pub use apps::ClusterSpec;
     pub use metrics::LatencySummary;
-    pub use native_rt::{run_threaded, NativeBackendConfig};
+    pub use native_rt::{run_process, run_threaded, NativeBackendConfig, ProcessBackendConfig};
     pub use net_model::{NodeId, ProcId, Topology, WorkerId};
     pub use runtime_api::{
-        open_loop, AppSpec, Backend, CommonArgs, CommonConfig, KernelMode, Payload, RunCtx,
-        RunReport, RunSpec, SloPolicy, WorkerApp,
+        open_loop, AppSpec, Backend, CommonArgs, CommonConfig, FaultPlan, KernelMode, Payload,
+        RunCtx, RunOutcome, RunReport, RunSpec, SloPolicy, WorkerApp,
     };
     pub use smp_sim::{run_cluster, SimConfig, WorkerCtx};
     pub use tramlib::{Aggregator, FlushPolicy, Item, Owner, Scheme, TramConfig};

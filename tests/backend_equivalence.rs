@@ -15,8 +15,55 @@
 //! simulator's `PooledReceiver` + aggregator recycling, the native backend's
 //! batch-return rings and batched local bypass), so this suite also proves
 //! the zero-allocation hot paths change *performance only*, never results.
+//!
+//! Since the multi-process backend joined the matrix this suite runs as a
+//! `harness = false` binary: `Backend::Process` forks without exec'ing, so
+//! the runs must happen on a process whose only thread is the caller —
+//! libtest's per-test threads would make fork unsafe.  `common::run` keeps
+//! the libtest-style pass/fail output.
+
+mod common;
 
 use smp_aggregation::prelude::*;
+
+fn main() {
+    // Process-mode runs write segment markers; point them at a private
+    // directory so concurrent builds/tools on the same host never interact.
+    // set_var is safe here: main has not spawned anything yet.
+    let dir = std::env::temp_dir().join(format!("smp-aggr-equiv-{}", std::process::id()));
+    std::env::set_var(shmem::segment::MARKER_DIR_ENV, &dir);
+    common::run(&[
+        (
+            "native_backend_matches_simulator_for_every_scheme",
+            native_backend_matches_simulator_for_every_scheme,
+        ),
+        (
+            "process_backend_matches_simulator_for_every_scheme",
+            process_backend_matches_simulator_for_every_scheme,
+        ),
+        (
+            "forced_simd_kernel_matches_scalar_and_simulator",
+            forced_simd_kernel_matches_scalar_and_simulator,
+        ),
+        (
+            "native_results_are_deterministic_per_seed_and_differ_across_seeds",
+            native_results_are_deterministic_per_seed_and_differ_across_seeds,
+        ),
+        (
+            "deprecated_run_histogram_on_shim_matches_the_spec_path",
+            deprecated_run_histogram_on_shim_matches_the_spec_path,
+        ),
+        (
+            "open_loop_service_conserves_and_is_deterministic_per_seed",
+            open_loop_service_conserves_and_is_deterministic_per_seed,
+        ),
+        (
+            "run_app_dispatches_every_backend",
+            run_app_dispatches_every_backend,
+        ),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
 
 /// The backend-independent observable result of a histogram run: everything
 /// that must depend only on (cluster, seed, updates), never on the execution
@@ -67,7 +114,6 @@ fn run(backend: Backend, scheme: Scheme, seed: u64) -> HistogramResult {
     collect(backend, report, scheme)
 }
 
-#[test]
 fn native_backend_matches_simulator_for_every_scheme() {
     for scheme in Scheme::ALL {
         let sim = run(Backend::Sim, scheme, 42);
@@ -84,7 +130,19 @@ fn native_backend_matches_simulator_for_every_scheme() {
     }
 }
 
-#[test]
+fn process_backend_matches_simulator_for_every_scheme() {
+    // Same acceptance gate, third backend: real forked worker processes over
+    // a shared memfd segment must compute bit-identical application results.
+    for scheme in Scheme::ALL {
+        let sim = run(Backend::Sim, scheme, 42);
+        let process = run(Backend::Process, scheme, 42);
+        assert_eq!(
+            process, sim,
+            "{scheme}: process backend diverged from the simulator on identical traffic"
+        );
+    }
+}
+
 fn forced_simd_kernel_matches_scalar_and_simulator() {
     // The kernel tier is a pure implementation detail of the slice handlers:
     // forcing `--kernel simd` (or scalar) must leave every cross-backend
@@ -112,7 +170,6 @@ fn forced_simd_kernel_matches_scalar_and_simulator() {
     );
 }
 
-#[test]
 fn native_results_are_deterministic_per_seed_and_differ_across_seeds() {
     let a = run(Backend::Native, Scheme::WPs, 7);
     let b = run(Backend::Native, Scheme::WPs, 7);
@@ -127,7 +184,6 @@ fn native_results_are_deterministic_per_seed_and_differ_across_seeds() {
     );
 }
 
-#[test]
 #[allow(deprecated)]
 fn deprecated_run_histogram_on_shim_matches_the_spec_path() {
     // The pre-RunSpec entry points survive as deprecated shims; until they
@@ -143,7 +199,6 @@ fn deprecated_run_histogram_on_shim_matches_the_spec_path() {
     }
 }
 
-#[test]
 fn open_loop_service_conserves_and_is_deterministic_per_seed() {
     // The open-loop load layer on the native backend: wall-clock timings
     // vary run to run, but the seeded arrival schedule (keys and gaps) — and
@@ -178,10 +233,9 @@ fn open_loop_service_conserves_and_is_deterministic_per_seed() {
     assert_eq!(slo.p99_target_ns, 250_000_000);
 }
 
-#[test]
-fn run_app_dispatches_both_backends() {
+fn run_app_dispatches_every_backend() {
     // The generic dispatch entry point used by inline (non-AppSpec) apps: a
-    // minimal echo app must conserve items on both backends.
+    // minimal echo app must conserve items on every backend.
     use std::str::FromStr;
 
     struct Echo {
@@ -207,7 +261,7 @@ fn run_app_dispatches_both_backends() {
         }
     }
 
-    for name in ["sim", "native"] {
+    for name in ["sim", "native", "process"] {
         let backend = Backend::from_str(name).unwrap();
         let sim = sim_config(
             ClusterSpec::small_smp(1),
