@@ -107,6 +107,13 @@ pub fn run_spec(spec: RunSpec) -> RunReport {
              workers to crash, stall, or quarantine"
         );
     }
+    if run.transport.is_some() {
+        assert!(
+            run.backend == Backend::Native,
+            "an inter-node transport needs the native threaded backend: it \
+             is the only one with node-leader threads to drive the wire"
+        );
+    }
 
     let mut make_app = app.factory(&run);
     let mut report = match run.backend {
@@ -122,7 +129,8 @@ pub fn run_spec(spec: RunSpec) -> RunReport {
                 .with_delivery(run.delivery)
                 .with_message_store(run.message_store)
                 .with_pin_workers(run.pin_workers)
-                .with_faults(run.faults);
+                .with_faults(run.faults)
+                .with_transport(run.transport);
             match run.max_wall {
                 Some(max_wall) => native = native.with_max_wall(max_wall),
                 None => {
@@ -176,7 +184,8 @@ pub fn run_spec_native_tuned(
             .with_delivery(run.delivery)
             .with_message_store(run.message_store)
             .with_pin_workers(run.pin_workers)
-            .with_faults(run.faults),
+            .with_faults(run.faults)
+            .with_transport(run.transport),
     );
     let mut make_app = app.factory(&run);
     let mut report = native_rt::run_threaded(native, make_app.as_mut());

@@ -14,7 +14,7 @@
 //! which requires this process to still be single-threaded, and the threaded
 //! matrix spawns (and joins, but why chance it) a thread per worker.
 
-use bench::chaos::{run_matrix, run_process_matrix, ChaosConfig};
+use bench::chaos::{run_matrix, run_process_matrix, run_transport_matrix, ChaosConfig};
 
 fn main() {
     // Injected panics are the suite's whole point; keep their default-hook
@@ -67,8 +67,15 @@ fn main() {
     print_cells(&results);
 
     println!(
+        "chaos transport matrix: {{drop, disconnect, partition}} x {{WW, PP}} on 2-node loopback TCP, {} updates/worker, seed {:#x}",
+        cfg.updates, cfg.seed
+    );
+    let wire_results = run_transport_matrix(&cfg);
+    print_wire_cells(&wire_results);
+
+    println!(
         "chaos: {} cells passed (deterministic outcomes, conservation held, zero leaks)",
-        process_results.len() + results.len()
+        process_results.len() + results.len() + wire_results.len()
     );
 }
 
@@ -76,6 +83,21 @@ fn print_cells(cells: &[bench::chaos::CellResult]) {
     for cell in cells {
         println!(
             "  {:>3}/{:<10} outcome={:<40} sent={} delivered={} dropped={} leaked_slabs={}",
+            cell.scheme.to_string(),
+            cell.fault.name(),
+            cell.signature,
+            cell.items_sent,
+            cell.items_delivered,
+            cell.items_dropped,
+            cell.leaked_slabs,
+        );
+    }
+}
+
+fn print_wire_cells(cells: &[bench::chaos::WireCellResult]) {
+    for cell in cells {
+        println!(
+            "  {:>3}/{:<14} outcome={:<40} sent={} delivered={} dropped={} leaked_slabs={}",
             cell.scheme.to_string(),
             cell.fault.name(),
             cell.signature,

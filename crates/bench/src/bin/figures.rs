@@ -18,11 +18,22 @@ fn out_dir() -> PathBuf {
     PathBuf::from("target").join("figures")
 }
 
+// Fatal CLI errors belong on stderr so `figures > fig.csv` pipelines stay clean.
+#[allow(clippy::print_stderr)]
+fn die(path: &std::path::Path, e: std::io::Error) -> ! {
+    eprintln!("figures: cannot write {}: {e}", path.display());
+    std::process::exit(1)
+}
+
 fn emit(name: &str, series: &Series) {
     let csv_path = out_dir().join(format!("{name}.csv"));
-    series.write_csv(&csv_path).expect("write figure CSV");
+    series
+        .write_csv(&csv_path)
+        .unwrap_or_else(|e| die(&csv_path, e));
     let json_path = out_dir().join(format!("BENCH_{name}.json"));
-    series.write_json(&json_path).expect("write figure JSON");
+    series
+        .write_json(&json_path)
+        .unwrap_or_else(|e| die(&json_path, e));
     println!(
         "{}\n  -> {}\n  -> {}\n",
         series.to_text(),

@@ -37,6 +37,13 @@ use std::path::PathBuf;
 /// load), not a controller that actually loses.
 const ADAPTIVE_ALLOWANCE: f64 = 0.35;
 
+// Fatal CLI errors belong on stderr so piped stdout output stays clean.
+#[allow(clippy::print_stderr)]
+fn die(path: &std::path::Path, e: std::io::Error) -> ! {
+    eprintln!("latency: cannot write {}: {e}", path.display());
+    std::process::exit(1)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let effort = if args.iter().any(|a| a == "--fast") {
@@ -99,7 +106,7 @@ fn main() {
         series.push(("adaptive_flush_smoke", &smoke.adaptive));
     }
 
-    write_latency_json(&out, effort, &series).expect("write BENCH_latency.json");
+    write_latency_json(&out, effort, &series).unwrap_or_else(|e| die(&out, e));
     println!("request/response conservation held on every run");
     println!("-> {}", out.display());
 

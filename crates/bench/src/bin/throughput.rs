@@ -41,6 +41,13 @@ use bench::Effort;
 use runtime_api::KernelMode;
 use std::path::PathBuf;
 
+// Fatal CLI errors belong on stderr so piped stdout output stays clean.
+#[allow(clippy::print_stderr)]
+fn die(path: &std::path::Path, e: std::io::Error) -> ! {
+    eprintln!("throughput: cannot write {}: {e}", path.display());
+    std::process::exit(1)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let effort = if args.iter().any(|a| a == "--fast") {
@@ -132,7 +139,7 @@ fn main() {
         series.push((name, s));
     }
 
-    write_throughput_json(&out, effort, &series).expect("write BENCH_throughput.json");
+    write_throughput_json(&out, effort, &series).unwrap_or_else(|e| die(&out, e));
     println!("item conservation held on every run (arena miss counters: 0)");
     println!("-> {}", out.display());
 

@@ -31,7 +31,7 @@ use native_rt::{run_process, run_threaded, NativeBackendConfig, ProcessBackendCo
 use net_model::{Topology, WorkerId};
 use runtime_api::{
     FaultKind, FaultPlan, FaultSpec, FaultTrigger, Payload, RunCtx, RunOutcome, RunReport,
-    WorkerApp,
+    TransportKind, WorkerApp,
 };
 use tramlib::{Scheme, TramConfig};
 
@@ -411,6 +411,158 @@ pub fn run_process_matrix(cfg: &ChaosConfig) -> Vec<CellResult> {
     for scheme in [Scheme::WW, Scheme::PP] {
         for fault in FaultClass::PROCESS {
             results.push(run_process_cell(scheme, fault, cfg));
+        }
+    }
+    results
+}
+
+/// The wire fault classes the transport matrix covers: one recoverable
+/// (retransmit + dedup must make it lossless) and both cut classes
+/// (settlement must make the books exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireClass {
+    /// The first batch frame vanishes on the wire; retransmission recovers.
+    Drop,
+    /// One link is severed mid-run; the sender settles its in-flight items.
+    Disconnect,
+    /// A whole node is isolated (NIC unplugged); peers detect via heartbeat.
+    Partition,
+}
+
+impl WireClass {
+    /// Every class, in matrix order.
+    pub const ALL: [WireClass; 3] = [WireClass::Drop, WireClass::Disconnect, WireClass::Partition];
+
+    /// Stable name used in CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireClass::Drop => "net-drop",
+            WireClass::Disconnect => "net-disconnect",
+            WireClass::Partition => "net-partition",
+        }
+    }
+
+    fn kind(self) -> FaultKind {
+        match self {
+            WireClass::Drop => FaultKind::NetDrop,
+            WireClass::Disconnect => FaultKind::NetDisconnect,
+            WireClass::Partition => FaultKind::NetPartition,
+        }
+    }
+}
+
+/// One transport-matrix cell, reported with the same fields as the worker
+/// matrices (the fault name comes from [`WireClass::name`]).
+#[derive(Debug)]
+pub struct WireCellResult {
+    pub scheme: Scheme,
+    pub fault: WireClass,
+    pub signature: String,
+    pub items_sent: u64,
+    pub items_delivered: u64,
+    pub items_dropped: u64,
+    pub leaked_slabs: u64,
+}
+
+fn run_once_transport(scheme: Scheme, fault: WireClass, cfg: &ChaosConfig, seed: u64) -> RunReport {
+    let topo = Topology::smp(2, 2, 2); // 2 nodes x 2 procs x 2 workers
+    let tram = TramConfig::new(scheme, topo)
+        .with_buffer_items(32)
+        .with_item_bytes(16);
+    // Armed at the first batch send from node 0's leader: frame sealing is
+    // timing-dependent, so only send #1 is guaranteed to happen.
+    let plan = FaultPlan::seeded(seed).net_at_sends(0, fault.kind(), 1);
+    run_threaded(
+        NativeBackendConfig::new(tram)
+            .with_seed(seed)
+            .with_max_wall(Duration::from_secs(30))
+            .with_transport(Some(TransportKind::Tcp))
+            .with_faults(Some(plan)),
+        |w| {
+            Box::new(Churn {
+                me: w,
+                remaining: cfg.updates,
+                flushed: false,
+            })
+        },
+    )
+}
+
+/// Run one transport cell: two same-seed runs over real loopback TCP, then
+/// assert the wire failure-model contract.
+///
+/// # Panics
+/// Panics (failing the suite) on any contract violation: a non-reproducible
+/// outcome, a broken conservation ledger after a cut, a lossy recoverable
+/// fault, or a leaked slab slot.
+pub fn run_transport_cell(scheme: Scheme, fault: WireClass, cfg: &ChaosConfig) -> WireCellResult {
+    let seed = cfg
+        .seed
+        .wrapping_add(0x7000)
+        .wrapping_add(fault as u64 * 101)
+        .wrapping_add(scheme as u64 * 7);
+    let first = run_once_transport(scheme, fault, cfg, seed);
+    let second = run_once_transport(scheme, fault, cfg, seed);
+    let cell = format!("wire/{}/{}", scheme, fault.name());
+    assert_eq!(
+        first.outcome.signature(),
+        second.outcome.signature(),
+        "{cell}: one seed must reproduce one outcome"
+    );
+    let dropped = first.counter("items_dropped");
+    match fault {
+        WireClass::Drop => {
+            assert_eq!(
+                first.outcome,
+                RunOutcome::Degraded { faults_injected: 1 },
+                "{cell}: a recovered wire fault must degrade, not abort"
+            );
+            assert_eq!(dropped, 0, "{cell}: retransmit must recover every item");
+            assert_eq!(
+                first.items_delivered,
+                8 * cfg.updates,
+                "{cell}: recovered run lost items"
+            );
+        }
+        WireClass::Disconnect | WireClass::Partition => {
+            let RunOutcome::Aborted { reason, .. } = &first.outcome else {
+                panic!("{cell}: a cut link must abort, got {:?}", first.outcome);
+            };
+            assert!(
+                reason.starts_with("wire"),
+                "{cell}: abort must name the wire, got: {reason}"
+            );
+            assert!(dropped > 0, "{cell}: a cut must strand items in the ledger");
+        }
+    }
+    assert_eq!(
+        first.items_delivered + dropped,
+        first.items_sent,
+        "{cell}: conservation ledger broken"
+    );
+    assert_eq!(
+        first.counter("leaked_slabs"),
+        0,
+        "{cell}: wire chaos leaked slab slots"
+    );
+    WireCellResult {
+        scheme,
+        fault,
+        signature: first.outcome.signature(),
+        items_sent: first.items_sent,
+        items_delivered: first.items_delivered,
+        items_dropped: dropped,
+        leaked_slabs: first.counter("leaked_slabs"),
+    }
+}
+
+/// Run the transport matrix: {drop, disconnect, partition} × {WW, PP} on a
+/// 2-node loopback-TCP cluster.
+pub fn run_transport_matrix(cfg: &ChaosConfig) -> Vec<WireCellResult> {
+    let mut results = Vec::new();
+    for scheme in [Scheme::WW, Scheme::PP] {
+        for fault in WireClass::ALL {
+            results.push(run_transport_cell(scheme, fault, cfg));
         }
     }
     results

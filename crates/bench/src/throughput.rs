@@ -484,7 +484,11 @@ where
         })
         .collect();
     for h in handles {
-        h.join().expect("inserter thread panicked");
+        // Re-raise an inserter panic with its original payload instead of
+        // replacing it with an opaque `Any` debug print.
+        if let Err(payload) = h.join() {
+            std::panic::resume_unwind(payload);
+        }
     }
     let leftovers = final_drain(&buffer);
     let elapsed = start.elapsed().as_secs_f64();

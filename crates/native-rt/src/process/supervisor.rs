@@ -375,6 +375,9 @@ pub(super) fn run(
                         .load(Ordering::Relaxed)
                         >= n
                 }
+                // Wire faults are node-scoped and filtered out by
+                // `for_worker`; a Kill fault can never carry one.
+                FaultTrigger::Sends(_) => unreachable!("wire faults never target a worker"),
             };
             if reached {
                 kill.fired = true;
@@ -682,6 +685,7 @@ pub(super) fn run(
                 inflight_ring_envelopes: ring_occupancy(),
                 arena_audits,
                 process_exits: exits.clone(),
+                node_reports: Vec::new(),
             };
             // Reason selection mirrors the threaded backend: the first
             // abnormal exit (deterministic per seed for injected kills)
@@ -715,5 +719,6 @@ pub(super) fn run(
         items_sent: sent_total,
         items_delivered: delivered_total,
         outcome,
+        node_reports: Vec::new(),
     }
 }

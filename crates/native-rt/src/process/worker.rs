@@ -712,6 +712,9 @@ impl ChildFaults {
             let reached = match fault.trigger {
                 FaultTrigger::Items(n) => ctx.local_sent >= n,
                 FaultTrigger::Flushes(n) => ctx.flush_emits >= n,
+                // `compile` keeps only Panic/Stall worker faults; wire faults
+                // are node-scoped and never reach a child process.
+                FaultTrigger::Sends(_) => unreachable!("wire faults never target a worker"),
             };
             if !reached {
                 continue;

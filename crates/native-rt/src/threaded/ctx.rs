@@ -132,6 +132,19 @@ pub(crate) struct NativeWorkerCtx<'a> {
     /// (identity order on non-NUMA runs).  Draining own-socket rings first
     /// keeps the cheap traffic moving while cross-socket consumers lag.
     pub(crate) drain_order: Vec<u32>,
+    /// This worker's *cluster* node (`Topology::node_of_worker`) — distinct
+    /// from `my_node`, which is the NUMA node of the host thread.
+    pub(crate) my_cluster_node: u32,
+    /// Node tier only: items bound for workers on other cluster nodes,
+    /// buffered here and shipped to the local leader's uplink in batches.
+    /// Every item in it was already counted sent (publish-before-ship).
+    pub(crate) wire_out: Batch,
+    /// Node tier only: wire batches whose uplink ring was full, retried by
+    /// [`NativeWorkerCtx::flush_wire_stash`] every loop iteration.
+    pub(crate) wire_stash: VecDeque<Batch>,
+    /// Ship threshold for `wire_out` — the node tier's local aggregation
+    /// grain (the leader re-aggregates per destination node on top).
+    pub(crate) wire_batch_items: usize,
     /// Distribution of delivered-batch sizes (items per handler call) — the
     /// per-scheme evidence for throughput ceilings (NoAgg delivers single
     /// items; aggregated schemes deliver whole buffers).
@@ -198,6 +211,10 @@ impl<'a> NativeWorkerCtx<'a> {
                 }
                 order
             },
+            my_cluster_node: shared.topo.node_of_worker(me).0,
+            wire_out: Vec::new(),
+            wire_stash: VecDeque::new(),
+            wire_batch_items: shared.local_batch_items.max(64),
             batch_len: QuantileSketch::default(),
             singles_delivered: 0,
         }
@@ -316,6 +333,14 @@ impl<'a> NativeWorkerCtx<'a> {
     /// is full (or if earlier envelopes for the same destination are already
     /// stashed — per-pair FIFO order is preserved).
     pub(crate) fn push_mesh(&mut self, dst: WorkerId, envelope: Envelope) {
+        // Node tier: traffic for a worker on another cluster node leaves
+        // through the local leader's uplink, not the in-process mesh.
+        if self.shared.node_plane.is_some()
+            && self.shared.topo.node_of_worker(dst).0 != self.my_cluster_node
+        {
+            self.push_wire(envelope);
+            return;
+        }
         let d = dst.idx();
         if self.shared.worker_node[d] != self.my_node {
             self.cross_socket_msgs += 1;
@@ -330,6 +355,103 @@ impl<'a> NativeWorkerCtx<'a> {
             self.stash[d].push_back(envelope);
             self.stash_len += 1;
         }
+    }
+
+    /// Materialize an outbound cross-node envelope into raw items on the
+    /// wire buffer.  Every carried item was already counted sent, and each
+    /// names its final destination worker, so the remote leader's regroup
+    /// (and the remote worker's delivery) is exact — no grouping state
+    /// crosses the node boundary, only payloads.
+    fn push_wire(&mut self, envelope: Envelope) {
+        self.counters.incr("wire_node_msgs");
+        match envelope {
+            Envelope::Single(item) => self.wire_out.push(item),
+            Envelope::Batch(mut items) => {
+                self.wire_out.append(&mut items);
+                self.retain_spare(items);
+            }
+            Envelope::Message(message) => {
+                let mut items = message.items;
+                self.wire_out.append(&mut items);
+                self.reclaim(items);
+            }
+            // Sealed slabs are copied out of this worker's own arena — the
+            // zero-copy discipline is an intra-node optimization; the node
+            // boundary is a real copy either way (it becomes wire bytes).
+            Envelope::Slab(sealed) => {
+                let owner = self.me.idx();
+                let arena = &self.shared.arenas[owner];
+                let handle = sealed.handle;
+                debug_assert_eq!(arena.generation(handle.slab), handle.generation);
+                // SAFETY: we still hold the live handle of the just-sealed
+                // slab; no consumer has seen it.
+                let items = unsafe { arena.slice(handle.slab, 0, handle.len) };
+                self.wire_out.extend_from_slice(items);
+                if arena.finish_consumer(handle.slab) {
+                    arena.release(handle.slab);
+                }
+            }
+            // Grouping-pass forwards stay within one process (= one node),
+            // so a cross-node slice is unreachable by construction; handle
+            // it anyway so a topology bug degrades into a copy, not UB.
+            Envelope::SlabSlice { owner, range } => {
+                debug_assert!(false, "slab slice crossed a node boundary");
+                let arena = &self.shared.arenas[owner as usize];
+                // SAFETY: live forwarded range of a sealed slab.
+                let items = unsafe { arena.slice(range.slab, range.start, range.len) };
+                self.wire_out.extend_from_slice(items);
+                if arena.finish_consumer(range.slab) {
+                    self.return_slab(
+                        owner as usize,
+                        SlabHandle {
+                            slab: range.slab,
+                            len: range.len,
+                            generation: range.generation,
+                        },
+                    );
+                }
+            }
+        }
+        if self.wire_out.len() >= self.wire_batch_items {
+            self.ship_wire();
+        }
+    }
+
+    /// Push the pending wire batch onto this worker's uplink ring (stashing
+    /// it when the ring is full — the leader may be mid-drain).
+    pub(crate) fn ship_wire(&mut self) {
+        if self.wire_out.is_empty() {
+            return;
+        }
+        self.publish_sent();
+        let batch = std::mem::take(&mut self.wire_out);
+        let plane = self
+            .shared
+            .node_plane
+            .as_ref()
+            .expect("wire ship without a node plane");
+        if self.wire_stash.is_empty() {
+            if let Err(rejected) = plane.uplink[self.me.idx()].push(batch) {
+                self.wire_stash.push_back(rejected);
+            }
+        } else {
+            // Preserve per-worker FIFO towards the leader.
+            self.wire_stash.push_back(batch);
+        }
+    }
+
+    /// Retry stashed wire batches.  Returns true if any batch moved.
+    pub(crate) fn flush_wire_stash(&mut self) -> bool {
+        if self.wire_stash.is_empty() {
+            return false;
+        }
+        let plane = self
+            .shared
+            .node_plane
+            .as_ref()
+            .expect("wire stash without a node plane");
+        let moved = plane.uplink[self.me.idx()].push_from(&mut self.wire_stash);
+        moved > 0
     }
 
     /// Move stashed envelopes onto their rings (batched: one tail publication
@@ -434,11 +556,14 @@ impl<'a> NativeWorkerCtx<'a> {
         }
     }
 
-    /// Ship every pending local-bypass batch.
+    /// Ship every pending local-bypass batch (and, on the node tier, the
+    /// partial wire batch — an idle worker must never strand cross-node
+    /// items in its outbound buffer).
     pub(crate) fn flush_local(&mut self) {
         for dest in 0..self.local_out.len() {
             self.ship_local(dest);
         }
+        self.ship_wire();
     }
 
     /// Keep a delivered batch's vector for future local-bypass batches.
@@ -616,6 +741,14 @@ impl<'a> NativeWorkerCtx<'a> {
                 self.stash_len -= 1;
                 dropped += self.drop_envelope(me, envelope);
             }
+        }
+        // Unshipped cross-node traffic: the wire buffer and its stash hold
+        // raw already-counted-sent items, so dropping them is pure ledger.
+        dropped += self.wire_out.len() as u64;
+        self.wire_out.clear();
+        while let Some(batch) = self.wire_stash.pop_front() {
+            dropped += batch.len() as u64;
+            self.retain_spare(batch);
         }
         dropped
     }

@@ -101,6 +101,11 @@ impl ActiveFaults {
                     sent >= n
                 }
                 FaultTrigger::Flushes(n) => ctx.flush_emits >= n,
+                // Wire faults are node-scoped: `FaultPlan::for_worker` filters
+                // them out, so a worker never compiles one in.
+                FaultTrigger::Sends(_) => {
+                    unreachable!("wire faults never target a worker")
+                }
             };
             if !due {
                 continue;
@@ -145,6 +150,15 @@ impl ActiveFaults {
                 FaultKind::RingBurst { quanta } => {
                     ctx.counters.incr("fault_ring_burst");
                     self.burst_quanta = self.burst_quanta.max(quanta);
+                }
+                FaultKind::NetDrop
+                | FaultKind::NetDelay { .. }
+                | FaultKind::NetDuplicate
+                | FaultKind::NetDisconnect
+                | FaultKind::NetPartition => {
+                    // Node-scoped wire faults execute in the leader's
+                    // `WireFaultInjector`, never on a worker thread.
+                    unreachable!("wire faults never target a worker")
                 }
             }
         }

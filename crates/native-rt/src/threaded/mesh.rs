@@ -179,6 +179,9 @@ fn mesh_loop(
             faults.poll(ctx);
         }
         let mut did_work = ctx.flush_stash_backoff();
+        // Wire batches parked on a full uplink ring (leader mid-drain) are
+        // retried like the mesh stash: a sender never blocks on its leader.
+        did_work |= ctx.flush_wire_stash();
         // A slab handle parked on a full return ring must be retried until
         // it lands (dropping one would leak the owner's slab for the run).
         did_work |= ctx.flush_pending_returns();
@@ -212,6 +215,17 @@ fn mesh_loop(
                 }
             }
         }
+        // Node tier: deliver cross-node traffic the leader regrouped for us.
+        // The downlink carries worker-addressed raw batches — by the time an
+        // item crosses the wire every grouping decision is already made, so
+        // delivery here is the plain batch path.
+        if let Some(plane) = &shared.node_plane {
+            while let Some(mut batch) = plane.downlink[me_i].pop() {
+                deliver_batch(app, ctx, &mut batch);
+                ctx.retain_spare(batch);
+                did_work = true;
+            }
+        }
         // A graceful-shutdown request (delivered SIGINT/SIGTERM): stop
         // generating, push everything buffered out exactly once — the same
         // final flush a finished worker performs — and count as done below,
@@ -229,7 +243,8 @@ fn mesh_loop(
         // grows its stash without bound (and dries its slab arena); pausing
         // generation — while still draining, flushing and retrying — is the
         // backpressure that keeps in-flight storage bounded.
-        let throttled = ctx.stash_len >= super::STASH_THROTTLE;
+        let throttled =
+            ctx.stash_len >= super::STASH_THROTTLE || ctx.wire_stash.len() >= super::STASH_THROTTLE;
         if !did_work && !quiescing && !app.local_done() && !throttled {
             did_work = app.on_idle(ctx);
         }
@@ -302,6 +317,10 @@ fn quarantine(shared: &Shared, me: WorkerId, ctx: &mut NativeWorkerCtx<'_>) {
     // flush is a no-op (the aggregator was just abandoned).
     ctx.pending_dropped += ctx.abandon_production();
     ctx.flush();
+    // The PP flush above may have emitted cross-node messages into the wire
+    // buffer (the group receiver can live on another node); ship them — a
+    // quarantined worker forwards, it only stops delivering.
+    ctx.ship_wire();
     ctx.publish_sent();
     ctx.publish_dropped();
     let mut beats = shared.heartbeats[me_i].load(Ordering::Relaxed);
@@ -315,6 +334,7 @@ fn quarantine(shared: &Shared, me: WorkerId, ctx: &mut NativeWorkerCtx<'_>) {
         shared.stash_depth[me_i].store(ctx.stash_len as u64, Ordering::Relaxed);
         ctx.refresh_now();
         let mut did_work = ctx.flush_stash();
+        did_work |= ctx.flush_wire_stash();
         did_work |= ctx.flush_pending_returns();
         for dst in 0..workers {
             while let Some(spent) = mesh.return_ring(me_i, dst).pop() {
@@ -325,6 +345,16 @@ fn quarantine(shared: &Shared, me: WorkerId, ctx: &mut NativeWorkerCtx<'_>) {
         for src in 0..workers {
             while let Some(envelope) = mesh.ring(src, me_i).pop() {
                 ctx.pending_dropped += ctx.drop_envelope(src, envelope);
+                did_work = true;
+            }
+        }
+        // Cross-node traffic the leader regrouped for this (now dead)
+        // worker: undeliverable, so it joins the dropped ledger like any
+        // other inbound envelope.
+        if let Some(plane) = &shared.node_plane {
+            while let Some(batch) = plane.downlink[me_i].pop() {
+                ctx.pending_dropped += batch.len() as u64;
+                ctx.retain_spare(batch);
                 did_work = true;
             }
         }

@@ -68,6 +68,7 @@
 mod ctx;
 mod faults;
 mod mesh;
+mod node;
 mod star;
 
 use std::any::Any;
@@ -81,9 +82,10 @@ use metrics::LatencySummary;
 use metrics::{Counters, LatencyRecorder};
 use net_model::{Topology, WorkerId};
 use runtime_api::{
-    ArenaAudit, Backend, CommonConfig, FaultPlan, Payload, RunDiagnostics, RunOutcome, RunReport,
-    WorkerApp,
+    ArenaAudit, Backend, CommonConfig, FaultKind, FaultPlan, NodeDiag, Payload, RunDiagnostics,
+    RunOutcome, RunReport, TransportKind, WorkerApp,
 };
+use transport::Transport;
 
 // The native tuning enums live in `runtime-api` so the unified `RunSpec`
 // builder can name them without depending on this crate; re-exported here so
@@ -190,6 +192,12 @@ pub struct NativeBackendConfig {
     /// Deterministic fault plan (`None` = no injection, zero hot-path cost
     /// beyond one `Option` branch per scheduling quantum).
     pub faults: Option<FaultPlan>,
+    /// Inter-node transport for multi-node topologies (`None` = the whole
+    /// cluster runs in-process over the mesh, exactly as before).  When set
+    /// and the topology spans more than one node, each node gains a leader
+    /// thread that re-aggregates cross-node traffic and ships it over this
+    /// wire — see the `node` module.  Requires the mesh delivery topology.
+    pub transport: Option<TransportKind>,
     /// Graceful shutdown on SIGINT/SIGTERM: block the signals for the run and
     /// poll them from the monitor; a delivered signal quiesces the run (stop
     /// generating, final flush, drain, report `Degraded`) instead of killing
@@ -221,6 +229,7 @@ impl NativeBackendConfig {
             pin_workers: false,
             numa_aware: true,
             faults: None,
+            transport: None,
             graceful_signals: false,
         }
     }
@@ -293,6 +302,14 @@ impl NativeBackendConfig {
     /// [`NativeBackendConfig::graceful_signals`]).
     pub fn with_graceful_signals(mut self, graceful: bool) -> Self {
         self.graceful_signals = graceful;
+        self
+    }
+
+    /// Select the inter-node transport (`None` keeps the whole cluster
+    /// in-process).  Only takes effect on topologies with more than one
+    /// node.
+    pub fn with_transport(mut self, transport: Option<TransportKind>) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -511,6 +528,10 @@ pub(crate) struct Shared {
     pub(crate) numa_aware: bool,
     /// The delivery topology's data plane.
     pub(crate) plane: Plane,
+    /// The node tier's data plane: worker↔leader rings, per-link control
+    /// blocks and the per-node drop ledgers.  `None` unless the run spans
+    /// multiple nodes over a real transport.
+    pub(crate) node_plane: Option<node::NodePlane>,
 }
 
 impl Shared {
@@ -534,12 +555,16 @@ impl Shared {
             .sum()
     }
 
-    /// Sum of the per-worker dropped counters (Acquire loads).
+    /// Sum of the per-worker dropped counters plus the node tier's drop
+    /// ledgers (Acquire loads) — the full right-hand side of the
+    /// cross-node conservation invariant.
     fn dropped_sum(&self) -> u64 {
-        self.items_dropped
+        let workers: u64 = self
+            .items_dropped
             .iter()
             .map(|c| c.load(Ordering::Acquire))
-            .sum()
+            .sum();
+        workers + self.node_plane.as_ref().map_or(0, |p| p.dropped_sum())
     }
 
     /// Record a worker panic: the flag unblocks the monitor's done scan, the
@@ -669,6 +694,51 @@ pub fn run_threaded(
     };
     // Single-node placement needs no binding and no drain-order bias.
     let numa_aware = worker_node.iter().any(|&n| n != 0);
+    // The node-leader tier exists only when the topology actually spans
+    // nodes AND a transport was asked for; otherwise multi-node topologies
+    // keep running entirely in-process, exactly as before.
+    let node_transport = config.transport.filter(|_| topo.nodes() > 1);
+    if node_transport.is_some() {
+        assert_eq!(
+            config.delivery,
+            DeliveryTopology::Mesh,
+            "the node-leader tier requires the mesh delivery topology"
+        );
+    }
+    let transports: Vec<Box<dyn Transport>> = match node_transport {
+        None => Vec::new(),
+        // Mesh construction failures are configuration/environment errors
+        // caught before any worker spawns — panicking here is a clean
+        // refusal, not a mid-run crash.
+        Some(TransportKind::Tcp) => {
+            transport::TcpTransport::loopback_mesh(topo.nodes(), config.common.seed)
+                .expect("failed to build the loopback TCP mesh")
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect()
+        }
+        Some(TransportKind::Uds) => {
+            #[cfg(unix)]
+            {
+                transport::UdsTransport::pair_mesh(topo.nodes())
+                    .expect("failed to build the unix-domain socket mesh")
+                    .into_iter()
+                    .map(|t| Box::new(t) as Box<dyn Transport>)
+                    .collect()
+            }
+            #[cfg(not(unix))]
+            {
+                panic!("the uds transport is only available on unix hosts")
+            }
+        }
+        Some(TransportKind::Sim) => {
+            transport::SimTransport::mesh(topo.nodes(), net_model::AlphaBeta::loopback())
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect()
+        }
+    };
+    let node_plane = node_transport.map(|_| node::NodePlane::new(topo.nodes(), workers));
     let shared = Shared {
         tram: config.common.tram,
         topo,
@@ -704,6 +774,7 @@ pub fn run_threaded(
         worker_node,
         numa_aware,
         plane,
+        node_plane,
     };
     let apps: Vec<Box<dyn WorkerApp>> = topo.all_workers().map(&mut make_app).collect();
 
@@ -732,9 +803,18 @@ pub fn run_threaded(
         None
     };
     let mut interrupted_by: Option<i32> = None;
+    let mut node_reports: Vec<NodeDiag> = Vec::new();
     std::thread::scope(|scope| {
         let shared = &shared;
         let mut collector = None;
+        // Node leaders spawn alongside the workers and exit on the same
+        // `stop` flag; they never gate the start barrier because they move
+        // no traffic until workers feed their uplinks.
+        let leader_handles: Vec<_> = transports
+            .into_iter()
+            .enumerate()
+            .map(|(n, t)| scope.spawn(move || node::leader_main(shared, n as u32, t)))
+            .collect();
         let handles: Vec<_> = match star_channels {
             Some((msg_rx, local_rxs)) => {
                 collector = Some(scope.spawn(move || star::collector_main(shared, msg_rx)));
@@ -848,6 +928,15 @@ pub fn run_threaded(
                 )),
             }
         }
+        for (n, handle) in leader_handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(diag) => node_reports.push(diag),
+                Err(payload) => join_failures.push(format!(
+                    "node {n} leader thread died: {}",
+                    panic_message(payload.as_ref())
+                )),
+            }
+        }
     });
 
     let mut counters = collector_counters;
@@ -910,7 +999,8 @@ pub fn run_threaded(
         })
         .collect();
     let leaked_slabs: u32 = arena_audits.iter().map(|a| a.leaked).sum();
-    let faults_injected = shared.faults_fired.load(Ordering::Relaxed);
+    let wire_faults_fired: u64 = node_reports.iter().map(|d| d.wire_faults_fired).sum();
+    let faults_injected = shared.faults_fired.load(Ordering::Relaxed) + wire_faults_fired;
     let items_dropped = shared.dropped_sum();
     counters.add("leaked_slabs", leaked_slabs as u64);
     counters.add("faults_injected", faults_injected);
@@ -923,8 +1013,55 @@ pub fn run_threaded(
 
     let items_sent = shared.sent_sum();
     let items_delivered = shared.delivered_sum();
+    // A cut inter-node link means traffic was adopted into the drop ledger:
+    // the run *settled* (conservation holds) but did not complete, so it
+    // aborts with exact books.  The reason is derived from the fault plan
+    // (plan order), not from which leader noticed first — identical across
+    // runs of the same seed even though cut propagation is racy.
+    let any_link_cut = node_reports.iter().any(|d| d.links.iter().any(|l| !l.up));
+    let wire_cut_reason = if any_link_cut {
+        let planned = |kind_is: fn(&FaultKind) -> bool| {
+            shared
+                .faults
+                .as_ref()
+                .and_then(|plan| plan.iter().find(|s| kind_is(&s.kind)).map(|s| s.worker))
+        };
+        Some(
+            if let Some(node) = planned(|k| matches!(k, FaultKind::NetPartition)) {
+                format!("wire partition: node {node} isolated")
+            } else if let Some(node) = planned(|k| matches!(k, FaultKind::NetDisconnect)) {
+                format!("wire disconnect: node {node} link cut")
+            } else {
+                // No planned cut (a real peer death or exhausted retransmit
+                // budget): prefer the initiating side's concrete cause over
+                // the other side's generic "peer cut" echo, then first in
+                // node/peer order.
+                let cuts: Vec<(u32, u32, Option<String>)> = node_reports
+                    .iter()
+                    .flat_map(|d| {
+                        d.links
+                            .iter()
+                            .filter(|l| !l.up)
+                            .map(move |l| (d.node, l.peer, l.cause.clone()))
+                    })
+                    .collect();
+                cuts.iter()
+                    .find(|(_, _, c)| c.as_deref().is_some_and(|c| c != "peer cut"))
+                    .or_else(|| cuts.first())
+                    .map(|(node, peer, cause)| {
+                        format!(
+                            "wire failure: node {node} link to node {peer} cut ({})",
+                            cause.clone().unwrap_or_else(|| "unknown".to_string())
+                        )
+                    })
+                    .unwrap_or_else(|| "wire failure: link cut".to_string())
+            },
+        )
+    } else {
+        None
+    };
     let outcome = match verdict {
-        Verdict::Quiescent if join_failures.is_empty() => {
+        Verdict::Quiescent if join_failures.is_empty() && wire_cut_reason.is_none() => {
             if faults_injected == 0 && interrupted_by.is_none() {
                 RunOutcome::Clean
             } else {
@@ -963,13 +1100,17 @@ pub fn run_threaded(
                     .sum(),
                 inflight_ring_envelopes: shared.plane.inflight_envelopes(),
                 arena_audits: arena_audits.clone(),
+                node_reports: node_reports.clone(),
             };
             // Reason selection is deterministic per seed: the first panic in
-            // worker order beats join failures beats the watchdog.
+            // worker order beats join failures beats wire cuts beats the
+            // watchdog.
             let reason = if let Some((w, msg)) = panic_notes.first() {
                 format!("worker {w} panicked: {msg}")
             } else if let Some(failure) = join_failures.first() {
                 failure.clone()
+            } else if let Some(cut) = wire_cut_reason {
+                cut
             } else {
                 format!(
                     "watchdog: not quiescent within {:.3}s",
@@ -994,6 +1135,7 @@ pub fn run_threaded(
         items_sent,
         items_delivered,
         outcome,
+        node_reports,
     }
 }
 

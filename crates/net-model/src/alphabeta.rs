@@ -47,6 +47,15 @@ impl AlphaBeta {
         self
     }
 
+    /// The cost model the node tier's simulated transport uses by default:
+    /// loopback-ish α (a few µs of stack traversal) with ~12 GB/s of
+    /// bandwidth, i.e. Delta's measured small-message regime (Fig. 1)
+    /// squeezed onto one host.  Deterministic multi-node sweeps charge
+    /// this per frame instead of waiting on real sockets.
+    pub fn loopback() -> Self {
+        Self::from_bandwidth(2_200.0, 12.0)
+    }
+
     /// One-way wire time for a message of `bytes`, in nanoseconds.
     pub fn one_way_ns(&self, bytes: u64) -> f64 {
         let mut t = self.alpha_ns + self.beta_ns_per_byte * bytes as f64;

@@ -54,6 +54,27 @@ pub enum FaultKind {
         /// Number of scheduling quanta to skip draining for.
         quanta: u32,
     },
+    /// Wire fault: the node leader silently drops one outbound batch frame.
+    /// Retransmission recovers it; the run ends `Degraded` with exact
+    /// delivery.
+    NetDrop,
+    /// Wire fault: one outbound batch frame is held for the given duration
+    /// before being sent.  Dedup absorbs any overlap with a retransmit.
+    NetDelay {
+        /// Hold duration in microseconds.
+        micros: u32,
+    },
+    /// Wire fault: one outbound batch frame is sent twice.  The receiver's
+    /// replay guard must reject the second copy.
+    NetDuplicate,
+    /// Wire fault: the link from this node to its next peer is severed in
+    /// both directions, as if the peer closed the socket.  In-flight and
+    /// future traffic on the link is adopted into the drop ledger.
+    NetDisconnect,
+    /// Wire fault: the node is isolated from every peer — all outbound and
+    /// inbound frames (heartbeats included) are discarded for the rest of
+    /// the run.  Peers detect the silence via heartbeat timeout.
+    NetPartition,
 }
 
 impl FaultKind {
@@ -65,7 +86,26 @@ impl FaultKind {
             FaultKind::Stall { .. } => "stall",
             FaultKind::ArenaDry { .. } => "arena-dry",
             FaultKind::RingBurst { .. } => "ring-burst",
+            FaultKind::NetDrop => "drop",
+            FaultKind::NetDelay { .. } => "delay",
+            FaultKind::NetDuplicate => "duplicate",
+            FaultKind::NetDisconnect => "disconnect",
+            FaultKind::NetPartition => "partition",
         }
+    }
+
+    /// Whether this is a transport (node-scoped) fault rather than a
+    /// worker-scoped one.  Net faults are compiled by node leaders, never
+    /// by workers.
+    pub fn is_net(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::NetDrop
+                | FaultKind::NetDelay { .. }
+                | FaultKind::NetDuplicate
+                | FaultKind::NetDisconnect
+                | FaultKind::NetPartition
+        )
     }
 }
 
@@ -78,12 +118,20 @@ pub enum FaultTrigger {
     /// Fire once the worker has emitted at least this many flush messages
     /// (explicit / idle / timeout flushes, not buffer-full seals).
     Flushes(u64),
+    /// Fire on the node leader's N-th batch-frame send (1-based, counted
+    /// across all peers).  Only meaningful for net fault kinds.
+    Sends(u64),
 }
 
-/// One worker-scoped fault: which worker, what happens, and when.
+/// One scoped fault: who it targets, what happens, and when.
+///
+/// For worker kinds `worker` is the global worker PE id; for net kinds
+/// (`FaultKind::is_net`) the same field carries the *node* id whose leader
+/// injects the fault — the CLI grammar makes the distinction explicit with
+/// the `worker=`/`node=` prefixes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
-    /// The worker PE (global worker id) this fault targets.
+    /// The worker PE (global worker id) — or, for net faults, the node id.
     pub worker: u32,
     /// What happens.
     pub kind: FaultKind,
@@ -100,19 +148,34 @@ impl FaultSpec {
     /// worker=<w>,stall:<micros>@item=<n>
     /// worker=<w>,arena-dry:<micros>@item=<n>
     /// worker=<w>,ring-burst:<quanta>@item=<n>
+    /// node=<n>,<kind>@send=<k>          kind in {drop, delay, duplicate, disconnect, partition}
+    /// node=<n>,delay:<micros>@send=<k>
     /// ```
     ///
-    /// e.g. `worker=2,panic@item=10000` or `worker=0,stall:5000@flush=3`.
+    /// e.g. `worker=2,panic@item=10000`, `worker=0,stall:5000@flush=3` or
+    /// `node=1,partition@send=3`.  Worker faults trigger on per-worker item
+    /// or flush counts; net faults target a node's leader and trigger on
+    /// its batch-frame send count.
     pub fn parse(s: &str) -> Result<Self, String> {
         let err = |msg: &str| format!("bad fault spec '{s}': {msg}");
-        let (worker_part, rest) = s
-            .split_once(',')
-            .ok_or_else(|| err("expected 'worker=<w>,<kind>@<trigger>'"))?;
-        let worker = worker_part
-            .strip_prefix("worker=")
-            .ok_or_else(|| err("expected 'worker=<w>' before the comma"))?
-            .parse::<u32>()
-            .map_err(|_| err("worker id is not an integer"))?;
+        let (scope_part, rest) = s.split_once(',').ok_or_else(|| {
+            err("expected 'worker=<w>,<kind>@<trigger>' or 'node=<n>,<kind>@send=<k>'")
+        })?;
+        let (worker, node_scoped) = if let Some(w) = scope_part.strip_prefix("worker=") {
+            (
+                w.parse::<u32>()
+                    .map_err(|_| err("worker id is not an integer"))?,
+                false,
+            )
+        } else if let Some(n) = scope_part.strip_prefix("node=") {
+            (
+                n.parse::<u32>()
+                    .map_err(|_| err("node id is not an integer"))?,
+                true,
+            )
+        } else {
+            return Err(err("expected 'worker=<w>' or 'node=<n>' before the comma"));
+        };
         let (kind_part, trigger_part) = rest
             .split_once('@')
             .ok_or_else(|| err("expected '<kind>@<trigger>'"))?;
@@ -128,19 +191,16 @@ impl FaultSpec {
                 None => Ok(default),
             }
         };
+        let no_param = |kind: FaultKind| -> Result<FaultKind, String> {
+            if param.is_some() {
+                Err(err(&format!("{} takes no parameter", kind.label())))
+            } else {
+                Ok(kind)
+            }
+        };
         let kind = match kind_name {
-            "panic" => {
-                if param.is_some() {
-                    return Err(err("panic takes no parameter"));
-                }
-                FaultKind::Panic
-            }
-            "kill" => {
-                if param.is_some() {
-                    return Err(err("kill takes no parameter"));
-                }
-                FaultKind::Kill
-            }
+            "panic" => no_param(FaultKind::Panic)?,
+            "kill" => no_param(FaultKind::Kill)?,
             "stall" => FaultKind::Stall {
                 micros: parse_param(DEFAULT_STALL_MICROS)?,
             },
@@ -150,12 +210,26 @@ impl FaultSpec {
             "ring-burst" => FaultKind::RingBurst {
                 quanta: parse_param(DEFAULT_RING_BURST_QUANTA)?,
             },
+            "drop" => no_param(FaultKind::NetDrop)?,
+            "delay" => FaultKind::NetDelay {
+                micros: parse_param(DEFAULT_NET_DELAY_MICROS)?,
+            },
+            "duplicate" => no_param(FaultKind::NetDuplicate)?,
+            "disconnect" => no_param(FaultKind::NetDisconnect)?,
+            "partition" => no_param(FaultKind::NetPartition)?,
             other => {
                 return Err(err(&format!(
-                    "unknown fault kind '{other}' (panic|kill|stall|arena-dry|ring-burst)"
+                    "unknown fault kind '{other}' (panic|kill|stall|arena-dry|ring-burst|drop|delay|duplicate|disconnect|partition)"
                 )))
             }
         };
+        if kind.is_net() != node_scoped {
+            return Err(err(if node_scoped {
+                "node= scope requires a net fault kind (drop|delay|duplicate|disconnect|partition)"
+            } else {
+                "net fault kinds require the 'node=<n>' scope"
+            }));
+        }
         let trigger = if let Some(n) = trigger_part.strip_prefix("item=") {
             FaultTrigger::Items(
                 n.parse::<u64>()
@@ -166,9 +240,22 @@ impl FaultSpec {
                 n.parse::<u64>()
                     .map_err(|_| err("flush trigger is not an integer"))?,
             )
+        } else if let Some(n) = trigger_part.strip_prefix("send=") {
+            FaultTrigger::Sends(
+                n.parse::<u64>()
+                    .map_err(|_| err("send trigger is not an integer"))?,
+            )
         } else {
-            return Err(err("expected 'item=<n>' or 'flush=<n>' after '@'"));
+            return Err(err(
+                "expected 'item=<n>', 'flush=<n>' or 'send=<k>' after '@'",
+            ));
         };
+        match (kind.is_net(), trigger) {
+            (true, FaultTrigger::Sends(_))
+            | (false, FaultTrigger::Items(_) | FaultTrigger::Flushes(_)) => {}
+            (true, _) => return Err(err("net faults trigger on 'send=<k>'")),
+            (false, _) => return Err(err("worker faults trigger on 'item=<n>' or 'flush=<n>'")),
+        }
         Ok(Self {
             worker,
             kind,
@@ -184,6 +271,9 @@ pub const DEFAULT_ARENA_DRY_MICROS: u32 = 20_000;
 /// Default ring-burst length when `--fault ...,ring-burst@...` gives no
 /// parameter.
 pub const DEFAULT_RING_BURST_QUANTA: u32 = 2_000;
+/// Default wire-delay hold when `--fault node=...,delay@...` gives no
+/// parameter.
+pub const DEFAULT_NET_DELAY_MICROS: u32 = 10_000;
 
 /// A seeded, deterministic plan of up to [`MAX_FAULTS`] worker-scoped faults.
 ///
@@ -264,9 +354,37 @@ impl FaultPlan {
         self.faults.iter().flatten()
     }
 
-    /// The faults targeting one worker, in insertion order.
+    /// The worker-scoped faults targeting one worker, in insertion order.
+    /// Net faults never match — they are node-scoped and compiled by node
+    /// leaders via [`FaultPlan::for_node`].
     pub fn for_worker(&self, worker: u32) -> impl Iterator<Item = &FaultSpec> {
-        self.iter().filter(move |f| f.worker == worker)
+        self.iter()
+            .filter(move |f| f.worker == worker && !f.kind.is_net())
+    }
+
+    /// The net faults targeting one node's leader, in insertion order.
+    pub fn for_node(&self, node: u32) -> impl Iterator<Item = &FaultSpec> {
+        self.iter()
+            .filter(move |f| f.worker == node && f.kind.is_net())
+    }
+
+    /// Whether the plan holds any transport (net) faults.
+    pub fn has_net_faults(&self) -> bool {
+        self.iter().any(|f| f.kind.is_net())
+    }
+
+    /// Convenience: inject a net fault of `kind` on `node`'s leader at its
+    /// `sends`-th batch-frame send.
+    ///
+    /// # Panics
+    /// Panics if `kind` is not a net fault kind.
+    pub fn net_at_sends(self, node: u32, kind: FaultKind, sends: u64) -> Self {
+        assert!(kind.is_net(), "net_at_sends requires a net fault kind");
+        self.with_fault(FaultSpec {
+            worker: node,
+            kind,
+            trigger: FaultTrigger::Sends(sends),
+        })
     }
 
     /// Build a plan from parsed CLI `--fault` specs.
@@ -340,9 +458,64 @@ mod tests {
             "worker=1,panic@after=1",    // unknown trigger
             "worker=1,stall:abc@item=1", // non-integer param
             "worker=1,panic@item=lots",  // non-integer trigger
+            "worker=1,drop@send=1",      // net kind needs node= scope
+            "node=1,panic@item=1",       // node= scope needs a net kind
+            "node=1,drop@item=1",        // net faults trigger on send=
+            "worker=1,panic@send=1",     // worker faults never trigger on send=
+            "node=1,drop:9@send=1",      // drop takes no param
+            "node=x,drop@send=1",        // non-integer node
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_net_fault_kinds() {
+        let f = FaultSpec::parse("node=1,partition@send=3").unwrap();
+        assert_eq!(f.worker, 1);
+        assert_eq!(f.kind, FaultKind::NetPartition);
+        assert_eq!(f.trigger, FaultTrigger::Sends(3));
+        assert!(f.kind.is_net());
+
+        assert_eq!(
+            FaultSpec::parse("node=0,drop@send=2").unwrap().kind,
+            FaultKind::NetDrop
+        );
+        assert_eq!(
+            FaultSpec::parse("node=0,delay@send=2").unwrap().kind,
+            FaultKind::NetDelay {
+                micros: DEFAULT_NET_DELAY_MICROS
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("node=0,delay:250@send=2").unwrap().kind,
+            FaultKind::NetDelay { micros: 250 }
+        );
+        assert_eq!(
+            FaultSpec::parse("node=0,duplicate@send=2").unwrap().kind,
+            FaultKind::NetDuplicate
+        );
+        assert_eq!(
+            FaultSpec::parse("node=2,disconnect@send=1").unwrap().kind,
+            FaultKind::NetDisconnect
+        );
+    }
+
+    #[test]
+    fn net_faults_are_node_scoped_not_worker_scoped() {
+        let plan =
+            FaultPlan::seeded(1)
+                .panic_at_items(1, 10)
+                .net_at_sends(1, FaultKind::NetPartition, 2);
+        assert!(plan.has_net_faults());
+        // Worker 1 sees only the panic; node 1's leader sees only the
+        // partition — the shared id never leaks across scopes.
+        let worker_kinds: Vec<_> = plan.for_worker(1).map(|f| f.kind.label()).collect();
+        assert_eq!(worker_kinds, ["panic"]);
+        let node_kinds: Vec<_> = plan.for_node(1).map(|f| f.kind.label()).collect();
+        assert_eq!(node_kinds, ["partition"]);
+        assert_eq!(plan.for_node(0).count(), 0);
+        assert!(!FaultPlan::seeded(0).panic_at_items(0, 1).has_net_faults());
     }
 
     #[test]
@@ -386,5 +559,10 @@ mod tests {
         assert_eq!(FaultKind::Stall { micros: 1 }.label(), "stall");
         assert_eq!(FaultKind::ArenaDry { micros: 1 }.label(), "arena-dry");
         assert_eq!(FaultKind::RingBurst { quanta: 1 }.label(), "ring-burst");
+        assert_eq!(FaultKind::NetDrop.label(), "drop");
+        assert_eq!(FaultKind::NetDelay { micros: 1 }.label(), "delay");
+        assert_eq!(FaultKind::NetDuplicate.label(), "duplicate");
+        assert_eq!(FaultKind::NetDisconnect.label(), "disconnect");
+        assert_eq!(FaultKind::NetPartition.label(), "partition");
     }
 }

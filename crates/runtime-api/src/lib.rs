@@ -37,11 +37,13 @@ pub use app::{RunCtx, WorkerApp};
 pub use backend::{Backend, ParseBackendError};
 pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultTrigger, MAX_FAULTS};
 pub use payload::Payload;
-pub use report::{ArenaAudit, ProcessExit, RunDiagnostics, RunOutcome, RunReport};
+pub use report::{
+    ArenaAudit, LinkReport, NodeDiag, ProcessExit, RunDiagnostics, RunOutcome, RunReport,
+};
 pub use spec::{
     open_loop, AppDefaults, AppFactory, AppSpec, ArrivalProcess, ClusterSpec, CommonArgs,
     CommonConfig, DeliveryTopology, KernelMode, LoadShape, MessageStore, OpenLoad, ResolvedRunSpec,
-    RunSpec, SloPolicy, DEFAULT_SEED,
+    RunSpec, SloPolicy, TransportKind, DEFAULT_SEED,
 };
 // Re-exported so applications can implement `WorkerApp::on_item_slice`
 // without naming `tramlib` directly.

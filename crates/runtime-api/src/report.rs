@@ -62,6 +62,87 @@ impl std::fmt::Display for ProcessExit {
     }
 }
 
+/// State of one inter-node link as seen from one end at teardown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkReport {
+    /// The peer node.
+    pub peer: u32,
+    /// Whether the link was still healthy when the run ended.
+    pub up: bool,
+    /// Why the link was cut (`None` while up): a stable cause label like
+    /// `partition fault`, `disconnect fault`, `heartbeat timeout`,
+    /// `retransmit budget exhausted`, `peer closed`.
+    pub cause: Option<String>,
+}
+
+/// Per-node transport diagnostics from the node-leader tier: connection
+/// state, reliability counters and the node's share of the drop ledger.
+/// Present on every multi-node run (clean or not) via
+/// [`RunReport::node_reports`], and embedded in [`RunDiagnostics`] when a
+/// run aborts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeDiag {
+    /// The node this leader served.
+    pub node: u32,
+    /// Transport label: `tcp`, `uds` or `sim`.
+    pub transport: String,
+    /// Batch/control frames sent (first transmissions only).
+    pub frames_sent: u64,
+    /// Frames received and processed.
+    pub frames_received: u64,
+    /// Batch frames re-sent after an ack timeout.
+    pub retransmits: u64,
+    /// Heartbeat intervals that elapsed without hearing from some peer.
+    pub heartbeat_misses: u64,
+    /// Replayed batch frames rejected by the dedup guard.
+    pub duplicates_rejected: u64,
+    /// Items this leader shipped to other nodes.
+    pub items_shipped: u64,
+    /// Items this leader accepted from other nodes.
+    pub items_received: u64,
+    /// Items adopted into the drop ledger when links died (in-flight and
+    /// post-cut traffic toward dead peers).
+    pub items_dropped: u64,
+    /// Wire faults injected by this node's leader.
+    pub wire_faults_fired: u64,
+    /// Modeled one-way wire nanoseconds (simulated transport only; 0 on
+    /// real sockets).
+    pub modeled_wire_ns: u64,
+    /// Per-peer link state at teardown.
+    pub links: Vec<LinkReport>,
+}
+
+impl std::fmt::Display for NodeDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} [{}] frames={}tx/{}rx retx={} hb_miss={} dup={} items={}out/{}in dropped={} faults={} links=[",
+            self.node,
+            self.transport,
+            self.frames_sent,
+            self.frames_received,
+            self.retransmits,
+            self.heartbeat_misses,
+            self.duplicates_rejected,
+            self.items_shipped,
+            self.items_received,
+            self.items_dropped,
+            self.wire_faults_fired,
+        )?;
+        for (i, link) in self.links.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match (&link.up, &link.cause) {
+                (true, _) => write!(f, "{}:up", link.peer)?,
+                (false, Some(cause)) => write!(f, "{}:cut({cause})", link.peer)?,
+                (false, None) => write!(f, "{}:cut", link.peer)?,
+            }
+        }
+        f.write_str("]")
+    }
+}
+
 /// Structured diagnostics captured when a run ends `Aborted`: the occupancy
 /// snapshot the watchdog's escalation ladder dumps before giving up, plus the
 /// slab reclamation audit.
@@ -92,6 +173,9 @@ pub struct RunDiagnostics {
     /// Abnormal per-process exit statuses (multi-process backend only;
     /// empty on the simulator and the threaded backend).
     pub process_exits: Vec<ProcessExit>,
+    /// Per-node transport diagnostics (node-leader tier only; empty on
+    /// single-node runs).
+    pub node_reports: Vec<NodeDiag>,
 }
 
 impl RunDiagnostics {
@@ -127,6 +211,16 @@ impl RunDiagnostics {
                     s.push_str(", ");
                 }
                 s.push_str(&exit.to_string());
+            }
+            s.push(']');
+        }
+        if !self.node_reports.is_empty() {
+            s.push_str(" nodes=[");
+            for (i, node) in self.node_reports.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("; ");
+                }
+                s.push_str(&node.to_string());
             }
             s.push(']');
         }
@@ -240,6 +334,10 @@ pub struct RunReport {
     /// How the run ended: clean, degraded by injected faults, or aborted
     /// with a reason and diagnostics.
     pub outcome: RunOutcome,
+    /// Per-node transport diagnostics from the node-leader tier: one entry
+    /// per node on multi-node native runs (whatever the outcome), empty
+    /// everywhere else.
+    pub node_reports: Vec<NodeDiag>,
 }
 
 impl RunReport {
@@ -293,6 +391,9 @@ impl RunReport {
                 self.delivery_batch_len.max()
             ));
         }
+        for node in &self.node_reports {
+            s.push_str(&format!("\n  {node}"));
+        }
         s
     }
 
@@ -336,6 +437,30 @@ impl RunReport {
         } else {
             s.push_str(",\"delivery_batch_len\":null");
         }
+        if !self.node_reports.is_empty() {
+            s.push_str(",\"nodes\":[");
+            for (i, n) in self.node_reports.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"node\":{},\"transport\":\"{}\",\"frames_sent\":{},\"frames_received\":{},\"retransmits\":{},\"heartbeat_misses\":{},\"duplicates_rejected\":{},\"items_shipped\":{},\"items_received\":{},\"items_dropped\":{},\"wire_faults_fired\":{},\"links_up\":{}}}",
+                    n.node,
+                    n.transport,
+                    n.frames_sent,
+                    n.frames_received,
+                    n.retransmits,
+                    n.heartbeat_misses,
+                    n.duplicates_rejected,
+                    n.items_shipped,
+                    n.items_received,
+                    n.items_dropped,
+                    n.wire_faults_fired,
+                    n.links.iter().filter(|l| l.up).count()
+                ));
+            }
+            s.push(']');
+        }
         s.push('}');
         s
     }
@@ -362,6 +487,7 @@ mod tests {
             items_sent: 10,
             items_delivered: 10,
             outcome: RunOutcome::Clean,
+            node_reports: Vec::new(),
         }
     }
 
@@ -472,6 +598,50 @@ mod tests {
         assert!(json.contains("\"abort_reason\":\"worker 2 panicked: \\\"boom\\\"\""));
         assert!(json.contains("\"leaked_slabs\":1"));
         assert!(r.summary().contains("outcome=aborted: worker 2 panicked"));
+    }
+
+    #[test]
+    fn node_diag_rendering() {
+        let mut r = report();
+        assert!(!r.to_json().contains("\"nodes\""));
+        let diag = NodeDiag {
+            node: 1,
+            transport: "tcp".into(),
+            frames_sent: 12,
+            frames_received: 9,
+            retransmits: 1,
+            heartbeat_misses: 4,
+            items_shipped: 300,
+            items_received: 250,
+            items_dropped: 50,
+            links: vec![
+                LinkReport {
+                    peer: 0,
+                    up: true,
+                    cause: None,
+                },
+                LinkReport {
+                    peer: 2,
+                    up: false,
+                    cause: Some("heartbeat timeout".into()),
+                },
+            ],
+            ..NodeDiag::default()
+        };
+        let line = diag.to_string();
+        assert!(line.contains("node 1 [tcp]"));
+        assert!(line.contains("retx=1"));
+        assert!(line.contains("links=[0:up, 2:cut(heartbeat timeout)]"));
+        r.node_reports = vec![diag.clone()];
+        assert!(r.summary().contains("node 1 [tcp]"));
+        let json = r.to_json();
+        assert!(json.contains("\"nodes\":[{\"node\":1,\"transport\":\"tcp\""));
+        assert!(json.contains("\"links_up\":1"));
+        let in_diag = RunDiagnostics {
+            node_reports: vec![diag],
+            ..RunDiagnostics::default()
+        };
+        assert!(in_diag.render().contains("nodes=[node 1 [tcp]"));
     }
 
     #[test]

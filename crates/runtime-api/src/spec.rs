@@ -45,6 +45,51 @@ use crate::faults::{FaultPlan, FaultSpec};
 /// The default experiment seed shared by both backends.
 pub const DEFAULT_SEED: u64 = 0x5eed_1234;
 
+/// Which wire the node-leader tier ships cross-node batches over.
+///
+/// Only consulted when the cluster has more than one node and the backend is
+/// the native runtime; single-node runs never start leaders regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Real TCP over loopback with ephemeral ports (Nagle disabled).
+    Tcp,
+    /// Unix-domain socket pairs (no filesystem paths, Unix only).
+    Uds,
+    /// The `net-model` α–β-costed in-memory mesh: deterministic multi-node
+    /// sweeps without sockets.
+    Sim,
+}
+
+impl TransportKind {
+    /// Canonical lowercase label, matching the `--transport` CLI values.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+            TransportKind::Sim => "sim",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tcp" => Ok(TransportKind::Tcp),
+            "uds" => Ok(TransportKind::Uds),
+            "sim" => Ok(TransportKind::Sim),
+            other => Err(format!("unknown transport '{other}' (tcp|uds|sim)")),
+        }
+    }
+}
+
 /// The configuration fields shared by both execution backends: the TramLib
 /// setup (scheme, topology, buffer geometry, flush policy) and the experiment
 /// seed every worker derives its RNG stream from.
@@ -436,6 +481,10 @@ pub struct ResolvedRunSpec {
     /// run, the fault machinery compiles down to one skipped branch per
     /// scheduling quantum).
     pub faults: Option<FaultPlan>,
+    /// Native backend: wire the node-leader tier over this transport when the
+    /// cluster spans more than one node (`None` = in-process mesh only, the
+    /// pre-node-tier behaviour).
+    pub transport: Option<TransportKind>,
     /// Simulator: event-budget override.
     pub event_budget: Option<u64>,
 }
@@ -483,6 +532,8 @@ pub struct RunSpec {
     kernel: KernelMode,
     max_wall: Option<Duration>,
     faults: Option<FaultPlan>,
+    transport: Option<TransportKind>,
+    nodes_override: Option<u32>,
     event_budget: Option<u64>,
 }
 
@@ -507,6 +558,8 @@ impl RunSpec {
             kernel: KernelMode::default(),
             max_wall: None,
             faults: None,
+            transport: None,
+            nodes_override: None,
             event_budget: None,
         }
     }
@@ -623,6 +676,23 @@ impl RunSpec {
         self
     }
 
+    /// Native backend: ship cross-node traffic through the node-leader tier
+    /// over this transport.  Meaningless (and ignored at runtime) unless the
+    /// cluster spans more than one node.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = Some(kind);
+        self
+    }
+
+    /// Override the node count while keeping the rest of the cluster shape
+    /// (the app's default or whatever [`RunSpec::cluster`] set).  This is how
+    /// `--nodes N` scales a single-node spec out to a leader mesh.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes > 0, "a run needs at least one node");
+        self.nodes_override = Some(nodes);
+        self
+    }
+
     /// Simulator: event-budget override.
     pub fn event_budget(mut self, budget: u64) -> Self {
         self.event_budget = Some(budget);
@@ -637,9 +707,13 @@ impl RunSpec {
     /// Apply the app's defaults to every unset field.
     pub fn resolve(&self) -> ResolvedRunSpec {
         let defaults = self.app.defaults();
+        let mut cluster = self.cluster.unwrap_or(defaults.cluster);
+        if let Some(nodes) = self.nodes_override {
+            cluster.nodes = nodes;
+        }
         ResolvedRunSpec {
             backend: self.backend,
-            cluster: self.cluster.unwrap_or(defaults.cluster),
+            cluster,
             scheme: self.scheme.unwrap_or(defaults.scheme),
             buffer_items: self.buffer_items.unwrap_or(defaults.buffer_items),
             item_bytes: self.item_bytes.unwrap_or(defaults.item_bytes),
@@ -654,6 +728,7 @@ impl RunSpec {
             kernel: self.kernel,
             max_wall: self.max_wall,
             faults: self.faults,
+            transport: self.transport,
             event_budget: self.event_budget,
         }
     }
@@ -663,8 +738,10 @@ impl RunSpec {
 /// backends' flag handling cannot drift: `--backend sim|native|process`,
 /// `--seed N`,
 /// `--buffer N`, `--pin`, `--kernel auto|simd|scalar`, `--watchdog-secs S`,
-/// repeatable `--fault worker=<w>,<kind>@item=<n>`, plus generic
-/// `flag`/`value_of` accessors for binary-specific switches.
+/// repeatable `--fault worker=<w>,<kind>@item=<n>` (or
+/// `node=<n>,<kind>@send=<k>` for wire faults), `--transport tcp|uds|sim`,
+/// `--nodes N`, plus generic `flag`/`value_of` accessors for binary-specific
+/// switches.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
     /// `--backend sim|native|process` (default: the simulator).
@@ -682,6 +759,10 @@ pub struct CommonArgs {
     pub watchdog_secs: Option<f64>,
     /// Every `--fault <spec>` occurrence, in order (see [`FaultSpec::parse`]).
     pub faults: Vec<FaultSpec>,
+    /// `--transport tcp|uds|sim`, if given: node-leader wire selection.
+    pub transport: Option<TransportKind>,
+    /// `--nodes N`, if given: override the cluster's node count.
+    pub nodes: Option<u32>,
     args: Vec<String>,
 }
 
@@ -736,6 +817,13 @@ impl CommonArgs {
             "at most {} --fault specs per run",
             crate::faults::MAX_FAULTS
         );
+        let transport =
+            value_after("--transport").map(|v| v.parse().unwrap_or_else(|e: String| panic!("{e}")));
+        let nodes = value_after("--nodes").map(|v| {
+            let n: u32 = v.parse().expect("--nodes takes a node count");
+            assert!(n > 0, "--nodes takes a positive node count");
+            n
+        });
         Self {
             backend,
             seed,
@@ -744,6 +832,8 @@ impl CommonArgs {
             kernel,
             watchdog_secs,
             faults,
+            transport,
+            nodes,
             args,
         }
     }
@@ -780,6 +870,12 @@ impl CommonArgs {
         if !self.faults.is_empty() {
             let seed = self.seed.unwrap_or(DEFAULT_SEED);
             spec = spec.faults(FaultPlan::from_specs(seed, self.faults.iter().copied()));
+        }
+        if let Some(kind) = self.transport {
+            spec = spec.transport(kind);
+        }
+        if let Some(nodes) = self.nodes {
+            spec = spec.nodes(nodes);
         }
         spec
     }
@@ -933,6 +1029,47 @@ mod tests {
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.seed, DEFAULT_SEED, "plan seed follows the run seed");
         assert_eq!(plan.for_worker(0).count(), 1);
+    }
+
+    #[test]
+    fn transport_kind_round_trips_through_labels() {
+        for kind in [TransportKind::Tcp, TransportKind::Uds, TransportKind::Sim] {
+            assert_eq!(kind.label().parse::<TransportKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert!("carrier-pigeon".parse::<TransportKind>().is_err());
+    }
+
+    #[test]
+    fn common_args_transport_and_nodes() {
+        let args = CommonArgs::from_args(
+            ["--backend", "native", "--transport", "tcp", "--nodes", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(args.transport, Some(TransportKind::Tcp));
+        assert_eq!(args.nodes, Some(2));
+
+        let run = args.apply(RunSpec::for_app(Dummy)).resolve();
+        assert_eq!(run.transport, Some(TransportKind::Tcp));
+        assert_eq!(run.cluster.nodes, 2, "--nodes overrides the app default");
+
+        let defaults = CommonArgs::from_args(Vec::new());
+        assert_eq!(defaults.transport, None);
+        assert_eq!(defaults.nodes, None);
+        let resolved = defaults.apply(RunSpec::for_app(Dummy)).resolve();
+        assert_eq!(resolved.transport, None);
+    }
+
+    #[test]
+    fn nodes_override_keeps_intra_node_shape() {
+        let run = RunSpec::for_app(Dummy)
+            .cluster(ClusterSpec::smp(1, 2, 4))
+            .nodes(3)
+            .resolve();
+        assert_eq!(run.cluster, ClusterSpec::smp(3, 2, 4));
+        assert_eq!(run.cluster.total_workers(), 24);
     }
 
     #[test]

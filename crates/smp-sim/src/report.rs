@@ -49,5 +49,6 @@ pub(crate) fn from_cluster(
         items_sent: cluster.items_sent,
         items_delivered: cluster.items_delivered,
         outcome,
+        node_reports: Vec::new(),
     }
 }

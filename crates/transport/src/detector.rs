@@ -1,0 +1,207 @@
+//! Heartbeat-based peer failure detection.
+//!
+//! Every leader beacons [`FrameKind::Heartbeat`](crate::FrameKind) to each
+//! peer on a fixed interval; *any* frame from a peer counts as liveness.
+//! The detector tracks, per peer, how many whole heartbeat intervals have
+//! elapsed since the last sign of life ("misses") and declares the peer
+//! dead once the silence exceeds the configured timeout.  Miss counts are
+//! surfaced in the per-node diagnostics so a degraded run explains itself.
+
+use std::time::{Duration, Instant};
+
+/// Tuning for heartbeat emission and failure detection.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// How often to beacon a heartbeat to each live peer.
+    pub interval: Duration,
+    /// Silence after which a peer is declared dead.  Must be a comfortable
+    /// multiple of `interval` (the constructor enforces ≥ 3×).
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        // The timeout is deliberately generous relative to the interval: on
+        // an oversubscribed host (CI runners, the 1-core containers the test
+        // suite targets) a healthy peer's leader thread can be descheduled
+        // for hundreds of milliseconds, and a false positive costs the whole
+        // run.  Real peer death in-process surfaces as a socket error long
+        // before this fires.
+        HeartbeatConfig {
+            interval: Duration::from_millis(25),
+            timeout: Duration::from_millis(1_000),
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Validated constructor.
+    pub fn new(interval: Duration, timeout: Duration) -> Self {
+        assert!(
+            timeout >= interval * 3,
+            "heartbeat timeout must be at least 3 intervals"
+        );
+        HeartbeatConfig { interval, timeout }
+    }
+}
+
+/// Liveness state for one peer.
+#[derive(Debug)]
+struct PeerState {
+    last_heard: Instant,
+    misses_reported: u64,
+    dead: bool,
+}
+
+/// Tracks liveness of every peer of one node.
+#[derive(Debug)]
+pub struct FailureDetector {
+    cfg: HeartbeatConfig,
+    peers: Vec<PeerState>,
+    total_misses: u64,
+}
+
+impl FailureDetector {
+    /// A detector for `peers` peers, all considered alive as of `now`.
+    pub fn new(cfg: HeartbeatConfig, peers: usize, now: Instant) -> Self {
+        FailureDetector {
+            cfg,
+            peers: (0..peers)
+                .map(|_| PeerState {
+                    last_heard: now,
+                    misses_reported: 0,
+                    dead: false,
+                })
+                .collect(),
+            total_misses: 0,
+        }
+    }
+
+    /// Record any sign of life from `peer`.
+    pub fn heard(&mut self, peer: usize, now: Instant) {
+        let p = &mut self.peers[peer];
+        p.last_heard = now;
+        p.misses_reported = 0;
+    }
+
+    /// Mark a peer dead out-of-band (socket error, explicit cut) so it is
+    /// no longer scanned.
+    pub fn mark_dead(&mut self, peer: usize) {
+        self.peers[peer].dead = true;
+    }
+
+    /// Forgive all accumulated silence: treat every live peer as heard at
+    /// `now`.  Call this when the *observer* discovers it was descheduled
+    /// for a long stretch — the silence it measured is its own starvation,
+    /// not evidence about the peers, and declaring them dead would be a
+    /// false positive.
+    pub fn pardon(&mut self, now: Instant) {
+        for p in self.peers.iter_mut() {
+            if !p.dead {
+                p.last_heard = now;
+                p.misses_reported = 0;
+            }
+        }
+    }
+
+    /// Whether any sign of life from `peer` arrived within `window` of
+    /// `now`.  Dead peers never qualify.
+    pub fn heard_within(&self, peer: usize, now: Instant, window: Duration) -> bool {
+        let p = &self.peers[peer];
+        !p.dead && now.duration_since(p.last_heard) <= window
+    }
+
+    /// Whether a peer has been marked dead.
+    pub fn is_dead(&self, peer: usize) -> bool {
+        self.peers[peer].dead
+    }
+
+    /// Scan all peers: account fresh heartbeat misses and return the peers
+    /// whose silence has crossed the timeout (each reported exactly once —
+    /// the scan marks them dead).
+    pub fn scan(&mut self, now: Instant) -> Vec<usize> {
+        let mut newly_dead = Vec::new();
+        for (i, p) in self.peers.iter_mut().enumerate() {
+            if p.dead {
+                continue;
+            }
+            let silence = now.duration_since(p.last_heard);
+            let intervals = (silence.as_nanos() / self.cfg.interval.as_nanos().max(1)) as u64;
+            if intervals > p.misses_reported {
+                self.total_misses += intervals - p.misses_reported;
+                p.misses_reported = intervals;
+            }
+            if silence >= self.cfg.timeout {
+                p.dead = true;
+                newly_dead.push(i);
+            }
+        }
+        newly_dead
+    }
+
+    /// Total heartbeat intervals missed across all peers (diagnostics).
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_accumulates_misses_then_kills() {
+        let cfg = HeartbeatConfig::new(Duration::from_millis(10), Duration::from_millis(50));
+        let t0 = Instant::now();
+        let mut d = FailureDetector::new(cfg, 2, t0);
+        assert!(d.scan(t0 + Duration::from_millis(5)).is_empty());
+        // Keep peer 1 alive, starve peer 0.
+        d.heard(1, t0 + Duration::from_millis(45));
+        let dead = d.scan(t0 + Duration::from_millis(55));
+        assert_eq!(dead, vec![0]);
+        assert!(d.is_dead(0) && !d.is_dead(1));
+        assert!(d.total_misses() >= 5, "misses = {}", d.total_misses());
+        // A dead peer is never re-reported.
+        assert!(d.scan(t0 + Duration::from_millis(500)).is_empty() || d.is_dead(1));
+    }
+
+    #[test]
+    fn pardon_forgives_silence_for_live_peers_only() {
+        let cfg = HeartbeatConfig::new(Duration::from_millis(10), Duration::from_millis(50));
+        let t0 = Instant::now();
+        let mut d = FailureDetector::new(cfg, 2, t0);
+        d.mark_dead(1);
+        // 49ms of silence, then the observer realizes it was starved.
+        d.pardon(t0 + Duration::from_millis(49));
+        // Peer 0's clock restarted: another 49ms still isn't a timeout.
+        assert!(d.scan(t0 + Duration::from_millis(98)).is_empty());
+        assert!(!d.is_dead(0));
+        assert!(d.is_dead(1), "pardon must not resurrect a dead peer");
+    }
+
+    #[test]
+    fn heard_within_tracks_the_window_and_death() {
+        let cfg = HeartbeatConfig::new(Duration::from_millis(10), Duration::from_millis(50));
+        let t0 = Instant::now();
+        let mut d = FailureDetector::new(cfg, 2, t0);
+        let w = Duration::from_millis(30);
+        assert!(d.heard_within(0, t0 + Duration::from_millis(20), w));
+        assert!(!d.heard_within(0, t0 + Duration::from_millis(40), w));
+        d.heard(0, t0 + Duration::from_millis(40));
+        assert!(d.heard_within(0, t0 + Duration::from_millis(60), w));
+        d.mark_dead(1);
+        assert!(!d.heard_within(1, t0, w), "dead peers are never 'heard'");
+    }
+
+    #[test]
+    fn heartbeats_reset_the_clock() {
+        let cfg = HeartbeatConfig::new(Duration::from_millis(10), Duration::from_millis(40));
+        let t0 = Instant::now();
+        let mut d = FailureDetector::new(cfg, 1, t0);
+        for k in 1..10 {
+            d.heard(0, t0 + Duration::from_millis(15 * k));
+            assert!(d.scan(t0 + Duration::from_millis(15 * k + 10)).is_empty());
+        }
+        assert!(!d.is_dead(0));
+    }
+}

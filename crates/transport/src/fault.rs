@@ -1,0 +1,171 @@
+//! Seeded wire-fault injection.
+//!
+//! The same philosophy as the worker-side `FaultPlan`: faults are part of
+//! the run specification, trigger at exact points in the traffic (here the
+//! Nth *batch* send of a node's leader), fire exactly once, and leave the
+//! outcome class deterministic per seed.  The injector sits between the
+//! leader and its [`Transport`](crate::Transport): every batch send asks
+//! the injector for a verdict first.
+//!
+//! The taxonomy mirrors real networks:
+//! * `Drop` — the frame vanishes; recovery is retransmission.
+//! * `Delay` — the frame is held for a while; dedup absorbs any overlap
+//!   with a retransmit.
+//! * `Duplicate` — the frame is sent twice; dedup rejects the replay.
+//! * `Disconnect` — one link is severed (as if the peer closed the socket).
+//! * `Partition` — the node is isolated: every outbound *and* inbound
+//!   frame, heartbeats included, is discarded until the end of the run;
+//!   peers find out the honest way, via heartbeat timeout.
+
+/// What kind of wire fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// Silently drop one batch frame.
+    Drop,
+    /// Hold one batch frame for `micros` before sending it.
+    Delay {
+        /// Hold time in microseconds.
+        micros: u64,
+    },
+    /// Send one batch frame twice.
+    Duplicate,
+    /// Sever the link to one peer (both directions).
+    Disconnect,
+    /// Isolate this node from every peer.
+    Partition,
+}
+
+/// One armed wire fault: fire `kind` on this node's `at_send`-th batch send
+/// (1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct WireFault {
+    /// What to inject.
+    pub kind: WireFaultKind,
+    /// Which batch send (1-based, counted across all peers) triggers it.
+    pub at_send: u64,
+}
+
+/// The injector's ruling on one batch send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Send normally.
+    Deliver,
+    /// Do not send; the frame stays in the resend buffer.
+    Drop,
+    /// Send after holding for `micros`.
+    Delay {
+        /// Hold time in microseconds.
+        micros: u64,
+    },
+    /// Send twice back to back.
+    Duplicate,
+    /// Sever the link this frame was headed for.
+    Disconnect,
+    /// Isolate this node (this and all future frames are dropped).
+    Partition,
+}
+
+/// Per-leader wire-fault state: counts batch sends, fires each armed fault
+/// once, and latches the partitioned state.
+#[derive(Debug, Default)]
+pub struct WireFaultInjector {
+    faults: Vec<(WireFault, bool)>,
+    batch_sends: u64,
+    partitioned: bool,
+    fired: u64,
+}
+
+impl WireFaultInjector {
+    /// An injector armed with `faults` (empty is fine — every verdict is
+    /// then `Deliver`).
+    pub fn new(faults: Vec<WireFault>) -> Self {
+        WireFaultInjector {
+            faults: faults.into_iter().map(|f| (f, false)).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Rule on the next batch send.  Must be called exactly once per
+    /// first-time batch send (retransmits bypass the injector so a dropped
+    /// frame is not dropped forever).
+    pub fn on_batch_send(&mut self) -> SendVerdict {
+        self.batch_sends += 1;
+        if self.partitioned {
+            return SendVerdict::Drop;
+        }
+        for (fault, fired) in &mut self.faults {
+            if *fired || fault.at_send != self.batch_sends {
+                continue;
+            }
+            *fired = true;
+            self.fired += 1;
+            return match fault.kind {
+                WireFaultKind::Drop => SendVerdict::Drop,
+                WireFaultKind::Delay { micros } => SendVerdict::Delay { micros },
+                WireFaultKind::Duplicate => SendVerdict::Duplicate,
+                WireFaultKind::Disconnect => SendVerdict::Disconnect,
+                WireFaultKind::Partition => {
+                    self.partitioned = true;
+                    SendVerdict::Partition
+                }
+            };
+        }
+        SendVerdict::Deliver
+    }
+
+    /// Whether a partition fault has latched (all traffic discarded).
+    pub fn partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Faults fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Batch sends counted so far.
+    pub fn batch_sends(&self) -> u64 {
+        self.batch_sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_at_the_exact_send() {
+        let mut inj = WireFaultInjector::new(vec![WireFault {
+            kind: WireFaultKind::Drop,
+            at_send: 3,
+        }]);
+        assert_eq!(inj.on_batch_send(), SendVerdict::Deliver);
+        assert_eq!(inj.on_batch_send(), SendVerdict::Deliver);
+        assert_eq!(inj.on_batch_send(), SendVerdict::Drop);
+        assert_eq!(inj.on_batch_send(), SendVerdict::Deliver);
+        assert_eq!(inj.fired(), 1);
+    }
+
+    #[test]
+    fn partition_latches_forever() {
+        let mut inj = WireFaultInjector::new(vec![WireFault {
+            kind: WireFaultKind::Partition,
+            at_send: 1,
+        }]);
+        assert_eq!(inj.on_batch_send(), SendVerdict::Partition);
+        assert!(inj.partitioned());
+        for _ in 0..5 {
+            assert_eq!(inj.on_batch_send(), SendVerdict::Drop);
+        }
+        assert_eq!(inj.fired(), 1, "the latch is one fault, not many");
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        let mut inj = WireFaultInjector::new(Vec::new());
+        for _ in 0..100 {
+            assert_eq!(inj.on_batch_send(), SendVerdict::Deliver);
+        }
+        assert_eq!(inj.fired(), 0);
+    }
+}

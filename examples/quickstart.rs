@@ -47,7 +47,33 @@ fn main() {
             );
             continue;
         }
-        assert!(report.clean(), "run must finish cleanly");
+        if !report.clean() {
+            // Surface the per-node wire state: the abort reason alone names
+            // only the first observer, not who cut the link or why.
+            let links: Vec<String> = report
+                .node_reports
+                .iter()
+                .flat_map(|d| {
+                    d.links.iter().map(move |l| {
+                        format!(
+                            "node {}->{}: {}",
+                            d.node,
+                            l.peer,
+                            if l.up {
+                                "up".to_string()
+                            } else {
+                                l.cause.clone().unwrap_or_else(|| "cut".to_string())
+                            }
+                        )
+                    })
+                })
+                .collect();
+            panic!(
+                "run must finish cleanly, got: {} [{}]",
+                report.outcome.signature(),
+                links.join(", ")
+            );
+        }
         println!(
             "{:<8} {:>12.3} {:>12} {:>14.1} {:>14.2}",
             scheme.label(),

@@ -71,6 +71,7 @@ pub use shmem;
 pub use sim_core;
 pub use smp_sim;
 pub use tramlib;
+pub use transport;
 
 /// The most commonly used types and functions, in one import.
 pub mod prelude {
@@ -94,8 +95,8 @@ pub mod prelude {
     pub use native_rt::{run_process, run_threaded, NativeBackendConfig, ProcessBackendConfig};
     pub use net_model::{NodeId, ProcId, Topology, WorkerId};
     pub use runtime_api::{
-        open_loop, AppSpec, Backend, CommonArgs, CommonConfig, FaultPlan, KernelMode, Payload,
-        RunCtx, RunOutcome, RunReport, RunSpec, SloPolicy, WorkerApp,
+        open_loop, AppSpec, Backend, CommonArgs, CommonConfig, FaultKind, FaultPlan, KernelMode,
+        Payload, RunCtx, RunOutcome, RunReport, RunSpec, SloPolicy, TransportKind, WorkerApp,
     };
     pub use smp_sim::{run_cluster, SimConfig, WorkerCtx};
     pub use tramlib::{Aggregator, FlushPolicy, Item, Owner, Scheme, TramConfig};

@@ -61,6 +61,10 @@ fn main() {
             "run_app_dispatches_every_backend",
             run_app_dispatches_every_backend,
         ),
+        (
+            "node_tier_wire_matches_the_in_process_cluster",
+            node_tier_wire_matches_the_in_process_cluster,
+        ),
     ]);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -231,6 +235,38 @@ fn open_loop_service_conserves_and_is_deterministic_per_seed() {
         .slo
         .expect("spec SLO must be stamped on the summary");
     assert_eq!(slo.p99_target_ns, 250_000_000);
+}
+
+fn node_tier_wire_matches_the_in_process_cluster() {
+    // The node-leader tier joins the equivalence gate: routing cross-node
+    // traffic through per-node leaders and a wire (here the deterministic
+    // simulated transport; `tests/node_tier.rs` covers the socket ones) must
+    // leave every application total bit-identical to the same cluster run
+    // entirely in-process.
+    let spec = |scheme| {
+        RunSpec::for_app(
+            HistogramConfig::new(ClusterSpec::smp(2, 2, 2), scheme)
+                .with_updates(1_000)
+                .with_buffer(32)
+                .with_seed(42),
+        )
+        .backend(Backend::Native)
+    };
+    for scheme in [Scheme::WW, Scheme::PP] {
+        let in_process = collect(Backend::Native, spec(scheme).run(), scheme);
+        let wired_report = spec(scheme).transport(TransportKind::Sim).run();
+        let shipped: u64 = wired_report
+            .node_reports
+            .iter()
+            .map(|d| d.items_shipped)
+            .sum();
+        let wired = collect(Backend::Native, wired_report, scheme);
+        assert!(shipped > 0, "{scheme}: no traffic crossed the wire");
+        assert_eq!(
+            wired, in_process,
+            "{scheme}: the node tier changed what the application computed"
+        );
+    }
 }
 
 fn run_app_dispatches_every_backend() {
